@@ -1,0 +1,494 @@
+// Package repro's root benchmarks regenerate every figure and table of the
+// paper (see DESIGN.md §4 and EXPERIMENTS.md): one benchmark per artifact,
+// built on the same scenarios as cmd/globebench, plus micro-benchmarks of
+// the hot paths (codec, ordering engines). Custom metrics report the
+// quantities the paper reasons about: messages, bytes, demand pulls, and
+// stale reads per operation.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/strategy"
+	"repro/internal/transport/memnet"
+	"repro/internal/vclock"
+	"repro/webobj"
+)
+
+// --- micro: wire codec (every remote invocation pays this) -------------------
+
+func BenchmarkMicro_MessageEncode(b *testing.B) {
+	m := &msg.Message{
+		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
+		Write: ids.WiD{Client: 3, Seq: 17},
+		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = msg.Encode(m)
+	}
+}
+
+func BenchmarkMicro_MessageDecode(b *testing.B) {
+	wire := msg.Encode(&msg.Message{
+		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
+		Write: ids.WiD{Client: 3, Seq: 17},
+		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := msg.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro: ordering engines (per-update coherence cost) ---------------------
+
+func BenchmarkMicro_EngineSubmit(b *testing.B) {
+	for _, model := range []coherence.Model{
+		coherence.Sequential, coherence.PRAM, coherence.FIFO, coherence.Causal, coherence.Eventual,
+	} {
+		b.Run(model.String(), func(b *testing.B) {
+			eng, err := coherence.NewEngine(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				u := &coherence.Update{
+					Write:     ids.WiD{Client: 1, Seq: uint64(i + 1)},
+					GlobalSeq: uint64(i + 1),
+					Stamp:     vclock.Stamp{Time: uint64(i + 1), Client: 1},
+					Deps:      vclock.VC{1: uint64(i + 1)},
+					Inv:       msg.Invocation{Method: 1, Page: "p"},
+				}
+				eng.Submit(u)
+			}
+		})
+	}
+}
+
+// --- shared scenario helpers --------------------------------------------------
+
+type benchSys struct {
+	sys    *webobj.System
+	server *webobj.Store
+	cache  *webobj.Store
+	writer *webobj.Document
+	reader *webobj.Document
+}
+
+func newBenchSys(b *testing.B, strat webobj.Strategy, session ...webobj.ClientModel) *benchSys {
+	b.Helper()
+	return newBenchSysSeeded(b, strat, true, session...)
+}
+
+// newBenchSysSeeded optionally skips the warm-up write, for benchmarks
+// where a different client must be the single registered writer.
+func newBenchSysSeeded(b *testing.B, strat webobj.Strategy, seed bool, session ...webobj.ClientModel) *benchSys {
+	b.Helper()
+	sys := webobj.NewSystemWithNetwork(memnet.WithSeed(1))
+	server, err := sys.NewServer("www")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const obj = webobj.ObjectID("bench-doc")
+	if err := sys.Publish(server, obj, strat); err != nil {
+		b.Fatal(err)
+	}
+	cache, err := sys.NewCache("proxy", server)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(cache, obj, session...); err != nil {
+		b.Fatal(err)
+	}
+	writer, err := sys.Open(obj, webobj.At(server))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reader, err := sys.Open(obj, webobj.At(cache), webobj.WithSession(session...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if seed {
+		if err := writer.Put("index.html", []byte("<h1>bench</h1>"), "text/html"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reader.Get("index.html"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() {
+		writer.Close()
+		reader.Close()
+		_ = sys.Close()
+	})
+	return &benchSys{sys: sys, server: server, cache: cache, writer: writer, reader: reader}
+}
+
+func reportNet(b *testing.B, sys *webobj.System, ops int) {
+	s := sys.Network().Stats()
+	if ops > 0 {
+		b.ReportMetric(float64(s.Sent)/float64(ops), "msgs/op")
+		b.ReportMetric(float64(s.Bytes)/float64(ops), "wireB/op")
+	}
+}
+
+// --- F1: invocation paths (Figure 1) ------------------------------------------
+
+func BenchmarkFigure1_InvocationPath(b *testing.B) {
+	st := strategy.PopularEventPage()
+	st.Scope = strategy.ScopeAll
+	b.Run("rpc-to-permanent", func(b *testing.B) {
+		s := newBenchSys(b, st)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.writer.Get("index.html"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replica-at-cache", func(b *testing.B) {
+		s := newBenchSys(b, st)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.reader.Get("index.html"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFigure1_Binding(b *testing.B) {
+	st := strategy.PopularEventPage()
+	st.Scope = strategy.ScopeAll
+	s := newBenchSys(b, st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := s.sys.Open("bench-doc", webobj.At(s.cache))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Close()
+	}
+}
+
+// --- F2: store layers (Figure 2) ----------------------------------------------
+
+func BenchmarkFigure2_StoreLayers(b *testing.B) {
+	st := strategy.PopularEventPage()
+	st.Scope = strategy.ScopeAll
+	sys := webobj.NewSystemWithNetwork()
+	server, err := sys.NewServer("www")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const obj = webobj.ObjectID("layers-doc")
+	if err := sys.Publish(server, obj, st); err != nil {
+		b.Fatal(err)
+	}
+	mirror, err := sys.NewMirror("mirror", server)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(mirror, obj); err != nil {
+		b.Fatal(err)
+	}
+	cache, err := sys.NewCache("proxy", mirror)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(cache, obj); err != nil {
+		b.Fatal(err)
+	}
+	seed, err := sys.Open(obj, webobj.At(server))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Put("p", []byte("content"), "text/html"); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+	b.Cleanup(func() { _ = sys.Close() })
+
+	for _, layer := range []struct {
+		name string
+		at   *webobj.Store
+	}{{"permanent", server}, {"object-initiated", mirror}, {"client-initiated", cache}} {
+		b.Run(layer.name, func(b *testing.B) {
+			d, err := sys.Open(obj, webobj.At(layer.at))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			if _, err := d.Get("p"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Get("p"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T1: parameter sweep (Table 1) ---------------------------------------------
+
+func BenchmarkTable1_ParameterSweep(b *testing.B) {
+	combos := []struct {
+		name string
+		mut  func(*webobj.Strategy)
+	}{
+		{"update-push-immediate-partial", func(s *webobj.Strategy) {}},
+		{"update-push-immediate-full", func(s *webobj.Strategy) { s.CoherenceTransfer = strategy.CoherenceFull }},
+		{"update-push-lazy-partial", func(s *webobj.Strategy) { s.Instant = strategy.Lazy; s.LazyInterval = 5 * time.Millisecond }},
+		{"invalidate-push-immediate", func(s *webobj.Strategy) { s.Propagation = strategy.PropagateInvalidate }},
+		{"update-pull-periodic", func(s *webobj.Strategy) { s.Initiative = strategy.Pull; s.PullInterval = 5 * time.Millisecond }},
+	}
+	for _, c := range combos {
+		b.Run(c.name, func(b *testing.B) {
+			st := webobj.Strategy{
+				Model:             coherence.PRAM,
+				Propagation:       strategy.PropagateUpdate,
+				Scope:             strategy.ScopeAll,
+				Writers:           strategy.SingleWriter,
+				Initiative:        strategy.Push,
+				Instant:           strategy.Immediate,
+				AccessTransfer:    strategy.TransferPartial,
+				CoherenceTransfer: strategy.CoherencePartial,
+				ObjectOutdate:     strategy.Demand,
+				ClientOutdate:     strategy.Demand,
+			}
+			c.mut(&st)
+			if err := st.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			s := newBenchSys(b, st)
+			s.sys.Network().ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// 1 write : 4 reads, the sweep's mixed workload.
+				if err := s.writer.Put("index.html", []byte(fmt.Sprintf("v%d", i)), ""); err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < 4; r++ {
+					if _, err := s.reader.Get("index.html"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			reportNet(b, s.sys, b.N*5)
+		})
+	}
+}
+
+// --- T2: conference scenario (Table 2, Figures 3-4) ------------------------------
+
+func BenchmarkTable2_ConferenceScenario(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		session []webobj.ClientModel
+	}{
+		{"pram-only", nil},
+		{"pram+ryw", []webobj.ClientModel{webobj.ReadYourWrites}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			// No seed write: the master must be the single registered writer.
+			s := newBenchSysSeeded(b, webobj.ConferenceStrategy(5*time.Millisecond), false, cfg.session...)
+			master, err := s.sys.Open("bench-doc", webobj.At(s.cache), webobj.WithSession(cfg.session...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer master.Close()
+			b.ResetTimer()
+			stale := 0
+			for i := 0; i < b.N; i++ {
+				if err := master.Append("program", []byte("u")); err != nil {
+					b.Fatal(err)
+				}
+				pg, err := master.Get("program")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pg.Version < uint64(i+1) {
+					stale++
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stale)/float64(b.N), "staleOwnReads/op")
+		})
+	}
+}
+
+// --- M1: object-based models ------------------------------------------------------
+
+func BenchmarkModels_ObjectBased(b *testing.B) {
+	for _, model := range []coherence.Model{
+		coherence.Sequential, coherence.PRAM, coherence.FIFO, coherence.Causal, coherence.Eventual,
+	} {
+		b.Run(model.String(), func(b *testing.B) {
+			st := webobj.Strategy{
+				Model:             model,
+				Propagation:       strategy.PropagateUpdate,
+				Scope:             strategy.ScopeAll,
+				Writers:           strategy.SingleWriter,
+				Initiative:        strategy.Push,
+				Instant:           strategy.Immediate,
+				AccessTransfer:    strategy.TransferFull,
+				CoherenceTransfer: strategy.CoherencePartial,
+				ObjectOutdate:     strategy.Demand,
+				ClientOutdate:     strategy.Demand,
+			}
+			if model == coherence.Eventual {
+				st.ObjectOutdate = strategy.Wait
+			}
+			if err := st.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			s := newBenchSys(b, st)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.writer.Put("index.html", []byte(fmt.Sprintf("v%d", i)), ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportNet(b, s.sys, b.N)
+		})
+	}
+}
+
+// --- M2: session guarantees --------------------------------------------------------
+
+func BenchmarkModels_SessionGuarantees(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		session []webobj.ClientModel
+	}{
+		{"none", nil},
+		{"ryw", []webobj.ClientModel{webobj.ReadYourWrites}},
+		{"mr", []webobj.ClientModel{webobj.MonotonicReads}},
+		{"ryw+mr", []webobj.ClientModel{webobj.ReadYourWrites, webobj.MonotonicReads}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			// Lazy mirror sync: guarantees must work against a stale store.
+			s := newBenchSys(b, webobj.MirroredSiteStrategy(20*time.Millisecond), cfg.session...)
+			client, err := s.sys.Open("bench-doc", webobj.At(s.server), webobj.WithSession(cfg.session...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.Put("p", []byte(fmt.Sprintf("v%d", i)), ""); err != nil {
+					b.Fatal(err)
+				}
+				if err := client.Rebind(s.cache); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.Get("p"); err != nil {
+					b.Fatal(err)
+				}
+				if err := client.Rebind(s.server); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- C1: per-object vs uniform -----------------------------------------------------
+
+func BenchmarkClaim_PerObjectVsUniform(b *testing.B) {
+	ttl := webobj.Strategy{
+		Model: coherence.PRAM, Propagation: strategy.PropagateUpdate,
+		Scope: strategy.ScopeAll, Writers: strategy.SingleWriter,
+		Initiative: strategy.Pull, Instant: strategy.Immediate,
+		PullInterval: 10 * time.Millisecond, AccessTransfer: strategy.TransferPartial,
+		CoherenceTransfer: strategy.CoherencePartial,
+		ObjectOutdate:     strategy.Wait, ClientOutdate: strategy.Wait,
+	}
+	validate := ttl
+	validate.PullInterval = 0
+	validate.ObjectOutdate = strategy.Demand
+	validate.ClientOutdate = strategy.Demand
+	tailored := strategy.PopularEventPage()
+	tailored.Scope = strategy.ScopeAll
+
+	for _, cfg := range []struct {
+		name string
+		st   webobj.Strategy
+	}{{"uniform-ttl", ttl}, {"uniform-validate", validate}, {"tailored-popular-page", tailored}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := newBenchSys(b, cfg.st)
+			s.sys.Network().ResetStats()
+			stale := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%10 == 0 { // popular page: 10% writes
+					if err := s.writer.Put("index.html", []byte(fmt.Sprintf("v%d", i)), ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				pg, err := s.reader.Get("index.html")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pg.Version < uint64(i/10+1) {
+					stale++
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stale)/float64(b.N), "staleReads/op")
+			reportNet(b, s.sys, b.N)
+		})
+	}
+}
+
+// --- E2E: lossy transport (§4.2) -----------------------------------------------------
+
+func BenchmarkE2E_LossyTransportRecovery(b *testing.B) {
+	for _, react := range []strategy.Reaction{strategy.Demand, strategy.Wait} {
+		b.Run(react.String(), func(b *testing.B) {
+			st := webobj.ConferenceStrategy(3 * time.Millisecond)
+			st.ObjectOutdate = react
+			s := newBenchSys(b, st)
+			s.sys.Network().SetLink("store/www", "store/proxy", memnet.LinkProfile{Loss: 0.3})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.writer.Append("log", []byte("x")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Under demand the cache converges; under wait it may lag.
+			deadline := time.Now().Add(2 * time.Second)
+			converged := false
+			for time.Now().Before(deadline) {
+				pg, err := s.reader.Get("log")
+				if err == nil && pg.Version == uint64(b.N) {
+					converged = true
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if converged {
+				b.ReportMetric(1, "converged")
+			} else {
+				b.ReportMetric(0, "converged")
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+// Command globebench runs the full reproduction experiment suite — one
+// experiment per figure/table of the paper (see DESIGN.md §4 and
+// EXPERIMENTS.md) — and prints the measured tables.
+//
+//	globebench            # full-size experiments
+//	globebench -quick     # reduced sizes (CI-friendly)
+//	globebench -only T2   # a single experiment by ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	only := flag.String("only", "", "run only the experiment with this ID (F1,F2,T1,T2,M1,M2,C1,E2E)")
+	flag.Parse()
+
+	opts := harness.Options{Quick: *quick}
+	ran := 0
+	for _, t := range harness.All(opts) {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		t.Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "globebench: no experiment with ID %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,169 @@
+// Command globectl is the client tool for globed daemons: it binds to a
+// distributed Web object at any store and reads, writes, appends, deletes,
+// or lists its pages over TCP.
+//
+//	globectl -store 127.0.0.1:7001 -object conf-page put index.html '<h1>hi</h1>'
+//	globectl -store 127.0.0.1:7002 -object conf-page -session ryw get index.html
+//	globectl -store 127.0.0.1:7002 -object conf-page pages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/transport/tcpnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("globectl: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		storeAddr = flag.String("store", "127.0.0.1:7001", "store address to bind to")
+		object    = flag.String("object", "", "object ID (required)")
+		session   = flag.String("session", "", "client models: ryw,mr,mw,wfr")
+		clientID  = flag.Uint("client", 0, "client ID (0 = derive from pid/time)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-call timeout")
+	)
+	flag.Parse()
+	if *object == "" {
+		return fmt.Errorf("-object is required")
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: globectl [flags] get|put|append|delete|pages|stat [page] [content]")
+	}
+
+	models, err := parseSession(*session)
+	if err != nil {
+		return err
+	}
+	cid := ids.ClientID(*clientID)
+	if cid == 0 {
+		cid = ids.ClientID(time.Now().UnixNano()%1_000_000 + 2)
+	}
+	ep, err := tcpnet.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	proxy, err := core.Bind(core.BindConfig{
+		Object:    ids.ObjectID(*object),
+		Endpoint:  ep,
+		StoreAddr: *storeAddr,
+		Client:    cid,
+		Session:   models,
+		Prototype: webdoc.New(),
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+
+	cmd := args[0]
+	page := ""
+	if len(args) > 1 {
+		page = args[1]
+	}
+	switch cmd {
+	case "get":
+		out, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodGetPage, Page: page})
+		if err != nil {
+			return err
+		}
+		pg, err := webdoc.DecodePage(out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s", pg.Content)
+		if !strings.HasSuffix(string(pg.Content), "\n") {
+			fmt.Println()
+		}
+		log.Printf("(version %d, %s, modified %s)", pg.Version, pg.ContentType,
+			time.Unix(0, pg.ModifiedNanos).Format(time.RFC3339))
+	case "stat":
+		out, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodStatPage, Page: page})
+		if err != nil {
+			return err
+		}
+		pg, err := webdoc.DecodePage(out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("page=%s version=%d type=%s modified=%s\n", page, pg.Version,
+			pg.ContentType, time.Unix(0, pg.ModifiedNanos).Format(time.RFC3339))
+	case "put", "append":
+		if len(args) < 3 {
+			return fmt.Errorf("%s needs: page content", cmd)
+		}
+		method := webdoc.MethodPutPage
+		if cmd == "append" {
+			method = webdoc.MethodAppendPage
+		}
+		wargs := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
+			Content:       []byte(args[2]),
+			ContentType:   "text/html",
+			ModifiedNanos: time.Now().UnixNano(),
+		})
+		if _, err := proxy.Invoke(msg.Invocation{Method: method, Page: page, Args: wargs}); err != nil {
+			return err
+		}
+		fmt.Printf("%s %s OK (client %d)\n", cmd, page, cid)
+	case "delete":
+		if _, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodDeletePage, Page: page}); err != nil {
+			return err
+		}
+		fmt.Printf("delete %s OK\n", page)
+	case "pages":
+		out, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodListPages})
+		if err != nil {
+			return err
+		}
+		names, err := webdoc.DecodeStrings(out)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func parseSession(s string) ([]coherence.ClientModel, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []coherence.ClientModel
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "ryw":
+			out = append(out, coherence.ReadYourWrites)
+		case "mr":
+			out = append(out, coherence.MonotonicReads)
+		case "mw":
+			out = append(out, coherence.MonotonicWrites)
+		case "wfr":
+			out = append(out, coherence.WritesFollowReads)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown session model %q", part)
+		}
+	}
+	return out, nil
+}

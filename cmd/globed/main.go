@@ -1,0 +1,163 @@
+// Command globed is a store daemon: it hosts replicas of distributed Web
+// objects over real TCP, in any of the paper's three store layers. A
+// permanent store publishes a document; mirror/cache stores replicate it
+// from a parent daemon.
+//
+// Start a Web server (permanent store) publishing a document:
+//
+//	globed -listen 127.0.0.1:7001 -object conf-page -role permanent -strategy conference
+//
+// Start a proxy cache replicating it:
+//
+//	globed -listen 127.0.0.1:7002 -object conf-page -role cache -parent 127.0.0.1:7001 -strategy conference -session ryw
+//
+// Then use globectl to read and write pages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/replication"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/store"
+	"repro/internal/strategy"
+	"repro/internal/transport/tcpnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("globed: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7001", "TCP address to listen on")
+		object    = flag.String("object", "", "object ID to host (required)")
+		role      = flag.String("role", "permanent", "store role: permanent | mirror | cache")
+		parent    = flag.String("parent", "", "parent store address (required for mirror/cache)")
+		stratName = flag.String("strategy", "conference", "strategy preset: "+presetNames())
+		session   = flag.String("session", "", "comma-separated client models this store supports: ryw,mr,mw,wfr")
+		storeID   = flag.Uint("id", 1, "store ID (unique per deployment)")
+	)
+	flag.Parse()
+	if *object == "" {
+		return fmt.Errorf("-object is required")
+	}
+
+	r, err := parseRole(*role)
+	if err != nil {
+		return err
+	}
+	if r != replication.RolePermanent && *parent == "" {
+		return fmt.Errorf("role %s requires -parent", *role)
+	}
+	st, ok := strategy.Presets()[*stratName]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q (have: %s)", *stratName, presetNames())
+	}
+	models, err := parseSession(*session)
+	if err != nil {
+		return err
+	}
+
+	ep, err := tcpnet.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	s := store.New(store.Config{
+		ID:       ids.StoreID(*storeID),
+		Role:     r,
+		Endpoint: ep,
+	})
+	defer s.Close()
+	if err := s.Host(store.HostConfig{
+		Object:    ids.ObjectID(*object),
+		Semantics: webdoc.New(),
+		Strat:     st,
+		Parent:    *parent,
+		Session:   models,
+		Subscribe: *parent != "",
+	}); err != nil {
+		return err
+	}
+	log.Printf("globed: %s store %d hosting %q at %s (strategy %s)",
+		r, *storeID, *object, ep.Addr(), *stratName)
+	if *parent != "" {
+		log.Printf("globed: subscribed to parent %s", *parent)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			log.Printf("globed: shutting down")
+			return nil
+		case <-ticker.C:
+			if stats, err := s.Stats(ids.ObjectID(*object)); err == nil {
+				log.Printf("globed: stats %+v", stats)
+			}
+		}
+	}
+}
+
+func parseRole(s string) (replication.Role, error) {
+	switch s {
+	case "permanent":
+		return replication.RolePermanent, nil
+	case "mirror", "object-initiated":
+		return replication.RoleObjectInitiated, nil
+	case "cache", "client-initiated":
+		return replication.RoleClientInitiated, nil
+	default:
+		return 0, fmt.Errorf("unknown role %q", s)
+	}
+}
+
+func parseSession(s string) ([]coherence.ClientModel, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []coherence.ClientModel
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "ryw":
+			out = append(out, coherence.ReadYourWrites)
+		case "mr":
+			out = append(out, coherence.MonotonicReads)
+		case "mw":
+			out = append(out, coherence.MonotonicWrites)
+		case "wfr":
+			out = append(out, coherence.WritesFollowReads)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown session model %q (want ryw|mr|mw|wfr)", part)
+		}
+	}
+	return out, nil
+}
+
+func presetNames() string {
+	ps := strategy.Presets()
+	names := make([]string, 0, len(ps))
+	for n := range ps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " | ")
+}

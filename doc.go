@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "A Framework for
+// Consistent, Replicated Web Objects" (Kermarrec, Kuz, van Steen,
+// Tanenbaum; ICDCS 1998) — the Globe project's per-document pluggable
+// replication and coherence architecture for the Web.
+//
+// The public API lives in package webobj; the framework internals are under
+// internal/ (coherence models, Table 1 strategies, replication objects,
+// store hierarchy, transports, semantics objects, naming); cmd/ holds the
+// store daemon (globed), client (globectl), and experiment runner
+// (globebench); examples/ holds five runnable scenarios. bench_test.go in
+// this package regenerates every figure and table of the paper as Go
+// benchmarks. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,106 @@
+// Newsforum is the paper's causal-coherence example (§3.2.1): "such a
+// coherence model could be applied to a Web forum, like a newsgroup, where
+// a participant's reaction makes sense only if the audience has received
+// the message that triggered the reaction."
+//
+// A poster publishes an article; a second participant reads it at their own
+// cache and posts a reaction. Under the causal model (plus the
+// Writes-Follow-Reads session guarantee for the reactor), no replica ever
+// applies the reaction before the article.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/webobj"
+)
+
+func main() {
+	sys := webobj.NewSystem()
+	defer sys.Close()
+
+	server, err := sys.NewServer("news.example.org")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const forum = webobj.ObjectID("comp.dist.web-objects")
+	if err := sys.Publish(server, forum, webobj.ForumStrategy()); err != nil {
+		log.Fatal(err)
+	}
+
+	cacheA, err := sys.NewCache("cache-poster", server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Replicate(cacheA, forum); err != nil {
+		log.Fatal(err)
+	}
+	cacheB, err := sys.NewCache("cache-reactor", server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Replicate(cacheB, forum, webobj.WritesFollowReads); err != nil {
+		log.Fatal(err)
+	}
+
+	poster, err := sys.Open(forum, webobj.At(cacheA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer poster.Close()
+	reactor, err := sys.Open(forum, webobj.At(cacheB), webobj.WithSession(webobj.WritesFollowReads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reactor.Close()
+
+	// The poster writes the article.
+	if err := poster.Append("thread", []byte("<post>Globe makes Web objects scalable.</post>")); err != nil {
+		log.Fatal(err)
+	}
+
+	// The reactor waits until it has READ the article at its own cache —
+	// this read is what creates the causal dependency.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		pg, err := reactor.Get("thread")
+		if err == nil && strings.Contains(string(pg.Content), "scalable") {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("article never reached the reactor's cache")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The reaction now causally follows the article.
+	if err := reactor.Append("thread", []byte("<reply>Agreed -- per-object coherence is the key.</reply>")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Every replica must show the article before the reaction.
+	caches := []*webobj.Document{poster, reactor}
+	for i, d := range caches {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			pg, err := d.Get("thread")
+			if err == nil {
+				s := string(pg.Content)
+				if strings.Contains(s, "<reply>") {
+					if strings.Index(s, "<post>") > strings.Index(s, "<reply>") {
+						log.Fatalf("causality violated at replica %d: %s", i, s)
+					}
+					fmt.Printf("replica %d sees causally ordered thread\n", i)
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("replica %d never saw the reaction", i)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	fmt.Println("newsforum example OK")
+}

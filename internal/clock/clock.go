@@ -1,0 +1,175 @@
+// Package clock abstracts wall-clock time so that the lazy/periodic
+// dissemination timers of Table 1 ("transfer instant = lazy (periodic)") can
+// be driven deterministically in tests via a fake clock, and by real time in
+// production.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock supplies time and timers. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run after d and returns a handle that can
+	// stop it.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a stoppable pending call created by AfterFunc.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the call was prevented.
+	Stop() bool
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+// Fake is a manually advanced clock for deterministic tests. The zero value
+// starts at the zero time; NewFake starts at a fixed, non-zero epoch.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	pending []*fakeTimer
+	seq     int
+}
+
+var _ Clock = (*Fake)(nil)
+
+// NewFake returns a fake clock starting at a fixed epoch.
+func NewFake() *Fake {
+	return &Fake{now: time.Date(1998, time.May, 26, 0, 0, 0, 0, time.UTC)}
+}
+
+type fakeTimer struct {
+	clk     *Fake
+	at      time.Time
+	seq     int
+	f       func()
+	ch      chan time.Time
+	stopped bool
+	fired   bool
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	f.schedule(d, nil, ch)
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	return f.schedule(d, fn, nil)
+}
+
+func (f *Fake) schedule(d time.Duration, fn func(), ch chan time.Time) *fakeTimer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	t := &fakeTimer{clk: f, at: f.now.Add(d), seq: f.seq, f: fn, ch: ch}
+	f.pending = append(f.pending, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline is
+// reached, in deadline order (creation order breaks ties). Timer callbacks
+// run synchronously on the caller's goroutine, with the clock already set to
+// the timer's deadline, so a callback that re-arms a periodic timer behaves
+// like a real ticker.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		t := f.nextDueLocked(target)
+		if t == nil {
+			break
+		}
+		f.now = t.at
+		t.fired = true
+		fn, ch, at := t.f, t.ch, t.at
+		f.mu.Unlock()
+		if ch != nil {
+			ch <- at
+		}
+		if fn != nil {
+			fn()
+		}
+		f.mu.Lock()
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+// nextDueLocked pops the earliest unfired, unstopped timer due at or before
+// target, or returns nil.
+func (f *Fake) nextDueLocked(target time.Time) *fakeTimer {
+	live := f.pending[:0]
+	for _, t := range f.pending {
+		if !t.fired && !t.stopped {
+			live = append(live, t)
+		}
+	}
+	f.pending = live
+	if len(f.pending) == 0 {
+		return nil
+	}
+	sort.SliceStable(f.pending, func(i, j int) bool {
+		if !f.pending[i].at.Equal(f.pending[j].at) {
+			return f.pending[i].at.Before(f.pending[j].at)
+		}
+		return f.pending[i].seq < f.pending[j].seq
+	})
+	if f.pending[0].at.After(target) {
+		return nil
+	}
+	return f.pending[0]
+}
+
+// PendingTimers reports how many timers are armed (for test assertions).
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, t := range f.pending {
+		if !t.fired && !t.stopped {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	var c Real
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now far in the past")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Real.After never fired")
+	}
+	done := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Real.AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Fatalf("Stop after fire should report false")
+	}
+}
+
+func TestFakeAdvanceFiresInOrder(t *testing.T) {
+	f := NewFake()
+	var order []int
+	f.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	f.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	f.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	f.Advance(25 * time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", order)
+	}
+	f.Advance(10 * time.Millisecond)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("fired %v, want [1 2 3]", order)
+	}
+}
+
+func TestFakeAfterChannel(t *testing.T) {
+	f := NewFake()
+	ch := f.After(5 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatalf("After fired before Advance")
+	default:
+	}
+	start := f.Now()
+	f.Advance(5 * time.Millisecond)
+	select {
+	case at := <-ch:
+		if !at.Equal(start.Add(5 * time.Millisecond)) {
+			t.Fatalf("fired at %v, want %v", at, start.Add(5*time.Millisecond))
+		}
+	default:
+		t.Fatalf("After did not fire at deadline")
+	}
+}
+
+func TestFakeStopPreventsFire(t *testing.T) {
+	f := NewFake()
+	fired := false
+	tm := f.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatalf("Stop before fire should report true")
+	}
+	if tm.Stop() {
+		t.Fatalf("second Stop should report false")
+	}
+	f.Advance(time.Hour)
+	if fired {
+		t.Fatalf("stopped timer fired")
+	}
+	if n := f.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", n)
+	}
+}
+
+func TestFakePeriodicRearm(t *testing.T) {
+	f := NewFake()
+	var fires []time.Time
+	var rearm func()
+	rearm = func() {
+		f.AfterFunc(10*time.Millisecond, func() {
+			fires = append(fires, f.Now())
+			if len(fires) < 3 {
+				rearm()
+			}
+		})
+	}
+	rearm()
+	f.Advance(35 * time.Millisecond)
+	if len(fires) != 3 {
+		t.Fatalf("periodic timer fired %d times, want 3", len(fires))
+	}
+	base := time.Date(1998, time.May, 26, 0, 0, 0, 0, time.UTC)
+	for i, at := range fires {
+		want := base.Add(time.Duration(i+1) * 10 * time.Millisecond)
+		if !at.Equal(want) {
+			t.Fatalf("fire %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestFakeNowAdvances(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	f.Advance(42 * time.Second)
+	if got := f.Now().Sub(start); got != 42*time.Second {
+		t.Fatalf("advanced %v, want 42s", got)
+	}
+}

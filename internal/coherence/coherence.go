@@ -1,0 +1,173 @@
+// Package coherence implements the coherence models of §3.2 of the paper.
+//
+// Object-based models (§3.2.1) are realised as ordering engines: a store
+// feeds every arriving write (local or remote) to its engine, which decides
+// whether the write is applicable now, must be buffered until its
+// predecessors arrive, or must be dropped (FIFO supersession, eventual LWW).
+// The five engines — sequential, PRAM, FIFO, causal, eventual — share one
+// interface so replication objects can host any model, which is exactly the
+// paper's "standard interfaces for all replication objects" requirement.
+//
+// Client-based models (§3.2.2) — Read Your Writes, Monotonic Reads,
+// client-PRAM (Monotonic Writes), client-causal (Writes Follow Reads) — are
+// realised by Session, the client-side tracker that computes the requirement
+// vector attached to reads and the dependency vector attached to writes, and
+// by DepGuard, the store-side engine wrapper that enforces write
+// dependencies on top of models too weak to order them.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+)
+
+// Model enumerates the object-based coherence models of §3.2.1.
+type Model int
+
+// Object-based coherence models, strongest first.
+const (
+	Sequential Model = iota + 1
+	PRAM
+	FIFO
+	Causal
+	Eventual
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case PRAM:
+		return "pram"
+	case FIFO:
+		return "fifo"
+	case Causal:
+		return "causal"
+	case Eventual:
+		return "eventual"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ClientModel enumerates the client-based coherence models of §3.2.2.
+type ClientModel int
+
+// Client-based coherence models and their Bayou session-guarantee
+// equivalents.
+const (
+	ReadYourWrites    ClientModel = iota + 1 // Bayou: Read Your Writes
+	MonotonicReads                           // Bayou: Monotonic Reads
+	MonotonicWrites                          // client-PRAM
+	WritesFollowReads                        // client-causal
+)
+
+// String names the client model.
+func (m ClientModel) String() string {
+	switch m {
+	case ReadYourWrites:
+		return "read-your-writes"
+	case MonotonicReads:
+		return "monotonic-reads"
+	case MonotonicWrites:
+		return "monotonic-writes"
+	case WritesFollowReads:
+		return "writes-follow-reads"
+	default:
+		return fmt.Sprintf("ClientModel(%d)", int(m))
+	}
+}
+
+// Update is one write operation as seen by an ordering engine: the
+// marshalled invocation plus all replication metadata. Engines never look
+// inside Inv.Args.
+type Update struct {
+	// Write identifies the update: (client, per-client sequence).
+	Write ids.WiD
+	// GlobalSeq is the total-order position assigned by the permanent
+	// store; meaningful only under the sequential model.
+	GlobalSeq uint64
+	// Deps is the causal/session dependency vector: the update may be
+	// applied only at stores whose applied vector covers it.
+	Deps vclock.VC
+	// Stamp is the Lamport stamp used by the eventual model's
+	// last-writer-wins rule.
+	Stamp vclock.Stamp
+	// Inv is the marshalled write invocation.
+	Inv msg.Invocation
+	// WallNanos is the origin wall-clock time of the write (metrics only).
+	WallNanos int64
+}
+
+// Engine orders updates at one store according to one object-based model.
+// Implementations are not safe for concurrent use; the owning store
+// serialises access (stores are single-event-loop actors).
+type Engine interface {
+	// Model identifies the engine's coherence model.
+	Model() Model
+	// Submit offers an update. It returns the updates that became
+	// applicable, in application order: nil if the update was buffered,
+	// dropped, or a duplicate; possibly several if it unblocked buffered
+	// predecessors' successors.
+	Submit(u *Update) []*Update
+	// Applied returns the version vector of writes applied so far. Under
+	// FIFO and eventual models the vector records the newest write per
+	// client (earlier ones may have been superseded), which still upper-
+	// bounds what a session guarantee can demand.
+	Applied() ids.VersionVec
+	// Pending reports how many updates are buffered awaiting predecessors.
+	Pending() int
+	// Seed fast-forwards the engine past writes whose effects arrived via
+	// full state transfer rather than ordered updates: v is the state's
+	// version vector and global the sequencer position it reflects (zero
+	// when the model is not sequential). Updates covered by a seed are
+	// treated as already applied.
+	Seed(v ids.VersionVec, global uint64)
+	// Global reports the sequencer position (next expected total-order
+	// sequence) under the sequential model, and zero otherwise; it rides
+	// along with full state transfers so receivers can Seed correctly.
+	Global() uint64
+}
+
+// NewEngine constructs the ordering engine for a model.
+func NewEngine(m Model) (Engine, error) {
+	switch m {
+	case Sequential:
+		return newSequentialEngine(), nil
+	case PRAM:
+		return newPRAMEngine(), nil
+	case FIFO:
+		return newFIFOEngine(), nil
+	case Causal:
+		return newCausalEngine(), nil
+	case Eventual:
+		return newEventualEngine(), nil
+	default:
+		return nil, fmt.Errorf("coherence: unknown model %v", m)
+	}
+}
+
+// Implies reports whether object-based model m makes client model c hold
+// automatically for every client. The paper: "if the object offers
+// sequential consistency, then it automatically offers every client-based
+// model as well."
+func (m Model) Implies(c ClientModel) bool {
+	switch m {
+	case Sequential:
+		return true
+	case PRAM, FIFO:
+		// Per-client write order is preserved (FIFO by supersession), so a
+		// client's own writes are monotonic; reads/mixed guarantees still
+		// need session support.
+		return c == MonotonicWrites
+	case Causal:
+		// Causal ordering covers write/write dependencies.
+		return c == MonotonicWrites || c == WritesFollowReads
+	default:
+		return false
+	}
+}

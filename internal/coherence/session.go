@@ -1,0 +1,152 @@
+package coherence
+
+import (
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/vclock"
+)
+
+// Session is the client-side state for the client-based coherence models of
+// §3.2.2. It tracks the client's own writes and the store state it has
+// observed, and derives (a) the requirement vector a read must attach so the
+// serving store can check — and enforce — the enabled guarantees, and (b)
+// the dependency vector a write must carry. Safe for concurrent use.
+type Session struct {
+	mu     sync.Mutex
+	client ids.ClientID
+	models map[ClientModel]bool
+
+	// seq is the client's write counter; WiDs are (client, seq).
+	seq uint64
+	// lastWrite is the paper's RYW dependency: the last write's WiD and the
+	// store it was performed on.
+	lastWrite ids.Dependency
+	// readVec is the merged applied vector of every store state this client
+	// has read (Monotonic Reads requirement).
+	readVec ids.VersionVec
+	// readVC is the causal variant of readVec, attached as write
+	// dependencies under Writes Follow Reads.
+	readVC vclock.VC
+}
+
+// NewSession creates a session for client c with the given client-based
+// models enabled.
+func NewSession(c ids.ClientID, models ...ClientModel) *Session {
+	s := &Session{
+		client:  c,
+		models:  make(map[ClientModel]bool, len(models)),
+		readVec: ids.NewVersionVec(4),
+		readVC:  vclock.New(),
+	}
+	for _, m := range models {
+		s.models[m] = true
+	}
+	return s
+}
+
+// Client returns the session's client ID.
+func (s *Session) Client() ids.ClientID { return s.client }
+
+// Enabled reports whether model m is enabled.
+func (s *Session) Enabled(m ClientModel) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.models[m]
+}
+
+// Enable turns on a client model mid-session (the paper allows requesting
+// models at bind time; enabling later only strengthens guarantees).
+func (s *Session) Enable(m ClientModel) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models[m] = true
+}
+
+// NextWrite allocates the next write identifier and returns it together
+// with the dependency vector the write must carry: under Writes Follow
+// Reads, everything the client has read; under Monotonic Writes, the
+// client's own previous write. The causal object model composes both
+// automatically; for weaker models a DepGuard at the store enforces them.
+func (s *Session) NextWrite() (ids.WiD, vclock.VC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	w := ids.WiD{Client: s.client, Seq: s.seq}
+	deps := vclock.New()
+	if s.models[WritesFollowReads] {
+		deps.Merge(s.readVC)
+	}
+	if s.models[MonotonicWrites] || s.models[WritesFollowReads] {
+		if s.seq > 1 {
+			deps.Set(s.client, s.seq-1)
+		}
+	}
+	return w, deps
+}
+
+// AbortWrite rolls back the sequence counter after a write that was never
+// accepted anywhere (rejected or timed out before transmission could have
+// mattered), so the client's next write does not leave a permanent gap in
+// per-client ordering. Only the most recent allocation can be aborted.
+func (s *Session) AbortWrite(w ids.WiD) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.Client == s.client && w.Seq == s.seq {
+		s.seq--
+	}
+}
+
+// WriteDone records a successfully acknowledged write performed at store st.
+func (s *Session) WriteDone(w ids.WiD, st ids.StoreID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastWrite = ids.Dependency{Write: w, Store: st}
+	s.readVC.Set(s.client, w.Seq) // own writes are part of causal history
+}
+
+// ReadRequirement returns the requirement vector and RYW dependency a read
+// must attach: under Read Your Writes, the client's own last write; under
+// Monotonic Reads, everything previously read. An empty vector means the
+// read is unconstrained.
+func (s *Session) ReadRequirement() (ids.VersionVec, ids.Dependency) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req := ids.NewVersionVec(2)
+	var dep ids.Dependency
+	if s.models[ReadYourWrites] && !s.lastWrite.Zero() {
+		req.Bump(s.lastWrite.Write.Client, s.lastWrite.Write.Seq)
+		dep = s.lastWrite
+	}
+	if s.models[MonotonicReads] {
+		req.Merge(s.readVec)
+	}
+	return req, dep
+}
+
+// ReadDone folds the applied vector returned by the serving store into the
+// session's read state.
+func (s *Session) ReadDone(storeApplied ids.VersionVec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readVec.Merge(storeApplied)
+	for c, q := range storeApplied {
+		if s.readVC.Get(c) < q {
+			s.readVC.Set(c, q)
+		}
+	}
+}
+
+// LastWrite returns the RYW dependency (zero if the client has not written).
+func (s *Session) LastWrite() ids.Dependency {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastWrite
+}
+
+// Seq returns the number of writes issued so far.
+func (s *Session) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

@@ -1,0 +1,142 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestSessionWiDsAreSequential(t *testing.T) {
+	s := NewSession(7)
+	w1, _ := s.NextWrite()
+	w2, _ := s.NextWrite()
+	if w1 != (ids.WiD{Client: 7, Seq: 1}) || w2 != (ids.WiD{Client: 7, Seq: 2}) {
+		t.Fatalf("WiDs = %v, %v", w1, w2)
+	}
+	if s.Seq() != 2 || s.Client() != 7 {
+		t.Fatalf("session counters wrong")
+	}
+}
+
+func TestSessionNoModelsNoConstraints(t *testing.T) {
+	s := NewSession(1)
+	_, deps := s.NextWrite()
+	if len(deps) != 0 {
+		t.Fatalf("unrequested deps: %v", deps)
+	}
+	req, dep := s.ReadRequirement()
+	if len(req) != 0 || !dep.Zero() {
+		t.Fatalf("unrequested requirement: %v %v", req, dep)
+	}
+}
+
+func TestSessionRYWRequirement(t *testing.T) {
+	s := NewSession(3, ReadYourWrites)
+	// Before any write, reads are unconstrained.
+	req, dep := s.ReadRequirement()
+	if len(req) != 0 || !dep.Zero() {
+		t.Fatalf("requirement before write: %v", req)
+	}
+	w, _ := s.NextWrite()
+	s.WriteDone(w, 9)
+	req, dep = s.ReadRequirement()
+	if req.Get(3) != 1 {
+		t.Fatalf("RYW requirement = %v", req)
+	}
+	if dep.Write != w || dep.Store != 9 {
+		t.Fatalf("RYW dependency = %v (paper's (WiD, store) pair)", dep)
+	}
+}
+
+func TestSessionMonotonicReads(t *testing.T) {
+	s := NewSession(2, MonotonicReads)
+	s.ReadDone(ids.VersionVec{1: 5, 4: 2})
+	s.ReadDone(ids.VersionVec{1: 3, 6: 1}) // older component must not regress
+	req, _ := s.ReadRequirement()
+	want := ids.VersionVec{1: 5, 4: 2, 6: 1}
+	if !req.Equal(want) {
+		t.Fatalf("MR requirement = %v, want %v", req, want)
+	}
+}
+
+func TestSessionMonotonicWritesDeps(t *testing.T) {
+	s := NewSession(5, MonotonicWrites)
+	_, deps1 := s.NextWrite()
+	if len(deps1) != 0 {
+		t.Fatalf("first write has deps: %v", deps1)
+	}
+	_, deps2 := s.NextWrite()
+	if deps2.Get(5) != 1 {
+		t.Fatalf("second write deps = %v, want own previous write", deps2)
+	}
+}
+
+func TestSessionWritesFollowReadsDeps(t *testing.T) {
+	s := NewSession(4, WritesFollowReads)
+	s.ReadDone(ids.VersionVec{1: 7}) // read someone's post
+	w, deps := s.NextWrite()
+	if deps.Get(1) != 7 {
+		t.Fatalf("WFR deps = %v, want read history", deps)
+	}
+	s.WriteDone(w, 2)
+	// The next write depends on both the read and the own earlier write.
+	_, deps2 := s.NextWrite()
+	if deps2.Get(1) != 7 || deps2.Get(4) != 1 {
+		t.Fatalf("chained WFR deps = %v", deps2)
+	}
+}
+
+func TestSessionEnable(t *testing.T) {
+	s := NewSession(1)
+	if s.Enabled(ReadYourWrites) {
+		t.Fatalf("model enabled by default")
+	}
+	s.Enable(ReadYourWrites)
+	if !s.Enabled(ReadYourWrites) {
+		t.Fatalf("Enable did not stick")
+	}
+}
+
+func TestSessionCombinedRYWAndMR(t *testing.T) {
+	s := NewSession(2, ReadYourWrites, MonotonicReads)
+	w, _ := s.NextWrite()
+	s.WriteDone(w, 1)
+	s.ReadDone(ids.VersionVec{9: 3})
+	req, dep := s.ReadRequirement()
+	if req.Get(2) != 1 || req.Get(9) != 3 {
+		t.Fatalf("combined requirement = %v", req)
+	}
+	if dep.Write != w {
+		t.Fatalf("dep = %v", dep)
+	}
+}
+
+// The paper's §4 master scenario: PRAM object model + RYW client model.
+// Simulate the master's cache store with a PRAM engine and verify that the
+// requirement vector correctly detects the missing write, and that after
+// the demanded update arrives the read is satisfiable.
+func TestSessionRYWAgainstPRAMStore(t *testing.T) {
+	master := NewSession(1, ReadYourWrites)
+	cacheEngine := newPRAMEngine()
+
+	// Master writes twice directly to the Web server (not via the cache).
+	w1, _ := master.NextWrite()
+	master.WriteDone(w1, 100)
+	w2, _ := master.NextWrite()
+	master.WriteDone(w2, 100)
+
+	// Server pushed only the first update to the cache so far.
+	cacheEngine.Submit(upd(1, 1))
+
+	req, _ := master.ReadRequirement()
+	if cacheEngine.Applied().Covers(req) {
+		t.Fatalf("RYW violation undetected: cache %v, requirement %v",
+			cacheEngine.Applied(), req)
+	}
+
+	// Cache demands the missing update (client-outdate reaction = demand).
+	cacheEngine.Submit(upd(1, 2))
+	if !cacheEngine.Applied().Covers(req) {
+		t.Fatalf("requirement still unsatisfied after demand")
+	}
+}

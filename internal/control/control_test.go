@@ -1,0 +1,86 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/semantics/webdoc"
+)
+
+func TestServeReadRejectsWrites(t *testing.T) {
+	c := New(webdoc.New())
+	_, err := c.ServeRead(msg.Invocation{Method: webdoc.MethodPutPage, Page: "p"})
+	if err == nil || !strings.Contains(err.Error(), "write") {
+		t.Fatalf("write served as read: %v", err)
+	}
+}
+
+func TestApplyOpRejectsReads(t *testing.T) {
+	c := New(webdoc.New())
+	u := &coherence.Update{
+		Write: ids.WiD{Client: 1, Seq: 1},
+		Inv:   msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
+	}
+	if err := c.ApplyOp(u); err == nil {
+		t.Fatalf("read applied as update")
+	}
+}
+
+func TestApplyAndServeRoundTrip(t *testing.T) {
+	c := New(webdoc.New())
+	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte("body"), ModifiedNanos: 1})
+	u := &coherence.Update{
+		Write: ids.WiD{Client: 1, Seq: 1},
+		Inv:   msg.Invocation{Method: webdoc.MethodPutPage, Page: "p", Args: args},
+	}
+	if err := c.ApplyOp(u); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ServeRead(msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := webdoc.DecodePage(out)
+	if err != nil || string(pg.Content) != "body" {
+		t.Fatalf("round trip: %q %v", pg.Content, err)
+	}
+	if !c.IsWrite(webdoc.MethodPutPage) || c.IsWrite(webdoc.MethodGetPage) {
+		t.Fatalf("classification wrong")
+	}
+}
+
+func TestStateTransferDelegation(t *testing.T) {
+	src := webdoc.New()
+	src.Put("a", []byte("A"), "text/html", 1)
+	c := New(src)
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstC := New(webdoc.New())
+	if err := dstC.ApplyFull(snap); err != nil {
+		t.Fatal(err)
+	}
+	el, err := dstC.SnapshotElement("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := New(webdoc.New())
+	if err := third.ApplyElement("a", el); err != nil {
+		t.Fatal(err)
+	}
+	out, err := third.ServeRead(msg.Invocation{Method: webdoc.MethodGetPage, Page: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := webdoc.DecodePage(out)
+	if string(pg.Content) != "A" {
+		t.Fatalf("element transfer chain broken: %q", pg.Content)
+	}
+	if third.Semantics() == nil {
+		t.Fatalf("Semantics accessor nil")
+	}
+}

@@ -1,0 +1,295 @@
+// Package core is the distributed-shared-object runtime: it ties the naming
+// service, stores, and client proxies together into the worldwide object
+// model of §2 of the paper. A Runtime creates distributed Web objects (their
+// permanent stores), installs object-initiated and client-initiated
+// replicas, and binds client processes to whichever replica they choose —
+// yielding a Proxy, the client-side local object whose only job is to
+// "translate method calls to messages" (§4.2), decorated with the client's
+// session-guarantee state.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/naming"
+	"repro/internal/semantics"
+	"repro/internal/transport"
+)
+
+// ErrTimeout reports a call that received no reply in time.
+var ErrTimeout = errors.New("core: call timed out")
+
+// ErrClosed reports use of a closed proxy.
+var ErrClosed = errors.New("core: proxy closed")
+
+// RemoteError carries a non-OK reply status from a store.
+type RemoteError struct {
+	Status msg.Status
+	Text   string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %v: %s", e.Status, e.Text)
+}
+
+// BindConfig configures a client binding.
+type BindConfig struct {
+	// Object to bind to.
+	Object ids.ObjectID
+	// Endpoint is the client's own communication object.
+	Endpoint transport.Endpoint
+	// StoreAddr is the chosen contact point (a naming.Entry address).
+	StoreAddr string
+	// Client is the client's identity (allocate via naming.NextClient).
+	Client ids.ClientID
+	// Session lists the client-based coherence models to enforce.
+	Session []coherence.ClientModel
+	// Prototype supplies the method table for read/write classification; it
+	// is never invoked.
+	Prototype semantics.Object
+	// Timeout bounds each remote call (default 5s).
+	Timeout time.Duration
+}
+
+// Proxy is the client-side local object bound to one distributed shared Web
+// object. Safe for concurrent use.
+type Proxy struct {
+	object  ids.ObjectID
+	client  ids.ClientID
+	session *coherence.Session
+	table   *semantics.Table
+	ep      transport.Endpoint
+	store   string
+	storeID ids.StoreID
+	timeout time.Duration
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan *msg.Message
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Bind contacts the object at the chosen store and returns a proxy. It
+// performs the paper's binding step: "binding results in an interface
+// belonging to the object being placed in the client's address space".
+func Bind(cfg BindConfig) (*Proxy, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	p := &Proxy{
+		object:  cfg.Object,
+		client:  cfg.Client,
+		session: coherence.NewSession(cfg.Client, cfg.Session...),
+		table:   semantics.NewTable(cfg.Prototype),
+		ep:      cfg.Endpoint,
+		store:   cfg.StoreAddr,
+		timeout: cfg.Timeout,
+		pending: make(map[uint64]chan *msg.Message),
+		done:    make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.recvLoop()
+
+	reply, err := p.call(&msg.Message{
+		Kind:   msg.KindBindRequest,
+		Object: cfg.Object,
+		Client: cfg.Client,
+	})
+	if err != nil {
+		p.Close()
+		return nil, fmt.Errorf("core: bind %q at %q: %w", cfg.Object, cfg.StoreAddr, err)
+	}
+	if reply.Status != msg.StatusOK {
+		p.Close()
+		return nil, fmt.Errorf("core: bind %q: %w", cfg.Object, &RemoteError{reply.Status, reply.Err})
+	}
+	p.storeID = reply.Store
+	return p, nil
+}
+
+// Client returns the proxy's client identity.
+func (p *Proxy) Client() ids.ClientID { return p.client }
+
+// Store returns the bound store's ID.
+func (p *Proxy) Store() ids.StoreID { return p.storeID }
+
+// StoreAddr returns the bound store's address.
+func (p *Proxy) StoreAddr() string { return p.store }
+
+// Session exposes the client's session-guarantee state.
+func (p *Proxy) Session() *coherence.Session { return p.session }
+
+// Rebind switches the proxy to a different store (the paper's mobile-client
+// scenario for Monotonic Reads: "two subsequent reads, possibly at
+// different stores"). Session state is kept.
+func (p *Proxy) Rebind(storeAddr string) error {
+	p.mu.Lock()
+	p.store = storeAddr
+	p.mu.Unlock()
+	reply, err := p.call(&msg.Message{
+		Kind:   msg.KindBindRequest,
+		Object: p.object,
+		Client: p.client,
+	})
+	if err != nil {
+		return err
+	}
+	if reply.Status != msg.StatusOK {
+		return &RemoteError{reply.Status, reply.Err}
+	}
+	p.mu.Lock()
+	p.storeID = reply.Store
+	p.mu.Unlock()
+	return nil
+}
+
+// Invoke performs one marshalled method call on the distributed object,
+// transparently attaching and maintaining session-guarantee metadata.
+func (p *Proxy) Invoke(inv msg.Invocation) ([]byte, error) {
+	if p.table.IsWrite(inv.Method) {
+		return p.invokeWrite(inv)
+	}
+	return p.invokeRead(inv)
+}
+
+func (p *Proxy) invokeRead(inv msg.Invocation) ([]byte, error) {
+	req, dep := p.session.ReadRequirement()
+	m := &msg.Message{
+		Kind:    msg.KindReadRequest,
+		Object:  p.object,
+		Client:  p.client,
+		VVec:    req,
+		ReadDep: dep,
+		Inv:     inv,
+	}
+	reply, err := p.call(m)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Status != msg.StatusOK {
+		return nil, &RemoteError{reply.Status, reply.Err}
+	}
+	p.session.ReadDone(reply.VVec)
+	return reply.Payload, nil
+}
+
+func (p *Proxy) invokeWrite(inv msg.Invocation) ([]byte, error) {
+	// Serialise writes so per-client sequence numbers leave in order.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	w, deps := p.session.NextWrite()
+	p.mu.Unlock()
+
+	m := &msg.Message{
+		Kind:      msg.KindWriteRequest,
+		Object:    p.object,
+		Client:    p.client,
+		Write:     w,
+		Deps:      deps,
+		Inv:       inv,
+		WallNanos: time.Now().UnixNano(),
+	}
+	reply, err := p.call(m)
+	if err != nil {
+		p.session.AbortWrite(w)
+		return nil, err
+	}
+	if reply.Status != msg.StatusOK {
+		p.session.AbortWrite(w)
+		return nil, &RemoteError{reply.Status, reply.Err}
+	}
+	p.session.WriteDone(w, reply.Store)
+	return reply.Payload, nil
+}
+
+// call sends m to the bound store and awaits the correlated reply.
+func (p *Proxy) call(m *msg.Message) (*msg.Message, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.nextSeq++
+	seq := p.nextSeq
+	ch := make(chan *msg.Message, 1)
+	p.pending[seq] = ch
+	storeAddr := p.store
+	p.mu.Unlock()
+
+	m.NetSeq = seq
+	m.From = p.ep.Addr()
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+	}()
+	if err := p.ep.Send(storeAddr, m); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-time.After(p.timeout):
+		return nil, fmt.Errorf("%w after %v (%v to %s)", ErrTimeout, p.timeout, m.Kind, storeAddr)
+	case <-p.done:
+		return nil, ErrClosed
+	}
+}
+
+// recvLoop demultiplexes replies to waiting calls.
+func (p *Proxy) recvLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case m, ok := <-p.ep.Recv():
+			if !ok {
+				return
+			}
+			p.mu.Lock()
+			ch := p.pending[m.NetSeq]
+			p.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- m:
+				default: // duplicate reply; drop
+				}
+			}
+		}
+	}
+}
+
+// Close releases the proxy (but not the endpoint, which the caller owns).
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	p.wg.Wait()
+}
+
+// Runtime bundles a naming service for convenience in examples and tests.
+type Runtime struct {
+	Naming *naming.Service
+}
+
+// NewRuntime creates a runtime with a fresh naming service.
+func NewRuntime() *Runtime { return &Runtime{Naming: naming.New()} }

@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/metrics"
+	"repro/internal/replication"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/store"
+	"repro/internal/strategy"
+	"repro/internal/transport/memnet"
+	"repro/internal/workload"
+)
+
+// wanLink models a wide-area hop; lanLink a local one (zero latency: the
+// in-process hand-off already costs a few microseconds, and kernel timer
+// quantisation would otherwise dominate sub-millisecond sleeps).
+var (
+	wanLink = memnet.LinkProfile{Latency: 2 * time.Millisecond}
+	lanLink = memnet.LinkProfile{}
+)
+
+// Figure1 measures the local-object composition of Figure 1: the cost of
+// binding, and of invocations flowing through an RPC-forwarding local
+// object versus a replica-holding local object.
+func Figure1(o Options) *Table {
+	t := &Table{
+		ID:     "F1",
+		Title:  "local objects across address spaces: bind cost and invocation paths",
+		Header: []string{"configuration", "ops", "mean (us)", "p99 (us)", "server reads"},
+	}
+	const obj = ids.ObjectID("f1-doc")
+	reads := o.ops(500)
+
+	run := func(name string, useReplica bool) {
+		r := newRigH(memnet.WithDefaultLink(wanLink))
+		defer r.close()
+		perm := r.mustStore("perm", replication.RolePermanent, 3*time.Second)
+		defer perm.Close()
+		st := strategy.PopularEventPage()
+		st.Scope = strategy.ScopeAll
+		mustHost(perm, store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st})
+
+		bindTo := "perm"
+		var cache *store.Store
+		if useReplica {
+			// Local cache one LAN hop away: replica-holding local object.
+			cache = r.mustStore("cache", replication.RoleClientInitiated, 3*time.Second)
+			defer cache.Close()
+			r.net.SetLinkBoth("client", "cache", lanLink)
+			mustHost(cache, store.HostConfig{
+				Object: obj, Semantics: webdoc.New(), Strat: st, Parent: "perm", Subscribe: true,
+			})
+			bindTo = "cache"
+		}
+
+		writer := r.mustBind("writer", "perm", obj, 3*time.Second)
+		defer writer.Close()
+		if err := putContent(writer, "index.html", []byte("<h1>F1</h1>")); err != nil {
+			panic(err)
+		}
+
+		bindStart := time.Now()
+		client := r.mustBind("client", bindTo, obj, 3*time.Second)
+		bindCost := time.Since(bindStart)
+		defer client.Close()
+
+		// Warm the replica (first read may fetch).
+		if _, err := readVersion(client, "index.html"); err != nil {
+			panic(err)
+		}
+		var lat metrics.Histogram
+		for i := 0; i < reads; i++ {
+			start := time.Now()
+			if _, err := readVersion(client, "index.html"); err != nil {
+				panic(err)
+			}
+			lat.AddDuration(time.Since(start))
+		}
+		ss, _ := perm.Stats(obj)
+		t.AddRow(name, f("%d", reads), f("%.0f", lat.Mean()), f("%.0f", lat.Quantile(0.99)),
+			f("%d", ss.ReadsServed))
+		t.Notes = append(t.Notes, f("%s: bind cost %v", name, bindCost.Round(time.Microsecond)))
+	}
+
+	run("RPC local object (forward to permanent over WAN)", false)
+	run("replica local object (client-initiated cache on LAN)", true)
+	t.Notes = append(t.Notes,
+		"expected shape: replica-path reads are much faster and offload the permanent store")
+	return t
+}
+
+// Figure2 measures the three-layer store hierarchy of Figure 2: read
+// latency and permanent-store load when clients bind at each layer.
+func Figure2(o Options) *Table {
+	t := &Table{
+		ID:     "F2",
+		Title:  "store hierarchy: binding layer vs read latency and server load",
+		Header: []string{"bound layer", "ops", "mean (us)", "p99 (us)", "permanent reads"},
+	}
+	const obj = ids.ObjectID("f2-doc")
+	reads := o.ops(500)
+
+	for _, layer := range []string{"permanent", "object-initiated", "client-initiated"} {
+		r := newRigH(memnet.WithDefaultLink(wanLink))
+		perm := r.mustStore("perm", replication.RolePermanent, 3*time.Second)
+		st := strategy.PopularEventPage()
+		st.Scope = strategy.ScopeAll
+		st.Propagation = strategy.PropagateUpdate
+		mustHost(perm, store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st})
+
+		mirror := r.mustStore("mirror", replication.RoleObjectInitiated, 3*time.Second)
+		mustHost(mirror, store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st, Parent: "perm", Subscribe: true})
+		cache := r.mustStore("cache", replication.RoleClientInitiated, 3*time.Second)
+		mustHost(cache, store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st, Parent: "mirror", Subscribe: true})
+		// Client is LAN-close to the cache, WAN-far from mirror and server.
+		r.net.SetLinkBoth("client", "cache", lanLink)
+
+		writer := r.mustBind("writer", "perm", obj, 3*time.Second)
+		if err := putContent(writer, "index.html", []byte("<h1>F2</h1>")); err != nil {
+			panic(err)
+		}
+
+		bindTo := map[string]string{
+			"permanent": "perm", "object-initiated": "mirror", "client-initiated": "cache",
+		}[layer]
+		client := r.mustBind("client", bindTo, obj, 3*time.Second)
+		if _, err := readVersion(client, "index.html"); err != nil {
+			panic(err)
+		}
+		var lat metrics.Histogram
+		for i := 0; i < reads; i++ {
+			start := time.Now()
+			if _, err := readVersion(client, "index.html"); err != nil {
+				panic(err)
+			}
+			lat.AddDuration(time.Since(start))
+		}
+		ss, _ := perm.Stats(obj)
+		t.AddRow(layer, f("%d", reads), f("%.0f", lat.Mean()), f("%.0f", lat.Quantile(0.99)),
+			f("%d", ss.ReadsServed))
+		writer.Close()
+		client.Close()
+		cache.Close()
+		mirror.Close()
+		perm.Close()
+		r.close()
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: reads from lower layers are faster; the permanent store serves fewer reads")
+	return t
+}
+
+// E2ELossyRecovery measures the §4.2 end-to-end argument: over a lossy
+// link, PRAM with object-outdate=demand recovers every update through the
+// coherence protocol; with wait it stalls until the next push happens to
+// fill the gap.
+func E2ELossyRecovery(o Options) *Table {
+	t := &Table{
+		ID:     "E2E",
+		Title:  "reliability from coherence (§4.2): lossy link, PRAM, outdate reaction",
+		Header: []string{"reaction", "loss", "writes", "converged", "demands", "msgs", "dropped"},
+	}
+	writes := o.ops(50)
+	for _, react := range []strategy.Reaction{strategy.Demand, strategy.Wait} {
+		r := newRigH(memnet.WithSeed(31))
+		const obj = ids.ObjectID("e2e-doc")
+		st := strategy.Conference(5 * time.Millisecond)
+		st.ObjectOutdate = react
+
+		perm := r.mustStore("perm", replication.RolePermanent, 2*time.Second)
+		mustHost(perm, store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st})
+		cache := r.mustStore("cache", replication.RoleClientInitiated, 2*time.Second)
+		mustHost(cache, store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st, Parent: "perm", Subscribe: true})
+		r.net.SetLink("perm", "cache", memnet.LinkProfile{Loss: 0.35})
+
+		writer := r.mustBind("writer", "perm", obj, 2*time.Second)
+		for i := 0; i < writes; i++ {
+			if err := appendContent(writer, "log", []byte("x")); err != nil {
+				panic(err)
+			}
+		}
+		converged := settle(3*time.Second, func() bool {
+			v, err := cache.Applied(obj)
+			return err == nil && v.Get(writer.Client()) == uint64(writes)
+		})
+		cs, _ := cache.Stats(obj)
+		ns := r.net.Stats()
+		t.AddRow(react.String(), "35%", f("%d", writes), f("%v", converged),
+			f("%d", cs.DemandsSent), f("%d", ns.Sent), f("%d", ns.Dropped))
+		writer.Close()
+		cache.Close()
+		perm.Close()
+		r.close()
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: demand converges despite loss (reliability as a coherence side-effect); wait may stall",
+		"matching the paper: UDP-like transport suffices once the coherence model repairs gaps")
+	return t
+}
+
+// ModelsSession quantifies the client-based models of §3.2.2 on top of a
+// weak object model: violations detected and repaired, and the demand-pull
+// cost of each guarantee.
+func ModelsSession(o Options) *Table {
+	t := &Table{
+		ID:     "M2",
+		Title:  "client-based coherence models over a lazily synchronised mirror",
+		Header: []string{"client model", "reads", "violations detected", "demands", "stale own-writes seen"},
+	}
+	rounds := o.ops(60)
+
+	type cfg struct {
+		name   string
+		models []coherence.ClientModel
+	}
+	for _, c := range []cfg{
+		{"none", nil},
+		{"read-your-writes", []coherence.ClientModel{coherence.ReadYourWrites}},
+		{"monotonic-reads", []coherence.ClientModel{coherence.MonotonicReads}},
+		{"RYW+MR", []coherence.ClientModel{coherence.ReadYourWrites, coherence.MonotonicReads}},
+	} {
+		r := newRigH()
+		const obj = ids.ObjectID("m2-doc")
+		// Lazy mirror: pushes every 50ms only, so the mirror is usually
+		// behind the writer.
+		st := strategy.MirroredSite(50 * time.Millisecond)
+
+		perm := r.mustStore("perm", replication.RolePermanent, 2*time.Second)
+		mustHost(perm, store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st})
+		mirror := r.mustStore("mirror", replication.RoleObjectInitiated, 2*time.Second)
+		mustHost(mirror, store.HostConfig{
+			Object: obj, Semantics: webdoc.New(), Strat: st, Parent: "perm", Subscribe: true,
+			Session: c.models,
+		})
+
+		// The client writes at the permanent store and reads at the mirror
+		// — the classic travelling-user scenario.
+		client := r.mustBind("client", "perm", obj, 2*time.Second, c.models...)
+		staleOwn := 0
+		for i := 0; i < rounds; i++ {
+			if err := putContent(client, workload.PageName(0), []byte(f("v%d", i+1))); err != nil {
+				panic(err)
+			}
+			if err := client.Rebind("mirror"); err != nil {
+				panic(err)
+			}
+			v, err := readVersion(client, workload.PageName(0))
+			if err == nil && v < uint64(i+1) {
+				staleOwn++
+			}
+			if err := client.Rebind("perm"); err != nil {
+				panic(err)
+			}
+		}
+		ms, _ := mirror.Stats(obj)
+		t.AddRow(c.name, f("%d", rounds), f("%d", ms.ReqViolations), f("%d", ms.DemandsSent), f("%d", staleOwn))
+		client.Close()
+		mirror.Close()
+		perm.Close()
+		r.close()
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: without guarantees the client sees its own writes missing at the mirror;",
+		"with RYW the mirror detects violations and demands the missing updates (0 stale own-writes)")
+	return t
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// findRow returns the first row whose first cells match the given prefixes.
+func findRow(t *Table, prefixes ...string) []string {
+	for _, row := range t.Rows {
+		ok := true
+		for i, p := range prefixes {
+			if i >= len(row) || !strings.HasPrefix(row[i], p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row
+		}
+	}
+	return nil
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return n
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{ID: "X", Title: "test", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "a note")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== X: test ==", "a  bb", "1  2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tab := Figure1(Options{Quick: true})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	rpc := findRow(tab, "RPC")
+	rep := findRow(tab, "replica")
+	if rpc == nil || rep == nil {
+		t.Fatalf("missing rows: %+v", tab.Rows)
+	}
+	// The replica path must offload the permanent store entirely.
+	if atoi(t, rep[4]) != 0 {
+		t.Fatalf("replica reads hit the server: %v", rep)
+	}
+	if atoi(t, rpc[4]) == 0 {
+		t.Fatalf("RPC reads never hit the server: %v", rpc)
+	}
+}
+
+func TestTable2ConferenceShape(t *testing.T) {
+	tab := Table2Conference(Options{Quick: true})
+	withRYW := findRow(tab, "PRAM + RYW")
+	without := findRow(tab, "PRAM only")
+	if withRYW == nil || without == nil {
+		t.Fatalf("missing rows: %+v", tab.Rows)
+	}
+	// Paper's claim: RYW eliminates the master's stale own-writes.
+	if atoi(t, withRYW[2]) != 0 {
+		t.Fatalf("RYW left master stale reads: %v", withRYW)
+	}
+	if atoi(t, without[2]) == 0 {
+		t.Fatalf("without RYW the master should see stale reads under lazy push: %v", without)
+	}
+	// RYW is paid for with demand pulls.
+	if atoi(t, withRYW[4]) == 0 {
+		t.Fatalf("RYW should issue demands: %v", withRYW)
+	}
+}
+
+func TestModelsSessionShape(t *testing.T) {
+	tab := ModelsSession(Options{Quick: true})
+	ryw := findRow(tab, "read-your-writes")
+	none := findRow(tab, "none")
+	if ryw == nil || none == nil {
+		t.Fatalf("missing rows")
+	}
+	if atoi(t, ryw[4]) != 0 {
+		t.Fatalf("RYW failed to eliminate stale own-writes: %v", ryw)
+	}
+	if atoi(t, none[4]) == 0 {
+		t.Fatalf("without guarantees there should be stale own-writes: %v", none)
+	}
+}
+
+func TestE2EShape(t *testing.T) {
+	tab := E2ELossyRecovery(Options{Quick: true})
+	demand := findRow(tab, "demand")
+	if demand == nil {
+		t.Fatalf("missing demand row")
+	}
+	if demand[3] != "true" {
+		t.Fatalf("demand reaction failed to converge under loss: %v", demand)
+	}
+	if atoi(t, demand[4]) == 0 {
+		t.Fatalf("demand reaction issued no demands: %v", demand)
+	}
+}
+
+func TestModelsObjectBasedShape(t *testing.T) {
+	tab := ModelsObjectBased(Options{Quick: true})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("expected 5 model rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "true" {
+			t.Fatalf("model %s did not converge: %v", row[0], row)
+		}
+	}
+}
+
+func TestClaimShape(t *testing.T) {
+	tab := ClaimPerObjectVsUniform(Options{Quick: true})
+	ttl := findRow(tab, "uniform TTL", "TOTAL")
+	val := findRow(tab, "uniform validate", "TOTAL")
+	tail := findRow(tab, "per-object tailored", "TOTAL")
+	if ttl == nil || val == nil || tail == nil {
+		t.Fatalf("missing totals: %+v", tab.Rows)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad float %q", s)
+		}
+		return v
+	}
+	ttlStale, valStale, tailStale := parse(ttl[3]), parse(val[3]), parse(tail[3])
+	ttlBytes, valBytes, tailBytes := parse(ttl[6]), parse(val[6]), parse(tail[6])
+	// The paper's claim: tailored dominates — much fresher than TTL, much
+	// cheaper than validate.
+	if tailStale > ttlStale {
+		t.Fatalf("tailored staler than TTL: %.2f vs %.2f", tailStale, ttlStale)
+	}
+	if tailBytes > valBytes {
+		t.Fatalf("tailored costlier than validate: %.0f vs %.0f bytes", tailBytes, valBytes)
+	}
+	_ = valStale
+	_ = ttlBytes
+}

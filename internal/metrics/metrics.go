@@ -1,0 +1,155 @@
+// Package metrics provides the small statistics containers the experiment
+// harness reports: histograms with percentiles and a staleness tracker that
+// compares versions read against an oracle of versions written.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates float64 observations. The zero value is ready for
+// use. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	values []float64
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.values = append(h.values, v)
+}
+
+// AddDuration records a duration in microseconds.
+func (h *Histogram) AddDuration(d time.Duration) {
+	h.Add(float64(d.Microseconds()))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.values)
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.values {
+		s += v
+	}
+	return s / float64(len(h.values))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank; 0 when
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), h.values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Max returns the maximum (0 when empty).
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Summary formats mean/p50/p99 compactly.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%.1f p50=%.1f p99=%.1f n=%d",
+		h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Count())
+}
+
+// Staleness tracks how far reads lag behind writes, in versions. The
+// harness bumps the oracle on every write and observes on every read.
+// Safe for concurrent use.
+type Staleness struct {
+	mu      sync.Mutex
+	latest  map[string]uint64 // page -> newest version written anywhere
+	reads   int
+	stale   int
+	lagSum  uint64
+	lagMax  uint64
+	lagHist Histogram
+}
+
+// NewStaleness creates a tracker.
+func NewStaleness() *Staleness {
+	return &Staleness{latest: make(map[string]uint64)}
+}
+
+// WroteVersion records that the page now has the given version globally.
+func (s *Staleness) WroteVersion(page string, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latest[page] < version {
+		s.latest[page] = version
+	}
+}
+
+// Wrote records one more write to the page (version = count of writes).
+func (s *Staleness) Wrote(page string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latest[page]++
+}
+
+// ReadVersion records a read that observed the given version of the page
+// and returns the version lag.
+func (s *Staleness) ReadVersion(page string, version uint64) uint64 {
+	s.mu.Lock()
+	lat := s.latest[page]
+	s.reads++
+	var lag uint64
+	if lat > version {
+		lag = lat - version
+		s.stale++
+		s.lagSum += lag
+		if lag > s.lagMax {
+			s.lagMax = lag
+		}
+	}
+	s.mu.Unlock()
+	s.lagHist.Add(float64(lag))
+	return lag
+}
+
+// Report summarises the tracker.
+type Report struct {
+	Reads         int
+	StaleReads    int
+	StaleFraction float64
+	MeanLag       float64
+	MaxLag        uint64
+}
+
+// Report returns the summary.
+func (s *Staleness) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := Report{Reads: s.reads, StaleReads: s.stale, MaxLag: s.lagMax}
+	if s.reads > 0 {
+		r.StaleFraction = float64(s.stale) / float64(s.reads)
+		r.MeanLag = float64(s.lagSum) / float64(s.reads)
+	}
+	return r
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 5 || h.Max() != 5 {
+		t.Fatalf("extremes wrong")
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %f", q)
+	}
+	if !strings.Contains(h.Summary(), "n=5") {
+		t.Fatalf("summary %q", h.Summary())
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	var h Histogram
+	h.AddDuration(1500 * time.Microsecond)
+	if h.Mean() != 1500 {
+		t.Fatalf("AddDuration stored %f", h.Mean())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestStalenessTracking(t *testing.T) {
+	s := NewStaleness()
+	s.Wrote("p") // version 1
+	s.Wrote("p") // version 2
+	if lag := s.ReadVersion("p", 2); lag != 0 {
+		t.Fatalf("fresh read lag = %d", lag)
+	}
+	if lag := s.ReadVersion("p", 1); lag != 1 {
+		t.Fatalf("stale read lag = %d", lag)
+	}
+	if lag := s.ReadVersion("p", 0); lag != 2 {
+		t.Fatalf("very stale read lag = %d", lag)
+	}
+	r := s.Report()
+	if r.Reads != 3 || r.StaleReads != 2 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.StaleFraction < 0.66 || r.StaleFraction > 0.67 {
+		t.Fatalf("fraction %f", r.StaleFraction)
+	}
+	if r.MaxLag != 2 {
+		t.Fatalf("max lag %d", r.MaxLag)
+	}
+	if r.MeanLag != 1 {
+		t.Fatalf("mean lag %f", r.MeanLag)
+	}
+}
+
+func TestStalenessWroteVersion(t *testing.T) {
+	s := NewStaleness()
+	s.WroteVersion("p", 5)
+	s.WroteVersion("p", 3) // must not regress
+	if lag := s.ReadVersion("p", 4); lag != 1 {
+		t.Fatalf("lag = %d", lag)
+	}
+}
+
+func TestStalenessEmptyReport(t *testing.T) {
+	r := NewStaleness().Report()
+	if r.Reads != 0 || r.StaleFraction != 0 {
+		t.Fatalf("empty report %+v", r)
+	}
+}

@@ -1,0 +1,159 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// writer accumulates the big-endian wire encoding.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// str encodes a string with a u16 length prefix. Strings longer than 64 KiB
+// are not used by any protocol message; encode truncates defensively rather
+// than corrupting the frame.
+func (w *writer) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// bytes encodes a byte slice with a u32 length prefix.
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// vec encodes a client->seq map deterministically (sorted by client).
+func (w *writer) vec(v map[ids.ClientID]uint64) {
+	w.u16(uint16(len(v)))
+	if len(v) == 0 {
+		return
+	}
+	clients := make([]ids.ClientID, 0, len(v))
+	for c := range v {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, c := range clients {
+		w.u32(uint32(c))
+		w.u64(v[c])
+	}
+}
+
+// reader consumes the wire encoding with bounds checks.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.buf) {
+		return fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortMessage, n, r.off, len(r.buf))
+	}
+	return nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(int(n)); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *reader) vec() (map[ids.ClientID]uint64, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make(map[ids.ClientID]uint64, n)
+	for i := 0; i < int(n); i++ {
+		c, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		s, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		v[ids.ClientID(c)] = s
+	}
+	return v, nil
+}
+
+func (r *reader) empty() bool    { return r.off == len(r.buf) }
+func (r *reader) remaining() int { return len(r.buf) - r.off }

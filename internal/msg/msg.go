@@ -1,0 +1,383 @@
+// Package msg defines the wire messages exchanged between the parts of a
+// distributed shared Web object, and a compact binary codec for them.
+//
+// The paper requires that communication and replication objects are unaware
+// of the methods and state of the semantics object: "both the communication
+// object and the replication object operate only on invocation messages in
+// which method identifiers and parameters have been encoded". Invocation is
+// exactly that encoding; Message wraps an Invocation (or coherence payload)
+// with the replication metadata — write identifiers, version vectors, causal
+// dependency vectors, and session-guarantee requirements.
+package msg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/vclock"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+// Message kinds. Binding and subscription manage the store/replica graph;
+// read/write carry client invocations; update/invalidate/notify/demand are
+// the coherence-transfer messages of Table 1; state request/reply implement
+// full state transfer; gossip implements anti-entropy for the eventual
+// model.
+const (
+	KindBindRequest Kind = iota + 1
+	KindBindReply
+	KindSubscribe
+	KindSubscribeAck
+	KindUnsubscribe
+	KindReadRequest
+	KindReadReply
+	KindWriteRequest
+	KindWriteReply
+	KindUpdate
+	KindUpdateAck
+	KindInvalidate
+	KindNotify
+	KindDemandUpdate
+	KindStateRequest
+	KindStateReply
+	KindGossip
+	KindGossipReply
+	kindMax // sentinel, keep last
+)
+
+var kindNames = map[Kind]string{
+	KindBindRequest:  "bind-request",
+	KindBindReply:    "bind-reply",
+	KindSubscribe:    "subscribe",
+	KindSubscribeAck: "subscribe-ack",
+	KindUnsubscribe:  "unsubscribe",
+	KindReadRequest:  "read-request",
+	KindReadReply:    "read-reply",
+	KindWriteRequest: "write-request",
+	KindWriteReply:   "write-reply",
+	KindUpdate:       "update",
+	KindUpdateAck:    "update-ack",
+	KindInvalidate:   "invalidate",
+	KindNotify:       "notify",
+	KindDemandUpdate: "demand-update",
+	KindStateRequest: "state-request",
+	KindStateReply:   "state-reply",
+	KindGossip:       "gossip",
+	KindGossipReply:  "gossip-reply",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined message kind.
+func (k Kind) Valid() bool { return k >= KindBindRequest && k < kindMax }
+
+// Status codes carried in replies.
+type Status uint8
+
+// Reply statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusError
+	StatusNotFound
+	StatusRetry     // requirement not satisfiable now; client may retry
+	StatusForbidden // e.g. write by unregistered writer under write-set=single
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusError:
+		return "error"
+	case StatusNotFound:
+		return "not-found"
+	case StatusRetry:
+		return "retry"
+	case StatusForbidden:
+		return "forbidden"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Invocation is a marshalled method call: the method identifier, the page
+// (element of the document) it addresses, and the encoded arguments. The
+// replication layer never interprets Args.
+type Invocation struct {
+	Method uint16
+	Page   string
+	Args   []byte
+}
+
+// Message is the single wire envelope used by every protocol in the
+// framework. Fields are populated per kind; unused fields stay zero and
+// encode compactly.
+type Message struct {
+	Kind   Kind
+	Object ids.ObjectID
+
+	// From / To are transport addresses; From lets the receiver reply.
+	From string
+	To   string
+
+	// NetSeq is a sender-assigned per-connection sequence used for
+	// duplicate suppression on unreliable transports.
+	NetSeq uint64
+
+	// Client identifies the originating client (bind, read, write).
+	Client ids.ClientID
+	// Store identifies the originating store for store-to-store traffic.
+	Store ids.StoreID
+
+	// Write is the write identifier (client, seq) this message creates or
+	// carries (write requests, updates, invalidations, notifications).
+	Write ids.WiD
+	// GlobalSeq is the total-order sequence assigned by the permanent store
+	// under the sequential coherence model.
+	GlobalSeq uint64
+	// Stamp is the Lamport stamp used by the eventual model's LWW rule.
+	Stamp vclock.Stamp
+
+	// VVec is a version vector: in updates, the sender's applied vector; in
+	// demand-update requests, the requester's current vector (the reply
+	// fills the gap); in read requests, the session-guarantee requirement.
+	VVec ids.VersionVec
+	// Deps is the causal dependency vector (causal model, WFR guarantee):
+	// the update may be applied only at stores whose applied vector covers
+	// Deps.
+	Deps vclock.VC
+	// ReadDep is the Read-Your-Writes dependency (last write + store where
+	// performed) transmitted with read requests, per §4.2.
+	ReadDep ids.Dependency
+
+	// Inv is the marshalled invocation (read/write requests, updates
+	// carrying the operation).
+	Inv Invocation
+
+	// Payload carries reply data, state snapshots, or page content.
+	Payload []byte
+
+	// Pages lists page names (invalidations, notifications, gossip
+	// digests).
+	Pages []string
+
+	// WallNanos is the origin wall-clock time (UnixNano) of the write this
+	// message carries; used only by metrics to measure staleness.
+	WallNanos int64
+
+	// Status and Err report the outcome in replies.
+	Status Status
+	Err    string
+}
+
+// Reply constructs a reply envelope of kind k addressed back to m's sender,
+// copying the object and correlation fields.
+func (m *Message) Reply(k Kind) *Message {
+	return &Message{
+		Kind:   k,
+		Object: m.Object,
+		From:   m.To,
+		To:     m.From,
+		NetSeq: m.NetSeq,
+		Client: m.Client,
+		Store:  m.Store,
+		Write:  m.Write,
+		Status: StatusOK,
+	}
+}
+
+// ErrShortMessage reports a truncated or corrupt wire message.
+var ErrShortMessage = errors.New("msg: short or corrupt message")
+
+// ErrBadVersion reports an unsupported codec version byte.
+var ErrBadVersion = errors.New("msg: unsupported wire version")
+
+// wireVersion is the current codec version.
+const wireVersion = 1
+
+// Encode serialises m into a fresh buffer.
+func Encode(m *Message) []byte {
+	var w writer
+	w.buf = make([]byte, 0, 64+len(m.Payload)+len(m.Inv.Args))
+	w.u8(wireVersion)
+	w.u8(uint8(m.Kind))
+	w.str(string(m.Object))
+	w.str(m.From)
+	w.str(m.To)
+	w.u64(m.NetSeq)
+	w.u32(uint32(m.Client))
+	w.u32(uint32(m.Store))
+	w.u32(uint32(m.Write.Client))
+	w.u64(m.Write.Seq)
+	w.u64(m.GlobalSeq)
+	w.u64(m.Stamp.Time)
+	w.u32(uint32(m.Stamp.Client))
+	w.vec(map[ids.ClientID]uint64(m.VVec))
+	w.vec(map[ids.ClientID]uint64(m.Deps))
+	w.u32(uint32(m.ReadDep.Write.Client))
+	w.u64(m.ReadDep.Write.Seq)
+	w.u32(uint32(m.ReadDep.Store))
+	w.u16(m.Inv.Method)
+	w.str(m.Inv.Page)
+	w.bytes(m.Inv.Args)
+	w.bytes(m.Payload)
+	w.u16(uint16(len(m.Pages)))
+	for _, p := range m.Pages {
+		w.str(p)
+	}
+	w.u64(uint64(m.WallNanos))
+	w.u8(uint8(m.Status))
+	w.str(m.Err)
+	return w.buf
+}
+
+// Decode parses a wire message produced by Encode.
+func Decode(b []byte) (*Message, error) {
+	r := reader{buf: b}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	m := &Message{}
+	k, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Kind = Kind(k)
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("%w: invalid kind %d", ErrShortMessage, k)
+	}
+	obj, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	m.Object = ids.ObjectID(obj)
+	if m.From, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.To, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.NetSeq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	cl, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.Client = ids.ClientID(cl)
+	st, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.Store = ids.StoreID(st)
+	wc, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	ws, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Write = ids.WiD{Client: ids.ClientID(wc), Seq: ws}
+	if m.GlobalSeq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	stime, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	sclient, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.Stamp = vclock.Stamp{Time: stime, Client: ids.ClientID(sclient)}
+	vv, err := r.vec()
+	if err != nil {
+		return nil, err
+	}
+	if len(vv) > 0 {
+		m.VVec = ids.VersionVec(vv)
+	}
+	dv, err := r.vec()
+	if err != nil {
+		return nil, err
+	}
+	if len(dv) > 0 {
+		m.Deps = vclock.VC(dv)
+	}
+	rdc, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	rds, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	rdst, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.ReadDep = ids.Dependency{
+		Write: ids.WiD{Client: ids.ClientID(rdc), Seq: rds},
+		Store: ids.StoreID(rdst),
+	}
+	if m.Inv.Method, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if m.Inv.Page, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Inv.Args, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	if m.Payload, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	np, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if np > 0 {
+		m.Pages = make([]string, np)
+		for i := range m.Pages {
+			if m.Pages[i], err = r.str(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	wn, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.WallNanos = int64(wn)
+	sb, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Status = Status(sb)
+	if m.Err, err = r.str(); err != nil {
+		return nil, err
+	}
+	if !r.empty() {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrShortMessage, r.remaining())
+	}
+	return m, nil
+}
+
+// WireSize returns the encoded size of m in bytes without retaining the
+// buffer; used by the metrics layer for byte accounting.
+func WireSize(m *Message) int { return len(Encode(m)) }

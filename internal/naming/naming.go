@@ -1,0 +1,128 @@
+// Package naming implements the Globe support service that lets clients
+// find a distributed shared object's contact points (§2: "in order for a
+// process to invoke an object's method, it must first bind to that object
+// by contacting it at one of the object's contact points"). It also issues
+// the system-wide unique client and store identifiers that write IDs and
+// dependency records are built from.
+package naming
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/replication"
+)
+
+// Entry is one contact point of an object: a store holding a replica.
+type Entry struct {
+	Addr  string
+	Store ids.StoreID
+	Role  replication.Role
+}
+
+// Service is an in-memory location service. The zero value is unusable;
+// create with New. Safe for concurrent use.
+type Service struct {
+	mu         sync.Mutex
+	objects    map[ids.ObjectID][]Entry
+	nextClient ids.ClientID
+	nextStore  ids.StoreID
+}
+
+// New creates an empty location service.
+func New() *Service {
+	return &Service{objects: make(map[ids.ObjectID][]Entry)}
+}
+
+// NextClient allocates a fresh client identifier.
+func (s *Service) NextClient() ids.ClientID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextClient++
+	return s.nextClient
+}
+
+// NextStore allocates a fresh store identifier.
+func (s *Service) NextStore() ids.StoreID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextStore++
+	return s.nextStore
+}
+
+// Register adds a contact point for an object. Registering the same address
+// twice replaces the old entry.
+func (s *Service) Register(obj ids.ObjectID, e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.objects[obj]
+	for i, old := range entries {
+		if old.Addr == e.Addr {
+			entries[i] = e
+			return
+		}
+	}
+	s.objects[obj] = append(entries, e)
+}
+
+// Deregister removes the contact point at addr.
+func (s *Service) Deregister(obj ids.ObjectID, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.objects[obj]
+	for i, e := range entries {
+		if e.Addr == addr {
+			s.objects[obj] = append(entries[:i], entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lookup returns every contact point of obj, lowest store layer first
+// (client-initiated, then object-initiated, then permanent): "it is
+// generally up to the client to decide to which replica he will bind", and
+// closer layers are usually preferable.
+func (s *Service) Lookup(obj ids.ObjectID) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := append([]Entry(nil), s.objects[obj]...)
+	sort.SliceStable(entries, func(i, j int) bool {
+		return layerRank(entries[i].Role) < layerRank(entries[j].Role)
+	})
+	return entries
+}
+
+// LookupRole returns the contact points with a given role.
+func (s *Service) LookupRole(obj ids.ObjectID, r replication.Role) []Entry {
+	var out []Entry
+	for _, e := range s.Lookup(obj) {
+		if e.Role == r {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Permanent returns the first permanent contact point or an error.
+func (s *Service) Permanent(obj ids.ObjectID) (Entry, error) {
+	perms := s.LookupRole(obj, replication.RolePermanent)
+	if len(perms) == 0 {
+		return Entry{}, fmt.Errorf("naming: object %q has no permanent store", obj)
+	}
+	return perms[0], nil
+}
+
+func layerRank(r replication.Role) int {
+	switch r {
+	case replication.RoleClientInitiated:
+		return 0
+	case replication.RoleObjectInitiated:
+		return 1
+	case replication.RolePermanent:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,78 @@
+package naming
+
+import (
+	"testing"
+
+	"repro/internal/replication"
+)
+
+func TestIDAllocation(t *testing.T) {
+	s := New()
+	if a, b := s.NextClient(), s.NextClient(); a == b || a == 0 || b == 0 {
+		t.Fatalf("client ids not unique: %d %d", a, b)
+	}
+	if a, b := s.NextStore(), s.NextStore(); a == b || a == 0 || b == 0 {
+		t.Fatalf("store ids not unique: %d %d", a, b)
+	}
+}
+
+func TestRegisterLookupOrder(t *testing.T) {
+	s := New()
+	s.Register("o", Entry{Addr: "perm", Store: 1, Role: replication.RolePermanent})
+	s.Register("o", Entry{Addr: "cache", Store: 2, Role: replication.RoleClientInitiated})
+	s.Register("o", Entry{Addr: "mirror", Store: 3, Role: replication.RoleObjectInitiated})
+	got := s.Lookup("o")
+	if len(got) != 3 {
+		t.Fatalf("lookup returned %d entries", len(got))
+	}
+	// Client-initiated first, permanent last.
+	if got[0].Addr != "cache" || got[1].Addr != "mirror" || got[2].Addr != "perm" {
+		t.Fatalf("layer ordering wrong: %+v", got)
+	}
+}
+
+func TestRegisterReplacesSameAddr(t *testing.T) {
+	s := New()
+	s.Register("o", Entry{Addr: "a", Store: 1, Role: replication.RolePermanent})
+	s.Register("o", Entry{Addr: "a", Store: 9, Role: replication.RolePermanent})
+	got := s.Lookup("o")
+	if len(got) != 1 || got[0].Store != 9 {
+		t.Fatalf("replacement failed: %+v", got)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	s := New()
+	s.Register("o", Entry{Addr: "a", Store: 1, Role: replication.RolePermanent})
+	s.Register("o", Entry{Addr: "b", Store: 2, Role: replication.RoleClientInitiated})
+	s.Deregister("o", "a")
+	got := s.Lookup("o")
+	if len(got) != 1 || got[0].Addr != "b" {
+		t.Fatalf("deregister failed: %+v", got)
+	}
+	s.Deregister("o", "missing") // no-op
+}
+
+func TestLookupRoleAndPermanent(t *testing.T) {
+	s := New()
+	if _, err := s.Permanent("o"); err == nil {
+		t.Fatalf("Permanent on empty service should fail")
+	}
+	s.Register("o", Entry{Addr: "perm", Store: 1, Role: replication.RolePermanent})
+	s.Register("o", Entry{Addr: "cache", Store: 2, Role: replication.RoleClientInitiated})
+	caches := s.LookupRole("o", replication.RoleClientInitiated)
+	if len(caches) != 1 || caches[0].Addr != "cache" {
+		t.Fatalf("LookupRole wrong: %+v", caches)
+	}
+	p, err := s.Permanent("o")
+	if err != nil || p.Addr != "perm" {
+		t.Fatalf("Permanent wrong: %+v %v", p, err)
+	}
+}
+
+func TestLookupUnknownObject(t *testing.T) {
+	s := New()
+	if got := s.Lookup("nothing"); len(got) != 0 {
+		t.Fatalf("unknown object returned entries: %+v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package replication
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/msg"
+)
+
+// Anti-entropy gossip completes the eventual coherence model for
+// object-initiated stores ("a typical example of an object-initiated store
+// is a mirrored Web site", §3.1): sibling replicas exchange version-vector
+// digests on the lazy interval and ship each other the updates the digest
+// shows missing. Combined with the eventual engine's last-writer-wins rule
+// this gives convergent, leaderless mirror synchronisation — no permanent
+// store on the path.
+
+// AddPeer registers a sibling replica for anti-entropy exchange and arms
+// the gossip timer. Peers only make sense under the eventual model; other
+// models order through the store hierarchy instead.
+func (o *Object) AddPeer(addr string) {
+	if o.strat.Model != coherence.Eventual || addr == o.addr {
+		return
+	}
+	if o.peers == nil {
+		o.peers = make(map[string]bool)
+	}
+	o.peers[addr] = true
+	o.armGossip()
+}
+
+// Peers returns the registered gossip peers.
+func (o *Object) Peers() []string {
+	out := make([]string, 0, len(o.peers))
+	for p := range o.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// armGossip schedules the next anti-entropy round. The lazy interval doubles
+// as the gossip period (both express "how stale may replicas drift").
+func (o *Object) armGossip() {
+	if o.gossipArmed || o.closed || len(o.peers) == 0 {
+		return
+	}
+	period := o.strat.LazyInterval
+	if period <= 0 {
+		period = o.strat.PullInterval
+	}
+	if period <= 0 {
+		return // no periodic behaviour configured; gossip on demand only
+	}
+	o.gossipArmed = true
+	o.gossipTimer = o.env.AfterFunc(period, func() {
+		o.gossipArmed = false
+		if o.closed {
+			return
+		}
+		o.gossipRound()
+		o.armGossip()
+	})
+}
+
+// gossipRound sends this replica's digest to every peer.
+func (o *Object) gossipRound() {
+	for peer := range o.peers {
+		g := &msg.Message{
+			Kind:   msg.KindGossip,
+			Object: o.object,
+			From:   o.addr,
+			Store:  o.self,
+			VVec:   o.applied(),
+		}
+		o.send(peer, g)
+		o.stats.GossipRounds++
+	}
+}
+
+// onGossip handles a peer's digest: ship whatever the peer is missing, and
+// answer with our own digest so the exchange is symmetric.
+func (o *Object) onGossip(m *msg.Message) {
+	for _, u := range o.log {
+		if !m.VVec.CoversWrite(u.Write) {
+			o.send(m.From, o.updateMsg(u))
+		}
+	}
+	r := m.Reply(msg.KindGossipReply)
+	r.From = o.addr
+	r.Store = o.self
+	r.VVec = o.applied()
+	o.send(m.From, r)
+}
+
+// onGossipReply closes the loop: ship the peer anything the reply digest
+// shows it still lacks (our writes that arrived after its gossip was sent).
+func (o *Object) onGossipReply(m *msg.Message) {
+	for _, u := range o.log {
+		if !m.VVec.CoversWrite(u.Write) {
+			o.send(m.From, o.updateMsg(u))
+		}
+	}
+}
+
+// validGossipStrategy reports whether gossip handling applies (defensive:
+// gossip messages for non-eventual objects are ignored — ordering models
+// synchronise through the store hierarchy instead).
+func (o *Object) validGossipStrategy() bool {
+	return o.strat.Model == coherence.Eventual
+}

@@ -1,0 +1,918 @@
+package replication
+
+import (
+	"errors"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/semantics"
+	"repro/internal/strategy"
+	"repro/internal/vclock"
+)
+
+// Handle dispatches one incoming message for this object. Unknown kinds are
+// ignored (forward compatibility).
+func (o *Object) Handle(m *msg.Message) {
+	if o.closed {
+		return
+	}
+	switch m.Kind {
+	case msg.KindReadRequest:
+		o.onRead(m)
+	case msg.KindWriteRequest:
+		o.onWrite(m)
+	case msg.KindUpdate:
+		o.onUpdate(m)
+	case msg.KindUpdateAck:
+		// "Nothing missing" answer to a demand: counts as revalidation.
+		o.revalEpoch++
+		o.reconsiderParked()
+	case msg.KindInvalidate:
+		o.onInvalidate(m)
+	case msg.KindNotify:
+		o.onNotify(m)
+	case msg.KindDemandUpdate:
+		o.onDemand(m)
+	case msg.KindStateRequest:
+		o.onStateRequest(m)
+	case msg.KindStateReply:
+		o.onStateReply(m)
+	case msg.KindSubscribe:
+		o.onSubscribe(m)
+	case msg.KindSubscribeAck:
+		o.onSubscribeAck(m)
+	case msg.KindGossip:
+		if o.validGossipStrategy() {
+			o.onGossip(m)
+		}
+	case msg.KindGossipReply:
+		if o.validGossipStrategy() {
+			o.onGossipReply(m)
+		}
+	}
+}
+
+// --- reads -----------------------------------------------------------------
+
+// onRead implements the access path: check session requirements (client-
+// based models, §3.2.2), check replica validity (invalidations, pull mode),
+// then serve from the local semantics object.
+func (o *Object) onRead(m *msg.Message) {
+	// Pull-on-access revalidation: with pull initiative and no periodic
+	// poller, every access first validates against the parent (the
+	// If-Modified-Since pattern from the paper's introduction).
+	if o.strat.Initiative == strategy.Pull && o.strat.PullInterval <= 0 && o.parent != "" {
+		o.demandFromParent()
+		o.parkReval(m)
+		return
+	}
+	if !o.requirementMet(m) {
+		o.stats.ReqViolations++
+		switch o.strat.ClientOutdate {
+		case strategy.Demand:
+			// §4: "the cache first demands an update from the Web server".
+			o.demandFromParent()
+		case strategy.Wait:
+			// §4: the store "simply waits until a new write arrives".
+		}
+		o.park(m)
+		return
+	}
+	o.serveOrFetch(m)
+}
+
+// requirementMet checks the read's session-guarantee requirement vector.
+func (o *Object) requirementMet(m *msg.Message) bool {
+	if len(m.VVec) == 0 {
+		return true
+	}
+	return o.applied().Covers(m.VVec)
+}
+
+// serveOrFetch serves the read locally, fetching missing/invalidated state
+// from the parent first when needed.
+func (o *Object) serveOrFetch(m *msg.Message) {
+	page := m.Inv.Page
+	if o.allInvalid || (page != "" && o.invalid[page]) {
+		if o.parent != "" {
+			o.fetch(page)
+			o.park(m)
+			return
+		}
+	}
+	payload, err := o.env.ServeRead(m.Inv)
+	if err != nil {
+		// A cold or partially warm replica misses elements it never
+		// fetched; resolve through the parent per the access-transfer type.
+		if errors.Is(err, semantics.ErrNoElement) && o.parent != "" {
+			o.fetch(page)
+			o.park(m)
+			return
+		}
+		o.stats.ReadsFailed++
+		o.replyErr(m, msg.StatusNotFound, err.Error())
+		return
+	}
+	o.stats.ReadsServed++
+	r := m.Reply(msg.KindReadReply)
+	r.From = o.addr
+	r.Store = o.self
+	r.Payload = payload
+	r.VVec = o.applied()
+	o.send(m.From, r)
+}
+
+// park queues a read until coherence or state arrives, with a deadline.
+func (o *Object) park(m *msg.Message) {
+	o.stats.ReadsParked++
+	p := &parkedRead{m: m, deadline: o.env.Now().Add(o.readTimeout)}
+	o.parked = append(o.parked, p)
+	o.env.AfterFunc(o.readTimeout, func() { o.expireParked() })
+}
+
+// parkReval queues a read that must wait for one revalidation response.
+func (o *Object) parkReval(m *msg.Message) {
+	o.stats.ReadsParked++
+	p := &parkedRead{
+		m: m, deadline: o.env.Now().Add(o.readTimeout),
+		needsReval: true, epoch: o.revalEpoch,
+	}
+	o.parked = append(o.parked, p)
+	o.env.AfterFunc(o.readTimeout, func() { o.expireParked() })
+}
+
+// expireParked fails reads whose deadline passed.
+func (o *Object) expireParked() {
+	if o.closed {
+		return
+	}
+	now := o.env.Now()
+	rest := o.parked[:0]
+	for _, p := range o.parked {
+		if now.Before(p.deadline) {
+			rest = append(rest, p)
+			continue
+		}
+		o.stats.ReadsFailed++
+		o.replyErr(p.m, msg.StatusRetry, "coherence requirement not satisfiable before timeout")
+	}
+	o.parked = rest
+}
+
+// reconsiderParked retries parked reads after local state changed.
+func (o *Object) reconsiderParked() {
+	if len(o.parked) == 0 {
+		return
+	}
+	pending := o.parked
+	o.parked = nil
+	for _, p := range pending {
+		if p.needsReval && p.epoch >= o.revalEpoch {
+			o.parked = append(o.parked, p) // revalidation still in flight
+			continue
+		}
+		if !o.requirementMet(p.m) {
+			o.parked = append(o.parked, p)
+			continue
+		}
+		page := p.m.Inv.Page
+		if (o.allInvalid || (page != "" && o.invalid[page])) && o.parent != "" {
+			o.parked = append(o.parked, p)
+			continue
+		}
+		o.serveOrFetchParked(p)
+	}
+}
+
+// serveOrFetchParked is serveOrFetch for an already parked read: on a state
+// miss it re-parks without double-counting.
+func (o *Object) serveOrFetchParked(p *parkedRead) {
+	payload, err := o.env.ServeRead(p.m.Inv)
+	if err != nil {
+		if errors.Is(err, semantics.ErrNoElement) && o.parent != "" {
+			o.fetch(p.m.Inv.Page)
+			o.parked = append(o.parked, p)
+			return
+		}
+		o.stats.ReadsFailed++
+		o.replyErr(p.m, msg.StatusNotFound, err.Error())
+		return
+	}
+	o.stats.ReadsServed++
+	r := p.m.Reply(msg.KindReadReply)
+	r.From = o.addr
+	r.Store = o.self
+	r.Payload = payload
+	r.VVec = o.applied()
+	o.send(p.m.From, r)
+}
+
+// --- writes ----------------------------------------------------------------
+
+// onWrite handles a client write request. Non-permanent stores forward
+// writes up the hierarchy (the permanent stores own the object's coherence,
+// §3.1); under the eventual model they additionally apply the write locally
+// first, so a mirror serves its own writes immediately.
+func (o *Object) onWrite(m *msg.Message) {
+	if o.role != RolePermanent {
+		if o.strat.Model == coherence.Eventual {
+			if m.Stamp.Zero() {
+				m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
+			} else {
+				o.lamport.Witness(m.Stamp.Time)
+			}
+			u := updateFromMsg(m)
+			o.applyReleased(o.engine.Submit(u))
+			// Ack immediately: eventual coherence promises no more.
+			r := m.Reply(msg.KindWriteReply)
+			r.From = o.addr
+			r.Store = o.self
+			o.send(m.From, r)
+			// Continue propagation towards the permanent store.
+			if o.parent != "" {
+				fwd := *m
+				fwd.To = o.parent
+				o.stats.WritesForwarded++
+				o.sendRaw(o.parent, &fwd)
+			}
+			o.reconsiderParked()
+			return
+		}
+		if o.parent == "" {
+			o.replyErr(m, msg.StatusError, "store has no parent to order writes")
+			return
+		}
+		fwd := *m // preserve the original From so the permanent store acks the client
+		fwd.To = o.parent
+		o.stats.WritesForwarded++
+		o.sendRaw(o.parent, &fwd)
+		return
+	}
+
+	// Permanent store: enforce the write set.
+	if o.strat.Writers == strategy.SingleWriter {
+		if !o.hasWriter {
+			o.hasWriter = true
+			o.writer = m.Write.Client
+		} else if o.writer != m.Write.Client {
+			o.stats.WritesRejected++
+			o.replyErr(m, msg.StatusForbidden, "write set is single; another client owns the object")
+			return
+		}
+	}
+
+	if m.Stamp.Zero() {
+		m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
+	} else {
+		o.lamport.Witness(m.Stamp.Time)
+	}
+	u := updateFromMsg(m)
+	if o.strat.Model == coherence.Sequential && u.GlobalSeq == 0 {
+		u.GlobalSeq = o.nextGlobal
+		o.nextGlobal++
+	}
+	o.stats.WritesAccepted++
+	released := o.engine.Submit(u)
+	if len(released) == 0 && o.engine.Pending() > 0 {
+		o.stats.UpdatesBuffered++
+	}
+	o.applyReleased(released)
+	// Ack the writer (the client learns the store that performed its
+	// write — the (WiD, store) dependency of §4.2).
+	r := m.Reply(msg.KindWriteReply)
+	r.From = o.addr
+	r.Store = o.self
+	o.send(m.From, r)
+	o.reconsiderParked()
+}
+
+// updateFromMsg builds the engine-level update from a wire message.
+func updateFromMsg(m *msg.Message) *coherence.Update {
+	return &coherence.Update{
+		Write:     m.Write,
+		GlobalSeq: m.GlobalSeq,
+		Deps:      m.Deps.Clone(),
+		Stamp:     m.Stamp,
+		Inv:       m.Inv,
+		WallNanos: m.WallNanos,
+	}
+}
+
+// applyReleased applies ordered updates to semantics, logs them, and feeds
+// dissemination. Updates whose effects already arrived via state transfer
+// (full snapshot or a per-page fetch) advance the coherence accounting but
+// are not re-applied to semantics — re-applying an incremental append would
+// duplicate content.
+func (o *Object) applyReleased(released []*coherence.Update) {
+	for _, u := range released {
+		if !o.coveredByState(u) {
+			if err := o.env.ApplyOp(u); err != nil {
+				// Semantics rejected the op (e.g. malformed args);
+				// coherence-wise it is applied — record and continue.
+				o.stats.ReadsFailed++
+			}
+		}
+		o.stats.UpdatesApplied++
+		o.appendLog(u)
+		o.disseminate(u)
+	}
+	if len(released) > 0 {
+		o.reconsiderParked()
+	}
+}
+
+// coveredByState reports whether u's content effects already arrived via
+// state transfer.
+func (o *Object) coveredByState(u *coherence.Update) bool {
+	if o.fetchVec.CoversWrite(u.Write) {
+		return true
+	}
+	if u.Inv.Page == "" {
+		return false
+	}
+	return o.pageVec[u.Inv.Page].CoversWrite(u.Write)
+}
+
+func (o *Object) appendLog(u *coherence.Update) {
+	o.log = append(o.log, u)
+	if len(o.log) > o.logLimit {
+		o.log = o.log[len(o.log)-o.logLimit:]
+		o.logPruned = true
+	}
+}
+
+// --- dissemination ----------------------------------------------------------
+
+// disseminate propagates one applied update to subscribed children per the
+// strategy's propagation, initiative, instant, and coherence-transfer
+// parameters.
+func (o *Object) disseminate(u *coherence.Update) {
+	if len(o.children) == 0 || o.strat.Initiative == strategy.Pull {
+		return // pull children fetch on their own schedule
+	}
+	if o.strat.Instant == strategy.Lazy {
+		o.lazyUpdates = append(o.lazyUpdates, u)
+		if u.Inv.Page != "" {
+			o.lazyPages[u.Inv.Page] = true
+		}
+		o.armLazy()
+		return
+	}
+	o.shipNow([]*coherence.Update{u}, map[string]bool{u.Inv.Page: true})
+}
+
+// armLazy schedules the aggregated flush.
+func (o *Object) armLazy() {
+	if o.lazyArmed {
+		return
+	}
+	o.lazyArmed = true
+	o.lazyTimer = o.env.AfterFunc(o.strat.LazyInterval, func() {
+		o.lazyArmed = false
+		o.flushLazy()
+	})
+}
+
+// flushLazy ships everything aggregated since the last period.
+func (o *Object) flushLazy() {
+	if o.closed || len(o.lazyUpdates) == 0 && len(o.lazyPages) == 0 {
+		return
+	}
+	ups := o.lazyUpdates
+	pages := o.lazyPages
+	o.lazyUpdates = nil
+	o.lazyPages = make(map[string]bool)
+	o.stats.LazyFlushes++
+	o.shipNow(ups, pages)
+}
+
+// shipNow performs the actual coherence transfer to children.
+func (o *Object) shipNow(ups []*coherence.Update, pages map[string]bool) {
+	tos := o.Children()
+	if len(tos) == 0 {
+		return
+	}
+	switch o.strat.Propagation {
+	case strategy.PropagateInvalidate:
+		inv := &msg.Message{
+			Kind:   msg.KindInvalidate,
+			Object: o.object,
+			From:   o.addr,
+			Store:  o.self,
+			Pages:  pageList(pages),
+		}
+		if n := len(ups); n > 0 {
+			inv.Write = ups[n-1].Write
+			inv.WallNanos = ups[n-1].WallNanos
+		}
+		o.multicast(tos, inv)
+		return
+	case strategy.PropagateUpdate:
+		switch o.strat.CoherenceTransfer {
+		case strategy.CoherenceNotification:
+			n := &msg.Message{
+				Kind:   msg.KindNotify,
+				Object: o.object,
+				From:   o.addr,
+				Store:  o.self,
+				Pages:  pageList(pages),
+			}
+			o.multicast(tos, n)
+		case strategy.CoherencePartial:
+			// Operation shipping: each update travels as its marshalled
+			// write invocation, in order.
+			for _, u := range ups {
+				o.multicast(tos, o.updateMsg(u))
+			}
+		case strategy.CoherenceFull:
+			// Aggregation pays off here: one snapshot replaces the whole
+			// batch.
+			snap, err := o.env.Snapshot()
+			if err != nil {
+				return
+			}
+			m := &msg.Message{
+				Kind:      msg.KindUpdate,
+				Object:    o.object,
+				From:      o.addr,
+				Store:     o.self,
+				Payload:   snap,
+				VVec:      o.applied(),
+				GlobalSeq: o.engine.Global(),
+				WallNanos: ups[len(ups)-1].WallNanos,
+			}
+			o.multicast(tos, m)
+		}
+	}
+}
+
+// updateMsg converts an update to its wire form (operation shipping).
+func (o *Object) updateMsg(u *coherence.Update) *msg.Message {
+	return &msg.Message{
+		Kind:      msg.KindUpdate,
+		Object:    o.object,
+		From:      o.addr,
+		Store:     o.self,
+		Write:     u.Write,
+		GlobalSeq: u.GlobalSeq,
+		Stamp:     u.Stamp,
+		Deps:      u.Deps.Clone(),
+		Inv:       u.Inv,
+		WallNanos: u.WallNanos,
+	}
+}
+
+func pageList(pages map[string]bool) []string {
+	out := make([]string, 0, len(pages))
+	for p := range pages {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// --- update reception --------------------------------------------------------
+
+// onUpdate handles a pushed or demanded coherence update. Full-state
+// updates (Payload set) bypass the engine and merge the sender's vector;
+// operation updates go through the ordering engine.
+func (o *Object) onUpdate(m *msg.Message) {
+	o.revalEpoch++
+	if len(m.Payload) > 0 {
+		// Aggregated full-state update.
+		if o.applied().Covers(m.VVec) && len(m.VVec) > 0 {
+			return // stale or duplicate snapshot
+		}
+		if err := o.env.ApplyFull(m.Payload); err != nil {
+			return
+		}
+		o.fetchVec.Merge(m.VVec)
+		o.engine.Seed(m.VVec, m.GlobalSeq)
+		o.invalid = make(map[string]bool)
+		o.allInvalid = false
+		o.relayFull(m)
+		o.reconsiderParked()
+		return
+	}
+	u := updateFromMsg(m)
+	released := o.engine.Submit(u)
+	if len(released) == 0 && o.engine.Pending() > 0 {
+		o.stats.UpdatesBuffered++
+		// A gap was detected. Under object-outdate = demand the store
+		// immediately requests the missing updates — this is how, per
+		// §4.2, "reliability comes as a side-effect of the coherence
+		// model" on unreliable transports.
+		if o.strat.ObjectOutdate == strategy.Demand {
+			o.demandFromParent()
+		}
+	}
+	for _, r := range released {
+		if p := r.Inv.Page; p != "" {
+			delete(o.invalid, p)
+		}
+	}
+	o.applyReleased(released)
+}
+
+// relayFull forwards a full-state update down to this store's own children
+// (multi-layer hierarchies, Figure 2).
+func (o *Object) relayFull(m *msg.Message) {
+	if len(o.children) == 0 || o.strat.Initiative == strategy.Pull {
+		return
+	}
+	fwd := *m
+	fwd.From = o.addr
+	fwd.Store = o.self
+	o.multicast(o.Children(), &fwd)
+}
+
+// onInvalidate marks pages stale; under object-outdate = demand it
+// refreshes immediately, otherwise the next access fetches.
+func (o *Object) onInvalidate(m *msg.Message) {
+	o.markInvalid(m.Pages)
+	if o.strat.ObjectOutdate == strategy.Demand {
+		o.refreshInvalid(m.Pages)
+	}
+	// Relay to children so lower layers learn of the change too.
+	if len(o.children) > 0 && o.strat.Initiative == strategy.Push {
+		fwd := *m
+		fwd.From = o.addr
+		fwd.Store = o.self
+		o.multicast(o.Children(), &fwd)
+	}
+}
+
+// onNotify handles notification-only coherence transfer: same invalidation
+// machinery, but the message promises no content at all.
+func (o *Object) onNotify(m *msg.Message) {
+	o.markInvalid(m.Pages)
+	if o.strat.ObjectOutdate == strategy.Demand {
+		o.refreshInvalid(m.Pages)
+	}
+	if len(o.children) > 0 && o.strat.Initiative == strategy.Push {
+		fwd := *m
+		fwd.From = o.addr
+		fwd.Store = o.self
+		o.multicast(o.Children(), &fwd)
+	}
+}
+
+func (o *Object) markInvalid(pages []string) {
+	if len(pages) == 0 {
+		o.allInvalid = true
+		o.stats.Invalidations++
+		return
+	}
+	for _, p := range pages {
+		o.invalid[p] = true
+		o.stats.Invalidations++
+	}
+}
+
+// refreshInvalid fetches fresh state for invalidated pages right away.
+func (o *Object) refreshInvalid(pages []string) {
+	if o.parent == "" {
+		return
+	}
+	if len(pages) == 0 || o.strat.AccessTransfer == strategy.TransferFull {
+		o.fetch("")
+		return
+	}
+	for _, p := range pages {
+		o.fetch(p)
+	}
+}
+
+// --- demand / state transfer -------------------------------------------------
+
+// demandFromParent asks the parent for every update beyond our applied
+// vector.
+func (o *Object) demandFromParent() {
+	if o.parent == "" {
+		return
+	}
+	o.stats.DemandsSent++
+	d := &msg.Message{
+		Kind:   msg.KindDemandUpdate,
+		Object: o.object,
+		From:   o.addr,
+		Store:  o.self,
+		VVec:   o.applied(),
+	}
+	o.send(o.parent, d)
+}
+
+// fetch requests state per the access-transfer type: one element
+// (partial) or the full document.
+func (o *Object) fetch(page string) {
+	if o.parent == "" {
+		return
+	}
+	full := o.strat.AccessTransfer == strategy.TransferFull || page == ""
+	if full {
+		if o.fetching {
+			return
+		}
+		o.fetching = true
+	}
+	o.stats.DemandsSent++
+	req := &msg.Message{
+		Kind:   msg.KindStateRequest,
+		Object: o.object,
+		From:   o.addr,
+		Store:  o.self,
+	}
+	if !full {
+		req.Pages = []string{page}
+	}
+	o.send(o.parent, req)
+}
+
+// onDemand serves a child's demand-update: replay logged updates it lacks,
+// or fall back to full state when the requester's vector predates the
+// retained log window (pruned history cannot be replayed).
+func (o *Object) onDemand(m *msg.Message) {
+	if o.logPruned && !o.logCovers(m.VVec) {
+		o.sendFullState(m.From, nil)
+		return
+	}
+	missing := make([]*coherence.Update, 0, 8)
+	for _, u := range o.log {
+		if !m.VVec.CoversWrite(u.Write) {
+			missing = append(missing, u)
+		}
+	}
+	if len(missing) == 0 {
+		// Nothing to send: answer anyway so pull-on-access revalidations
+		// complete instead of timing out.
+		ack := &msg.Message{
+			Kind:   msg.KindUpdateAck,
+			Object: o.object,
+			From:   o.addr,
+			Store:  o.self,
+			VVec:   o.applied(),
+		}
+		o.send(m.From, ack)
+		return
+	}
+	for _, u := range missing {
+		o.send(m.From, o.updateMsg(u))
+	}
+}
+
+// logCovers reports whether the retained log suffices to bring a requester
+// with vector v up to date: for every client, the requester must already
+// know everything older than the log's earliest retained write from that
+// client.
+func (o *Object) logCovers(v ids.VersionVec) bool {
+	minSeq := make(map[ids.ClientID]uint64, 4)
+	for _, u := range o.log {
+		if s, ok := minSeq[u.Write.Client]; !ok || u.Write.Seq < s {
+			minSeq[u.Write.Client] = u.Write.Seq
+		}
+	}
+	for c, applied := range o.applied() {
+		need := applied // client absent from log: requester must know it all
+		if s, ok := minSeq[c]; ok {
+			need = s - 1
+		}
+		if v.Get(c) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// onStateRequest serves partial or full state.
+func (o *Object) onStateRequest(m *msg.Message) {
+	if len(m.Pages) == 0 {
+		o.sendFullState(m.From, m)
+		return
+	}
+	r := m.Reply(msg.KindStateReply)
+	r.From = o.addr
+	r.Store = o.self
+	r.VVec = o.applied()
+	r.Pages = m.Pages[:1]
+	data, err := o.env.SnapshotElement(m.Pages[0])
+	if err != nil {
+		r.Status = msg.StatusNotFound
+		r.Err = err.Error()
+	} else {
+		r.Payload = data
+	}
+	o.send(m.From, r)
+}
+
+func (o *Object) sendFullState(to string, req *msg.Message) {
+	snap, err := o.env.Snapshot()
+	if err != nil {
+		return
+	}
+	r := &msg.Message{
+		Kind:      msg.KindStateReply,
+		Object:    o.object,
+		From:      o.addr,
+		Store:     o.self,
+		Payload:   snap,
+		VVec:      o.applied(),
+		GlobalSeq: o.engine.Global(),
+	}
+	if req != nil {
+		r.NetSeq = req.NetSeq
+	}
+	o.send(to, r)
+}
+
+// onStateReply installs fetched state. A partial (per-page) reply only
+// advances that page's knowledge; a full snapshot seeds the ordering engine
+// so pushed op updates the snapshot already reflects are not re-applied.
+func (o *Object) onStateReply(m *msg.Message) {
+	o.revalEpoch++
+	if len(m.Pages) > 0 {
+		page := m.Pages[0]
+		if m.Status == msg.StatusNotFound {
+			// The parent lacks it too; fail parked reads for that page.
+			o.failParkedPage(page, m.Err)
+			delete(o.invalid, page)
+			return
+		}
+		if err := o.env.ApplyElement(page, m.Payload); err != nil {
+			return
+		}
+		delete(o.invalid, page)
+		pv, ok := o.pageVec[page]
+		if !ok {
+			pv = ids.NewVersionVec(4)
+			o.pageVec[page] = pv
+		}
+		pv.Merge(m.VVec)
+	} else {
+		o.fetching = false
+		if err := o.env.ApplyFull(m.Payload); err != nil {
+			return
+		}
+		o.invalid = make(map[string]bool)
+		o.allInvalid = false
+		o.fetchVec.Merge(m.VVec)
+		o.engine.Seed(m.VVec, m.GlobalSeq)
+	}
+	o.reconsiderParked()
+}
+
+// failParkedPage answers parked reads for one page with not-found.
+func (o *Object) failParkedPage(page, errText string) {
+	rest := o.parked[:0]
+	for _, p := range o.parked {
+		if p.m.Inv.Page == page {
+			o.stats.ReadsFailed++
+			o.replyErr(p.m, msg.StatusNotFound, errText)
+			continue
+		}
+		rest = append(rest, p)
+	}
+	o.parked = rest
+}
+
+// --- subscription -------------------------------------------------------------
+
+// onSubscribe registers a child store and bootstraps it with full state.
+func (o *Object) onSubscribe(m *msg.Message) {
+	o.children[m.From] = true
+	snap, err := o.env.Snapshot()
+	if err != nil {
+		return
+	}
+	r := m.Reply(msg.KindSubscribeAck)
+	r.From = o.addr
+	r.Store = o.self
+	r.Payload = snap
+	r.VVec = o.applied()
+	r.GlobalSeq = o.engine.Global()
+	o.send(m.From, r)
+}
+
+// onSubscribeAck installs the bootstrap state received from the parent.
+func (o *Object) onSubscribeAck(m *msg.Message) {
+	o.revalEpoch++
+	if len(m.Payload) > 0 {
+		if err := o.env.ApplyFull(m.Payload); err != nil {
+			return
+		}
+	}
+	o.fetchVec.Merge(m.VVec)
+	o.engine.Seed(m.VVec, m.GlobalSeq)
+	o.reconsiderParked()
+}
+
+// SubscribeToParent initiates the child->parent subscription and arms the
+// pull poller when the strategy asks for one.
+func (o *Object) SubscribeToParent() {
+	if o.parent == "" {
+		return
+	}
+	s := &msg.Message{
+		Kind:   msg.KindSubscribe,
+		Object: o.object,
+		From:   o.addr,
+		Store:  o.self,
+	}
+	o.send(o.parent, s)
+	if o.strat.Initiative == strategy.Pull && o.strat.PullInterval > 0 {
+		o.armPoll()
+	}
+}
+
+// armPoll schedules periodic demand pulls (TTL-style refresh).
+func (o *Object) armPoll() {
+	if o.pollArmed || o.closed {
+		return
+	}
+	o.pollArmed = true
+	o.pollTimer = o.env.AfterFunc(o.strat.PullInterval, func() {
+		o.pollArmed = false
+		if o.closed {
+			return
+		}
+		o.demandFromParent()
+		o.armPoll()
+	})
+}
+
+// --- small helpers -------------------------------------------------------------
+
+func (o *Object) send(to string, m *msg.Message) {
+	m.Object = o.object
+	if m.From == "" {
+		m.From = o.addr
+	}
+	_ = o.env.Send(to, m)
+}
+
+// sendRaw sends without overriding From (used when forwarding client
+// requests so replies go straight back to the client).
+func (o *Object) sendRaw(to string, m *msg.Message) {
+	m.Object = o.object
+	_ = o.env.Send(to, m)
+}
+
+func (o *Object) multicast(tos []string, m *msg.Message) {
+	m.Object = o.object
+	_ = o.env.Multicast(tos, m)
+}
+
+func (o *Object) replyErr(m *msg.Message, st msg.Status, text string) {
+	var r *msg.Message
+	switch m.Kind {
+	case msg.KindReadRequest:
+		r = m.Reply(msg.KindReadReply)
+	case msg.KindWriteRequest:
+		r = m.Reply(msg.KindWriteReply)
+	default:
+		return
+	}
+	r.From = o.addr
+	r.Store = o.self
+	r.Status = st
+	r.Err = text
+	o.send(m.From, r)
+}
+
+// Retune replaces the object's implementation parameters at runtime — the
+// dynamic adaptation §3.3 anticipates ("ideally, the implementation
+// parameters can be modified dynamically as the usage characteristics of an
+// object change"). The coherence model itself is fixed at creation (it
+// defines the object's contract with clients); only the Table 1
+// dissemination parameters may change. Pending lazy buffers are flushed
+// under the old parameters first.
+func (o *Object) Retune(s strategy.Strategy) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Model != o.strat.Model {
+		return errors.New("replication: Retune cannot change the coherence model")
+	}
+	if s.Writers != o.strat.Writers {
+		return errors.New("replication: Retune cannot change the write set")
+	}
+	// Drain aggregation state under the old policy so nothing is stranded.
+	if o.lazyTimer != nil {
+		o.lazyTimer.Stop()
+	}
+	o.lazyArmed = false
+	o.flushLazy()
+	if o.pollTimer != nil {
+		o.pollTimer.Stop()
+	}
+	o.pollArmed = false
+	o.strat = s
+	if s.Initiative == strategy.Pull && s.PullInterval > 0 && o.parent != "" {
+		o.armPoll()
+	}
+	return nil
+}
+
+// Strategy returns the currently active strategy.
+func (o *Object) Strategy() strategy.Strategy { return o.strat }

@@ -1,0 +1,308 @@
+// Package replication implements the replication sub-object of the Globe
+// local-object composition: the per-object coherence protocol. One Object
+// lives at every store holding a replica; it interprets the object's
+// Strategy (Table 1 of the paper) and drives an ordering engine
+// (internal/coherence) that realises the object-based coherence model.
+//
+// The Object is a deterministic state machine: every handler runs on the
+// owning store's single event-loop goroutine, and all I/O is performed
+// through the injected Env, so the protocol can be unit-tested with fake
+// environments and no network. This mirrors the paper's requirement that
+// "the replication objects all have the same interface... however, the
+// internals differ as each implements its own part of a coherence
+// protocol".
+package replication
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/strategy"
+	"repro/internal/vclock"
+)
+
+// Role is the store class hosting this replication object (Figure 2).
+type Role int
+
+// Roles, from the top of the store hierarchy down.
+const (
+	RolePermanent Role = iota + 1
+	RoleObjectInitiated
+	RoleClientInitiated
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RolePermanent:
+		return "permanent"
+	case RoleObjectInitiated:
+		return "object-initiated"
+	case RoleClientInitiated:
+		return "client-initiated"
+	default:
+		return "Role(?)"
+	}
+}
+
+// InScope reports whether a store with role r implements the object-based
+// model under the given store-scope parameter; out-of-scope stores fall
+// back to the weakest (eventual) ordering, per §3.1: lower layers "may, for
+// performance reasons, support a weaker coherence model".
+func (r Role) InScope(s strategy.StoreScope) bool {
+	switch s {
+	case strategy.ScopePermanent:
+		return r == RolePermanent
+	case strategy.ScopePermanentAndObjectInitiated:
+		return r == RolePermanent || r == RoleObjectInitiated
+	default:
+		return true
+	}
+}
+
+// Env is everything the replication object needs from its surroundings: the
+// communication object (Send/Multicast), the control object (Apply*/Serve*,
+// Snapshot*), and timers. Implementations must dispatch timer callbacks
+// back onto the store's event loop.
+type Env interface {
+	Send(to string, m *msg.Message) error
+	Multicast(tos []string, m *msg.Message) error
+
+	ApplyOp(u *coherence.Update) error
+	ApplyFull(snapshot []byte) error
+	ApplyElement(name string, data []byte) error
+	Snapshot() ([]byte, error)
+	SnapshotElement(name string) ([]byte, error)
+	ServeRead(inv msg.Invocation) ([]byte, error)
+
+	Now() time.Time
+	// AfterFunc schedules f on the store's event loop after d.
+	AfterFunc(d time.Duration, f func()) clock.Timer
+}
+
+// Stats counts protocol events for the experiment harness.
+type Stats struct {
+	ReadsServed     uint64 // reads answered from local state
+	ReadsParked     uint64 // reads that had to wait or trigger a fetch
+	ReadsFailed     uint64 // reads answered with an error status
+	WritesAccepted  uint64 // write requests accepted (permanent store)
+	WritesForwarded uint64 // write requests passed towards the permanent store
+	WritesRejected  uint64 // write-set violations
+	UpdatesApplied  uint64 // ordered updates applied to semantics
+	UpdatesBuffered uint64 // updates buffered by the ordering engine
+	DemandsSent     uint64 // demand-update / state requests issued
+	Invalidations   uint64 // pages invalidated locally
+	LazyFlushes     uint64 // aggregated dissemination rounds
+	ReqViolations   uint64 // reads whose session requirement was not met locally
+	GossipRounds    uint64 // anti-entropy digests sent to peers
+}
+
+// parkedRead is a read waiting for coherence (requirement vector), state
+// (page fetch), or a revalidation round trip before it can be served.
+type parkedRead struct {
+	m        *msg.Message
+	deadline time.Time
+	// needsReval marks pull-on-access reads that must not be served until
+	// the parent has answered one revalidation (epoch advanced past epoch).
+	needsReval bool
+	epoch      uint64
+}
+
+// Object is the replication sub-object for one distributed shared object at
+// one store. Not safe for concurrent use: the owning store serialises all
+// calls on its event loop.
+type Object struct {
+	env    Env
+	object ids.ObjectID
+	self   ids.StoreID
+	role   Role
+	strat  strategy.Strategy
+	engine coherence.Engine
+
+	// addr is this store's transport address (for From fields).
+	addr string
+	// parent is the next store up the hierarchy ("" at permanent stores).
+	parent string
+	// children are subscribed lower-layer stores.
+	children map[string]bool
+
+	// Write-set enforcement (permanent store, write set = single).
+	writer    ids.ClientID
+	hasWriter bool
+
+	// Sequencer state (permanent store, sequential model).
+	nextGlobal uint64
+	lamport    vclock.Lamport
+
+	// log keeps applied updates in application order for demand-serving
+	// and child relaying; logLimit caps its length (oldest pruned first).
+	log      []*coherence.Update
+	logLimit int
+	// logPruned records whether any entries were dropped, in which case
+	// demand requests that predate the log are answered with full state.
+	logPruned bool
+
+	// Lazy-instant aggregation buffers.
+	lazyUpdates []*coherence.Update
+	lazyPages   map[string]bool
+	lazyArmed   bool
+	lazyTimer   clock.Timer
+
+	// Pull-initiative poller.
+	pollArmed bool
+	pollTimer clock.Timer
+
+	// Anti-entropy gossip peers (eventual model, sibling mirrors).
+	peers       map[string]bool
+	gossipArmed bool
+	gossipTimer clock.Timer
+
+	// Cache validity: pages invalidated by Invalidate/Notify messages, and
+	// allInvalid set by a page-less notification.
+	invalid    map[string]bool
+	allInvalid bool
+	// fetchVec is coherence knowledge gained by full state transfer rather
+	// than ordered updates.
+	fetchVec ids.VersionVec
+	// pageVec tracks knowledge gained by partial (per-page) state transfer:
+	// an op update for page p whose write is covered by pageVec[p] must not
+	// re-apply its content (the fetched page already includes it).
+	pageVec map[string]ids.VersionVec
+	// fetching de-duplicates concurrent full-state fetches.
+	fetching bool
+
+	parked      []*parkedRead
+	readTimeout time.Duration
+	// revalEpoch counts coherence responses received from the parent
+	// (updates, state replies, acks); pull-on-access reads wait for it to
+	// advance.
+	revalEpoch uint64
+
+	stats Stats
+
+	closed bool
+}
+
+// Config assembles an Object.
+type Config struct {
+	Env     Env
+	Object  ids.ObjectID
+	Self    ids.StoreID
+	Addr    string
+	Role    Role
+	Parent  string
+	Strat   strategy.Strategy
+	Session []coherence.ClientModel // client models requested at bind time
+	// ReadTimeout bounds how long a read may stay parked before it is
+	// answered with StatusRetry (default 5s).
+	ReadTimeout time.Duration
+	// LogLimit caps the demand-serving log (default 4096 updates).
+	LogLimit int
+}
+
+// New builds the replication object, choosing the ordering engine from the
+// strategy and the store's role: in-scope stores run the object's model,
+// out-of-scope stores run eventual ordering. If any requested client model
+// requires explicit dependency enforcement that the model doesn't imply,
+// the engine is wrapped in a DepGuard.
+func New(cfg Config) (*Object, error) {
+	if err := cfg.Strat.Validate(); err != nil {
+		return nil, err
+	}
+	model := cfg.Strat.Model
+	if !cfg.Role.InScope(cfg.Strat.Scope) {
+		model = coherence.Eventual
+	}
+	eng, err := coherence.NewEngine(model)
+	if err != nil {
+		return nil, err
+	}
+	needGuard := false
+	for _, cm := range cfg.Session {
+		if (cm == coherence.MonotonicWrites || cm == coherence.WritesFollowReads) &&
+			!model.Implies(cm) {
+			needGuard = true
+		}
+	}
+	if needGuard {
+		eng = coherence.NewDepGuard(eng)
+	}
+	o := &Object{
+		env:         cfg.Env,
+		object:      cfg.Object,
+		self:        cfg.Self,
+		addr:        cfg.Addr,
+		role:        cfg.Role,
+		parent:      cfg.Parent,
+		strat:       cfg.Strat,
+		engine:      eng,
+		children:    make(map[string]bool),
+		nextGlobal:  1,
+		lazyPages:   make(map[string]bool),
+		invalid:     make(map[string]bool),
+		fetchVec:    ids.NewVersionVec(4),
+		pageVec:     make(map[string]ids.VersionVec),
+		readTimeout: cfg.ReadTimeout,
+	}
+	if o.readTimeout <= 0 {
+		o.readTimeout = 5 * time.Second
+	}
+	o.logLimit = cfg.LogLimit
+	if o.logLimit <= 0 {
+		o.logLimit = 4096
+	}
+	return o, nil
+}
+
+// Stats returns a copy of the protocol counters.
+func (o *Object) Stats() Stats { return o.stats }
+
+// Engine exposes the ordering engine (tests, metrics).
+func (o *Object) Engine() coherence.Engine { return o.engine }
+
+// Role returns the store role hosting this object.
+func (o *Object) Role() Role { return o.role }
+
+// Parent returns the configured parent address.
+func (o *Object) Parent() string { return o.parent }
+
+// Children returns the subscribed child addresses (sorted not guaranteed).
+func (o *Object) Children() []string {
+	out := make([]string, 0, len(o.children))
+	for c := range o.children {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Close cancels timers and fails parked reads.
+func (o *Object) Close() {
+	o.closed = true
+	if o.lazyTimer != nil {
+		o.lazyTimer.Stop()
+	}
+	if o.pollTimer != nil {
+		o.pollTimer.Stop()
+	}
+	if o.gossipTimer != nil {
+		o.gossipTimer.Stop()
+	}
+	for _, p := range o.parked {
+		o.replyErr(p.m, msg.StatusRetry, "store closing")
+	}
+	o.parked = nil
+}
+
+// applied is the store's total coherence knowledge: ordered applies plus
+// state-transfer knowledge.
+func (o *Object) applied() ids.VersionVec {
+	v := o.engine.Applied()
+	v.Merge(o.fetchVec)
+	return v
+}
+
+// Applied exposes the combined applied vector.
+func (o *Object) Applied() ids.VersionVec { return o.applied() }

@@ -1,0 +1,457 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/coherence"
+	"repro/internal/control"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/strategy"
+)
+
+// fakeEnv is a synchronous, in-memory replication.Env capturing all sends.
+type fakeEnv struct {
+	ctrl *control.Control
+	clk  *clock.Fake
+	sent []*msg.Message
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{ctrl: control.New(webdoc.New()), clk: clock.NewFake()}
+}
+
+func (e *fakeEnv) Send(to string, m *msg.Message) error {
+	cp := *m
+	cp.To = to
+	e.sent = append(e.sent, &cp)
+	return nil
+}
+
+func (e *fakeEnv) Multicast(tos []string, m *msg.Message) error {
+	for _, to := range tos {
+		if err := e.Send(to, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *fakeEnv) ApplyOp(u *coherence.Update) error        { return e.ctrl.ApplyOp(u) }
+func (e *fakeEnv) ApplyFull(s []byte) error                 { return e.ctrl.ApplyFull(s) }
+func (e *fakeEnv) ApplyElement(n string, d []byte) error    { return e.ctrl.ApplyElement(n, d) }
+func (e *fakeEnv) Snapshot() ([]byte, error)                { return e.ctrl.Snapshot() }
+func (e *fakeEnv) SnapshotElement(n string) ([]byte, error) { return e.ctrl.SnapshotElement(n) }
+func (e *fakeEnv) ServeRead(inv msg.Invocation) ([]byte, error) {
+	return e.ctrl.ServeRead(inv)
+}
+func (e *fakeEnv) Now() time.Time { return e.clk.Now() }
+func (e *fakeEnv) AfterFunc(d time.Duration, f func()) clock.Timer {
+	return e.clk.AfterFunc(d, f)
+}
+
+// takeSent drains and returns captured messages of one kind.
+func (e *fakeEnv) takeSent(k msg.Kind) []*msg.Message {
+	var out, rest []*msg.Message
+	for _, m := range e.sent {
+		if m.Kind == k {
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	e.sent = rest
+	return out
+}
+
+func newObj(t *testing.T, env Env, role Role, st strategy.Strategy, parent string, models ...coherence.ClientModel) *Object {
+	t.Helper()
+	o, err := New(Config{
+		Env: env, Object: "obj", Self: 1, Addr: "self", Role: role,
+		Parent: parent, Strat: st, Session: models, ReadTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func writeMsg(client ids.ClientID, seq uint64, page, content string) *msg.Message {
+	return &msg.Message{
+		Kind: msg.KindWriteRequest, Object: "obj", From: "client-ep",
+		Client: client, Write: ids.WiD{Client: client, Seq: seq},
+		Inv: msg.Invocation{
+			Method: webdoc.MethodAppendPage, Page: page,
+			Args: webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte(content)}),
+		},
+	}
+}
+
+func TestPermanentAcceptsAndAcksWrite(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RolePermanent, strategy.Conference(time.Hour), "")
+	o.Handle(writeMsg(1, 1, "p", "x"))
+	acks := env.takeSent(msg.KindWriteReply)
+	if len(acks) != 1 || acks[0].To != "client-ep" || acks[0].Status != msg.StatusOK {
+		t.Fatalf("acks: %+v", acks)
+	}
+	if got := o.Stats(); got.WritesAccepted != 1 || got.UpdatesApplied != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+	if !o.Applied().CoversWrite(ids.WiD{Client: 1, Seq: 1}) {
+		t.Fatalf("applied vector missing write")
+	}
+}
+
+func TestWriteSetSingleRejectsSecondWriter(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RolePermanent, strategy.Conference(time.Hour), "")
+	o.Handle(writeMsg(1, 1, "p", "x"))
+	env.takeSent(msg.KindWriteReply)
+	o.Handle(writeMsg(2, 1, "p", "y"))
+	acks := env.takeSent(msg.KindWriteReply)
+	if len(acks) != 1 || acks[0].Status != msg.StatusForbidden {
+		t.Fatalf("intruder ack: %+v", acks)
+	}
+	if got := o.Stats(); got.WritesRejected != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+func TestCacheForwardsWritesPreservingOrigin(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RoleClientInitiated, strategy.Conference(time.Hour), "parent-store")
+	o.Handle(writeMsg(1, 1, "p", "x"))
+	fwd := env.takeSent(msg.KindWriteRequest)
+	if len(fwd) != 1 || fwd[0].To != "parent-store" {
+		t.Fatalf("forward: %+v", fwd)
+	}
+	if fwd[0].From != "client-ep" {
+		t.Fatalf("forward must preserve the client's From for direct ack, got %q", fwd[0].From)
+	}
+	if got := o.Stats(); got.WritesForwarded != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+func TestCacheWithoutParentFailsWrite(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RoleClientInitiated, strategy.Conference(time.Hour), "")
+	o.Handle(writeMsg(1, 1, "p", "x"))
+	acks := env.takeSent(msg.KindWriteReply)
+	if len(acks) != 1 || acks[0].Status != msg.StatusError {
+		t.Fatalf("acks: %+v", acks)
+	}
+}
+
+func TestImmediateDisseminationToChildren(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.Instant = strategy.Immediate
+	st.LazyInterval = 0
+	o := newObj(t, env, RolePermanent, st, "")
+	// A child subscribes.
+	o.Handle(&msg.Message{Kind: msg.KindSubscribe, Object: "obj", From: "child-1"})
+	if acks := env.takeSent(msg.KindSubscribeAck); len(acks) != 1 || acks[0].To != "child-1" {
+		t.Fatalf("subscribe ack: %+v", acks)
+	}
+	o.Handle(writeMsg(1, 1, "p", "x"))
+	ups := env.takeSent(msg.KindUpdate)
+	if len(ups) != 1 || ups[0].To != "child-1" || ups[0].Write.Seq != 1 {
+		t.Fatalf("updates: %+v", ups)
+	}
+	if len(ups[0].Payload) != 0 {
+		t.Fatalf("partial coherence transfer should ship the op, not a snapshot")
+	}
+}
+
+func TestLazyAggregationFullSnapshot(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Magazine(100 * time.Millisecond) // lazy + full transfer
+	o := newObj(t, env, RolePermanent, st, "")
+	o.Handle(&msg.Message{Kind: msg.KindSubscribe, Object: "obj", From: "child-1"})
+	env.takeSent(msg.KindSubscribeAck)
+	// Three writes inside one lazy window aggregate into ONE snapshot.
+	for i := 1; i <= 3; i++ {
+		o.Handle(writeMsg(1, uint64(i), "p", "x"))
+	}
+	if ups := env.takeSent(msg.KindUpdate); len(ups) != 0 {
+		t.Fatalf("lazy mode shipped early: %+v", ups)
+	}
+	env.clk.Advance(100 * time.Millisecond)
+	ups := env.takeSent(msg.KindUpdate)
+	if len(ups) != 1 {
+		t.Fatalf("aggregation failed: %d updates", len(ups))
+	}
+	if len(ups[0].Payload) == 0 || !ups[0].VVec.CoversWrite(ids.WiD{Client: 1, Seq: 3}) {
+		t.Fatalf("aggregated snapshot malformed: %+v", ups[0])
+	}
+	if got := o.Stats(); got.LazyFlushes != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+func TestNotificationTransfer(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.Instant = strategy.Immediate
+	st.CoherenceTransfer = strategy.CoherenceNotification
+	st.ObjectOutdate = strategy.Demand
+	o := newObj(t, env, RolePermanent, st, "")
+	o.Handle(&msg.Message{Kind: msg.KindSubscribe, Object: "obj", From: "child-1"})
+	env.takeSent(msg.KindSubscribeAck)
+	o.Handle(writeMsg(1, 1, "news", "x"))
+	notes := env.takeSent(msg.KindNotify)
+	if len(notes) != 1 || len(notes[0].Pages) != 1 || notes[0].Pages[0] != "news" {
+		t.Fatalf("notify: %+v", notes)
+	}
+	if ups := env.takeSent(msg.KindUpdate); len(ups) != 0 {
+		t.Fatalf("notification mode must not ship content: %+v", ups)
+	}
+}
+
+func TestNotifyTriggersDemandWhenReactionIsDemand(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.ObjectOutdate = strategy.Demand
+	o := newObj(t, env, RoleClientInitiated, st, "parent-store")
+	o.Handle(&msg.Message{Kind: msg.KindNotify, Object: "obj", From: "parent-store", Pages: []string{"p"}})
+	// Access transfer full -> full state request.
+	reqs := env.takeSent(msg.KindStateRequest)
+	if len(reqs) != 1 || reqs[0].To != "parent-store" {
+		t.Fatalf("state requests: %+v", reqs)
+	}
+	if got := o.Stats(); got.Invalidations != 1 || got.DemandsSent != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+func TestInvalidateWaitDefersUntilAccess(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.Propagation = strategy.PropagateInvalidate
+	st.ObjectOutdate = strategy.Wait
+	st.AccessTransfer = strategy.TransferPartial
+	o := newObj(t, env, RoleClientInitiated, st, "parent-store")
+	// Seed the replica with page content via state reply.
+	doc := webdoc.New()
+	doc.Put("p", []byte("v1"), "", 1)
+	el, _ := doc.SnapshotElement("p")
+	o.Handle(&msg.Message{
+		Kind: msg.KindStateReply, Object: "obj", From: "parent-store",
+		Pages: []string{"p"}, Payload: el, VVec: ids.VersionVec{1: 1},
+	})
+	// Invalidation arrives; wait reaction -> no traffic yet.
+	o.Handle(&msg.Message{Kind: msg.KindInvalidate, Object: "obj", From: "parent-store", Pages: []string{"p"}})
+	if reqs := env.takeSent(msg.KindStateRequest); len(reqs) != 0 {
+		t.Fatalf("wait reaction fetched eagerly: %+v", reqs)
+	}
+	// A read arrives: now the page must be refetched before serving.
+	o.Handle(&msg.Message{
+		Kind: msg.KindReadRequest, Object: "obj", From: "reader-ep", Client: 9,
+		Inv: msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
+	})
+	if reqs := env.takeSent(msg.KindStateRequest); len(reqs) != 1 || reqs[0].Pages[0] != "p" {
+		t.Fatalf("access did not trigger partial fetch: %+v", reqs)
+	}
+	// Parent answers with the fresh page; the parked read completes.
+	doc.Put("p", []byte("v2"), "", 2)
+	el2, _ := doc.SnapshotElement("p")
+	o.Handle(&msg.Message{
+		Kind: msg.KindStateReply, Object: "obj", From: "parent-store",
+		Pages: []string{"p"}, Payload: el2, VVec: ids.VersionVec{1: 2},
+	})
+	replies := env.takeSent(msg.KindReadReply)
+	if len(replies) != 1 || replies[0].Status != msg.StatusOK {
+		t.Fatalf("read replies: %+v", replies)
+	}
+	pg, err := webdoc.DecodePage(replies[0].Payload)
+	if err != nil || string(pg.Content) != "v2" {
+		t.Fatalf("served %q, %v", pg.Content, err)
+	}
+}
+
+func TestDemandServedFromLog(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RolePermanent, strategy.Conference(time.Hour), "")
+	for i := 1; i <= 3; i++ {
+		o.Handle(writeMsg(1, uint64(i), "p", "x"))
+	}
+	env.sent = nil
+	// Child knows up to write 1; demands the rest.
+	o.Handle(&msg.Message{
+		Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1",
+		VVec: ids.VersionVec{1: 1},
+	})
+	ups := env.takeSent(msg.KindUpdate)
+	if len(ups) != 2 || ups[0].Write.Seq != 2 || ups[1].Write.Seq != 3 {
+		t.Fatalf("demand reply: %+v", ups)
+	}
+}
+
+func TestDemandNothingMissingSendsAck(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RolePermanent, strategy.Conference(time.Hour), "")
+	o.Handle(writeMsg(1, 1, "p", "x"))
+	env.sent = nil
+	o.Handle(&msg.Message{
+		Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1",
+		VVec: ids.VersionVec{1: 1},
+	})
+	acks := env.takeSent(msg.KindUpdateAck)
+	if len(acks) != 1 || acks[0].To != "child-1" {
+		t.Fatalf("ack: %+v", acks)
+	}
+}
+
+func TestDemandAfterLogPruneFallsBackToFullState(t *testing.T) {
+	env := newFakeEnv()
+	o, err := New(Config{
+		Env: env, Object: "obj", Self: 1, Addr: "self", Role: RolePermanent,
+		Strat: strategy.Conference(time.Hour), ReadTimeout: time.Second, LogLimit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		o.Handle(writeMsg(1, uint64(i), "p", "x"))
+	}
+	env.sent = nil
+	// Child knows nothing; the log only holds writes 4-5, but writes 2-3
+	// are gone — the paper's protocol must fall back to full state.
+	o.Handle(&msg.Message{Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1"})
+	ups := env.takeSent(msg.KindUpdate)
+	states := env.takeSent(msg.KindStateReply)
+	if len(states) == 0 && len(ups) != 0 {
+		// Acceptable alternative: updates cover the missing suffix AND a
+		// state reply covers the prefix — but updates alone cannot rebuild
+		// writes 1-3.
+		t.Fatalf("pruned log answered with ops only: %d ups, %d states", len(ups), len(states))
+	}
+}
+
+func TestReadParkedUntilRequirementMet(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.ClientOutdate = strategy.Wait
+	o := newObj(t, env, RolePermanent, st, "")
+	// RYW requirement for a write that has not arrived yet.
+	o.Handle(&msg.Message{
+		Kind: msg.KindReadRequest, Object: "obj", From: "m-ep", Client: 1,
+		VVec: ids.VersionVec{1: 1},
+		Inv:  msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
+	})
+	if replies := env.takeSent(msg.KindReadReply); len(replies) != 0 {
+		t.Fatalf("read served before requirement met: %+v", replies)
+	}
+	if got := o.Stats(); got.ReqViolations != 1 || got.ReadsParked != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+	// The write arrives; the parked read must complete.
+	o.Handle(writeMsg(1, 1, "p", "content"))
+	replies := env.takeSent(msg.KindReadReply)
+	if len(replies) != 1 || replies[0].Status != msg.StatusOK {
+		t.Fatalf("parked read not released: %+v", replies)
+	}
+}
+
+func TestReadTimesOutWithRetryStatus(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.ClientOutdate = strategy.Wait
+	o := newObj(t, env, RolePermanent, st, "")
+	o.Handle(&msg.Message{
+		Kind: msg.KindReadRequest, Object: "obj", From: "m-ep", Client: 1,
+		VVec: ids.VersionVec{1: 99},
+		Inv:  msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
+	})
+	env.clk.Advance(2 * time.Second)
+	replies := env.takeSent(msg.KindReadReply)
+	if len(replies) != 1 || replies[0].Status != msg.StatusRetry {
+		t.Fatalf("timeout replies: %+v", replies)
+	}
+}
+
+func TestMissingPageFailsCleanlyAtPermanent(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RolePermanent, strategy.Conference(time.Hour), "")
+	o.Handle(&msg.Message{
+		Kind: msg.KindReadRequest, Object: "obj", From: "r-ep", Client: 2,
+		Inv: msg.Invocation{Method: webdoc.MethodGetPage, Page: "nope"},
+	})
+	replies := env.takeSent(msg.KindReadReply)
+	if len(replies) != 1 || replies[0].Status != msg.StatusNotFound {
+		t.Fatalf("replies: %+v", replies)
+	}
+}
+
+func TestRoleScopeAndEngineSelection(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.Scope = strategy.ScopePermanent
+	cache := newObj(t, env, RoleClientInitiated, st, "parent")
+	if cache.Engine().Model() != coherence.Eventual {
+		t.Fatalf("out-of-scope store should run eventual, got %v", cache.Engine().Model())
+	}
+	perm := newObj(t, newFakeEnv(), RolePermanent, st, "")
+	if perm.Engine().Model() != coherence.PRAM {
+		t.Fatalf("permanent store should run the object model, got %v", perm.Engine().Model())
+	}
+	// Session models needing explicit deps wrap the engine in a DepGuard.
+	guarded := newObj(t, newFakeEnv(), RoleClientInitiated, st, "parent", coherence.WritesFollowReads)
+	if _, ok := guarded.Engine().(*coherence.DepGuard); !ok {
+		t.Fatalf("WFR on eventual engine should be DepGuard-wrapped")
+	}
+}
+
+func TestRoleStringsAndScope(t *testing.T) {
+	if RolePermanent.String() != "permanent" || RoleObjectInitiated.String() != "object-initiated" ||
+		RoleClientInitiated.String() != "client-initiated" || Role(9).String() != "Role(?)" {
+		t.Fatalf("role strings wrong")
+	}
+	if !RolePermanent.InScope(strategy.ScopePermanent) || RoleObjectInitiated.InScope(strategy.ScopePermanent) {
+		t.Fatalf("scope permanent wrong")
+	}
+	if !RoleObjectInitiated.InScope(strategy.ScopePermanentAndObjectInitiated) ||
+		RoleClientInitiated.InScope(strategy.ScopePermanentAndObjectInitiated) {
+		t.Fatalf("scope permanent+object wrong")
+	}
+	if !RoleClientInitiated.InScope(strategy.ScopeAll) {
+		t.Fatalf("scope all wrong")
+	}
+}
+
+func TestCloseFailsParkedReads(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.ClientOutdate = strategy.Wait
+	o := newObj(t, env, RolePermanent, st, "")
+	o.Handle(&msg.Message{
+		Kind: msg.KindReadRequest, Object: "obj", From: "m-ep", Client: 1,
+		VVec: ids.VersionVec{1: 9},
+		Inv:  msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
+	})
+	o.Close()
+	replies := env.takeSent(msg.KindReadReply)
+	if len(replies) != 1 || replies[0].Status != msg.StatusRetry {
+		t.Fatalf("close replies: %+v", replies)
+	}
+	// Handlers are inert after close.
+	o.Handle(writeMsg(1, 1, "p", "x"))
+	if acks := env.takeSent(msg.KindWriteReply); len(acks) != 0 {
+		t.Fatalf("closed object still handling: %+v", acks)
+	}
+}
+
+func TestInvalidStrategyRejected(t *testing.T) {
+	st := strategy.Conference(time.Hour)
+	st.LazyInterval = 0
+	if _, err := New(Config{
+		Env: newFakeEnv(), Object: "obj", Self: 1, Addr: "a", Role: RolePermanent, Strat: st,
+	}); err == nil {
+		t.Fatalf("invalid strategy accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package applog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msg"
+	"repro/internal/semantics"
+)
+
+func TestAppendEntrySuffix(t *testing.T) {
+	l := New()
+	l.Append([]byte("post-1"))
+	l.Append([]byte("post-2"))
+	l.Append([]byte("post-3"))
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	e, ok := l.Entry(1)
+	if !ok || string(e) != "post-2" {
+		t.Fatalf("Entry(1) = %q, %v", e, ok)
+	}
+	if _, ok := l.Entry(3); ok {
+		t.Fatalf("out-of-range entry returned")
+	}
+	if _, ok := l.Entry(-1); ok {
+		t.Fatalf("negative index returned")
+	}
+	suf := l.Suffix(1)
+	if len(suf) != 2 || string(suf[0]) != "post-2" || string(suf[1]) != "post-3" {
+		t.Fatalf("Suffix(1) = %v", suf)
+	}
+	if got := l.Suffix(99); got != nil {
+		t.Fatalf("Suffix past end = %v", got)
+	}
+	if got := l.Suffix(-5); len(got) != 3 {
+		t.Fatalf("negative suffix should clamp to full log")
+	}
+}
+
+func TestEntryCopies(t *testing.T) {
+	l := New()
+	payload := []byte("abc")
+	l.Append(payload)
+	payload[0] = 'z'
+	e, _ := l.Entry(0)
+	if string(e) != "abc" {
+		t.Fatalf("Append did not copy")
+	}
+	e[1] = 'z'
+	e2, _ := l.Entry(0)
+	if string(e2) != "abc" {
+		t.Fatalf("Entry did not copy")
+	}
+}
+
+func TestInvokeDispatch(t *testing.T) {
+	l := New()
+	if _, err := l.Invoke(msg.Invocation{Method: MethodAppend, Args: []byte("msg-a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Invoke(msg.Invocation{Method: MethodAppend, Args: []byte("msg-b")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := l.Invoke(msg.Invocation{Method: MethodLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint32(out) != 2 {
+		t.Fatalf("Len via Invoke = %d", binary.BigEndian.Uint32(out))
+	}
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], 1)
+	out, err = l.Invoke(msg.Invocation{Method: MethodEntry, Args: idx[:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "msg-b" {
+		t.Fatalf("Entry via Invoke = %q", out)
+	}
+	binary.BigEndian.PutUint32(idx[:], 0)
+	out, err = l.Invoke(msg.Invocation{Method: MethodSuffix, Args: idx[:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := DecodeEntries(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("Suffix via Invoke = %v", entries)
+	}
+	binary.BigEndian.PutUint32(idx[:], 9)
+	if _, err := l.Invoke(msg.Invocation{Method: MethodEntry, Args: idx[:]}); !errors.Is(err, semantics.ErrNoElement) {
+		t.Fatalf("want ErrNoElement, got %v", err)
+	}
+	if _, err := l.Invoke(msg.Invocation{Method: MethodEntry, Args: []byte{1}}); err == nil {
+		t.Fatalf("short index accepted")
+	}
+	if _, err := l.Invoke(msg.Invocation{Method: MethodSuffix, Args: []byte{1}}); err == nil {
+		t.Fatalf("short suffix index accepted")
+	}
+	if _, err := l.Invoke(msg.Invocation{Method: 77}); !errors.Is(err, semantics.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	l := New()
+	l.Append([]byte("a"))
+	l.Append(nil)
+	l.Append([]byte("ccc"))
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := New()
+	if err := l2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 3 {
+		t.Fatalf("restored Len = %d", l2.Len())
+	}
+	e, _ := l2.Entry(2)
+	if string(e) != "ccc" {
+		t.Fatalf("restored entry = %q", e)
+	}
+}
+
+func TestElementsInterface(t *testing.T) {
+	l := New()
+	if got := l.Elements(); !reflect.DeepEqual(got, []string{"log"}) {
+		t.Fatalf("Elements = %v", got)
+	}
+	l.Append([]byte("x"))
+	e, err := l.SnapshotElement("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := New()
+	if err := l2.RestoreElement("log", e); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 1 {
+		t.Fatalf("element restore failed")
+	}
+	if _, err := l.SnapshotElement("bogus"); !errors.Is(err, semantics.ErrNoElement) {
+		t.Fatalf("want ErrNoElement, got %v", err)
+	}
+	if err := l.RestoreElement("bogus", nil); !errors.Is(err, semantics.ErrNoElement) {
+		t.Fatalf("want ErrNoElement, got %v", err)
+	}
+}
+
+// Property: entries codec round-trips arbitrary logs.
+func TestEntriesCodecRoundTrip(t *testing.T) {
+	f := func(entries [][]byte) bool {
+		enc := encodeEntries(entries)
+		got, err := DecodeEntries(enc)
+		if err != nil {
+			return false
+		}
+		if len(entries) != len(got) {
+			return false
+		}
+		for i := range entries {
+			if !bytes.Equal(entries[i], got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntriesRejectsCorrupt(t *testing.T) {
+	if _, err := DecodeEntries([]byte{1}); err == nil {
+		t.Fatalf("short header accepted")
+	}
+	good := encodeEntries([][]byte{[]byte("x")})
+	if _, err := DecodeEntries(append(good, 7)); err == nil {
+		t.Fatalf("trailing bytes accepted")
+	}
+	if _, err := DecodeEntries(good[:5]); err == nil {
+		t.Fatalf("truncated body accepted")
+	}
+}

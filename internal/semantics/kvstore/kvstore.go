@@ -1,0 +1,209 @@
+// Package kvstore implements a generic key-value semantics object. It
+// models the paper's shared bibliographic-database example (§3.2.1): clients
+// add records and later update individual fields, which is exactly the
+// incremental-update pattern PRAM coherence serves well.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/semantics"
+)
+
+// Method identifiers of the key-value interface.
+const (
+	MethodGet uint16 = iota + 1
+	MethodKeys
+	MethodPut
+	MethodDelete
+)
+
+var methodTable = []semantics.MethodInfo{
+	{ID: MethodGet, Name: "Get", Kind: semantics.Read},
+	{ID: MethodKeys, Name: "Keys", Kind: semantics.Read},
+	{ID: MethodPut, Name: "Put", Kind: semantics.Write},
+	{ID: MethodDelete, Name: "Delete", Kind: semantics.Write},
+}
+
+// Store is a thread-safe key-value semantics object. The zero value is an
+// empty store ready for use. Keys are the elements for partial transfer.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+var _ semantics.Object = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// Factory returns a semantics.Factory creating empty stores.
+func Factory() semantics.Factory {
+	return func() semantics.Object { return New() }
+}
+
+// Methods implements semantics.Object.
+func (s *Store) Methods() []semantics.MethodInfo { return methodTable }
+
+// Invoke implements semantics.Object. The invocation's Page field carries
+// the key; Args carry the value for Put.
+func (s *Store) Invoke(inv msg.Invocation) ([]byte, error) {
+	switch inv.Method {
+	case MethodGet:
+		v, ok := s.Get(inv.Page)
+		if !ok {
+			return nil, fmt.Errorf("%w: key %q", semantics.ErrNoElement, inv.Page)
+		}
+		return v, nil
+	case MethodKeys:
+		keys := s.Keys()
+		var buf []byte
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+		for _, k := range keys {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
+			buf = append(buf, k...)
+		}
+		return buf, nil
+	case MethodPut:
+		s.Put(inv.Page, inv.Args)
+		return nil, nil
+	case MethodDelete:
+		s.Delete(inv.Page)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", semantics.ErrUnknownMethod, inv.Method)
+	}
+}
+
+// Get returns a copy of the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Put stores a copy of value under key.
+func (s *Store) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		s.data = make(map[string][]byte)
+	}
+	s.data[key] = append([]byte(nil), value...)
+}
+
+// Delete removes key (idempotent).
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Keys returns the sorted key set.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Elements implements semantics.Object.
+func (s *Store) Elements() []string { return s.Keys() }
+
+// SnapshotElement implements semantics.Object.
+func (s *Store) SnapshotElement(name string) ([]byte, error) {
+	v, ok := s.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: key %q", semantics.ErrNoElement, name)
+	}
+	return v, nil
+}
+
+// RestoreElement implements semantics.Object.
+func (s *Store) RestoreElement(name string, data []byte) error {
+	s.Put(name, data)
+	return nil
+}
+
+// Snapshot implements semantics.Object.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		v := s.data[k]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf, nil
+}
+
+// Restore implements semantics.Object.
+func (s *Store) Restore(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("kvstore: short snapshot")
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	m := make(map[string][]byte, n)
+	for i := uint32(0); i < n; i++ {
+		k, rest, err := takeChunk(data)
+		if err != nil {
+			return err
+		}
+		v, rest2, err := takeChunk(rest)
+		if err != nil {
+			return err
+		}
+		m[string(k)] = v
+		data = rest2
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("kvstore: %d trailing snapshot bytes", len(data))
+	}
+	s.mu.Lock()
+	s.data = m
+	s.mu.Unlock()
+	return nil
+}
+
+func takeChunk(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("kvstore: short chunk")
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, nil, fmt.Errorf("kvstore: short chunk body")
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, b[n:], nil
+}

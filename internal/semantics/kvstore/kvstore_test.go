@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msg"
+	"repro/internal/semantics"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("v"))
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatalf("deleted key still present")
+	}
+	s.Delete("k") // idempotent
+}
+
+func TestGetPutCopySemantics(t *testing.T) {
+	s := New()
+	val := []byte("abc")
+	s.Put("k", val)
+	val[0] = 'z'
+	got, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatalf("Put did not copy: %q", got)
+	}
+	got[1] = 'z'
+	got2, _ := s.Get("k")
+	if string(got2) != "abc" {
+		t.Fatalf("Get did not copy: %q", got2)
+	}
+}
+
+func TestKeysSortedAndLen(t *testing.T) {
+	s := New()
+	for _, k := range []string{"c", "a", "b"} {
+		s.Put(k, nil)
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestInvokeDispatch(t *testing.T) {
+	s := New()
+	if _, err := s.Invoke(msg.Invocation{Method: MethodPut, Page: "rec1", Args: []byte("data")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Invoke(msg.Invocation{Method: MethodGet, Page: "rec1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "data" {
+		t.Fatalf("Get via Invoke = %q", out)
+	}
+	if _, err := s.Invoke(msg.Invocation{Method: MethodGet, Page: "absent"}); !errors.Is(err, semantics.ErrNoElement) {
+		t.Fatalf("want ErrNoElement, got %v", err)
+	}
+	if _, err := s.Invoke(msg.Invocation{Method: MethodKeys}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke(msg.Invocation{Method: MethodDelete, Page: "rec1"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Delete via Invoke failed")
+	}
+	if _, err := s.Invoke(msg.Invocation{Method: 42}); !errors.Is(err, semantics.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod, got %v", err)
+	}
+}
+
+func TestElementsTransfer(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("1"))
+	e, err := s.SnapshotElement("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.RestoreElement("a", e); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s2.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("restored = %q, %v", v, ok)
+	}
+	if _, err := s.SnapshotElement("zzz"); !errors.Is(err, semantics.ErrNoElement) {
+		t.Fatalf("want ErrNoElement, got %v", err)
+	}
+}
+
+// Property: snapshot/restore round-trips arbitrary maps.
+func TestSnapshotRestoreProperty(t *testing.T) {
+	f := func(m map[string][]byte) bool {
+		s := New()
+		for k, v := range m {
+			s.Put(k, v)
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			return false
+		}
+		s2 := New()
+		if err := s2.Restore(snap); err != nil {
+			return false
+		}
+		snap2, err := s2.Snapshot()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(snap, snap2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsCorrupt(t *testing.T) {
+	if err := New().Restore([]byte{9}); err == nil {
+		t.Fatalf("short snapshot accepted")
+	}
+	s := New()
+	s.Put("a", []byte("x"))
+	snap, _ := s.Snapshot()
+	if err := New().Restore(append(snap, 1)); err == nil {
+		t.Fatalf("trailing bytes accepted")
+	}
+}

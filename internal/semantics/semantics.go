@@ -1,0 +1,114 @@
+// Package semantics defines the semantics-object abstraction of the Globe
+// local-object composition: the part of a distributed shared Web object that
+// actually holds document state and implements its methods.
+//
+// The paper requires that the replication and communication sub-objects
+// never see semantics internals — they handle only marshalled invocations.
+// The only semantic knowledge the framework needs is the read/write
+// classification of each method (§3.1: "we distinguish only general read and
+// write operations") and a way to transfer state, either whole (access /
+// coherence transfer type "full") or per named element such as a single page
+// ("partial").
+package semantics
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/msg"
+)
+
+// MethodKind classifies a method as reading or mutating object state.
+type MethodKind int
+
+// Method kinds.
+const (
+	Read MethodKind = iota + 1
+	Write
+)
+
+// String names the kind.
+func (k MethodKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("MethodKind(%d)", int(k))
+	}
+}
+
+// MethodInfo describes one entry of a semantics object's method table.
+type MethodInfo struct {
+	ID   uint16
+	Name string
+	Kind MethodKind
+}
+
+// ErrUnknownMethod reports an invocation of a method not in the table.
+var ErrUnknownMethod = errors.New("semantics: unknown method")
+
+// ErrNoElement reports access to a missing element (page, key, ...).
+var ErrNoElement = errors.New("semantics: no such element")
+
+// Object is a semantics sub-object. Implementations must be safe for
+// concurrent use: the control object may invoke reads concurrently with
+// replicated writes.
+type Object interface {
+	// Methods returns the object's method table.
+	Methods() []MethodInfo
+	// Invoke executes a marshalled invocation and returns the marshalled
+	// result.
+	Invoke(inv msg.Invocation) ([]byte, error)
+
+	// Snapshot returns the full marshalled state (transfer type "full").
+	Snapshot() ([]byte, error)
+	// Restore replaces the state from a Snapshot.
+	Restore(data []byte) error
+
+	// Elements lists the names of independently transferable state parts
+	// (the pages of a Web document; transfer type "partial").
+	Elements() []string
+	// SnapshotElement marshals one element.
+	SnapshotElement(name string) ([]byte, error)
+	// RestoreElement replaces one element from SnapshotElement data.
+	RestoreElement(name string, data []byte) error
+}
+
+// Factory creates a fresh, empty semantics object; stores use it to install
+// new replicas of a distributed object.
+type Factory func() Object
+
+// Table is a precomputed method-table index used by control and replication
+// objects to classify invocations without touching semantics internals.
+type Table struct {
+	byID map[uint16]MethodInfo
+}
+
+// NewTable indexes the method table of o.
+func NewTable(o Object) *Table {
+	ms := o.Methods()
+	t := &Table{byID: make(map[uint16]MethodInfo, len(ms))}
+	for _, m := range ms {
+		t.byID[m.ID] = m
+	}
+	return t
+}
+
+// IsWrite reports whether method is a state-mutating method. Unknown
+// methods are treated as writes (the conservative choice: they will be
+// ordered and replicated rather than served from a possibly stale replica).
+func (t *Table) IsWrite(method uint16) bool {
+	m, ok := t.byID[method]
+	if !ok {
+		return true
+	}
+	return m.Kind == Write
+}
+
+// Lookup returns the method info and whether it exists.
+func (t *Table) Lookup(method uint16) (MethodInfo, bool) {
+	m, ok := t.byID[method]
+	return m, ok
+}

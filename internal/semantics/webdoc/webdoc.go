@@ -1,0 +1,275 @@
+// Package webdoc implements the Web-document semantics object: "a Web
+// document consists of a collection of HTML pages, together with files for
+// images, applets, etc., which jointly comprise the state of the distributed
+// shared object" (§2).
+//
+// The method table offers page retrieval and listing (reads), replacement,
+// incremental append, and deletion (writes), and a Stat read used by the
+// If-Modified-Since baseline. Every page carries a version counter and a
+// last-modified timestamp, which the metrics layer uses to measure
+// staleness. Pages are the document's elements for partial state transfer.
+package webdoc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/semantics"
+)
+
+// Method identifiers of the Web-document interface.
+const (
+	MethodGetPage uint16 = iota + 1
+	MethodListPages
+	MethodStatPage
+	MethodPutPage
+	MethodAppendPage
+	MethodDeletePage
+)
+
+// methodTable is shared by all documents.
+var methodTable = []semantics.MethodInfo{
+	{ID: MethodGetPage, Name: "GetPage", Kind: semantics.Read},
+	{ID: MethodListPages, Name: "ListPages", Kind: semantics.Read},
+	{ID: MethodStatPage, Name: "StatPage", Kind: semantics.Read},
+	{ID: MethodPutPage, Name: "PutPage", Kind: semantics.Write},
+	{ID: MethodAppendPage, Name: "AppendPage", Kind: semantics.Write},
+	{ID: MethodDeletePage, Name: "DeletePage", Kind: semantics.Write},
+}
+
+// Page is one element of a Web document.
+type Page struct {
+	Content     []byte
+	ContentType string
+	// Version counts writes applied to this page at this replica.
+	Version uint64
+	// ModifiedNanos is the origin wall-clock time (UnixNano) of the write
+	// that produced this version; used by If-Modified-Since and staleness
+	// accounting.
+	ModifiedNanos int64
+}
+
+// Document is a thread-safe Web-document semantics object. The zero value
+// is an empty document ready for use.
+type Document struct {
+	mu    sync.RWMutex
+	pages map[string]*Page
+}
+
+var _ semantics.Object = (*Document)(nil)
+
+// New returns an empty document.
+func New() *Document { return &Document{} }
+
+// Factory returns a semantics.Factory creating empty documents.
+func Factory() semantics.Factory {
+	return func() semantics.Object { return New() }
+}
+
+// Methods implements semantics.Object.
+func (d *Document) Methods() []semantics.MethodInfo { return methodTable }
+
+// Invoke implements semantics.Object by dispatching on the method ID.
+// Write arguments are the encoding produced by EncodeWriteArgs.
+func (d *Document) Invoke(inv msg.Invocation) ([]byte, error) {
+	switch inv.Method {
+	case MethodGetPage:
+		p, err := d.Get(inv.Page)
+		if err != nil {
+			return nil, err
+		}
+		return EncodePage(p), nil
+	case MethodListPages:
+		return encodeStrings(d.Pages()), nil
+	case MethodStatPage:
+		p, err := d.Get(inv.Page)
+		if err != nil {
+			return nil, err
+		}
+		stat := &Page{ContentType: p.ContentType, Version: p.Version, ModifiedNanos: p.ModifiedNanos}
+		return EncodePage(stat), nil
+	case MethodPutPage:
+		args, err := DecodeWriteArgs(inv.Args)
+		if err != nil {
+			return nil, err
+		}
+		d.Put(inv.Page, args.Content, args.ContentType, args.ModifiedNanos)
+		return nil, nil
+	case MethodAppendPage:
+		args, err := DecodeWriteArgs(inv.Args)
+		if err != nil {
+			return nil, err
+		}
+		d.Append(inv.Page, args.Content, args.ModifiedNanos)
+		return nil, nil
+	case MethodDeletePage:
+		d.Delete(inv.Page)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", semantics.ErrUnknownMethod, inv.Method)
+	}
+}
+
+// Get returns a copy of the named page.
+func (d *Document) Get(name string) (*Page, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.pages[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: page %q", semantics.ErrNoElement, name)
+	}
+	cp := *p
+	cp.Content = append([]byte(nil), p.Content...)
+	return &cp, nil
+}
+
+// Pages returns the sorted page names.
+func (d *Document) Pages() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.pages))
+	for n := range d.pages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Put replaces (or creates) a page.
+func (d *Document) Put(name string, content []byte, contentType string, modifiedNanos int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pages == nil {
+		d.pages = make(map[string]*Page)
+	}
+	p, ok := d.pages[name]
+	if !ok {
+		p = &Page{}
+		d.pages[name] = p
+	}
+	p.Content = append([]byte(nil), content...)
+	if contentType != "" {
+		p.ContentType = contentType
+	} else if p.ContentType == "" {
+		p.ContentType = "text/html"
+	}
+	p.Version++
+	p.ModifiedNanos = modifiedNanos
+}
+
+// Append adds content to the end of a page, creating it if absent. This is
+// the incremental-update operation of the paper's conference-page example.
+func (d *Document) Append(name string, content []byte, modifiedNanos int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pages == nil {
+		d.pages = make(map[string]*Page)
+	}
+	p, ok := d.pages[name]
+	if !ok {
+		p = &Page{ContentType: "text/html"}
+		d.pages[name] = p
+	}
+	p.Content = append(p.Content, content...)
+	p.Version++
+	p.ModifiedNanos = modifiedNanos
+}
+
+// Delete removes a page (idempotent).
+func (d *Document) Delete(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.pages, name)
+}
+
+// Len returns the number of pages.
+func (d *Document) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages)
+}
+
+// Elements implements semantics.Object: pages are the transfer units.
+func (d *Document) Elements() []string { return d.Pages() }
+
+// SnapshotElement implements semantics.Object.
+func (d *Document) SnapshotElement(name string) ([]byte, error) {
+	p, err := d.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return EncodePage(p), nil
+}
+
+// RestoreElement implements semantics.Object. Restoring an element replaces
+// the page wholesale, including its version counter, so replicas converge
+// on identical page metadata.
+func (d *Document) RestoreElement(name string, data []byte) error {
+	p, err := DecodePage(data)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pages == nil {
+		d.pages = make(map[string]*Page)
+	}
+	d.pages[name] = p
+	return nil
+}
+
+// Snapshot implements semantics.Object (full state transfer).
+func (d *Document) Snapshot() ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.pages))
+	for n := range d.pages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		buf = appendString(buf, n)
+		buf = appendBytes(buf, EncodePage(d.pages[n]))
+	}
+	return buf, nil
+}
+
+// Restore implements semantics.Object.
+func (d *Document) Restore(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("webdoc: short snapshot")
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	pages := make(map[string]*Page, n)
+	for i := uint32(0); i < n; i++ {
+		var name string
+		var err error
+		name, data, err = takeString(data)
+		if err != nil {
+			return err
+		}
+		var pb []byte
+		pb, data, err = takeBytes(data)
+		if err != nil {
+			return err
+		}
+		p, err := DecodePage(pb)
+		if err != nil {
+			return err
+		}
+		pages[name] = p
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("webdoc: %d trailing snapshot bytes", len(data))
+	}
+	d.mu.Lock()
+	d.pages = pages
+	d.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,324 @@
+package store_test
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/replication"
+	"repro/internal/semantics/applog"
+	"repro/internal/semantics/kvstore"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/store"
+	"repro/internal/strategy"
+	"repro/internal/transport/memnet"
+)
+
+// TestDuplicatedLinkDeliveries injects UDP-style duplication on the push
+// path and checks the ordering engines deduplicate: content must not be
+// applied twice.
+func TestDuplicatedLinkDeliveries(t *testing.T) {
+	r := newRig(t, memnet.WithSeed(5))
+	const obj = ids.ObjectID("dup-doc")
+	st := strategy.Conference(5 * time.Millisecond)
+
+	perm := r.store("perm", replication.RolePermanent)
+	if err := perm.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st}); err != nil {
+		t.Fatal(err)
+	}
+	cache := r.store("cache", replication.RoleClientInitiated)
+	if err := cache.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st, Parent: "perm", Subscribe: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Every second push is duplicated.
+	r.net.SetLink("perm", "cache", memnet.LinkProfile{Dup: 0.5})
+
+	writer := r.bind("writer", "perm", obj)
+	reader := r.bind("reader", "cache", obj)
+	const n = 20
+	for i := 0; i < n; i++ {
+		appendPage(t, writer, "log", "x")
+	}
+	// Wait for the lazy flush to ship the op updates (with duplicates).
+	eventually(t, 5*time.Second, func() bool {
+		s := r.net.Stats()
+		return s.ByKind[msg.KindUpdate] >= n && s.Duplicated > 0
+	}, "op updates (with duplicates) shipped to the cache")
+	// The cache must converge to exactly n appends — duplicates deduped.
+	eventually(t, 5*time.Second, func() bool {
+		got, err := getPage(t, reader, "log")
+		if err != nil {
+			return false
+		}
+		if len(got) > n {
+			t.Fatalf("duplicate deliveries double-applied: %d chars after %d appends", len(got), n)
+		}
+		return len(got) == n
+	}, "cache converges to exactly n appends despite duplication")
+}
+
+// TestPartitionHealRecovery partitions a cache from its server mid-run and
+// verifies it catches up after healing via the demand reaction.
+func TestPartitionHealRecovery(t *testing.T) {
+	r := newRig(t)
+	const obj = ids.ObjectID("part-doc")
+	st := strategy.Conference(5 * time.Millisecond)
+	st.ObjectOutdate = strategy.Demand
+
+	perm := r.store("perm", replication.RolePermanent)
+	if err := perm.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st}); err != nil {
+		t.Fatal(err)
+	}
+	cache := r.store("cache", replication.RoleClientInitiated)
+	if err := cache.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st, Parent: "perm", Subscribe: true}); err != nil {
+		t.Fatal(err)
+	}
+	writer := r.bind("writer", "perm", obj)
+	reader := r.bind("reader", "cache", obj)
+
+	appendPage(t, writer, "log", "a")
+	eventually(t, 3*time.Second, func() bool {
+		got, err := getPage(t, reader, "log")
+		return err == nil && got == "a"
+	}, "pre-partition update arrives")
+
+	r.net.Partition("perm", "cache")
+	for i := 0; i < 5; i++ {
+		appendPage(t, writer, "log", "b")
+	}
+	time.Sleep(30 * time.Millisecond) // pushes are dropped during partition
+	r.net.Heal("perm", "cache")
+
+	// After healing, the next lazy flush or demand closes the gap: the
+	// cache sees gap-triggered demands (later pushes arrive out of order)
+	// or simply the next flush's full sequence.
+	appendPage(t, writer, "log", "c")
+	eventually(t, 5*time.Second, func() bool {
+		got, err := getPage(t, reader, "log")
+		return err == nil && got == "abbbbbc"
+	}, "cache recovers the partitioned writes after heal")
+}
+
+// TestKVStoreSemanticsThroughStores proves the replication machinery is
+// semantics-agnostic: the paper's shared bibliographic database (kvstore)
+// runs through the same stores and strategy as Web documents.
+func TestKVStoreSemanticsThroughStores(t *testing.T) {
+	r := newRig(t)
+	const obj = ids.ObjectID("biblio-db")
+	st := strategy.Conference(5 * time.Millisecond)
+	st.Writers = strategy.MultipleWriters
+
+	perm := r.store("perm", replication.RolePermanent)
+	if err := perm.Host(store.HostConfig{Object: obj, Semantics: kvstore.New(), Strat: st}); err != nil {
+		t.Fatal(err)
+	}
+	cache := r.store("cache", replication.RoleClientInitiated)
+	if err := cache.Host(store.HostConfig{Object: obj, Semantics: kvstore.New(), Strat: st, Parent: "perm", Subscribe: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	ep, err := r.net.Endpoint("kv-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Bind(core.BindConfig{
+		Object: obj, Endpoint: ep, StoreAddr: "perm",
+		Client: r.ns.NextClient(), Prototype: kvstore.New(), Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+
+	// Add a record, then update one of its fields — the paper's PRAM
+	// bibliographic-database example.
+	if _, err := p.Invoke(msg.Invocation{Method: kvstore.MethodPut, Page: "rec/knuth84", Args: []byte("title=TeXbook")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(msg.Invocation{Method: kvstore.MethodPut, Page: "rec/knuth84", Args: []byte("title=TeXbook;year=1984")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Invoke(msg.Invocation{Method: kvstore.MethodGet, Page: "rec/knuth84"})
+	if err != nil || string(out) != "title=TeXbook;year=1984" {
+		t.Fatalf("kv read: %q, %v", out, err)
+	}
+
+	// The cache replica converges through the same push machinery.
+	eventually(t, 3*time.Second, func() bool {
+		out, err := cache.ReadLocal(obj, msg.Invocation{Method: kvstore.MethodGet, Page: "rec/knuth84"})
+		return err == nil && string(out) == "title=TeXbook;year=1984"
+	}, "kv cache converges")
+}
+
+// TestAppLogSemanticsThroughStores runs the append-only log semantics (the
+// newsgroup) through the causal-forum strategy.
+func TestAppLogSemanticsThroughStores(t *testing.T) {
+	r := newRig(t)
+	const obj = ids.ObjectID("newsgroup")
+	st := strategy.Forum()
+	// applog transfers as one element; use full access transfer.
+	st.AccessTransfer = strategy.TransferFull
+
+	perm := r.store("perm", replication.RolePermanent)
+	if err := perm.Host(store.HostConfig{Object: obj, Semantics: applog.New(), Strat: st}); err != nil {
+		t.Fatal(err)
+	}
+	cache := r.store("cache", replication.RoleClientInitiated)
+	if err := cache.Host(store.HostConfig{Object: obj, Semantics: applog.New(), Strat: st, Parent: "perm", Subscribe: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	ep, err := r.net.Endpoint("log-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Bind(core.BindConfig{
+		Object: obj, Endpoint: ep, StoreAddr: "perm",
+		Client: r.ns.NextClient(), Prototype: applog.New(), Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+
+	for _, post := range []string{"article", "followup"} {
+		if _, err := p.Invoke(msg.Invocation{Method: applog.MethodAppend, Args: []byte(post)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := p.Invoke(msg.Invocation{Method: applog.MethodLen})
+	if err != nil || binary.BigEndian.Uint32(out) != 2 {
+		t.Fatalf("log len: %v, %v", out, err)
+	}
+	eventually(t, 3*time.Second, func() bool {
+		out, err := cache.ReadLocal(obj, msg.Invocation{Method: applog.MethodLen})
+		return err == nil && binary.BigEndian.Uint32(out) == 2
+	}, "log cache converges")
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], 0)
+	out, err = cache.ReadLocal(obj, msg.Invocation{Method: applog.MethodEntry, Args: idx[:]})
+	if err != nil || string(out) != "article" {
+		t.Fatalf("entry 0 at cache: %q, %v", out, err)
+	}
+}
+
+// TestRetuneSwitchesDisseminationAtRuntime exercises the dynamic-adaptation
+// hook anticipated by §3.3: a document starts with very lazy pushes, is
+// re-tuned to immediate propagation, and the next write arrives promptly.
+func TestRetuneSwitchesDisseminationAtRuntime(t *testing.T) {
+	r := newRig(t)
+	const obj = ids.ObjectID("tunable")
+	slow := strategy.Conference(time.Hour) // effectively never flushes
+
+	perm := r.store("perm", replication.RolePermanent)
+	if err := perm.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: slow}); err != nil {
+		t.Fatal(err)
+	}
+	writer := r.bind("writer", "perm", obj)
+	// Seed content BEFORE the cache subscribes, so its bootstrap snapshot
+	// holds the page and later reads don't cold-miss (a cold miss would
+	// fetch fresh state and mask the lazy-push behaviour).
+	appendPage(t, writer, "log", "s")
+	cache := r.store("cache", replication.RoleClientInitiated)
+	if err := cache.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: slow, Parent: "perm", Subscribe: true}); err != nil {
+		t.Fatal(err)
+	}
+	reader := r.bind("reader", "cache", obj)
+	eventually(t, 3*time.Second, func() bool {
+		got, err := getPage(t, reader, "log")
+		return err == nil && got == "s"
+	}, "bootstrap snapshot reaches the cache")
+
+	appendPage(t, writer, "log", "a")
+	// With an hour-long lazy interval the cache stays stale.
+	time.Sleep(20 * time.Millisecond)
+	if got, err := getPage(t, reader, "log"); err == nil && got == "sa" {
+		t.Fatalf("update arrived despite hour-long lazy interval")
+	}
+
+	// Re-tune to immediate dissemination. Retune flushes the pending
+	// buffer, so 'a' ships now; the model itself must be unchangeable.
+	fast := slow
+	fast.Instant = strategy.Immediate
+	fast.LazyInterval = 0
+	if err := perm.Retune(obj, fast); err != nil {
+		t.Fatal(err)
+	}
+	bad := fast
+	bad.Model = 0
+	if err := perm.Retune(obj, bad); err == nil {
+		t.Fatalf("invalid retune accepted")
+	}
+	eventually(t, 3*time.Second, func() bool {
+		got, err := getPage(t, reader, "log")
+		return err == nil && got == "sa"
+	}, "pending update flushed by retune")
+
+	appendPage(t, writer, "log", "b")
+	eventually(t, 3*time.Second, func() bool {
+		got, err := getPage(t, reader, "log")
+		return err == nil && got == "sab"
+	}, "post-retune write arrives immediately")
+	if err := perm.Retune("ghost", fast); err == nil {
+		t.Fatalf("retune of unhosted object accepted")
+	}
+}
+
+// TestGossipAntiEntropyBetweenMirrors runs two leaderless eventual mirrors
+// (no parent on the write path) that synchronise purely by anti-entropy
+// gossip: each accepts writes locally and converges to the same LWW state.
+func TestGossipAntiEntropyBetweenMirrors(t *testing.T) {
+	r := newRig(t)
+	const obj = ids.ObjectID("mirrored")
+	st := strategy.MirroredSite(10 * time.Millisecond)
+
+	mirrorA := r.store("mirror-a", replication.RoleObjectInitiated)
+	if err := mirrorA.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st}); err != nil {
+		t.Fatal(err)
+	}
+	mirrorB := r.store("mirror-b", replication.RoleObjectInitiated)
+	if err := mirrorB.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: st}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirrorA.AddPeer(obj, "mirror-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirrorB.AddPeer(obj, "mirror-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirrorA.AddPeer("ghost", "mirror-b"); err == nil {
+		t.Fatalf("AddPeer for unhosted object accepted")
+	}
+
+	alice := r.bind("alice", "mirror-a", obj)
+	bob := r.bind("bob", "mirror-b", obj)
+
+	// Concurrent writes to different pages at different mirrors.
+	putPage(t, alice, "a-page", "from-alice")
+	putPage(t, bob, "b-page", "from-bob")
+	// Conflicting writes to the same page: LWW picks one winner everywhere.
+	putPage(t, alice, "shared", "alice-version")
+	putPage(t, bob, "shared", "bob-version")
+
+	eventually(t, 5*time.Second, func() bool {
+		a1, err1 := getPage(t, alice, "b-page")
+		b1, err2 := getPage(t, bob, "a-page")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a1 != "from-bob" || b1 != "from-alice" {
+			return false
+		}
+		sa, errA := getPage(t, alice, "shared")
+		sb, errB := getPage(t, bob, "shared")
+		return errA == nil && errB == nil && sa == sb
+	}, "mirrors converge via gossip, including LWW on the conflicting page")
+
+	sa, _ := mirrorA.Stats(obj)
+	if sa.GossipRounds == 0 {
+		t.Fatalf("no gossip rounds recorded: %+v", sa)
+	}
+}

@@ -1,0 +1,374 @@
+// Package store implements the store processes of the paper's system model
+// (§3.1, Figure 2): permanent stores (Web servers), object-initiated stores
+// (mirrors), and client-initiated stores (proxy/browser caches). A Store
+// hosts replicas of any number of distributed shared Web objects; each
+// replica is the local-object composition of Figure 1 — a semantics object
+// wrapped by a control object, driven by a replication object, communicating
+// through the store's endpoint.
+//
+// The store is a single-event-loop actor: every network message and timer
+// callback is funnelled through one goroutine, so replication objects need
+// no internal locking.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/coherence"
+	"repro/internal/control"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/replication"
+	"repro/internal/semantics"
+	"repro/internal/strategy"
+	"repro/internal/transport"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// ErrNotHosted reports an object the store has no replica of.
+var ErrNotHosted = errors.New("store: object not hosted")
+
+// Config assembles a store.
+type Config struct {
+	ID       ids.StoreID
+	Role     replication.Role
+	Endpoint transport.Endpoint
+	Clock    clock.Clock
+	// ReadTimeout bounds parked reads (default 5s, tests shrink it).
+	ReadTimeout time.Duration
+}
+
+// replica is one hosted local object.
+type replica struct {
+	ctrl *control.Control
+	repl *replication.Object
+}
+
+// Store hosts replicas and runs their shared event loop.
+type Store struct {
+	cfg      Config
+	events   chan func()
+	done     chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	replicas map[ids.ObjectID]*replica
+	closed   bool
+}
+
+// New creates and starts a store.
+func New(cfg Config) *Store {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	s := &Store{
+		cfg:      cfg,
+		events:   make(chan func(), 1024),
+		done:     make(chan struct{}),
+		replicas: make(map[ids.ObjectID]*replica),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// ID returns the store identifier.
+func (s *Store) ID() ids.StoreID { return s.cfg.ID }
+
+// Role returns the store's class.
+func (s *Store) Role() replication.Role { return s.cfg.Role }
+
+// Addr returns the store's transport address.
+func (s *Store) Addr() string { return s.cfg.Endpoint.Addr() }
+
+// HostConfig describes one replica to install.
+type HostConfig struct {
+	Object ids.ObjectID
+
+	// Semantics is the replica's semantics object (fresh or pre-loaded).
+	Semantics semantics.Object
+	// Strat is the object's replication strategy (Table 1).
+	Strat strategy.Strategy
+	// Parent is the upstream store's address ("" for permanent stores).
+	Parent string
+	// Session lists client-based models this store must support
+	// (DepGuard wrapping when the object model doesn't imply them).
+	Session []coherence.ClientModel
+	// Subscribe, when true, registers with the parent immediately.
+	Subscribe bool
+}
+
+// Host installs a replica on the store's event loop and returns once it is
+// active. The returned replication object must only be inspected through
+// its thread-safe accessors after this call (Stats/Applied via Store).
+func (s *Store) Host(hc HostConfig) error {
+	ctrl := control.New(hc.Semantics)
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		if _, exists := s.replicas[hc.Object]; exists {
+			errCh <- fmt.Errorf("store %d: object %q already hosted", s.cfg.ID, hc.Object)
+			return
+		}
+		env := &replicaEnv{store: s, ctrl: ctrl}
+		ro, err := replication.New(replication.Config{
+			Env:         env,
+			Object:      hc.Object,
+			Self:        s.cfg.ID,
+			Addr:        s.Addr(),
+			Role:        s.cfg.Role,
+			Parent:      hc.Parent,
+			Strat:       hc.Strat,
+			Session:     hc.Session,
+			ReadTimeout: s.cfg.ReadTimeout,
+		})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		s.replicas[hc.Object] = &replica{ctrl: ctrl, repl: ro}
+		if hc.Subscribe {
+			ro.SubscribeToParent()
+		}
+		errCh <- nil
+	})
+	if !posted {
+		return ErrClosed
+	}
+	return <-errCh
+}
+
+// Stats returns the replication counters of a hosted object.
+func (s *Store) Stats(object ids.ObjectID) (replication.Stats, error) {
+	var out replication.Stats
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		out = r.repl.Stats()
+		errCh <- nil
+	})
+	if !posted {
+		return out, ErrClosed
+	}
+	return out, <-errCh
+}
+
+// Applied returns the applied version vector of a hosted object.
+func (s *Store) Applied(object ids.ObjectID) (ids.VersionVec, error) {
+	var out ids.VersionVec
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		out = r.repl.Applied()
+		errCh <- nil
+	})
+	if !posted {
+		return nil, ErrClosed
+	}
+	return out, <-errCh
+}
+
+// ReadLocal executes a read invocation directly against the hosted replica
+// (test and metrics support; bypasses the session machinery).
+func (s *Store) ReadLocal(object ids.ObjectID, inv msg.Invocation) ([]byte, error) {
+	var out []byte
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		b, err := r.ctrl.ServeRead(inv)
+		out = b
+		errCh <- err
+	})
+	if !posted {
+		return nil, ErrClosed
+	}
+	return out, <-errCh
+}
+
+// Close stops the event loop and closes every replica. It does not close
+// the endpoint (the owner of the endpoint closes it).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	for _, r := range s.replicas {
+		r.repl.Close()
+	}
+	return nil
+}
+
+// post schedules f on the event loop; reports false if the store is closed.
+func (s *Store) post(f func()) bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	select {
+	case s.events <- f:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// loop is the store's single event goroutine.
+func (s *Store) loop() {
+	defer s.wg.Done()
+	recv := s.cfg.Endpoint.Recv()
+	for {
+		select {
+		case <-s.done:
+			return
+		case f := <-s.events:
+			f()
+		case m, ok := <-recv:
+			if !ok {
+				return
+			}
+			s.dispatch(m)
+		}
+	}
+}
+
+// dispatch routes one message to the store or its replicas.
+func (s *Store) dispatch(m *msg.Message) {
+	if m.Kind == msg.KindBindRequest {
+		s.onBind(m)
+		return
+	}
+	r, ok := s.replicas[m.Object]
+	if !ok {
+		// Reads/writes for unhosted objects get an explicit error so
+		// clients fail fast instead of timing out.
+		if m.Kind == msg.KindReadRequest || m.Kind == msg.KindWriteRequest {
+			s.replyUnhosted(m)
+		}
+		return
+	}
+	r.repl.Handle(m)
+}
+
+// onBind answers a client bind request: success if the object is hosted.
+func (s *Store) onBind(m *msg.Message) {
+	r := m.Reply(msg.KindBindReply)
+	r.From = s.Addr()
+	r.Store = s.cfg.ID
+	if _, ok := s.replicas[m.Object]; !ok {
+		r.Status = msg.StatusNotFound
+		r.Err = string(m.Object) + " not hosted"
+	}
+	_ = s.cfg.Endpoint.Send(m.From, r)
+}
+
+func (s *Store) replyUnhosted(m *msg.Message) {
+	kind := msg.KindReadReply
+	if m.Kind == msg.KindWriteRequest {
+		kind = msg.KindWriteReply
+	}
+	r := m.Reply(kind)
+	r.From = s.Addr()
+	r.Store = s.cfg.ID
+	r.Status = msg.StatusNotFound
+	r.Err = string(m.Object) + " not hosted"
+	_ = s.cfg.Endpoint.Send(m.From, r)
+}
+
+// replicaEnv implements replication.Env for one replica, bridging to the
+// store's endpoint, clock, and the replica's control object.
+type replicaEnv struct {
+	store *Store
+	ctrl  *control.Control
+}
+
+var _ replication.Env = (*replicaEnv)(nil)
+
+func (e *replicaEnv) Send(to string, m *msg.Message) error {
+	return e.store.cfg.Endpoint.Send(to, m)
+}
+
+func (e *replicaEnv) Multicast(tos []string, m *msg.Message) error {
+	return e.store.cfg.Endpoint.Multicast(tos, m)
+}
+
+func (e *replicaEnv) ApplyOp(u *coherence.Update) error { return e.ctrl.ApplyOp(u) }
+func (e *replicaEnv) ApplyFull(snapshot []byte) error   { return e.ctrl.ApplyFull(snapshot) }
+func (e *replicaEnv) ApplyElement(name string, data []byte) error {
+	return e.ctrl.ApplyElement(name, data)
+}
+func (e *replicaEnv) Snapshot() ([]byte, error) { return e.ctrl.Snapshot() }
+func (e *replicaEnv) SnapshotElement(name string) ([]byte, error) {
+	return e.ctrl.SnapshotElement(name)
+}
+func (e *replicaEnv) ServeRead(inv msg.Invocation) ([]byte, error) {
+	return e.ctrl.ServeRead(inv)
+}
+
+func (e *replicaEnv) Now() time.Time { return e.store.cfg.Clock.Now() }
+
+// AfterFunc re-dispatches the callback onto the store's event loop so
+// replication objects stay single-threaded.
+func (e *replicaEnv) AfterFunc(d time.Duration, f func()) clock.Timer {
+	return e.store.cfg.Clock.AfterFunc(d, func() {
+		_ = e.store.post(f)
+	})
+}
+
+// Retune swaps a hosted object's implementation parameters at runtime (the
+// paper's dynamic-adaptation hook); the coherence model cannot change.
+func (s *Store) Retune(object ids.ObjectID, strat strategy.Strategy) error {
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		errCh <- r.repl.Retune(strat)
+	})
+	if !posted {
+		return ErrClosed
+	}
+	return <-errCh
+}
+
+// AddPeer registers a sibling replica for anti-entropy gossip (eventual
+// model, leaderless mirror synchronisation).
+func (s *Store) AddPeer(object ids.ObjectID, peerAddr string) error {
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		r.repl.AddPeer(peerAddr)
+		errCh <- nil
+	})
+	if !posted {
+		return ErrClosed
+	}
+	return <-errCh
+}

@@ -1,0 +1,150 @@
+package strategy
+
+import (
+	"time"
+
+	"repro/internal/coherence"
+)
+
+// Conference is the exact configuration of Table 2 of the paper — the
+// conference home page of §4: PRAM object model at all stores, single
+// writer (the Web master), periodic partial pushes of updates, full-page
+// access, object-outdate wait, client-outdate demand (Read Your Writes for
+// the master is requested per client at bind time, not here).
+func Conference(lazy time.Duration) Strategy {
+	return Strategy{
+		Model:             coherence.PRAM,
+		Propagation:       PropagateUpdate,
+		Scope:             ScopeAll,
+		Writers:           SingleWriter,
+		Initiative:        Push,
+		Instant:           Lazy,
+		LazyInterval:      lazy,
+		AccessTransfer:    TransferFull,
+		CoherenceTransfer: CoherencePartial,
+		ObjectOutdate:     Wait,
+		ClientOutdate:     Demand,
+	}
+}
+
+// PersonalHomePage suits the paper's §1 example of a page worth caching
+// only in the owner's browser: seldom modified, single writer, invalidation
+// on change, pull on demand.
+func PersonalHomePage() Strategy {
+	return Strategy{
+		Model:             coherence.FIFO,
+		Propagation:       PropagateInvalidate,
+		Scope:             ScopePermanent,
+		Writers:           SingleWriter,
+		Initiative:        Pull,
+		Instant:           Immediate,
+		AccessTransfer:    TransferFull,
+		CoherenceTransfer: CoherenceNotification,
+		ObjectOutdate:     Demand,
+		ClientOutdate:     Demand,
+	}
+}
+
+// PopularEventPage suits "home pages of commonly popular organizations or
+// events": proxy-level replicas, immediate invalidations pushed so stale
+// copies are never served long, partial refetch on access.
+func PopularEventPage() Strategy {
+	return Strategy{
+		Model:             coherence.PRAM,
+		Propagation:       PropagateInvalidate,
+		Scope:             ScopePermanentAndObjectInitiated,
+		Writers:           SingleWriter,
+		Initiative:        Push,
+		Instant:           Immediate,
+		AccessTransfer:    TransferPartial,
+		CoherenceTransfer: CoherencePartial,
+		ObjectOutdate:     Demand,
+		ClientOutdate:     Demand,
+	}
+}
+
+// Magazine suits "magazine-like documents that are updated periodically":
+// aggregated pushes of full content to areas with many subscribers.
+func Magazine(issuePeriod time.Duration) Strategy {
+	return Strategy{
+		Model:             coherence.FIFO,
+		Propagation:       PropagateUpdate,
+		Scope:             ScopeAll,
+		Writers:           SingleWriter,
+		Initiative:        Push,
+		Instant:           Lazy,
+		LazyInterval:      issuePeriod,
+		AccessTransfer:    TransferFull,
+		CoherenceTransfer: CoherenceFull,
+		ObjectOutdate:     Wait,
+		ClientOutdate:     Wait,
+	}
+}
+
+// Forum suits the newsgroup example of §3.2.1: concurrent posters whose
+// reactions must follow the posts that triggered them — causal model,
+// immediate partial update pushes.
+func Forum() Strategy {
+	return Strategy{
+		Model:             coherence.Causal,
+		Propagation:       PropagateUpdate,
+		Scope:             ScopeAll,
+		Writers:           MultipleWriters,
+		Initiative:        Push,
+		Instant:           Immediate,
+		AccessTransfer:    TransferPartial,
+		CoherenceTransfer: CoherencePartial,
+		ObjectOutdate:     Demand,
+		ClientOutdate:     Demand,
+	}
+}
+
+// Whiteboard suits the shared-whiteboard / groupware example: concurrent
+// writers requiring "strong coherence at every store layer" — the
+// sequential model with immediate update pushes everywhere.
+func Whiteboard() Strategy {
+	return Strategy{
+		Model:             coherence.Sequential,
+		Propagation:       PropagateUpdate,
+		Scope:             ScopeAll,
+		Writers:           MultipleWriters,
+		Initiative:        Push,
+		Instant:           Immediate,
+		AccessTransfer:    TransferPartial,
+		CoherenceTransfer: CoherencePartial,
+		ObjectOutdate:     Demand,
+		ClientOutdate:     Demand,
+	}
+}
+
+// MirroredSite suits object-initiated stores ("a mirrored Web site"):
+// eventual coherence between mirrors via lazy full-state updates; clients
+// wanting more request Monotonic Reads at bind time.
+func MirroredSite(syncPeriod time.Duration) Strategy {
+	return Strategy{
+		Model:             coherence.Eventual,
+		Propagation:       PropagateUpdate,
+		Scope:             ScopePermanentAndObjectInitiated,
+		Writers:           MultipleWriters,
+		Initiative:        Push,
+		Instant:           Lazy,
+		LazyInterval:      syncPeriod,
+		AccessTransfer:    TransferFull,
+		CoherenceTransfer: CoherenceFull,
+		ObjectOutdate:     Wait,
+		ClientOutdate:     Demand,
+	}
+}
+
+// Presets returns every named preset with its description, for tooling.
+func Presets() map[string]Strategy {
+	return map[string]Strategy{
+		"conference":    Conference(500 * time.Millisecond),
+		"personal":      PersonalHomePage(),
+		"popular-event": PopularEventPage(),
+		"magazine":      Magazine(time.Second),
+		"forum":         Forum(),
+		"whiteboard":    Whiteboard(),
+		"mirror":        MirroredSite(time.Second),
+	}
+}

@@ -1,0 +1,290 @@
+// Package strategy models Table 1 of the paper: the implementation
+// parameters that specify "when, how, and by whom coherence is managed" for
+// one Web object, plus the two outdate-reaction parameters of §3.3. A
+// Strategy is set by the object's programmer at initialisation, after the
+// object-based coherence model has been chosen, and is interpreted by the
+// replication engine.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/coherence"
+)
+
+// Propagation is the "Consistency propagation" parameter: how coherence is
+// managed when changes occur — by shipping updates or by invalidating
+// replicas.
+type Propagation int
+
+// Propagation values.
+const (
+	PropagateUpdate Propagation = iota + 1
+	PropagateInvalidate
+)
+
+// String names the value.
+func (p Propagation) String() string {
+	switch p {
+	case PropagateUpdate:
+		return "update"
+	case PropagateInvalidate:
+		return "invalidate"
+	default:
+		return fmt.Sprintf("Propagation(%d)", int(p))
+	}
+}
+
+// StoreScope is the "Store" parameter: which store layers implement the
+// object-based coherence model.
+type StoreScope int
+
+// StoreScope values.
+const (
+	ScopePermanent StoreScope = iota + 1
+	ScopePermanentAndObjectInitiated
+	ScopeAll
+)
+
+// String names the value.
+func (s StoreScope) String() string {
+	switch s {
+	case ScopePermanent:
+		return "permanent"
+	case ScopePermanentAndObjectInitiated:
+		return "permanent+object-initiated"
+	case ScopeAll:
+		return "all"
+	default:
+		return fmt.Sprintf("StoreScope(%d)", int(s))
+	}
+}
+
+// WriteSet is the "Write set" parameter: the number of simultaneous writers.
+type WriteSet int
+
+// WriteSet values.
+const (
+	SingleWriter WriteSet = iota + 1
+	MultipleWriters
+)
+
+// String names the value.
+func (w WriteSet) String() string {
+	switch w {
+	case SingleWriter:
+		return "single"
+	case MultipleWriters:
+		return "multiple"
+	default:
+		return fmt.Sprintf("WriteSet(%d)", int(w))
+	}
+}
+
+// Initiative is the "Transfer initiative" parameter: who propagates
+// coherence information.
+type Initiative int
+
+// Initiative values.
+const (
+	Push Initiative = iota + 1
+	Pull
+)
+
+// String names the value.
+func (i Initiative) String() string {
+	switch i {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	default:
+		return fmt.Sprintf("Initiative(%d)", int(i))
+	}
+}
+
+// Instant is the "Transfer instant" parameter: when coherence is managed.
+type Instant int
+
+// Instant values.
+const (
+	Immediate Instant = iota + 1
+	Lazy              // periodic; successive updates are aggregated
+)
+
+// String names the value.
+func (i Instant) String() string {
+	switch i {
+	case Immediate:
+		return "immediate"
+	case Lazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("Instant(%d)", int(i))
+	}
+}
+
+// Transfer is the "Access transfer type" parameter: how much of the
+// document is fetched on access.
+type Transfer int
+
+// Transfer values.
+const (
+	TransferPartial Transfer = iota + 1
+	TransferFull
+)
+
+// String names the value.
+func (t Transfer) String() string {
+	switch t {
+	case TransferPartial:
+		return "partial"
+	case TransferFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Transfer(%d)", int(t))
+	}
+}
+
+// CoherenceTransfer is the "Coherence transfer type" parameter: how much is
+// shipped when coherence is managed. Notification ships no data at all,
+// only word that a change occurred.
+type CoherenceTransfer int
+
+// CoherenceTransfer values.
+const (
+	CoherenceNotification CoherenceTransfer = iota + 1
+	CoherencePartial
+	CoherenceFull
+)
+
+// String names the value.
+func (t CoherenceTransfer) String() string {
+	switch t {
+	case CoherenceNotification:
+		return "notification"
+	case CoherencePartial:
+		return "partial"
+	case CoherenceFull:
+		return "full"
+	default:
+		return fmt.Sprintf("CoherenceTransfer(%d)", int(t))
+	}
+}
+
+// Reaction is the outdate-reaction parameter of §3.3: what a store does
+// when it notices its replica violates coherence requirements — passively
+// wait for the next propagation, or demand an immediate update.
+type Reaction int
+
+// Reaction values.
+const (
+	Wait Reaction = iota + 1
+	Demand
+)
+
+// String names the value.
+func (r Reaction) String() string {
+	switch r {
+	case Wait:
+		return "wait"
+	case Demand:
+		return "demand"
+	default:
+		return fmt.Sprintf("Reaction(%d)", int(r))
+	}
+}
+
+// Strategy is the full replication policy of one Web object: the
+// object-based coherence model plus every Table 1 parameter and the two
+// outdate reactions.
+type Strategy struct {
+	// Model is the object-based coherence model (§3.2.1).
+	Model coherence.Model
+	// Propagation: update vs invalidate.
+	Propagation Propagation
+	// Scope: which store layers implement the model.
+	Scope StoreScope
+	// Writers: single vs multiple simultaneous writers.
+	Writers WriteSet
+	// Initiative: push vs pull.
+	Initiative Initiative
+	// Instant: immediate vs lazy (periodic).
+	Instant Instant
+	// LazyInterval is the aggregation period when Instant == Lazy.
+	LazyInterval time.Duration
+	// PullInterval is the polling period when Initiative == Pull (a pull
+	// consumer refreshes this often); zero means pull only on access.
+	PullInterval time.Duration
+	// AccessTransfer: how much of the document an access fetches.
+	AccessTransfer Transfer
+	// CoherenceTransfer: how much a coherence message carries.
+	CoherenceTransfer CoherenceTransfer
+	// ObjectOutdate is the store's reaction to an outdated replica under
+	// the object-based model.
+	ObjectOutdate Reaction
+	// ClientOutdate is the store's reaction when a client-based requirement
+	// is not satisfied.
+	ClientOutdate Reaction
+}
+
+// Validation errors.
+var (
+	ErrNoModel          = errors.New("strategy: no object-based coherence model chosen")
+	ErrZeroField        = errors.New("strategy: parameter unset")
+	ErrLazyNeedsPeriod  = errors.New("strategy: lazy transfer instant requires LazyInterval > 0")
+	ErrSeqNeedsUpdate   = errors.New("strategy: sequential model requires update propagation (invalidations cannot carry the total order)")
+	ErrNotifyNeedsPull  = errors.New("strategy: notification coherence transfer requires demand or pull to fetch the actual change")
+	ErrMultiNeedsOrder  = errors.New("strategy: multiple writers with FIFO model lose writes nondeterministically; choose sequential, PRAM, causal, or eventual")
+	ErrEventualReaction = errors.New("strategy: eventual model with object-outdate demand is contradictory (no ordering to repair)")
+)
+
+// Validate checks that the parameter combination is well-formed and makes
+// sense, mirroring the paper's remark that "not every combination of
+// object-based and client-based model makes sense".
+func (s Strategy) Validate() error {
+	if s.Model < coherence.Sequential || s.Model > coherence.Eventual {
+		return ErrNoModel
+	}
+	for name, ok := range map[string]bool{
+		"Propagation":       s.Propagation >= PropagateUpdate && s.Propagation <= PropagateInvalidate,
+		"Scope":             s.Scope >= ScopePermanent && s.Scope <= ScopeAll,
+		"Writers":           s.Writers >= SingleWriter && s.Writers <= MultipleWriters,
+		"Initiative":        s.Initiative >= Push && s.Initiative <= Pull,
+		"Instant":           s.Instant >= Immediate && s.Instant <= Lazy,
+		"AccessTransfer":    s.AccessTransfer >= TransferPartial && s.AccessTransfer <= TransferFull,
+		"CoherenceTransfer": s.CoherenceTransfer >= CoherenceNotification && s.CoherenceTransfer <= CoherenceFull,
+		"ObjectOutdate":     s.ObjectOutdate >= Wait && s.ObjectOutdate <= Demand,
+		"ClientOutdate":     s.ClientOutdate >= Wait && s.ClientOutdate <= Demand,
+	} {
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrZeroField, name)
+		}
+	}
+	if s.Instant == Lazy && s.LazyInterval <= 0 {
+		return ErrLazyNeedsPeriod
+	}
+	if s.Model == coherence.Sequential && s.Propagation == PropagateInvalidate {
+		return ErrSeqNeedsUpdate
+	}
+	if s.CoherenceTransfer == CoherenceNotification &&
+		s.ObjectOutdate == Wait && s.Initiative == Push {
+		return ErrNotifyNeedsPull
+	}
+	if s.Model == coherence.FIFO && s.Writers == MultipleWriters {
+		return ErrMultiNeedsOrder
+	}
+	if s.Model == coherence.Eventual && s.ObjectOutdate == Demand {
+		return ErrEventualReaction
+	}
+	return nil
+}
+
+// String renders the strategy as a compact parameter list (Table 2 style).
+func (s Strategy) String() string {
+	return fmt.Sprintf("model=%v propagation=%v store=%v writers=%v initiative=%v instant=%v access=%v coherence=%v object-outdate=%v client-outdate=%v",
+		s.Model, s.Propagation, s.Scope, s.Writers, s.Initiative, s.Instant,
+		s.AccessTransfer, s.CoherenceTransfer, s.ObjectOutdate, s.ClientOutdate)
+}

@@ -1,0 +1,170 @@
+package strategy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/coherence"
+)
+
+func valid() Strategy { return Conference(time.Second) }
+
+func TestPresetsAllValidate(t *testing.T) {
+	for name, s := range Presets() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestConferenceMatchesTable2(t *testing.T) {
+	s := Conference(time.Second)
+	// Table 2 of the paper, row by row.
+	if s.Propagation != PropagateUpdate {
+		t.Fatalf("coherence propagation: %v, want update", s.Propagation)
+	}
+	if s.Scope != ScopeAll {
+		t.Fatalf("store: %v, want all", s.Scope)
+	}
+	if s.Writers != SingleWriter {
+		t.Fatalf("write set: %v, want single", s.Writers)
+	}
+	if s.Initiative != Push {
+		t.Fatalf("transfer initiative: %v, want push", s.Initiative)
+	}
+	if s.Instant != Lazy {
+		t.Fatalf("transfer instant: %v, want lazy (periodic)", s.Instant)
+	}
+	if s.AccessTransfer != TransferFull {
+		t.Fatalf("access transfer type: %v, want full", s.AccessTransfer)
+	}
+	if s.CoherenceTransfer != CoherencePartial {
+		t.Fatalf("coherence transfer type: %v, want partial", s.CoherenceTransfer)
+	}
+	if s.ObjectOutdate != Wait {
+		t.Fatalf("object-outdate reaction: %v, want wait", s.ObjectOutdate)
+	}
+	if s.ClientOutdate != Demand {
+		t.Fatalf("client-outdate reaction: %v, want demand", s.ClientOutdate)
+	}
+	if s.Model != coherence.PRAM {
+		t.Fatalf("model: %v, want PRAM", s.Model)
+	}
+}
+
+func TestValidateRejectsZeroModel(t *testing.T) {
+	s := valid()
+	s.Model = 0
+	if err := s.Validate(); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("want ErrNoModel, got %v", err)
+	}
+}
+
+func TestValidateRejectsUnsetFields(t *testing.T) {
+	mutations := []func(*Strategy){
+		func(s *Strategy) { s.Propagation = 0 },
+		func(s *Strategy) { s.Scope = 0 },
+		func(s *Strategy) { s.Writers = 0 },
+		func(s *Strategy) { s.Initiative = 0 },
+		func(s *Strategy) { s.Instant = 0 },
+		func(s *Strategy) { s.AccessTransfer = 0 },
+		func(s *Strategy) { s.CoherenceTransfer = 0 },
+		func(s *Strategy) { s.ObjectOutdate = 0 },
+		func(s *Strategy) { s.ClientOutdate = 0 },
+	}
+	for i, mut := range mutations {
+		s := valid()
+		mut(&s)
+		if err := s.Validate(); !errors.Is(err, ErrZeroField) {
+			t.Fatalf("mutation %d: want ErrZeroField, got %v", i, err)
+		}
+	}
+}
+
+func TestValidateLazyNeedsInterval(t *testing.T) {
+	s := valid()
+	s.LazyInterval = 0
+	if err := s.Validate(); !errors.Is(err, ErrLazyNeedsPeriod) {
+		t.Fatalf("want ErrLazyNeedsPeriod, got %v", err)
+	}
+}
+
+func TestValidateSequentialNeedsUpdate(t *testing.T) {
+	s := Whiteboard()
+	s.Propagation = PropagateInvalidate
+	if err := s.Validate(); !errors.Is(err, ErrSeqNeedsUpdate) {
+		t.Fatalf("want ErrSeqNeedsUpdate, got %v", err)
+	}
+}
+
+func TestValidateNotificationNeedsFetchPath(t *testing.T) {
+	s := valid()
+	s.CoherenceTransfer = CoherenceNotification
+	s.ObjectOutdate = Wait
+	s.Initiative = Push
+	if err := s.Validate(); !errors.Is(err, ErrNotifyNeedsPull) {
+		t.Fatalf("want ErrNotifyNeedsPull, got %v", err)
+	}
+	// Demand reaction makes notification workable.
+	s.ObjectOutdate = Demand
+	if err := s.Validate(); err != nil {
+		t.Fatalf("notification+demand should validate: %v", err)
+	}
+}
+
+func TestValidateFIFOMultiWriter(t *testing.T) {
+	s := Magazine(time.Second)
+	s.Writers = MultipleWriters
+	if err := s.Validate(); !errors.Is(err, ErrMultiNeedsOrder) {
+		t.Fatalf("want ErrMultiNeedsOrder, got %v", err)
+	}
+}
+
+func TestValidateEventualDemandContradiction(t *testing.T) {
+	s := MirroredSite(time.Second)
+	s.ObjectOutdate = Demand
+	if err := s.Validate(); !errors.Is(err, ErrEventualReaction) {
+		t.Fatalf("want ErrEventualReaction, got %v", err)
+	}
+}
+
+func TestStringsNamedForAllValues(t *testing.T) {
+	checks := []string{
+		PropagateUpdate.String(), PropagateInvalidate.String(),
+		ScopePermanent.String(), ScopePermanentAndObjectInitiated.String(), ScopeAll.String(),
+		SingleWriter.String(), MultipleWriters.String(),
+		Push.String(), Pull.String(),
+		Immediate.String(), Lazy.String(),
+		TransferPartial.String(), TransferFull.String(),
+		CoherenceNotification.String(), CoherencePartial.String(), CoherenceFull.String(),
+		Wait.String(), Demand.String(),
+	}
+	for _, s := range checks {
+		if strings.Contains(s, "(") {
+			t.Fatalf("unnamed enum value: %q", s)
+		}
+	}
+	unknowns := []string{
+		Propagation(9).String(), StoreScope(9).String(), WriteSet(9).String(),
+		Initiative(9).String(), Instant(9).String(), Transfer(9).String(),
+		CoherenceTransfer(9).String(), Reaction(9).String(),
+	}
+	for _, s := range unknowns {
+		if !strings.Contains(s, "(9)") {
+			t.Fatalf("unknown enum not flagged: %q", s)
+		}
+	}
+}
+
+func TestStrategyStringIsTable2Like(t *testing.T) {
+	got := Conference(time.Second).String()
+	for _, want := range []string{"model=pram", "propagation=update", "store=all",
+		"initiative=push", "instant=lazy", "access=full", "coherence=partial",
+		"object-outdate=wait", "client-outdate=demand"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() missing %q: %s", want, got)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package memnet is the simulated-network substrate: an in-process message
+// network with configurable per-link latency, jitter, and loss, dynamic
+// partitions, multicast, and exact message/byte accounting.
+//
+// It substitutes for the Internet testbed of the paper's prototype. Messages
+// are fully encoded and re-decoded on every hop, so wire sizes are real and
+// no state is ever shared by reference between "address spaces". A lossless
+// network models the paper's TCP configuration; setting a loss rate models
+// the UDP configuration of §4.2, where reliability is recovered by the
+// coherence protocol rather than the transport.
+package memnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// LinkProfile describes one directed link's behaviour.
+type LinkProfile struct {
+	// Latency is the base one-way delivery delay.
+	Latency time.Duration
+	// Jitter, if non-zero, adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0,1] that a message is silently dropped.
+	Loss float64
+	// Dup is the probability in [0,1] that a message is delivered twice
+	// (the second copy after an extra jittered delay) — UDP-style
+	// duplication for exercising protocol dedup paths.
+	Dup float64
+}
+
+// Stats is a snapshot of network traffic counters.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64 // lost by link loss or partition
+	Duplicated uint64 // extra copies injected by link duplication
+	Bytes      uint64 // wire bytes of delivered messages
+	ByKind     map[msg.Kind]uint64
+}
+
+// Network is a simulated network. Create endpoints with Endpoint, wire their
+// behaviour with SetLink/SetDefaultLink, and tear everything down with
+// Close, which waits for the delivery scheduler to stop.
+type Network struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[string]*endpoint
+	links     map[linkKey]LinkProfile
+	defProf   LinkProfile
+	parts     map[linkKey]bool
+	stats     Stats
+	queue     deliveryQueue
+	seq       uint64
+	wake      chan struct{}
+	done      chan struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type linkKey struct{ from, to string }
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed fixes the RNG seed for deterministic jitter and loss decisions.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDefaultLink sets the profile used by links that have no explicit
+// SetLink configuration.
+func WithDefaultLink(p LinkProfile) Option {
+	return func(n *Network) { n.defProf = p }
+}
+
+// New creates a network. By default links are instantaneous and lossless.
+func New(opts ...Option) *Network {
+	n := &Network{
+		rng:       rand.New(rand.NewSource(1)),
+		endpoints: make(map[string]*endpoint),
+		links:     make(map[linkKey]LinkProfile),
+		parts:     make(map[linkKey]bool),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	n.stats.ByKind = make(map[msg.Kind]uint64)
+	for _, o := range opts {
+		o(n)
+	}
+	n.wg.Add(1)
+	go n.run()
+	return n
+}
+
+// Endpoint creates (or returns an error for a duplicate) the endpoint at
+// addr.
+func (n *Network) Endpoint(addr string) (transport.Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("memnet: duplicate endpoint %q", addr)
+	}
+	e := &endpoint{net: n, addr: addr, inbox: make(chan *msg.Message, 1024)}
+	n.endpoints[addr] = e
+	return e, nil
+}
+
+// SetLink configures the directed link from -> to.
+func (n *Network) SetLink(from, to string, p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = p
+}
+
+// SetLinkBoth configures both directions between a and b.
+func (n *Network) SetLinkBoth(a, b string, p LinkProfile) {
+	n.SetLink(a, b, p)
+	n.SetLink(b, a, p)
+}
+
+// Partition cuts both directions between a and b until Heal.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts[linkKey{a, b}] = true
+	n.parts[linkKey{b, a}] = true
+}
+
+// Heal restores both directions between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.parts, linkKey{a, b})
+	delete(n.parts, linkKey{b, a})
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.ByKind = make(map[msg.Kind]uint64, len(n.stats.ByKind))
+	for k, v := range n.stats.ByKind {
+		s.ByKind[k] = v
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters (benchmark warm-up support).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{ByKind: make(map[msg.Kind]uint64)}
+}
+
+// Close shuts down the network: endpoints' receive channels close and the
+// delivery scheduler stops. Close blocks until the scheduler exits.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*endpoint, 0, len(n.endpoints))
+	for _, e := range n.endpoints {
+		eps = append(eps, e)
+	}
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+	for _, e := range eps {
+		e.closeInbox()
+	}
+	return nil
+}
+
+// send enqueues a message for delivery, applying the link profile.
+func (n *Network) send(from, to string, m *msg.Message) error {
+	wire := msg.Encode(m)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if _, ok := n.endpoints[to]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", transport.ErrUnknownAddr, to)
+	}
+	n.stats.Sent++
+	if n.parts[linkKey{from, to}] {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil // partitions drop silently, like the real network
+	}
+	prof, ok := n.links[linkKey{from, to}]
+	if !ok {
+		prof = n.defProf
+	}
+	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	delay := prof.Latency
+	if prof.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
+	}
+	n.seq++
+	heap.Push(&n.queue, &delivery{
+		at:   time.Now().Add(delay),
+		seq:  n.seq,
+		to:   to,
+		wire: wire,
+	})
+	if prof.Dup > 0 && n.rng.Float64() < prof.Dup {
+		extra := delay + prof.Latency
+		if prof.Jitter > 0 {
+			extra += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
+		}
+		n.seq++
+		n.stats.Duplicated++
+		heap.Push(&n.queue, &delivery{
+			at:   time.Now().Add(extra),
+			seq:  n.seq,
+			to:   to,
+			wire: wire,
+		})
+	}
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// run is the delivery scheduler: it sleeps until the earliest queued
+// delivery is due, then hands the decoded copy to the destination inbox.
+func (n *Network) run() {
+	defer n.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		n.mu.Lock()
+		var next *delivery
+		if n.queue.Len() > 0 {
+			next = n.queue[0]
+		}
+		n.mu.Unlock()
+
+		if next == nil {
+			select {
+			case <-n.done:
+				return
+			case <-n.wake:
+				continue
+			}
+		}
+		wait := time.Until(next.at)
+		if wait > 0 {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-n.done:
+				return
+			case <-n.wake:
+				continue // an earlier delivery may have arrived
+			case <-timer.C:
+			}
+		}
+		n.deliverDue()
+	}
+}
+
+// deliverDue pops and delivers every due message in (time, seq) order.
+func (n *Network) deliverDue() {
+	for {
+		n.mu.Lock()
+		if n.queue.Len() == 0 || n.queue[0].at.After(time.Now()) {
+			n.mu.Unlock()
+			return
+		}
+		d := heap.Pop(&n.queue).(*delivery)
+		e := n.endpoints[d.to]
+		n.mu.Unlock()
+		if e == nil || e.isClosed() {
+			continue
+		}
+		m, err := msg.Decode(d.wire)
+		if err != nil {
+			// Encode/Decode are inverses; a failure here is a programming
+			// error surfaced loudly in tests via the dropped counter.
+			n.mu.Lock()
+			n.stats.Dropped++
+			n.mu.Unlock()
+			continue
+		}
+		if e.deliver(m, n.done) {
+			n.mu.Lock()
+			n.stats.Delivered++
+			n.stats.Bytes += uint64(len(d.wire))
+			n.stats.ByKind[m.Kind]++
+			n.mu.Unlock()
+		}
+	}
+}
+
+// delivery is one scheduled message hand-off.
+type delivery struct {
+	at   time.Time
+	seq  uint64
+	to   string
+	wire []byte
+}
+
+// deliveryQueue is a min-heap ordered by (time, enqueue sequence).
+type deliveryQueue []*delivery
+
+func (q deliveryQueue) Len() int { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x any)   { *q = append(*q, x.(*delivery)) }
+func (q *deliveryQueue) Pop() any {
+	old := *q
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return d
+}
+
+// endpoint implements transport.Endpoint on a Network.
+type endpoint struct {
+	net   *Network
+	addr  string
+	inbox chan *msg.Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+func (e *endpoint) Addr() string { return e.addr }
+
+func (e *endpoint) Send(to string, m *msg.Message) error {
+	if e.isClosed() {
+		return transport.ErrClosed
+	}
+	return e.net.send(e.addr, to, m)
+}
+
+func (e *endpoint) Multicast(tos []string, m *msg.Message) error {
+	for _, to := range tos {
+		if err := e.Send(to, m); err != nil {
+			return fmt.Errorf("multicast to %q: %w", to, err)
+		}
+	}
+	return nil
+}
+
+func (e *endpoint) Recv() <-chan *msg.Message { return e.inbox }
+
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+func (e *endpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// deliver places m in the inbox, giving up if the network shuts down while
+// the inbox is full. It reports whether the message was delivered.
+func (e *endpoint) deliver(m *msg.Message, done <-chan struct{}) bool {
+	if e.isClosed() {
+		return false
+	}
+	select {
+	case e.inbox <- m:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// closeInbox is called exactly once by Network.Close after the scheduler has
+// stopped, so no further sends into the inbox can occur.
+func (e *endpoint) closeInbox() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	close(e.inbox)
+}

@@ -1,0 +1,281 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+func testMsg(kind msg.Kind, payload string) *msg.Message {
+	return &msg.Message{Kind: kind, Object: "o", Payload: []byte(payload)}
+}
+
+func recvOne(t *testing.T, ep transport.Endpoint) *msg.Message {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatalf("recv channel closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for message")
+		return nil
+	}
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", testMsg(msg.KindUpdate, "hello")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if string(m.Payload) != "hello" {
+		t.Fatalf("payload = %q", m.Payload)
+	}
+	if a.Addr() != "a" || b.Addr() != "b" {
+		t.Fatalf("addresses wrong")
+	}
+}
+
+func TestMessagesAreDeepCopies(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	orig := &msg.Message{Kind: msg.KindUpdate, Object: "o", VVec: ids.VersionVec{1: 1}, Payload: []byte("x")}
+	if err := a.Send("b", orig); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b)
+	got.VVec.Set(1, 99)
+	got.Payload[0] = 'y'
+	if orig.VVec.Get(1) != 1 || orig.Payload[0] != 'x' {
+		t.Fatalf("delivered message aliases sender state")
+	}
+}
+
+func TestUnknownAddress(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	err := a.Send("nowhere", testMsg(msg.KindUpdate, ""))
+	if err == nil {
+		t.Fatalf("want error for unknown address")
+	}
+}
+
+func TestDuplicateEndpoint(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if _, err := n.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatalf("duplicate endpoint should fail")
+	}
+}
+
+func TestLatencyOrderingFIFOPerLink(t *testing.T) {
+	n := New(WithDefaultLink(LinkProfile{Latency: 2 * time.Millisecond}))
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	const k = 20
+	for i := 0; i < k; i++ {
+		if err := a.Send("b", &msg.Message{Kind: msg.KindUpdate, Object: "o", NetSeq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		m := recvOne(t, b)
+		if m.NetSeq != uint64(i) {
+			t.Fatalf("out-of-order delivery on same link: got %d want %d", m.NetSeq, i)
+		}
+	}
+}
+
+func TestLossDropsSomeMessages(t *testing.T) {
+	n := New(WithSeed(7), WithDefaultLink(LinkProfile{Loss: 0.5}))
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	if _, err := n.Endpoint("b"); err != nil {
+		t.Fatal(err)
+	}
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := a.Send("b", testMsg(msg.KindUpdate, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for deliveries to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := n.Stats()
+		if s.Delivered+s.Dropped == k {
+			if s.Dropped == 0 || s.Delivered == 0 {
+				t.Fatalf("50%% loss should drop some and deliver some: %+v", s)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain timeout: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	n.Partition("a", "b")
+	if err := a.Send("b", testMsg(msg.KindUpdate, "lost")); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Dropped != 1 {
+		t.Fatalf("partitioned send not dropped: %+v", s)
+	}
+	n.Heal("a", "b")
+	if err := a.Send("b", testMsg(msg.KindUpdate, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if string(m.Payload) != "ok" {
+		t.Fatalf("post-heal payload %q", m.Payload)
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	n := New()
+	defer n.Close()
+	src, _ := n.Endpoint("src")
+	var sinks []transport.Endpoint
+	addrs := []string{"s1", "s2", "s3"}
+	for _, ad := range addrs {
+		ep, _ := n.Endpoint(ad)
+		sinks = append(sinks, ep)
+	}
+	if err := src.Multicast(addrs, testMsg(msg.KindUpdate, "all")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sinks {
+		if got := recvOne(t, s); string(got.Payload) != "all" {
+			t.Fatalf("multicast payload %q", got.Payload)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	m := testMsg(msg.KindInvalidate, "payload")
+	size := uint64(msg.WireSize(m))
+	if err := a.Send("b", m); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	s := n.Stats()
+	if s.Sent != 1 || s.Delivered != 1 || s.Dropped != 0 {
+		t.Fatalf("counters wrong: %+v", s)
+	}
+	if s.Bytes != size {
+		t.Fatalf("bytes = %d, want %d", s.Bytes, size)
+	}
+	if s.ByKind[msg.KindInvalidate] != 1 {
+		t.Fatalf("by-kind counter wrong: %v", s.ByKind)
+	}
+	n.ResetStats()
+	if s2 := n.Stats(); s2.Sent != 0 || len(s2.ByKind) != 0 {
+		t.Fatalf("ResetStats did not clear: %+v", s2)
+	}
+}
+
+func TestClosedEndpointStopsReceiving(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", testMsg(msg.KindUpdate, "x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	s := n.Stats()
+	if s.Delivered != 0 {
+		t.Fatalf("message delivered to closed endpoint: %+v", s)
+	}
+	if err := b.Send("a", testMsg(msg.KindUpdate, "x")); err == nil {
+		t.Fatalf("send from closed endpoint should fail")
+	}
+}
+
+func TestNetworkCloseClosesRecvChannels(t *testing.T) {
+	n := New()
+	a, _ := n.Endpoint("a")
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-a.Recv():
+		if ok {
+			t.Fatalf("unexpected message after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("recv channel not closed after network close")
+	}
+	if _, err := n.Endpoint("late"); err == nil {
+		t.Fatalf("endpoint creation after close should fail")
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestPerLinkProfilesOverrideDefault(t *testing.T) {
+	n := New(WithDefaultLink(LinkProfile{Loss: 1.0})) // default loses everything
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	n.SetLinkBoth("a", "b", LinkProfile{}) // explicit lossless link
+	if err := a.Send("b", testMsg(msg.KindUpdate, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b); string(got.Payload) != "ok" {
+		t.Fatalf("payload %q", got.Payload)
+	}
+}
+
+func TestJitterStillDelivers(t *testing.T) {
+	n := New(WithSeed(3), WithDefaultLink(LinkProfile{Latency: time.Millisecond, Jitter: 2 * time.Millisecond}))
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	const k = 10
+	for i := 0; i < k; i++ {
+		if err := a.Send("b", testMsg(msg.KindUpdate, "j")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		recvOne(t, b)
+	}
+}

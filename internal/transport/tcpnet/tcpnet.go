@@ -1,0 +1,226 @@
+// Package tcpnet implements the transport.Endpoint communication object
+// over real TCP connections with length-prefixed frames. It is the
+// counterpart of the paper's prototype configuration ("we have used TCP/IP
+// for the sake of simplicity to provide reliable communication") and backs
+// cmd/globed and cmd/globectl.
+//
+// Each endpoint owns one listener plus a cache of outbound connections.
+// Frames are a 4-byte big-endian length followed by a msg.Encode body.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+)
+
+// maxFrame bounds a single message frame (16 MiB), protecting against
+// corrupt length prefixes.
+const maxFrame = 16 << 20
+
+// Endpoint is a TCP-backed communication object.
+type Endpoint struct {
+	ln    net.Listener
+	inbox chan *msg.Message
+	done  chan struct{} // closed on Close; unblocks readers stuck on a full inbox
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn // outbound connection cache, keyed by address
+	inConns map[net.Conn]bool   // inbound connections, closed on shutdown
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen creates an endpoint bound to addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %q: %w", addr, err)
+	}
+	e := &Endpoint{
+		ln:      ln,
+		inbox:   make(chan *msg.Message, 1024),
+		done:    make(chan struct{}),
+		conns:   make(map[string]net.Conn),
+		inConns: make(map[net.Conn]bool),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the bound listen address (with the resolved port).
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+// Send transmits m to the endpoint listening at to, dialling or reusing a
+// cached connection.
+func (e *Endpoint) Send(to string, m *msg.Message) error {
+	body := msg.Encode(m)
+	if len(body) > maxFrame {
+		return fmt.Errorf("tcpnet: frame too large (%d bytes)", len(body))
+	}
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return transport.ErrClosed
+	}
+	if _, err := conn.Write(hdr[:]); err != nil {
+		e.dropConnLocked(to)
+		return fmt.Errorf("tcpnet: send header to %q: %w", to, err)
+	}
+	if _, err := conn.Write(body); err != nil {
+		e.dropConnLocked(to)
+		return fmt.Errorf("tcpnet: send body to %q: %w", to, err)
+	}
+	return nil
+}
+
+// Multicast sends m to each address in tos.
+func (e *Endpoint) Multicast(tos []string, m *msg.Message) error {
+	for _, to := range tos {
+		if err := e.Send(to, m); err != nil {
+			return fmt.Errorf("multicast to %q: %w", to, err)
+		}
+	}
+	return nil
+}
+
+// Recv returns the delivery channel; it closes when the endpoint closes.
+func (e *Endpoint) Recv() <-chan *msg.Message { return e.inbox }
+
+// Close shuts the listener and all connections and waits for the reader
+// goroutines to exit before closing the delivery channel.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for to, c := range e.conns {
+		_ = c.Close()
+		delete(e.conns, to)
+	}
+	for c := range e.inConns {
+		_ = c.Close() // unblock reader goroutines stuck in ReadFull
+		delete(e.inConns, c)
+	}
+	e.mu.Unlock()
+	close(e.done)
+	err := e.ln.Close()
+	e.wg.Wait()
+	close(e.inbox)
+	return err
+}
+
+// conn returns a cached or fresh outbound connection to the given address.
+func (e *Endpoint) conn(to string) (net.Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	c, err := net.Dial("tcp", to)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %q: %w", to, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		_ = c.Close()
+		return nil, transport.ErrClosed
+	}
+	if existing, ok := e.conns[to]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *Endpoint) dropConnLocked(to string) {
+	if c, ok := e.conns[to]; ok {
+		_ = c.Close()
+		delete(e.conns, to)
+	}
+}
+
+// acceptLoop accepts inbound connections and spawns a framed reader per
+// connection; all readers are tracked by the wait group so Close can drain.
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.inConns[conn] = true
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the inbox.
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		e.mu.Lock()
+		delete(e.inConns, conn)
+		e.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // peer closed or endpoint shutting down
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		m, err := msg.Decode(body)
+		if err != nil {
+			if errors.Is(err, msg.ErrShortMessage) || errors.Is(err, msg.ErrBadVersion) {
+				continue // skip corrupt frame, keep the stream
+			}
+			return
+		}
+		select {
+		case e.inbox <- m:
+		case <-e.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+)
+
+func listen(t *testing.T) *Endpoint {
+	t.Helper()
+	e, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+func recvOne(t *testing.T, e *Endpoint) *msg.Message {
+	t.Helper()
+	select {
+	case m, ok := <-e.Recv():
+		if !ok {
+			t.Fatalf("recv channel closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for message")
+		return nil
+	}
+}
+
+func TestSendReceiveOverTCP(t *testing.T) {
+	a := listen(t)
+	b := listen(t)
+	m := &msg.Message{Kind: msg.KindWriteRequest, Object: "doc", Payload: []byte("body"), From: a.Addr()}
+	if err := a.Send(b.Addr(), m); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b)
+	if got.Kind != msg.KindWriteRequest || string(got.Payload) != "body" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	a := listen(t)
+	b := listen(t)
+	if err := a.Send(b.Addr(), &msg.Message{Kind: msg.KindReadRequest, Object: "o", From: a.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	req := recvOne(t, b)
+	if err := b.Send(req.From, &msg.Message{Kind: msg.KindReadReply, Object: "o", Payload: []byte("r")}); err != nil {
+		t.Fatal(err)
+	}
+	rep := recvOne(t, a)
+	if rep.Kind != msg.KindReadReply || string(rep.Payload) != "r" {
+		t.Fatalf("got %+v", rep)
+	}
+}
+
+func TestManyMessagesKeepOrderPerConnection(t *testing.T) {
+	a := listen(t)
+	b := listen(t)
+	const k = 100
+	for i := 0; i < k; i++ {
+		if err := a.Send(b.Addr(), &msg.Message{Kind: msg.KindUpdate, Object: "o", NetSeq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		m := recvOne(t, b)
+		if m.NetSeq != uint64(i) {
+			t.Fatalf("TCP reordered within a connection: got %d want %d", m.NetSeq, i)
+		}
+	}
+}
+
+func TestMulticastTCP(t *testing.T) {
+	src := listen(t)
+	s1 := listen(t)
+	s2 := listen(t)
+	if err := src.Multicast([]string{s1.Addr(), s2.Addr()}, &msg.Message{Kind: msg.KindNotify, Object: "o"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, s1); m.Kind != msg.KindNotify {
+		t.Fatalf("s1 got %v", m.Kind)
+	}
+	if m := recvOne(t, s2); m.Kind != msg.KindNotify {
+		t.Fatalf("s2 got %v", m.Kind)
+	}
+}
+
+func TestSendToDeadAddressFails(t *testing.T) {
+	a := listen(t)
+	if err := a.Send("127.0.0.1:1", &msg.Message{Kind: msg.KindUpdate, Object: "o"}); err == nil {
+		t.Fatalf("want dial error")
+	}
+}
+
+func TestCloseIsIdempotentAndClosesRecv(t *testing.T) {
+	e, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	select {
+	case _, ok := <-e.Recv():
+		if ok {
+			t.Fatalf("unexpected message")
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("recv not closed")
+	}
+	if err := e.Send("127.0.0.1:1", &msg.Message{Kind: msg.KindUpdate, Object: "o"}); err == nil {
+		t.Fatalf("send after close should fail")
+	}
+}
+
+func TestConnectionReuse(t *testing.T) {
+	a := listen(t)
+	b := listen(t)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.Addr(), &msg.Message{Kind: msg.KindUpdate, Object: "o", NetSeq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		recvOne(t, b)
+	}
+	a.mu.Lock()
+	nconns := len(a.conns)
+	a.mu.Unlock()
+	if nconns != 1 {
+		t.Fatalf("expected 1 cached connection, have %d", nconns)
+	}
+}
+
+// TestCloseUnblocksInboundReaders covers the one-sided shutdown case: an
+// endpoint that received traffic must be able to Close even though the
+// peer keeps its connection open (a client exiting while the server stays
+// up). A hang here means inbound readers were not released.
+func TestCloseUnblocksInboundReaders(t *testing.T) {
+	server := listen(t) // stays open
+	client, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client sends a request; server replies, opening an inbound
+	// connection into the client that the server never closes.
+	if err := client.Send(server.Addr(), &msg.Message{Kind: msg.KindReadRequest, Object: "o", From: client.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	req := recvOne(t, server)
+	if err := server.Send(req.From, &msg.Message{Kind: msg.KindReadReply, Object: "o"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, client); m.Kind != msg.KindReadReply {
+		t.Fatalf("got %v", m.Kind)
+	}
+	done := make(chan error, 1)
+	go func() { done <- client.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Close hung on inbound reader goroutines")
+	}
+}

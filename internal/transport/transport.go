@@ -1,0 +1,44 @@
+// Package transport defines the communication-object abstraction of the
+// Globe local-object composition (Figure 1 of the paper): point-to-point
+// send, multicast, and receive. Two implementations exist: memnet (an
+// in-process simulated network with latency, jitter, loss, partitions, and
+// exact traffic accounting) and tcpnet (real TCP with length-prefixed
+// frames, the transport the paper's Java prototype used).
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/msg"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrUnknownAddr is returned when sending to an address that does not exist
+// on the network.
+var ErrUnknownAddr = errors.New("transport: unknown address")
+
+// Endpoint is a communication object: the messaging port of one address
+// space participating in a distributed shared object. Implementations must
+// be safe for concurrent use.
+type Endpoint interface {
+	// Addr returns the endpoint's own address.
+	Addr() string
+	// Send transmits m to the endpoint at address to. Delivery may be
+	// delayed, reordered relative to other senders, or dropped, depending
+	// on the transport; Send itself never blocks on delivery.
+	Send(to string, m *msg.Message) error
+	// Multicast transmits m to every address in tos. It is the multicast
+	// facility the paper's Web-server communication object offers in
+	// addition to point-to-point messaging.
+	Multicast(tos []string, m *msg.Message) error
+	// Recv returns the endpoint's delivery channel. After Close no further
+	// messages are delivered; the channel itself is closed once the
+	// transport's delivery machinery for this endpoint has stopped (for
+	// memnet, when the owning Network closes; for tcpnet, when the
+	// endpoint closes).
+	Recv() <-chan *msg.Message
+	// Close releases the endpoint. It is idempotent.
+	Close() error
+}

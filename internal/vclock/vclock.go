@@ -1,0 +1,189 @@
+// Package vclock implements vector clocks and Lamport clocks.
+//
+// Vector clocks drive the causal coherence model (§3.2.1 of the paper) and
+// the Writes-Follow-Reads session guarantee: an update is applicable at a
+// store only when the store's applied vector covers the update's dependency
+// vector. Lamport clocks provide the total tiebreak used by the eventual
+// model's last-writer-wins convergence rule.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// The four possible relations between two vector clocks.
+const (
+	Equal Ordering = iota + 1
+	Before
+	After
+	Concurrent
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// VC is a vector clock: one logical-event counter per client. The zero value
+// (nil map) is a valid, empty clock for read operations; use New or Clone
+// before mutating.
+type VC map[ids.ClientID]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Tick increments the component for client c and returns the new value.
+func (v VC) Tick(c ids.ClientID) uint64 {
+	v[c]++
+	return v[c]
+}
+
+// Get returns the component for client c (zero if absent).
+func (v VC) Get(c ids.ClientID) uint64 { return v[c] }
+
+// Set stores component seq for client c.
+func (v VC) Set(c ids.ClientID, seq uint64) { v[c] = seq }
+
+// Clone returns an independent copy; Clone of nil returns an empty clock.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for c, s := range v {
+		out[c] = s
+	}
+	return out
+}
+
+// Merge folds o into v component-wise (join: max of each component).
+func (v VC) Merge(o VC) {
+	for c, s := range o {
+		if v[c] < s {
+			v[c] = s
+		}
+	}
+}
+
+// Covers reports whether every component of o is <= the matching component
+// of v (zero components of o are ignored).
+func (v VC) Covers(o VC) bool {
+	for c, s := range o {
+		if s == 0 {
+			continue
+		}
+		if v[c] < s {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare classifies the relation between v and o.
+func (v VC) Compare(o VC) Ordering {
+	vCovers := v.Covers(o)
+	oCovers := o.Covers(v)
+	switch {
+	case vCovers && oCovers:
+		return Equal
+	case oCovers:
+		return Before
+	case vCovers:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// HappensBefore reports whether v strictly precedes o.
+func (v VC) HappensBefore(o VC) bool { return v.Compare(o) == Before }
+
+// String renders the clock deterministically, sorted by client ID.
+func (v VC) String() string {
+	if len(v) == 0 {
+		return "[]"
+	}
+	clients := make([]ids.ClientID, 0, len(v))
+	for c := range v {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range clients {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "c%d:%d", c, v[c])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Lamport is a thread-safe Lamport clock. The zero value is ready to use.
+type Lamport struct {
+	mu  sync.Mutex
+	now uint64
+}
+
+// Next advances the clock for a local event and returns the new time.
+func (l *Lamport) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now++
+	return l.now
+}
+
+// Witness folds an observed remote timestamp into the clock and returns the
+// new local time (max(local, remote) + 1).
+func (l *Lamport) Witness(remote uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if remote > l.now {
+		l.now = remote
+	}
+	l.now++
+	return l.now
+}
+
+// Now returns the current time without advancing it.
+func (l *Lamport) Now() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now
+}
+
+// Stamp is a totally ordered (Lamport time, client) pair used for
+// last-writer-wins resolution in the eventual coherence model.
+type Stamp struct {
+	Time   uint64
+	Client ids.ClientID
+}
+
+// Less orders stamps by time, breaking ties by client ID, yielding the total
+// order required for convergent LWW resolution.
+func (s Stamp) Less(o Stamp) bool {
+	if s.Time != o.Time {
+		return s.Time < o.Time
+	}
+	return s.Client < o.Client
+}
+
+// Zero reports whether the stamp is unset.
+func (s Stamp) Zero() bool { return s.Time == 0 && s.Client == 0 }

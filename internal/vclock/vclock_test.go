@@ -1,0 +1,210 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestCompareBasics(t *testing.T) {
+	a := VC{1: 1}
+	b := VC{1: 2}
+	if got := a.Compare(b); got != Before {
+		t.Fatalf("a.Compare(b) = %v, want Before", got)
+	}
+	if got := b.Compare(a); got != After {
+		t.Fatalf("b.Compare(a) = %v, want After", got)
+	}
+	if got := a.Compare(a.Clone()); got != Equal {
+		t.Fatalf("equal clocks compare %v, want Equal", got)
+	}
+	c := VC{2: 1}
+	if got := a.Compare(c); got != Concurrent {
+		t.Fatalf("disjoint clocks compare %v, want Concurrent", got)
+	}
+}
+
+func TestTickAndHappensBefore(t *testing.T) {
+	v := New()
+	if got := v.Tick(1); got != 1 {
+		t.Fatalf("first tick = %d, want 1", got)
+	}
+	w := v.Clone()
+	w.Tick(1)
+	if !v.HappensBefore(w) {
+		t.Fatalf("v should happen before its successor")
+	}
+	if w.HappensBefore(v) {
+		t.Fatalf("successor must not happen before predecessor")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	cases := map[Ordering]string{
+		Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Fatalf("Ordering(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+	if got := Ordering(99).String(); got != "Ordering(99)" {
+		t.Fatalf("unknown ordering String() = %q", got)
+	}
+}
+
+func TestVCString(t *testing.T) {
+	v := VC{2: 3, 1: 1}
+	if got, want := v.String(), "[c1:1 c2:3]"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if got := (VC)(nil).String(); got != "[]" {
+		t.Fatalf("nil String() = %q, want []", got)
+	}
+}
+
+// Property: Compare is antisymmetric — swapping operands flips Before/After,
+// preserves Equal/Concurrent.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(xa, xb map[uint8]uint16) bool {
+		a, b := mkVC(xa), mkVC(xb)
+		x, y := a.Compare(b), b.Compare(a)
+		switch x {
+		case Equal:
+			return y == Equal
+		case Concurrent:
+			return y == Concurrent
+		case Before:
+			return y == After
+		case After:
+			return y == Before
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merged clock is the least upper bound: it covers both inputs,
+// and any clock covering both inputs covers the merge.
+func TestMergeIsLeastUpperBound(t *testing.T) {
+	f := func(xa, xb, xc map[uint8]uint16) bool {
+		a, b, c := mkVC(xa), mkVC(xb), mkVC(xc)
+		m := a.Clone()
+		m.Merge(b)
+		if !m.Covers(a) || !m.Covers(b) {
+			return false
+		}
+		if c.Covers(a) && c.Covers(b) && !c.Covers(m) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkVC(xs map[uint8]uint16) VC {
+	v := New()
+	for c, s := range xs {
+		if s > 0 {
+			v.Set(ids.ClientID(c), uint64(s))
+		}
+	}
+	return v
+}
+
+func TestLamportMonotonic(t *testing.T) {
+	var l Lamport
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		n := l.Next()
+		if n <= prev {
+			t.Fatalf("Lamport.Next not monotonic: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestLamportWitness(t *testing.T) {
+	var l Lamport
+	l.Next() // 1
+	if got := l.Witness(10); got != 11 {
+		t.Fatalf("Witness(10) = %d, want 11", got)
+	}
+	if got := l.Witness(3); got != 12 {
+		t.Fatalf("Witness(3) = %d, want 12 (must still advance)", got)
+	}
+	if got := l.Now(); got != 12 {
+		t.Fatalf("Now = %d, want 12", got)
+	}
+}
+
+func TestLamportConcurrentUnique(t *testing.T) {
+	var l Lamport
+	const workers, per = 8, 200
+	seen := make(chan uint64, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen <- l.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	uniq := make(map[uint64]bool, workers*per)
+	for v := range seen {
+		if uniq[v] {
+			t.Fatalf("duplicate Lamport time %d", v)
+		}
+		uniq[v] = true
+	}
+}
+
+func TestStampTotalOrder(t *testing.T) {
+	a := Stamp{Time: 1, Client: 2}
+	b := Stamp{Time: 2, Client: 1}
+	c := Stamp{Time: 1, Client: 3}
+	if !a.Less(b) {
+		t.Fatalf("lower time must order first")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatalf("client must break time ties")
+	}
+	if a.Less(a) {
+		t.Fatalf("Less must be irreflexive")
+	}
+	var z Stamp
+	if !z.Zero() || a.Zero() {
+		t.Fatalf("Zero() misreported")
+	}
+}
+
+// Property: Stamp.Less is a strict total order (trichotomy + transitivity).
+func TestStampLessTotalOrderProperty(t *testing.T) {
+	f := func(t1, t2, t3 uint16, c1, c2, c3 uint8) bool {
+		a := Stamp{Time: uint64(t1), Client: ids.ClientID(c1)}
+		b := Stamp{Time: uint64(t2), Client: ids.ClientID(c2)}
+		c := Stamp{Time: uint64(t3), Client: ids.ClientID(c3)}
+		// trichotomy
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		// transitivity
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package workload generates deterministic synthetic workloads for the
+// experiment harness: operation streams with configurable read/write mix,
+// Zipf-skewed page popularity, and the document classes the paper's
+// introduction motivates (personal home page, popular event page,
+// periodically updated magazine, shared forum).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is one client operation.
+type Op struct {
+	// Client indexes into the scenario's client set.
+	Client int
+	// IsWrite selects write vs read.
+	IsWrite bool
+	// Page is the document element addressed.
+	Page string
+	// Size is the content size for writes.
+	Size int
+}
+
+// Config parameterises a generated stream.
+type Config struct {
+	Seed       int64
+	Clients    int
+	Ops        int
+	WriteRatio float64 // fraction of ops that are writes, in [0,1]
+	Pages      int     // number of distinct pages
+	ZipfSkew   float64 // >1 skews popularity; <=1 means uniform
+	WriteSize  int     // bytes per write (default 512)
+	// SingleWriter restricts writes to client 0 (Table 1 write set =
+	// single).
+	SingleWriter bool
+}
+
+// Generate produces a deterministic operation stream.
+func Generate(cfg Config) []Op {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Pages <= 0 {
+		cfg.Pages = 1
+	}
+	if cfg.WriteSize <= 0 {
+		cfg.WriteSize = 512
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.ZipfSkew > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(cfg.Pages-1))
+	}
+	ops := make([]Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		var page int
+		if zipf != nil {
+			page = int(zipf.Uint64())
+		} else {
+			page = rng.Intn(cfg.Pages)
+		}
+		op := Op{
+			Client: rng.Intn(cfg.Clients),
+			Page:   PageName(page),
+			Size:   cfg.WriteSize,
+		}
+		if rng.Float64() < cfg.WriteRatio {
+			op.IsWrite = true
+			if cfg.SingleWriter {
+				op.Client = 0
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// PageName names the i-th page.
+func PageName(i int) string { return fmt.Sprintf("page-%03d.html", i) }
+
+// Content produces deterministic page content of the given size.
+func Content(rng *rand.Rand, size int) []byte {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz <html></html>"
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return b
+}
+
+// Class is a document class from the paper's introduction, used by the
+// per-object-vs-uniform experiment.
+type Class int
+
+// Document classes.
+const (
+	ClassPersonalHome Class = iota + 1 // rarely read, rarely written
+	ClassPopularEvent                  // read-heavy, occasionally updated
+	ClassMagazine                      // periodic bulk updates, many readers
+	ClassForum                         // concurrent writers, causal reads
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassPersonalHome:
+		return "personal-home"
+	case ClassPopularEvent:
+		return "popular-event"
+	case ClassMagazine:
+		return "magazine"
+	case ClassForum:
+		return "forum"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ClassConfig returns a workload matching the access pattern of the class.
+func ClassConfig(c Class, seed int64, ops int) Config {
+	switch c {
+	case ClassPersonalHome:
+		return Config{Seed: seed, Clients: 2, Ops: ops, WriteRatio: 0.05, Pages: 2, WriteSize: 256, SingleWriter: true}
+	case ClassPopularEvent:
+		return Config{Seed: seed, Clients: 8, Ops: ops, WriteRatio: 0.02, Pages: 4, ZipfSkew: 1.3, WriteSize: 512, SingleWriter: true}
+	case ClassMagazine:
+		return Config{Seed: seed, Clients: 6, Ops: ops, WriteRatio: 0.10, Pages: 6, WriteSize: 2048, SingleWriter: true}
+	case ClassForum:
+		return Config{Seed: seed, Clients: 6, Ops: ops, WriteRatio: 0.30, Pages: 1, WriteSize: 128}
+	default:
+		return Config{Seed: seed, Clients: 1, Ops: ops, Pages: 1}
+	}
+}

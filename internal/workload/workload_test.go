@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5, Clients: 4, Ops: 100, WriteRatio: 0.3, Pages: 8}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("wrong op count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWriteRatioApproximate(t *testing.T) {
+	ops := Generate(Config{Seed: 1, Clients: 2, Ops: 2000, WriteRatio: 0.25, Pages: 4})
+	writes := 0
+	for _, op := range ops {
+		if op.IsWrite {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(ops))
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("write fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestSingleWriterRestriction(t *testing.T) {
+	ops := Generate(Config{Seed: 2, Clients: 5, Ops: 500, WriteRatio: 0.5, Pages: 2, SingleWriter: true})
+	for _, op := range ops {
+		if op.IsWrite && op.Client != 0 {
+			t.Fatalf("write by client %d under SingleWriter", op.Client)
+		}
+	}
+}
+
+func TestZipfSkewsPopularity(t *testing.T) {
+	ops := Generate(Config{Seed: 3, Clients: 1, Ops: 5000, WriteRatio: 0, Pages: 20, ZipfSkew: 1.5})
+	counts := map[string]int{}
+	for _, op := range ops {
+		counts[op.Page]++
+	}
+	if counts[PageName(0)] <= counts[PageName(10)] {
+		t.Fatalf("zipf skew missing: page0=%d page10=%d", counts[PageName(0)], counts[PageName(10)])
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ops := Generate(Config{Seed: 4, Ops: 10, WriteRatio: 1})
+	if len(ops) != 10 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	for _, op := range ops {
+		if op.Client != 0 || op.Page != PageName(0) || op.Size != 512 {
+			t.Fatalf("defaults wrong: %+v", op)
+		}
+	}
+}
+
+func TestContentSizeAndDeterminism(t *testing.T) {
+	a := Content(rand.New(rand.NewSource(9)), 128)
+	b := Content(rand.New(rand.NewSource(9)), 128)
+	if len(a) != 128 || string(a) != string(b) {
+		t.Fatalf("content not deterministic")
+	}
+}
+
+func TestClassConfigs(t *testing.T) {
+	for _, c := range []Class{ClassPersonalHome, ClassPopularEvent, ClassMagazine, ClassForum} {
+		cfg := ClassConfig(c, 1, 100)
+		if cfg.Ops != 100 || cfg.Clients == 0 || cfg.Pages == 0 {
+			t.Fatalf("class %v config broken: %+v", c, cfg)
+		}
+		if c.String() == "" || c.String()[0] == 'C' {
+			t.Fatalf("class %v unnamed: %q", int(c), c.String())
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Fatalf("unknown class string")
+	}
+	if cfg := ClassConfig(Class(99), 1, 10); cfg.Ops != 10 {
+		t.Fatalf("fallback config broken")
+	}
+}

@@ -1,0 +1,372 @@
+// Package webobj is the public face of the framework: distributed, consistent,
+// replicated Web documents with a per-document caching/replication strategy,
+// reproducing "A Framework for Consistent, Replicated Web Objects"
+// (Kermarrec, Kuz, van Steen, Tanenbaum; ICDCS 1998).
+//
+// A System is one simulated wide-area deployment: it owns a network, a
+// location (naming) service, and any number of stores in the paper's three
+// layers — permanent stores (Web servers), object-initiated stores
+// (mirrors), and client-initiated stores (proxy/browser caches). A Web
+// document is published at a permanent store with a Strategy (the paper's
+// Table 1 parameters + the object-based coherence model); replicas are then
+// installed at other stores; clients Open the document at any store, with
+// optional client-based coherence models (session guarantees).
+//
+//	sys := webobj.NewSystem()
+//	server, _ := sys.NewServer("www")
+//	_ = sys.Publish(server, "conf-page", webobj.ConferenceStrategy(time.Second))
+//	cache, _ := sys.NewCache("proxy", server)
+//	_ = sys.Replicate(cache, "conf-page", webobj.ReadYourWrites)
+//	doc, _ := sys.Open("conf-page", webobj.At(cache), webobj.WithSession(webobj.ReadYourWrites))
+//	_ = doc.Append("program.html", []byte("<li>keynote</li>"))
+//	page, _ := doc.Get("program.html")
+package webobj
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/naming"
+	"repro/internal/replication"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/store"
+	"repro/internal/strategy"
+	"repro/internal/transport/memnet"
+)
+
+// ObjectID names a distributed Web document.
+type ObjectID = ids.ObjectID
+
+// Strategy is the per-document replication policy (Table 1 of the paper).
+type Strategy = strategy.Strategy
+
+// Page is a Web-document page with its version metadata.
+type Page = webdoc.Page
+
+// ClientModel is a client-based coherence model (§3.2.2, Bayou session
+// guarantees, enforced rather than checked).
+type ClientModel = coherence.ClientModel
+
+// Client-based coherence models.
+const (
+	ReadYourWrites    = coherence.ReadYourWrites
+	MonotonicReads    = coherence.MonotonicReads
+	MonotonicWrites   = coherence.MonotonicWrites
+	WritesFollowReads = coherence.WritesFollowReads
+)
+
+// Strategy presets (see internal/strategy for the full parameter space).
+var (
+	// ConferenceStrategy is Table 2 of the paper: PRAM everywhere, single
+	// writer, lazy periodic partial pushes, RYW-capable caches.
+	ConferenceStrategy = strategy.Conference
+	// PersonalHomePageStrategy suits rarely-shared personal pages.
+	PersonalHomePageStrategy = strategy.PersonalHomePage
+	// PopularEventPageStrategy suits hot, proxy-replicated pages.
+	PopularEventPageStrategy = strategy.PopularEventPage
+	// MagazineStrategy suits periodically-published documents.
+	MagazineStrategy = strategy.Magazine
+	// ForumStrategy suits causally-ordered shared forums.
+	ForumStrategy = strategy.Forum
+	// WhiteboardStrategy suits concurrent-writer groupware.
+	WhiteboardStrategy = strategy.Whiteboard
+	// MirroredSiteStrategy suits eventually-synchronised mirrors.
+	MirroredSiteStrategy = strategy.MirroredSite
+)
+
+// Store is one store process (any layer).
+type Store struct {
+	name string
+	st   *store.Store
+	role replication.Role
+}
+
+// Name returns the store's name within the system.
+func (s *Store) Name() string { return s.name }
+
+// System is one in-process deployment of the framework over a simulated
+// network. Safe for concurrent use.
+type System struct {
+	mu         sync.Mutex
+	net        *memnet.Network
+	ns         *naming.Service
+	stores     map[string]*Store
+	parents    map[string]string // store name -> parent store name
+	strategies map[ObjectID]Strategy
+	nextEP     int
+	closed     bool
+}
+
+// NewSystem creates a deployment with an instantaneous, lossless network.
+// Use NewSystemWithNetwork for latency/loss configurations.
+func NewSystem() *System { return NewSystemWithNetwork() }
+
+// NewSystemWithNetwork creates a deployment with memnet options (seed,
+// default link profile).
+func NewSystemWithNetwork(opts ...memnet.Option) *System {
+	return &System{
+		net:        memnet.New(opts...),
+		ns:         naming.New(),
+		stores:     make(map[string]*Store),
+		parents:    make(map[string]string),
+		strategies: make(map[ObjectID]Strategy),
+	}
+}
+
+// Network exposes the underlying simulated network (link shaping, traffic
+// statistics).
+func (s *System) Network() *memnet.Network { return s.net }
+
+// Naming exposes the location service.
+func (s *System) Naming() *naming.Service { return s.ns }
+
+// NewServer creates a permanent store (a Web server).
+func (s *System) NewServer(name string) (*Store, error) {
+	return s.newStore(name, replication.RolePermanent, nil)
+}
+
+// NewMirror creates an object-initiated store below parent.
+func (s *System) NewMirror(name string, parent *Store) (*Store, error) {
+	return s.newStore(name, replication.RoleObjectInitiated, parent)
+}
+
+// NewCache creates a client-initiated store below parent.
+func (s *System) NewCache(name string, parent *Store) (*Store, error) {
+	return s.newStore(name, replication.RoleClientInitiated, parent)
+}
+
+func (s *System) newStore(name string, role replication.Role, parent *Store) (*Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("webobj: system closed")
+	}
+	if _, dup := s.stores[name]; dup {
+		return nil, fmt.Errorf("webobj: store %q already exists", name)
+	}
+	ep, err := s.net.Endpoint("store/" + name)
+	if err != nil {
+		return nil, err
+	}
+	st := store.New(store.Config{
+		ID:       s.ns.NextStore(),
+		Role:     role,
+		Endpoint: ep,
+	})
+	h := &Store{name: name, st: st, role: role}
+	s.stores[name] = h
+	if parent != nil {
+		s.parents[name] = parent.name
+	}
+	return h, nil
+}
+
+// Publish creates a Web document at a permanent store under the given
+// strategy and registers it with the location service.
+func (s *System) Publish(server *Store, object ObjectID, strat Strategy) error {
+	if server.role != replication.RolePermanent {
+		return fmt.Errorf("webobj: documents are published at permanent stores, %q is %v", server.name, server.role)
+	}
+	if err := server.st.Host(store.HostConfig{
+		Object: object, Semantics: webdoc.New(), Strat: strat,
+	}); err != nil {
+		return err
+	}
+	s.ns.Register(object, naming.Entry{Addr: server.st.Addr(), Store: server.st.ID(), Role: server.role})
+	s.mu.Lock()
+	s.strategies[object] = strat
+	s.mu.Unlock()
+	return nil
+}
+
+// Replicate installs a replica of a published document at a mirror or
+// cache, subscribing it to its parent store. The session models declare
+// which client-based guarantees this replica must be able to enforce.
+func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) error {
+	s.mu.Lock()
+	parentName, ok := s.parents[at.name]
+	var parent *Store
+	if ok {
+		parent = s.stores[parentName]
+	}
+	s.mu.Unlock()
+	if parent == nil {
+		return fmt.Errorf("webobj: store %q has no parent to replicate from", at.name)
+	}
+	// The replica adopts the object's published strategy, read from the
+	// permanent store's registration.
+	strat, err := s.publishedStrategy(object)
+	if err != nil {
+		return err
+	}
+	if err := at.st.Host(store.HostConfig{
+		Object: object, Semantics: webdoc.New(), Strat: strat,
+		Parent: parent.st.Addr(), Session: session, Subscribe: true,
+	}); err != nil {
+		return err
+	}
+	s.ns.Register(object, naming.Entry{Addr: at.st.Addr(), Store: at.st.ID(), Role: at.role})
+	return nil
+}
+
+func (s *System) publishedStrategy(object ObjectID) (Strategy, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.strategies[object]
+	if !ok {
+		return Strategy{}, fmt.Errorf("webobj: object %q not published", object)
+	}
+	return st, nil
+}
+
+// OpenOption configures Open.
+type OpenOption func(*openCfg)
+
+type openCfg struct {
+	at      *Store
+	session []ClientModel
+	timeout time.Duration
+}
+
+// At binds to a specific store instead of the nearest replica.
+func At(st *Store) OpenOption { return func(c *openCfg) { c.at = st } }
+
+// WithSession enables client-based coherence models for this client.
+func WithSession(models ...ClientModel) OpenOption {
+	return func(c *openCfg) { c.session = append(c.session, models...) }
+}
+
+// WithTimeout bounds each remote call.
+func WithTimeout(d time.Duration) OpenOption {
+	return func(c *openCfg) { c.timeout = d }
+}
+
+// Document is a client binding to one distributed Web document.
+type Document struct {
+	sys   *System
+	proxy *core.Proxy
+}
+
+// Open binds a new client to the document. Without At, the lowest-layer
+// registered replica is chosen (the paper: "it is generally up to the
+// client to decide to which replica he will bind").
+func (s *System) Open(object ObjectID, opts ...OpenOption) (*Document, error) {
+	cfg := openCfg{timeout: 5 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var addr string
+	if cfg.at != nil {
+		addr = cfg.at.st.Addr()
+	} else {
+		entries := s.ns.Lookup(object)
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("webobj: object %q not registered", object)
+		}
+		addr = entries[0].Addr
+	}
+	s.mu.Lock()
+	s.nextEP++
+	epName := fmt.Sprintf("client/%d", s.nextEP)
+	s.mu.Unlock()
+	ep, err := s.net.Endpoint(epName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Bind(core.BindConfig{
+		Object:    object,
+		Endpoint:  ep,
+		StoreAddr: addr,
+		Client:    s.ns.NextClient(),
+		Session:   cfg.session,
+		Prototype: webdoc.New(),
+		Timeout:   cfg.timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Document{sys: s, proxy: p}, nil
+}
+
+// Get retrieves a page.
+func (d *Document) Get(page string) (*Page, error) {
+	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodGetPage, Page: page})
+	if err != nil {
+		return nil, err
+	}
+	return webdoc.DecodePage(out)
+}
+
+// Stat retrieves page metadata without content.
+func (d *Document) Stat(page string) (*Page, error) {
+	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodStatPage, Page: page})
+	if err != nil {
+		return nil, err
+	}
+	return webdoc.DecodePage(out)
+}
+
+// Put replaces a page.
+func (d *Document) Put(page string, content []byte, contentType string) error {
+	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
+		Content: content, ContentType: contentType, ModifiedNanos: time.Now().UnixNano(),
+	})
+	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodPutPage, Page: page, Args: args})
+	return err
+}
+
+// Append adds content to a page (the paper's incremental update).
+func (d *Document) Append(page string, content []byte) error {
+	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
+		Content: content, ModifiedNanos: time.Now().UnixNano(),
+	})
+	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodAppendPage, Page: page, Args: args})
+	return err
+}
+
+// Delete removes a page.
+func (d *Document) Delete(page string) error {
+	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodDeletePage, Page: page})
+	return err
+}
+
+// Pages lists page names.
+func (d *Document) Pages() ([]string, error) {
+	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodListPages})
+	if err != nil {
+		return nil, err
+	}
+	return webdoc.DecodeStrings(out)
+}
+
+// Rebind moves this client to another store, keeping session guarantees
+// (the Monotonic Reads travelling-client scenario).
+func (d *Document) Rebind(at *Store) error { return d.proxy.Rebind(at.st.Addr()) }
+
+// Close releases the binding.
+func (d *Document) Close() { d.proxy.Close() }
+
+// Close tears down the whole system: stores first, then the network.
+func (s *System) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stores := make([]*Store, 0, len(s.stores))
+	for _, st := range s.stores {
+		stores = append(stores, st)
+	}
+	s.mu.Unlock()
+	for _, st := range stores {
+		_ = st.st.Close()
+	}
+	return s.net.Close()
+}

@@ -1,0 +1,215 @@
+package webobj_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/webobj"
+)
+
+func newSys(t *testing.T) *webobj.System {
+	t.Helper()
+	sys := webobj.NewSystem()
+	t.Cleanup(func() { _ = sys.Close() })
+	return sys
+}
+
+func TestPublishOpenPutGet(t *testing.T) {
+	sys := newSys(t)
+	server, err := sys.NewServer("www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.Open("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Put("p", []byte("hello"), "text/plain"); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := d.Get("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.Content) != "hello" || pg.ContentType != "text/plain" || pg.Version != 1 {
+		t.Fatalf("page = %+v", pg)
+	}
+	st, err := d.Stat("p")
+	if err != nil || st.Version != 1 || st.Content != nil {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	pages, err := d.Pages()
+	if err != nil || len(pages) != 1 || pages[0] != "p" {
+		t.Fatalf("pages = %v, %v", pages, err)
+	}
+	if err := d.Delete("p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get("p"); err == nil {
+		t.Fatalf("deleted page still readable")
+	}
+}
+
+func TestPublishRequiresPermanentStore(t *testing.T) {
+	sys := newSys(t)
+	server, _ := sys.NewServer("www")
+	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := sys.NewCache("c", server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish(cache, "doc2", webobj.ConferenceStrategy(time.Hour)); err == nil {
+		t.Fatalf("publish at cache accepted")
+	}
+}
+
+func TestReplicateNeedsParentAndPublication(t *testing.T) {
+	sys := newSys(t)
+	server, _ := sys.NewServer("www")
+	if err := sys.Replicate(server, "doc"); err == nil {
+		t.Fatalf("replicate at parentless store accepted")
+	}
+	cache, _ := sys.NewCache("c", server)
+	if err := sys.Replicate(cache, "unpublished"); err == nil {
+		t.Fatalf("replicate of unpublished object accepted")
+	}
+}
+
+func TestDuplicateStoreNames(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.NewServer("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewServer("x"); err == nil {
+		t.Fatalf("duplicate store name accepted")
+	}
+}
+
+func TestOpenUnknownObject(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.Open("nothing"); err == nil {
+		t.Fatalf("open of unknown object succeeded")
+	}
+}
+
+func TestAppendAndReplication(t *testing.T) {
+	sys := newSys(t)
+	server, _ := sys.NewServer("www")
+	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(20*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := sys.NewCache("proxy", server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Replicate(cache, "doc", webobj.ReadYourWrites); err != nil {
+		t.Fatal(err)
+	}
+	// Writer through the cache with RYW: reads its own appends immediately.
+	w, err := sys.Open("doc", webobj.At(cache), webobj.WithSession(webobj.ReadYourWrites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append("log", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("log", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := w.Get("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.Content) != "ab" {
+		t.Fatalf("RYW append read %q", pg.Content)
+	}
+}
+
+func TestRebindKeepsSession(t *testing.T) {
+	sys := newSys(t)
+	server, _ := sys.NewServer("www")
+	if err := sys.Publish(server, "doc", webobj.MirroredSiteStrategy(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := sys.NewMirror("mirror", server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Replicate(mirror, "doc", webobj.MonotonicReads); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sys.Open("doc", webobj.At(server), webobj.WithSession(webobj.MonotonicReads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("p", []byte("v1"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebind(mirror); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := c.Get("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Version < 1 {
+		t.Fatalf("monotonic reads lost after rebind: %+v", pg)
+	}
+}
+
+func TestNetworkAndNamingAccessors(t *testing.T) {
+	sys := newSys(t)
+	server, _ := sys.NewServer("www")
+	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Network() == nil || sys.Naming() == nil {
+		t.Fatalf("accessors nil")
+	}
+	if server.Name() != "www" {
+		t.Fatalf("store name %q", server.Name())
+	}
+	entries := sys.Naming().Lookup("doc")
+	if len(entries) != 1 || !strings.Contains(entries[0].Addr, "www") {
+		t.Fatalf("naming entries %+v", entries)
+	}
+	d, err := sys.Open("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("p", []byte("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if s := sys.Network().Stats(); s.Sent == 0 {
+		t.Fatalf("network stats empty")
+	}
+}
+
+func TestSystemCloseIdempotent(t *testing.T) {
+	sys := webobj.NewSystem()
+	if _, err := sys.NewServer("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := sys.NewServer("b"); err == nil {
+		t.Fatalf("store creation after close accepted")
+	}
+}
