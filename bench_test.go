@@ -50,6 +50,85 @@ func BenchmarkMicro_MessageDecode(b *testing.B) {
 	}
 }
 
+// Pooled encode: the transports' steady-state path — zero allocations once
+// the pool is warm.
+func BenchmarkMicro_MessageEncodePooled(b *testing.B) {
+	m := &msg.Message{
+		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
+		Write: ids.WiD{Client: 3, Seq: 17},
+		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wb := msg.EncodePooled(m)
+		wb.Release()
+	}
+}
+
+// Zero-copy decode: memnet's delivery path, which aliases the frame
+// instead of copying Args/Payload.
+func BenchmarkMicro_MessageDecodeAlias(b *testing.B) {
+	wire := msg.Encode(&msg.Message{
+		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
+		Write: ids.WiD{Client: 3, Seq: 17},
+		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := msg.DecodeAlias(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Batch amortization: the same N updates shipped as N standalone frames vs
+// one KindUpdateBatch frame. wireB/update shows the envelope overhead each
+// batched update no longer pays.
+func BenchmarkMicro_BatchAmortization(b *testing.B) {
+	const n = 16
+	mkInv := func(i int) msg.Invocation {
+		return msg.Invocation{Method: 4, Page: "index.html", Args: []byte(fmt.Sprintf("append-%d", i))}
+	}
+	b.Run("single-frames", func(b *testing.B) {
+		msgs := make([]*msg.Message, n)
+		for i := range msgs {
+			msgs[i] = &msg.Message{
+				Kind: msg.KindUpdate, Object: "doc", From: "store/www", Store: 1,
+				Write: ids.WiD{Client: 3, Seq: uint64(i + 1)},
+				Inv:   mkInv(i),
+			}
+		}
+		b.ReportAllocs()
+		var bytes int
+		for i := 0; i < b.N; i++ {
+			bytes = 0
+			for _, m := range msgs {
+				bytes += len(msg.Encode(m))
+			}
+		}
+		b.ReportMetric(float64(bytes)/n, "wireB/update")
+		b.ReportMetric(n, "frames/flush")
+	})
+	b.Run("batch-frame", func(b *testing.B) {
+		batch := &msg.Message{Kind: msg.KindUpdateBatch, Object: "doc", From: "store/www", Store: 1}
+		for i := 0; i < n; i++ {
+			batch.Batch = append(batch.Batch, msg.BatchUpdate{
+				Write: ids.WiD{Client: 3, Seq: uint64(i + 1)},
+				Inv:   mkInv(i),
+			})
+		}
+		b.ReportAllocs()
+		var bytes int
+		for i := 0; i < b.N; i++ {
+			bytes = len(msg.Encode(batch))
+		}
+		b.ReportMetric(float64(bytes)/n, "wireB/update")
+		b.ReportMetric(1, "frames/flush")
+	})
+}
+
 // --- micro: ordering engines (per-update coherence cost) ---------------------
 
 func BenchmarkMicro_EngineSubmit(b *testing.B) {
@@ -290,6 +369,11 @@ func BenchmarkTable1_ParameterSweep(b *testing.B) {
 			}
 			b.StopTimer()
 			reportNet(b, s.sys, b.N*5)
+			// Batch amortization: how many updates each aggregated flush
+			// carried per KindUpdateBatch frame.
+			if st, err := s.server.Stats("bench-doc"); err == nil && st.BatchesSent > 0 {
+				b.ReportMetric(float64(st.BatchedUpdates)/float64(st.BatchesSent), "ups/batch")
+			}
 		})
 	}
 }
@@ -454,6 +538,79 @@ func BenchmarkClaim_PerObjectVsUniform(b *testing.B) {
 			b.ReportMetric(float64(stale)/float64(b.N), "staleReads/op")
 			reportNet(b, s.sys, b.N)
 		})
+	}
+}
+
+// --- G1: anti-entropy gossip between mirrors -----------------------------------------
+
+// BenchmarkGossip_AntiEntropy measures leaderless mirror synchronisation:
+// two peered mirrors under the eventual model, with the second mirror
+// partitioned from the permanent store so gossip is its only source of
+// updates. Deltas ship as one batch frame per round.
+func BenchmarkGossip_AntiEntropy(b *testing.B) {
+	sys := webobj.NewSystemWithNetwork(memnet.WithSeed(1))
+	server, err := sys.NewServer("www")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const obj = webobj.ObjectID("mirror-doc")
+	if err := sys.Publish(server, obj, webobj.MirroredSiteStrategy(2*time.Millisecond)); err != nil {
+		b.Fatal(err)
+	}
+	m1, err := sys.NewMirror("m1", server)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(m1, obj); err != nil {
+		b.Fatal(err)
+	}
+	m2, err := sys.NewMirror("m2", server)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(m2, obj); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Peer(m1, m2, obj); err != nil {
+		b.Fatal(err)
+	}
+	// After bootstrap, m2 hears nothing from the server: only gossip from
+	// m1 can synchronise it.
+	sys.Network().Partition("store/www", "store/m2")
+	writer, err := sys.Open(obj, webobj.At(m1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { writer.Close(); _ = sys.Close() })
+	sys.Network().ResetStats()
+	const writesPerRound = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < writesPerRound; j++ {
+			if err := writer.Append("log", []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		want, err := m1.Applied(obj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got, err := m2.Applied(obj)
+			if err == nil && got.Covers(want) {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("mirror did not converge via gossip")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	reportNet(b, sys, b.N*writesPerRound)
+	if st, err := m1.Stats(obj); err == nil && st.BatchesSent > 0 {
+		b.ReportMetric(float64(st.BatchedUpdates)/float64(st.BatchesSent), "ups/batch")
 	}
 }
 

@@ -10,4 +10,26 @@
 // (globebench); examples/ holds five runnable scenarios. bench_test.go in
 // this package regenerates every figure and table of the paper as Go
 // benchmarks. See README.md, DESIGN.md, and EXPERIMENTS.md.
+//
+// # Wire format
+//
+// Messages travel as version-prefixed binary frames (internal/msg). Wire
+// version 2 (this revision) made three changes over version 1:
+//
+//   - A new frame kind, KindUpdateBatch, carries N aggregated operation
+//     updates in one frame. Lazy flushes, demand replays, and gossip deltas
+//     use it; the receiver fans each entry through the same ordering path a
+//     standalone KindUpdate takes. A trailing batch section (u16 count +
+//     entries) was appended to the frame layout for this.
+//   - Encoding is exact-size and poolable: wireSize computes the frame
+//     length up front, Encode allocates once, and EncodePooled/Release give
+//     transports a zero-allocation steady state. Multicast on both memnet
+//     and tcpnet encodes a frame exactly once per fan-out.
+//   - DecodeAlias offers a zero-copy decode that aliases the frame for
+//     Args/Payload; memnet uses it (frames are immutable after delivery),
+//     tcpnet keeps the copying Decode because it reuses its read buffer.
+//
+// Version-1 frames are rejected with ErrBadVersion. Both ends of every
+// deployment ship from this tree, so no cross-version compatibility shim is
+// kept; bump wireVersion again on any layout change.
 package repro

@@ -36,10 +36,41 @@ func (w *writer) bytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// inv encodes a marshalled invocation.
+func (w *writer) inv(inv *Invocation) {
+	w.u16(inv.Method)
+	w.str(inv.Page)
+	w.bytes(inv.Args)
+}
+
+// smallVec is the map size up to which vec emits sorted entries by repeated
+// selection (O(n²) but allocation-free) instead of building a sort slice.
+// Version vectors in practice hold a handful of clients.
+const smallVec = 16
+
 // vec encodes a client->seq map deterministically (sorted by client).
 func (w *writer) vec(v map[ids.ClientID]uint64) {
 	w.u16(uint16(len(v)))
 	if len(v) == 0 {
+		return
+	}
+	if len(v) <= smallVec {
+		var keys [smallVec]ids.ClientID
+		n := 0
+		for c := range v {
+			keys[n] = c
+			n++
+		}
+		ks := keys[:n]
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+				ks[j], ks[j-1] = ks[j-1], ks[j]
+			}
+		}
+		for _, c := range ks {
+			w.u32(uint32(c))
+			w.u64(v[c])
+		}
 		return
 	}
 	clients := make([]ids.ClientID, 0, len(v))
@@ -53,10 +84,13 @@ func (w *writer) vec(v map[ids.ClientID]uint64) {
 	}
 }
 
-// reader consumes the wire encoding with bounds checks.
+// reader consumes the wire encoding with bounds checks. With alias set,
+// byte-slice fields are returned as sub-slices of buf instead of copies
+// (zero-copy decode; the caller promises buf is immutable).
 type reader struct {
-	buf []byte
-	off int
+	buf   []byte
+	off   int
+	alias bool
 }
 
 func (r *reader) need(n int) error {
@@ -125,6 +159,11 @@ func (r *reader) bytes() ([]byte, error) {
 	}
 	if n == 0 {
 		return nil, nil
+	}
+	if r.alias {
+		b := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+		r.off += int(n)
+		return b, nil
 	}
 	b := make([]byte, n)
 	copy(b, r.buf[r.off:])

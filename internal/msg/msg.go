@@ -13,6 +13,8 @@ package msg
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/ids"
 	"repro/internal/vclock"
@@ -45,8 +47,13 @@ const (
 	KindStateReply
 	KindGossip
 	KindGossipReply
+	KindUpdateBatch
 	kindMax // sentinel, keep last
 )
+
+// KindCount is the number of kind values (sentinel included); transports use
+// it to size per-kind counter arrays without a map.
+const KindCount = int(kindMax)
 
 var kindNames = map[Kind]string{
 	KindBindRequest:  "bind-request",
@@ -67,6 +74,7 @@ var kindNames = map[Kind]string{
 	KindStateReply:   "state-reply",
 	KindGossip:       "gossip",
 	KindGossipReply:  "gossip-reply",
+	KindUpdateBatch:  "update-batch",
 }
 
 // String names the kind.
@@ -117,6 +125,20 @@ type Invocation struct {
 	Method uint16
 	Page   string
 	Args   []byte
+}
+
+// BatchUpdate is one aggregated operation inside a KindUpdateBatch frame:
+// exactly the per-update metadata a standalone KindUpdate carries, so the
+// receiver can fan each entry into the ordering engine as if it had arrived
+// alone. Batching amortises the envelope (addresses, vectors, framing) over
+// N operations.
+type BatchUpdate struct {
+	Write     ids.WiD
+	GlobalSeq uint64
+	Stamp     vclock.Stamp
+	Deps      vclock.VC
+	Inv       Invocation
+	WallNanos int64
 }
 
 // Message is the single wire envelope used by every protocol in the
@@ -171,6 +193,10 @@ type Message struct {
 	// digests).
 	Pages []string
 
+	// Batch carries the aggregated operations of a KindUpdateBatch frame;
+	// nil for every other kind.
+	Batch []BatchUpdate
+
 	// WallNanos is the origin wall-clock time (UnixNano) of the write this
 	// message carries; used only by metrics to measure staleness.
 	WallNanos int64
@@ -202,13 +228,95 @@ var ErrShortMessage = errors.New("msg: short or corrupt message")
 // ErrBadVersion reports an unsupported codec version byte.
 var ErrBadVersion = errors.New("msg: unsupported wire version")
 
-// wireVersion is the current codec version.
-const wireVersion = 1
+// wireVersion is the current codec version. Version 2 appended the
+// KindUpdateBatch kind and the trailing batch section to the frame layout;
+// version-1 frames are rejected (no live deployments to stay compatible
+// with — the experiment harness always upgrades both ends together).
+const wireVersion = 2
 
-// Encode serialises m into a fresh buffer.
-func Encode(m *Message) []byte {
-	var w writer
-	w.buf = make([]byte, 0, 64+len(m.Payload)+len(m.Inv.Args))
+// EncodeHook, when non-nil, is invoked once per frame encoding. It exists
+// for tests that assert how many times a message was serialised (e.g. that
+// multicast encodes exactly once per fan-out); production code leaves it
+// nil and pays only a nil check.
+var EncodeHook func(*Message)
+
+// wireSize returns the exact encoded length of m, mirroring AppendEncode
+// field for field (including its truncation caps).
+func wireSize(m *Message) int {
+	n := 2 // version, kind
+	n += 2 + strLen(string(m.Object))
+	n += 2 + strLen(m.From)
+	n += 2 + strLen(m.To)
+	n += 8     // NetSeq
+	n += 4 + 4 // Client, Store
+	n += 4 + 8 // Write
+	n += 8     // GlobalSeq
+	n += 8 + 4 // Stamp
+	n += 2 + 12*len(m.VVec)
+	n += 2 + 12*len(m.Deps)
+	n += 4 + 8 + 4 // ReadDep
+	n += invSize(&m.Inv)
+	n += 4 + len(m.Payload)
+	n += 2
+	for _, p := range capPages(m.Pages) {
+		n += 2 + strLen(p)
+	}
+	n += 8 // WallNanos
+	n += 1 // Status
+	n += 2 + strLen(m.Err)
+	n += 2
+	for i := range capBatch(m.Batch) {
+		e := &m.Batch[i]
+		n += 4 + 8 // Write
+		n += 8     // GlobalSeq
+		n += 8 + 4 // Stamp
+		n += 2 + 12*len(e.Deps)
+		n += invSize(&e.Inv)
+		n += 8 // WallNanos
+	}
+	return n
+}
+
+func invSize(inv *Invocation) int {
+	return 2 + 2 + strLen(inv.Page) + 4 + len(inv.Args)
+}
+
+func strLen(s string) int {
+	if len(s) > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return len(s)
+}
+
+// capPages bounds the page list to the u16 count the frame can carry.
+func capPages(pages []string) []string {
+	if len(pages) > math.MaxUint16 {
+		return pages[:math.MaxUint16]
+	}
+	return pages
+}
+
+// MaxBatch is the largest number of entries one KindUpdateBatch frame can
+// carry (u16 count on the wire). Senders must split larger flushes across
+// frames; capBatch below is a last-resort guard, not a splitting mechanism.
+const MaxBatch = math.MaxUint16
+
+// capBatch bounds the batch to the u16 count the frame can carry.
+func capBatch(batch []BatchUpdate) []BatchUpdate {
+	if len(batch) > MaxBatch {
+		return batch[:MaxBatch]
+	}
+	return batch
+}
+
+// AppendEncode serialises m onto dst and returns the extended slice. Callers
+// that know the target buffer (pooled or pre-sized) avoid every intermediate
+// allocation; Encode and EncodePooled are both built on it.
+func AppendEncode(dst []byte, m *Message) []byte {
+	if EncodeHook != nil {
+		EncodeHook(m)
+	}
+	w := writer{buf: dst}
 	w.u8(wireVersion)
 	w.u8(uint8(m.Kind))
 	w.str(string(m.Object))
@@ -227,23 +335,93 @@ func Encode(m *Message) []byte {
 	w.u32(uint32(m.ReadDep.Write.Client))
 	w.u64(m.ReadDep.Write.Seq)
 	w.u32(uint32(m.ReadDep.Store))
-	w.u16(m.Inv.Method)
-	w.str(m.Inv.Page)
-	w.bytes(m.Inv.Args)
+	w.inv(&m.Inv)
 	w.bytes(m.Payload)
-	w.u16(uint16(len(m.Pages)))
-	for _, p := range m.Pages {
+	pages := capPages(m.Pages)
+	w.u16(uint16(len(pages)))
+	for _, p := range pages {
 		w.str(p)
 	}
 	w.u64(uint64(m.WallNanos))
 	w.u8(uint8(m.Status))
 	w.str(m.Err)
+	batch := capBatch(m.Batch)
+	w.u16(uint16(len(batch)))
+	for i := range batch {
+		e := &batch[i]
+		w.u32(uint32(e.Write.Client))
+		w.u64(e.Write.Seq)
+		w.u64(e.GlobalSeq)
+		w.u64(e.Stamp.Time)
+		w.u32(uint32(e.Stamp.Client))
+		w.vec(map[ids.ClientID]uint64(e.Deps))
+		w.inv(&e.Inv)
+		w.u64(uint64(e.WallNanos))
+	}
 	return w.buf
 }
 
-// Decode parses a wire message produced by Encode.
+// Encode serialises m into a fresh exact-size buffer: one allocation per
+// frame.
+func Encode(m *Message) []byte {
+	return AppendEncode(make([]byte, 0, wireSize(m)), m)
+}
+
+// WireBuf is a pooled encode buffer handed out by EncodePooled. The caller
+// owns Bytes() until Release; after Release the contents must not be
+// touched.
+type WireBuf struct {
+	b []byte
+}
+
+// Bytes returns the encoded frame.
+func (w *WireBuf) Bytes() []byte { return w.b }
+
+// wirePool recycles encode buffers across frames.
+var wirePool = sync.Pool{New: func() any { return new(WireBuf) }}
+
+// maxPooledBuf bounds the capacity retained by the pool so one huge
+// snapshot frame does not pin memory forever.
+const maxPooledBuf = 1 << 20
+
+// EncodePooled serialises m into a buffer drawn from a package-level pool.
+// It is the transports' zero-steady-state-allocation fast path: call Release
+// exactly once when the wire bytes have been fully consumed (written to the
+// socket or copied).
+func EncodePooled(m *Message) *WireBuf {
+	w := wirePool.Get().(*WireBuf)
+	need := wireSize(m)
+	if cap(w.b) < need {
+		w.b = make([]byte, 0, need)
+	}
+	w.b = AppendEncode(w.b[:0], m)
+	return w
+}
+
+// Release returns the buffer to the pool.
+func (w *WireBuf) Release() {
+	if cap(w.b) > maxPooledBuf {
+		w.b = nil // let the outsized backing array go
+	}
+	wirePool.Put(w)
+}
+
+// Decode parses a wire message produced by Encode. Variable-length content
+// (Args, Payload) is copied out of b, so the caller may reuse b afterwards.
 func Decode(b []byte) (*Message, error) {
-	r := reader{buf: b}
+	return decode(b, false)
+}
+
+// DecodeAlias parses like Decode but aliases b for Args and Payload instead
+// of copying. It is safe only when the frame is immutable for the lifetime
+// of the message — true for memnet, whose scheduler never reuses a
+// delivered frame; tcpnet reuses its read buffer and must keep copying.
+func DecodeAlias(b []byte) (*Message, error) {
+	return decode(b, true)
+}
+
+func decode(b []byte, alias bool) (*Message, error) {
+	r := reader{buf: b, alias: alias}
 	v, err := r.u8()
 	if err != nil {
 		return nil, err
@@ -372,12 +550,73 @@ func Decode(b []byte) (*Message, error) {
 	if m.Err, err = r.str(); err != nil {
 		return nil, err
 	}
+	nb, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nb > 0 {
+		// Don't let a corrupt count amplify into a huge allocation: every
+		// entry occupies at least minBatchEntry wire bytes, so cap the
+		// pre-allocation by what the remaining frame could actually hold
+		// (a short frame then fails on the first missing entry).
+		const minBatchEntry = 50
+		capHint := int(nb)
+		if max := r.remaining() / minBatchEntry; capHint > max {
+			capHint = max
+		}
+		m.Batch = make([]BatchUpdate, 0, capHint)
+		for i := 0; i < int(nb); i++ {
+			m.Batch = append(m.Batch, BatchUpdate{})
+			e := &m.Batch[len(m.Batch)-1]
+			bc, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if e.Write.Seq, err = r.u64(); err != nil {
+				return nil, err
+			}
+			e.Write.Client = ids.ClientID(bc)
+			if e.GlobalSeq, err = r.u64(); err != nil {
+				return nil, err
+			}
+			bst, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			bsc, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			e.Stamp = vclock.Stamp{Time: bst, Client: ids.ClientID(bsc)}
+			bdv, err := r.vec()
+			if err != nil {
+				return nil, err
+			}
+			if len(bdv) > 0 {
+				e.Deps = vclock.VC(bdv)
+			}
+			if e.Inv.Method, err = r.u16(); err != nil {
+				return nil, err
+			}
+			if e.Inv.Page, err = r.str(); err != nil {
+				return nil, err
+			}
+			if e.Inv.Args, err = r.bytes(); err != nil {
+				return nil, err
+			}
+			bwn, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			e.WallNanos = int64(bwn)
+		}
+	}
 	if !r.empty() {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrShortMessage, r.remaining())
 	}
 	return m, nil
 }
 
-// WireSize returns the encoded size of m in bytes without retaining the
-// buffer; used by the metrics layer for byte accounting.
-func WireSize(m *Message) int { return len(Encode(m)) }
+// WireSize returns the encoded size of m in bytes without encoding; used by
+// the metrics layer for byte accounting.
+func WireSize(m *Message) int { return wireSize(m) }

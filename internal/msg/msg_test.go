@@ -241,3 +241,172 @@ func TestDecodeNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- batch frames, pooled encode, zero-copy decode ----------------------------
+
+func sampleBatchMessage() *Message {
+	m := &Message{
+		Kind:   KindUpdateBatch,
+		Object: "conf-page",
+		From:   "store-1",
+		To:     "cache-2",
+		Store:  3,
+	}
+	for i := 1; i <= 3; i++ {
+		m.Batch = append(m.Batch, BatchUpdate{
+			Write:     ids.WiD{Client: 7, Seq: uint64(i)},
+			GlobalSeq: uint64(100 + i),
+			Stamp:     vclock.Stamp{Time: uint64(50 + i), Client: 7},
+			Deps:      vclock.VC{2: uint64(i)},
+			Inv:       Invocation{Method: 2, Page: "program.html", Args: []byte("delta")},
+			WallNanos: int64(1000 + i),
+		})
+	}
+	return m
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	m := sampleBatchMessage()
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("batch round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestBatchWireSizeMatchesEncoding(t *testing.T) {
+	m := sampleBatchMessage()
+	if got, want := WireSize(m), len(Encode(m)); got != want {
+		t.Fatalf("WireSize = %d, want %d", got, want)
+	}
+}
+
+func TestBatchTruncationDetected(t *testing.T) {
+	full := Encode(sampleBatchMessage())
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+// TestAllKindsRoundTrip exercises the codec for every defined kind.
+func TestAllKindsRoundTrip(t *testing.T) {
+	for k := KindBindRequest; k < kindMax; k++ {
+		m := sampleMessage()
+		m.Kind = k
+		if k == KindUpdateBatch {
+			m = sampleBatchMessage()
+		}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("kind %v: %v", k, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("kind %v round trip mismatch", k)
+		}
+	}
+}
+
+// TestEncodeExactSize: Encode allocates exactly the wire size, nothing more.
+func TestEncodeExactSize(t *testing.T) {
+	for _, m := range []*Message{sampleMessage(), sampleBatchMessage(), {Kind: KindReadRequest}} {
+		b := Encode(m)
+		if len(b) != cap(b) {
+			t.Fatalf("kind %v: encode over-allocated: len %d cap %d", m.Kind, len(b), cap(b))
+		}
+	}
+}
+
+func TestEncodePooledMatchesEncode(t *testing.T) {
+	m := sampleMessage()
+	want := Encode(m)
+	for i := 0; i < 3; i++ { // cycle the pool to catch stale-buffer bugs
+		wb := EncodePooled(m)
+		if !bytes.Equal(wb.Bytes(), want) {
+			t.Fatalf("pooled encoding differs on cycle %d", i)
+		}
+		wb.Release()
+	}
+	// A smaller message after a big one must not leak stale bytes.
+	small := &Message{Kind: KindReadRequest, Object: "o"}
+	wb := EncodePooled(small)
+	defer wb.Release()
+	if !bytes.Equal(wb.Bytes(), Encode(small)) {
+		t.Fatalf("pooled encoding of small message after large one differs")
+	}
+}
+
+func TestDecodeAliasSharesPayload(t *testing.T) {
+	m := sampleMessage()
+	wire := Encode(m)
+	got, err := DecodeAlias(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("alias decode mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	// Args and Payload must alias the frame: flipping a frame byte shows
+	// through (this is the documented contract — callers promise the frame
+	// is immutable).
+	got.Payload[0] ^= 0xFF
+	if copied, _ := Decode(wire); bytes.Equal(copied.Payload, m.Payload) {
+		t.Fatalf("DecodeAlias copied Payload instead of aliasing")
+	}
+	got.Payload[0] ^= 0xFF // restore
+	// Plain Decode must keep copying.
+	cp, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Payload[0] ^= 0xFF
+	if re, _ := Decode(wire); !bytes.Equal(re.Payload, m.Payload) {
+		t.Fatalf("Decode aliased the frame")
+	}
+}
+
+// Property: batch entries survive the round trip for arbitrary inputs.
+func TestBatchRoundTripProperty(t *testing.T) {
+	f := func(entries []struct {
+		Client uint32
+		Seq    uint64
+		Method uint16
+		Page   string
+		Args   []byte
+		Wall   uint64
+	}) bool {
+		if len(entries) > 200 {
+			entries = entries[:200]
+		}
+		m := &Message{Kind: KindUpdateBatch, Object: "o"}
+		for _, e := range entries {
+			page := e.Page
+			if len(page) > 1000 {
+				page = page[:1000]
+			}
+			m.Batch = append(m.Batch, BatchUpdate{
+				Write:     ids.WiD{Client: ids.ClientID(e.Client), Seq: e.Seq},
+				Stamp:     vclock.Stamp{Time: e.Seq, Client: ids.ClientID(e.Client)},
+				Inv:       Invocation{Method: e.Method, Page: page, Args: e.Args},
+				WallNanos: int64(e.Wall),
+			})
+		}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		for i := range m.Batch {
+			if len(m.Batch[i].Inv.Args) == 0 {
+				m.Batch[i].Inv.Args = nil
+			}
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

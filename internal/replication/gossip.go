@@ -2,6 +2,7 @@ package replication
 
 import (
 	"repro/internal/coherence"
+	"repro/internal/ids"
 	"repro/internal/msg"
 )
 
@@ -25,6 +26,11 @@ func (o *Object) AddPeer(addr string) {
 	}
 	o.peers[addr] = true
 	o.armGossip()
+}
+
+// RemovePeer deregisters a sibling replica from anti-entropy exchange.
+func (o *Object) RemovePeer(addr string) {
+	delete(o.peers, addr)
 }
 
 // Peers returns the registered gossip peers.
@@ -75,14 +81,11 @@ func (o *Object) gossipRound() {
 	}
 }
 
-// onGossip handles a peer's digest: ship whatever the peer is missing, and
-// answer with our own digest so the exchange is symmetric.
+// onGossip handles a peer's digest: ship whatever the peer is missing (as a
+// single batch frame when more than one update is due), and answer with our
+// own digest so the exchange is symmetric.
 func (o *Object) onGossip(m *msg.Message) {
-	for _, u := range o.log {
-		if !m.VVec.CoversWrite(u.Write) {
-			o.send(m.From, o.updateMsg(u))
-		}
-	}
+	o.sendUpdates(m.From, o.missingFrom(m.VVec))
 	r := m.Reply(msg.KindGossipReply)
 	r.From = o.addr
 	r.Store = o.self
@@ -93,11 +96,18 @@ func (o *Object) onGossip(m *msg.Message) {
 // onGossipReply closes the loop: ship the peer anything the reply digest
 // shows it still lacks (our writes that arrived after its gossip was sent).
 func (o *Object) onGossipReply(m *msg.Message) {
+	o.sendUpdates(m.From, o.missingFrom(m.VVec))
+}
+
+// missingFrom collects the logged updates a peer with digest v lacks.
+func (o *Object) missingFrom(v ids.VersionVec) []*coherence.Update {
+	var missing []*coherence.Update
 	for _, u := range o.log {
-		if !m.VVec.CoversWrite(u.Write) {
-			o.send(m.From, o.updateMsg(u))
+		if !v.CoversWrite(u.Write) {
+			missing = append(missing, u)
 		}
 	}
+	return missing
 }
 
 // validGossipStrategy reports whether gossip handling applies (defensive:

@@ -24,6 +24,8 @@ func (o *Object) Handle(m *msg.Message) {
 		o.onWrite(m)
 	case msg.KindUpdate:
 		o.onUpdate(m)
+	case msg.KindUpdateBatch:
+		o.onUpdateBatch(m)
 	case msg.KindUpdateAck:
 		// "Nothing missing" answer to a demand: counts as revalidation.
 		o.revalEpoch++
@@ -420,11 +422,10 @@ func (o *Object) shipNow(ups []*coherence.Update, pages map[string]bool) {
 			}
 			o.multicast(tos, n)
 		case strategy.CoherencePartial:
-			// Operation shipping: each update travels as its marshalled
-			// write invocation, in order.
-			for _, u := range ups {
-				o.multicast(tos, o.updateMsg(u))
-			}
+			// Operation shipping: a single update travels as its marshalled
+			// write invocation; an aggregated flush ships all N updates in
+			// one KindUpdateBatch frame, amortising the envelope.
+			o.shipOps(ups, func(m *msg.Message) { o.multicast(tos, m) })
 		case strategy.CoherenceFull:
 			// Aggregation pays off here: one snapshot replaces the whole
 			// batch.
@@ -463,6 +464,56 @@ func (o *Object) updateMsg(u *coherence.Update) *msg.Message {
 	}
 }
 
+// batchMsg packs N updates into one KindUpdateBatch frame.
+func (o *Object) batchMsg(ups []*coherence.Update) *msg.Message {
+	entries := make([]msg.BatchUpdate, len(ups))
+	for i, u := range ups {
+		entries[i] = msg.BatchUpdate{
+			Write:     u.Write,
+			GlobalSeq: u.GlobalSeq,
+			Stamp:     u.Stamp,
+			Deps:      u.Deps.Clone(),
+			Inv:       u.Inv,
+			WallNanos: u.WallNanos,
+		}
+	}
+	return &msg.Message{
+		Kind:   msg.KindUpdateBatch,
+		Object: o.object,
+		From:   o.addr,
+		Store:  o.self,
+		Batch:  entries,
+	}
+}
+
+// shipOps hands updates to deliver as wire frames: one KindUpdate for a
+// single update, one KindUpdateBatch for several, split across frames when
+// a flush exceeds the wire format's per-frame entry count (the codec would
+// otherwise silently truncate the tail). Every batching decision (and its
+// stats accounting) funnels through here.
+func (o *Object) shipOps(ups []*coherence.Update, deliver func(*msg.Message)) {
+	for len(ups) > 0 {
+		chunk := ups
+		if len(chunk) > msg.MaxBatch {
+			chunk = chunk[:msg.MaxBatch]
+		}
+		ups = ups[len(chunk):]
+		if len(chunk) == 1 {
+			deliver(o.updateMsg(chunk[0]))
+			continue
+		}
+		o.stats.BatchesSent++
+		o.stats.BatchedUpdates += uint64(len(chunk))
+		deliver(o.batchMsg(chunk))
+	}
+}
+
+// sendUpdates ships updates to one destination, batching when more than one
+// is pending (demand replay, gossip deltas).
+func (o *Object) sendUpdates(to string, ups []*coherence.Update) {
+	o.shipOps(ups, func(m *msg.Message) { o.send(to, m) })
+}
+
 func pageList(pages map[string]bool) []string {
 	out := make([]string, 0, len(pages))
 	for p := range pages {
@@ -496,7 +547,30 @@ func (o *Object) onUpdate(m *msg.Message) {
 		o.reconsiderParked()
 		return
 	}
-	u := updateFromMsg(m)
+	o.submitOp(updateFromMsg(m))
+}
+
+// onUpdateBatch fans an aggregated KindUpdateBatch frame into the ordering
+// engine entry by entry, exactly as if each update had arrived in its own
+// KindUpdate message.
+func (o *Object) onUpdateBatch(m *msg.Message) {
+	o.revalEpoch++
+	for i := range m.Batch {
+		e := &m.Batch[i]
+		o.submitOp(&coherence.Update{
+			Write:     e.Write,
+			GlobalSeq: e.GlobalSeq,
+			Deps:      e.Deps.Clone(),
+			Stamp:     e.Stamp,
+			Inv:       e.Inv,
+			WallNanos: e.WallNanos,
+		})
+	}
+}
+
+// submitOp runs one operation update through the ordering engine and applies
+// whatever it releases.
+func (o *Object) submitOp(u *coherence.Update) {
 	released := o.engine.Submit(u)
 	if len(released) == 0 && o.engine.Pending() > 0 {
 		o.stats.UpdatesBuffered++
@@ -657,9 +731,8 @@ func (o *Object) onDemand(m *msg.Message) {
 		o.send(m.From, ack)
 		return
 	}
-	for _, u := range missing {
-		o.send(m.From, o.updateMsg(u))
-	}
+	// Replay as one batch frame instead of one message per logged update.
+	o.sendUpdates(m.From, missing)
 }
 
 // logCovers reports whether the retained log suffices to bring a requester

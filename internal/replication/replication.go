@@ -98,6 +98,8 @@ type Stats struct {
 	LazyFlushes     uint64 // aggregated dissemination rounds
 	ReqViolations   uint64 // reads whose session requirement was not met locally
 	GossipRounds    uint64 // anti-entropy digests sent to peers
+	BatchesSent     uint64 // KindUpdateBatch frames shipped
+	BatchedUpdates  uint64 // updates carried inside batch frames
 }
 
 // parkedRead is a read waiting for coherence (requirement vector), state

@@ -281,14 +281,36 @@ func TestDemandServedFromLog(t *testing.T) {
 		o.Handle(writeMsg(1, uint64(i), "p", "x"))
 	}
 	env.sent = nil
-	// Child knows up to write 1; demands the rest.
+	// Child knows up to write 1; demands the rest, which arrives as one
+	// aggregated batch frame.
+	o.Handle(&msg.Message{
+		Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1",
+		VVec: ids.VersionVec{1: 1},
+	})
+	batches := env.takeSent(msg.KindUpdateBatch)
+	if len(batches) != 1 {
+		t.Fatalf("demand reply batches: %+v", batches)
+	}
+	bu := batches[0].Batch
+	if len(bu) != 2 || bu[0].Write.Seq != 2 || bu[1].Write.Seq != 3 {
+		t.Fatalf("batch entries: %+v", bu)
+	}
+}
+
+func TestDemandSingleMissingUpdateShipsUnbatched(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RolePermanent, strategy.Conference(time.Hour), "")
+	for i := 1; i <= 2; i++ {
+		o.Handle(writeMsg(1, uint64(i), "p", "x"))
+	}
+	env.sent = nil
 	o.Handle(&msg.Message{
 		Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1",
 		VVec: ids.VersionVec{1: 1},
 	})
 	ups := env.takeSent(msg.KindUpdate)
-	if len(ups) != 2 || ups[0].Write.Seq != 2 || ups[1].Write.Seq != 3 {
-		t.Fatalf("demand reply: %+v", ups)
+	if len(ups) != 1 || ups[0].Write.Seq != 2 {
+		t.Fatalf("single-update demand reply: %+v", ups)
 	}
 }
 
@@ -453,5 +475,122 @@ func TestInvalidStrategyRejected(t *testing.T) {
 		Env: newFakeEnv(), Object: "obj", Self: 1, Addr: "a", Role: RolePermanent, Strat: st,
 	}); err == nil {
 		t.Fatalf("invalid strategy accepted")
+	}
+}
+
+// --- batch frames -------------------------------------------------------------
+
+// TestLazyFlushShipsOneBatchFrame: N writes aggregated by a lazy interval
+// leave as a single KindUpdateBatch frame per child, not N KindUpdate
+// messages.
+func TestLazyFlushShipsOneBatchFrame(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RolePermanent, strategy.Conference(10*time.Millisecond), "")
+	o.Handle(&msg.Message{Kind: msg.KindSubscribe, Object: "obj", From: "child-1"})
+	env.sent = nil
+	for i := 1; i <= 5; i++ {
+		o.Handle(writeMsg(1, uint64(i), "p", "x"))
+	}
+	if got := env.takeSent(msg.KindUpdate); len(got) != 0 {
+		t.Fatalf("updates shipped before the lazy flush: %+v", got)
+	}
+	env.clk.Advance(10 * time.Millisecond)
+	batches := env.takeSent(msg.KindUpdateBatch)
+	if len(batches) != 1 {
+		t.Fatalf("batch frames: %d, want 1", len(batches))
+	}
+	if got := len(batches[0].Batch); got != 5 {
+		t.Fatalf("batch entries: %d, want 5", got)
+	}
+	for i, e := range batches[0].Batch {
+		if e.Write.Seq != uint64(i+1) {
+			t.Fatalf("entry %d out of order: %+v", i, e.Write)
+		}
+	}
+	if s := o.Stats(); s.BatchesSent != 1 || s.BatchedUpdates != 5 {
+		t.Fatalf("batch stats: %+v", s)
+	}
+}
+
+// TestUpdateBatchFanIn: a received batch frame fans into the ordering engine
+// entry by entry and applies in order.
+func TestUpdateBatchFanIn(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RoleClientInitiated, strategy.Conference(time.Hour), "parent-store")
+	var entries []msg.BatchUpdate
+	for i := 1; i <= 3; i++ {
+		entries = append(entries, msg.BatchUpdate{
+			Write: ids.WiD{Client: 1, Seq: uint64(i)},
+			Inv: msg.Invocation{
+				Method: webdoc.MethodAppendPage, Page: "p",
+				Args: webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte("x")}),
+			},
+		})
+	}
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdateBatch, Object: "obj", From: "parent-store", Batch: entries,
+	})
+	if s := o.Stats(); s.UpdatesApplied != 3 {
+		t.Fatalf("updates applied: %+v", s)
+	}
+	if !o.Applied().CoversWrite(ids.WiD{Client: 1, Seq: 3}) {
+		t.Fatalf("applied vector missing batched writes: %v", o.Applied())
+	}
+	got, err := env.ctrl.ServeRead(msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := webdoc.DecodePage(got)
+	if err != nil || string(pg.Content) != "xxx" {
+		t.Fatalf("content after batch fan-in: %q, %v", pg.Content, err)
+	}
+}
+
+// TestUpdateBatchGapStillDemands: a batch whose first entry leaves a gap
+// buffers and triggers a demand, like a standalone out-of-order update.
+func TestUpdateBatchGapStillDemands(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.Conference(time.Hour)
+	st.ObjectOutdate = strategy.Demand
+	o := newObj(t, env, RoleClientInitiated, st, "parent-store")
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdateBatch, Object: "obj", From: "parent-store",
+		Batch: []msg.BatchUpdate{{
+			Write: ids.WiD{Client: 1, Seq: 3}, // gap: 1,2 never arrived
+			Inv: msg.Invocation{
+				Method: webdoc.MethodAppendPage, Page: "p",
+				Args: webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte("x")}),
+			},
+		}},
+	})
+	if s := o.Stats(); s.UpdatesApplied != 0 || s.UpdatesBuffered != 1 {
+		t.Fatalf("gap handling stats: %+v", s)
+	}
+	if got := env.takeSent(msg.KindDemandUpdate); len(got) != 1 {
+		t.Fatalf("demands: %+v", got)
+	}
+}
+
+// TestGossipShipsBatch: an anti-entropy exchange ships all missing updates
+// to the peer in one batch frame.
+func TestGossipShipsBatch(t *testing.T) {
+	env := newFakeEnv()
+	st := strategy.MirroredSite(time.Hour)
+	st.CoherenceTransfer = strategy.CoherencePartial
+	o := newObj(t, env, RoleObjectInitiated, st, "")
+	for i := 1; i <= 4; i++ {
+		o.Handle(writeMsg(1, uint64(i), "p", "x"))
+	}
+	env.sent = nil
+	o.Handle(&msg.Message{
+		Kind: msg.KindGossip, Object: "obj", From: "peer-1",
+		VVec: ids.VersionVec{1: 1},
+	})
+	batches := env.takeSent(msg.KindUpdateBatch)
+	if len(batches) != 1 || len(batches[0].Batch) != 3 {
+		t.Fatalf("gossip delta batches: %+v", batches)
+	}
+	if replies := env.takeSent(msg.KindGossipReply); len(replies) != 1 {
+		t.Fatalf("gossip replies: %+v", replies)
 	}
 }

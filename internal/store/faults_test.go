@@ -41,12 +41,20 @@ func TestDuplicatedLinkDeliveries(t *testing.T) {
 	const n = 20
 	for i := 0; i < n; i++ {
 		appendPage(t, writer, "log", "x")
+		// Sleep past the lazy interval every few writes so the run spans
+		// several flush windows: multiple update frames must cross the
+		// duplicating link, not one aggregate batch.
+		if i%5 == 4 {
+			time.Sleep(7 * time.Millisecond)
+		}
 	}
-	// Wait for the lazy flush to ship the op updates (with duplicates).
+	// Wait for the lazy flushes to ship the op updates (with duplicates).
+	// Aggregated flushes travel as KindUpdateBatch frames; a duplicated
+	// batch resubmits every entry, so dedup is exercised either way.
 	eventually(t, 5*time.Second, func() bool {
 		s := r.net.Stats()
-		return s.ByKind[msg.KindUpdate] >= n && s.Duplicated > 0
-	}, "op updates (with duplicates) shipped to the cache")
+		return s.ByKind[msg.KindUpdate]+s.ByKind[msg.KindUpdateBatch] >= 2 && s.Duplicated > 0
+	}, "several op-update frames (with duplicates) shipped to the cache")
 	// The cache must converge to exactly n appends — duplicates deduped.
 	eventually(t, 5*time.Second, func() bool {
 		got, err := getPage(t, reader, "log")

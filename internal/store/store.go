@@ -372,3 +372,21 @@ func (s *Store) AddPeer(object ids.ObjectID, peerAddr string) error {
 	}
 	return <-errCh
 }
+
+// RemovePeer deregisters a gossip peer previously added with AddPeer.
+func (s *Store) RemovePeer(object ids.ObjectID, peerAddr string) error {
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		r.repl.RemovePeer(peerAddr)
+		errCh <- nil
+	})
+	if !posted {
+		return ErrClosed
+	}
+	return <-errCh
+}

@@ -4,10 +4,14 @@
 //
 // It substitutes for the Internet testbed of the paper's prototype. Messages
 // are fully encoded and re-decoded on every hop, so wire sizes are real and
-// no state is ever shared by reference between "address spaces". A lossless
-// network models the paper's TCP configuration; setting a loss rate models
-// the UDP configuration of §4.2, where reliability is recovered by the
-// coherence protocol rather than the transport.
+// senders never share mutable state with receivers. Delivered messages are
+// produced by msg.DecodeAlias over the immutable wire frame — a multicast's
+// receivers (and duplicate deliveries) alias one shared read-only backing
+// array for Args/Payload, so receivers must treat those byte slices as
+// immutable, exactly as they would data read from a socket buffer they do
+// not own. A lossless network models the paper's TCP configuration; setting
+// a loss rate models the UDP configuration of §4.2, where reliability is
+// recovered by the coherence protocol rather than the transport.
 package memnet
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/msg"
@@ -45,6 +50,48 @@ type Stats struct {
 	ByKind     map[msg.Kind]uint64
 }
 
+// counters holds the live traffic counters as atomics, so senders bump them
+// without serialising on the network mutex; the per-kind counters are a
+// fixed array indexed by msg.Kind rather than a locked map.
+type counters struct {
+	sent       atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	duplicated atomic.Uint64
+	bytes      atomic.Uint64
+	byKind     [msg.KindCount]atomic.Uint64
+}
+
+// snapshot copies the counters into the exported Stats form.
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Sent:       c.sent.Load(),
+		Delivered:  c.delivered.Load(),
+		Dropped:    c.dropped.Load(),
+		Duplicated: c.duplicated.Load(),
+		Bytes:      c.bytes.Load(),
+		ByKind:     make(map[msg.Kind]uint64),
+	}
+	for k := range c.byKind {
+		if v := c.byKind[k].Load(); v > 0 {
+			s.ByKind[msg.Kind(k)] = v
+		}
+	}
+	return s
+}
+
+// reset zeroes every counter.
+func (c *counters) reset() {
+	c.sent.Store(0)
+	c.delivered.Store(0)
+	c.dropped.Store(0)
+	c.duplicated.Store(0)
+	c.bytes.Store(0)
+	for k := range c.byKind {
+		c.byKind[k].Store(0)
+	}
+}
+
 // Network is a simulated network. Create endpoints with Endpoint, wire their
 // behaviour with SetLink/SetDefaultLink, and tear everything down with
 // Close, which waits for the delivery scheduler to stop.
@@ -52,10 +99,14 @@ type Network struct {
 	mu        sync.Mutex
 	rng       *rand.Rand
 	endpoints map[string]*endpoint
+	// graveyard holds endpoints closed before the network itself closes:
+	// their addresses are free for reuse, but their receive channels still
+	// close when the network does (the documented Recv contract).
+	graveyard []*endpoint
 	links     map[linkKey]LinkProfile
 	defProf   LinkProfile
 	parts     map[linkKey]bool
-	stats     Stats
+	stats     counters
 	queue     deliveryQueue
 	seq       uint64
 	wake      chan struct{}
@@ -90,7 +141,6 @@ func New(opts ...Option) *Network {
 		wake:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
-	n.stats.ByKind = make(map[msg.Kind]uint64)
 	for _, o := range opts {
 		o(n)
 	}
@@ -145,23 +195,10 @@ func (n *Network) Heal(a, b string) {
 }
 
 // Stats returns a copy of the traffic counters.
-func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s := n.stats
-	s.ByKind = make(map[msg.Kind]uint64, len(n.stats.ByKind))
-	for k, v := range n.stats.ByKind {
-		s.ByKind[k] = v
-	}
-	return s
-}
+func (n *Network) Stats() Stats { return n.stats.snapshot() }
 
 // ResetStats zeroes the traffic counters (benchmark warm-up support).
-func (n *Network) ResetStats() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats = Stats{ByKind: make(map[msg.Kind]uint64)}
-}
+func (n *Network) ResetStats() { n.stats.reset() }
 
 // Close shuts down the network: endpoints' receive channels close and the
 // delivery scheduler stops. Close blocks until the scheduler exits.
@@ -172,10 +209,12 @@ func (n *Network) Close() error {
 		return nil
 	}
 	n.closed = true
-	eps := make([]*endpoint, 0, len(n.endpoints))
+	eps := make([]*endpoint, 0, len(n.endpoints)+len(n.graveyard))
 	for _, e := range n.endpoints {
 		eps = append(eps, e)
 	}
+	eps = append(eps, n.graveyard...)
+	n.graveyard = nil
 	n.mu.Unlock()
 	close(n.done)
 	n.wg.Wait()
@@ -193,24 +232,70 @@ func (n *Network) send(from, to string, m *msg.Message) error {
 		n.mu.Unlock()
 		return transport.ErrClosed
 	}
-	if _, ok := n.endpoints[to]; !ok {
+	dst, ok := n.endpoints[to]
+	if !ok {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q", transport.ErrUnknownAddr, to)
 	}
-	n.stats.Sent++
-	if n.parts[linkKey{from, to}] {
-		n.stats.Dropped++
+	n.enqueueLocked(from, to, dst, wire)
+	n.mu.Unlock()
+	n.wakeScheduler()
+	return nil
+}
+
+// multicast is the encode-once fan-out fast path: the frame is serialised a
+// single time and the resulting wire bytes are shared by every scheduled
+// delivery. Receivers each decode their own Message struct but alias the
+// shared read-only frame for Args/Payload (see the package doc's
+// immutability contract).
+//
+// Fan-out is best-effort: an unknown destination (e.g. a child whose
+// endpoint closed and freed its address) must not starve the remaining
+// destinations, so every address is attempted and the first failure is
+// reported after the sweep.
+func (n *Network) multicast(from string, tos []string, m *msg.Message) error {
+	if len(tos) == 0 {
+		return nil
+	}
+	wire := msg.Encode(m)
+	var firstErr error
+	n.mu.Lock()
+	if n.closed {
 		n.mu.Unlock()
-		return nil // partitions drop silently, like the real network
+		return transport.ErrClosed
+	}
+	for _, to := range tos {
+		dst, ok := n.endpoints[to]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("multicast to %q: %w", to, transport.ErrUnknownAddr)
+			}
+			continue
+		}
+		n.enqueueLocked(from, to, dst, wire)
+	}
+	n.mu.Unlock()
+	n.wakeScheduler()
+	return firstErr
+}
+
+// enqueueLocked applies the link profile for from->to and schedules the wire
+// bytes for delivery to dst. The destination endpoint is captured by pointer
+// at enqueue time so a delivery in flight when the endpoint closes is never
+// handed to a fresh endpoint that reuses the address. Callers hold n.mu.
+func (n *Network) enqueueLocked(from, to string, dst *endpoint, wire []byte) {
+	n.stats.sent.Add(1)
+	if n.parts[linkKey{from, to}] {
+		n.stats.dropped.Add(1)
+		return // partitions drop silently, like the real network
 	}
 	prof, ok := n.links[linkKey{from, to}]
 	if !ok {
 		prof = n.defProf
 	}
 	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
-		n.stats.Dropped++
-		n.mu.Unlock()
-		return nil
+		n.stats.dropped.Add(1)
+		return
 	}
 	delay := prof.Latency
 	if prof.Jitter > 0 {
@@ -220,7 +305,7 @@ func (n *Network) send(from, to string, m *msg.Message) error {
 	heap.Push(&n.queue, &delivery{
 		at:   time.Now().Add(delay),
 		seq:  n.seq,
-		to:   to,
+		ep:   dst,
 		wire: wire,
 	})
 	if prof.Dup > 0 && n.rng.Float64() < prof.Dup {
@@ -229,20 +314,21 @@ func (n *Network) send(from, to string, m *msg.Message) error {
 			extra += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
 		}
 		n.seq++
-		n.stats.Duplicated++
+		n.stats.duplicated.Add(1)
 		heap.Push(&n.queue, &delivery{
 			at:   time.Now().Add(extra),
 			seq:  n.seq,
-			to:   to,
+			ep:   dst,
 			wire: wire,
 		})
 	}
-	n.mu.Unlock()
+}
+
+func (n *Network) wakeScheduler() {
 	select {
 	case n.wake <- struct{}{}:
 	default:
 	}
-	return nil
 }
 
 // run is the delivery scheduler: it sleeps until the earliest queued
@@ -297,35 +383,37 @@ func (n *Network) deliverDue() {
 			return
 		}
 		d := heap.Pop(&n.queue).(*delivery)
-		e := n.endpoints[d.to]
+		e := d.ep
 		n.mu.Unlock()
-		if e == nil || e.isClosed() {
+		if e.isClosed() {
 			continue
 		}
-		m, err := msg.Decode(d.wire)
+		// Zero-copy decode: the scheduler never reuses a frame, and
+		// multicast frames are shared read-only, so the delivered message
+		// may alias the wire bytes.
+		m, err := msg.DecodeAlias(d.wire)
 		if err != nil {
 			// Encode/Decode are inverses; a failure here is a programming
 			// error surfaced loudly in tests via the dropped counter.
-			n.mu.Lock()
-			n.stats.Dropped++
-			n.mu.Unlock()
+			n.stats.dropped.Add(1)
 			continue
 		}
 		if e.deliver(m, n.done) {
-			n.mu.Lock()
-			n.stats.Delivered++
-			n.stats.Bytes += uint64(len(d.wire))
-			n.stats.ByKind[m.Kind]++
-			n.mu.Unlock()
+			n.stats.delivered.Add(1)
+			n.stats.bytes.Add(uint64(len(d.wire)))
+			if k := int(m.Kind); k >= 0 && k < msg.KindCount {
+				n.stats.byKind[k].Add(1)
+			}
 		}
 	}
 }
 
-// delivery is one scheduled message hand-off.
+// delivery is one scheduled message hand-off, pinned to the endpoint that
+// existed at send time.
 type delivery struct {
 	at   time.Time
 	seq  uint64
-	to   string
+	ep   *endpoint
 	wire []byte
 }
 
@@ -372,21 +460,53 @@ func (e *endpoint) Send(to string, m *msg.Message) error {
 }
 
 func (e *endpoint) Multicast(tos []string, m *msg.Message) error {
-	for _, to := range tos {
-		if err := e.Send(to, m); err != nil {
-			return fmt.Errorf("multicast to %q: %w", to, err)
-		}
+	if e.isClosed() {
+		return transport.ErrClosed
 	}
-	return nil
+	return e.net.multicast(e.addr, tos, m)
 }
 
 func (e *endpoint) Recv() <-chan *msg.Message { return e.inbox }
 
+// Close marks the endpoint closed and releases its address for reuse.
+// Deliveries already scheduled to the old endpoint are discarded; the
+// receive channel stays open (draining nothing) until the network closes,
+// per the Recv contract.
 func (e *endpoint) Close() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
 	e.closed = true
+	e.mu.Unlock()
+	e.net.retire(e)
 	return nil
+}
+
+// retire removes a closed endpoint from the address table (freeing the
+// address for a fresh endpoint) while remembering it so Network.Close still
+// closes its receive channel.
+func (n *Network) retire(e *endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return // Network.Close already owns the endpoint list
+	}
+	if n.endpoints[e.addr] == e {
+		delete(n.endpoints, e.addr)
+		n.graveyard = append(n.graveyard, e)
+	}
+	// Drop the buffered deliveries nobody will read, so churny workloads
+	// (create/close many endpoints) retain only the small endpoint shells
+	// until the network closes their channels.
+	for {
+		select {
+		case <-e.inbox:
+		default:
+			return
+		}
+	}
 }
 
 func (e *endpoint) isClosed() bool {
@@ -403,6 +523,16 @@ func (e *endpoint) deliver(m *msg.Message, done <-chan struct{}) bool {
 	}
 	select {
 	case e.inbox <- m:
+		if e.isClosed() {
+			// Close raced with the send: retire's drain may already have
+			// run, so scoop a buffered message back out rather than pin it
+			// (and the wire frame it aliases) until the network closes.
+			select {
+			case <-e.inbox:
+			default:
+			}
+			return false
+		}
 		return true
 	case <-done:
 		return false

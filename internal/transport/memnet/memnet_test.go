@@ -1,6 +1,9 @@
 package memnet
 
 import (
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -208,23 +211,69 @@ func TestStatsCounters(t *testing.T) {
 }
 
 func TestClosedEndpointStopsReceiving(t *testing.T) {
-	n := New()
+	// The latency must comfortably exceed any plausible scheduling delay
+	// between Send and Close, or the in-flight frame lands before the
+	// endpoint closes and the Delivered==0 assertion turns flaky.
+	n := New(WithDefaultLink(LinkProfile{Latency: 100 * time.Millisecond}))
 	defer n.Close()
 	a, _ := n.Endpoint("a")
 	b, _ := n.Endpoint("b")
-	if err := b.Close(); err != nil {
-		t.Fatal(err)
-	}
+	// A delivery already in flight when the endpoint closes is discarded.
 	if err := a.Send("b", testMsg(msg.KindUpdate, "x")); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(10 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
 	s := n.Stats()
 	if s.Delivered != 0 {
 		t.Fatalf("message delivered to closed endpoint: %+v", s)
 	}
+	// The address is gone from the network: new sends fail fast.
+	if err := a.Send("b", testMsg(msg.KindUpdate, "x")); !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Fatalf("send to closed address: got %v, want ErrUnknownAddr", err)
+	}
 	if err := b.Send("a", testMsg(msg.KindUpdate, "x")); err == nil {
 		t.Fatalf("send from closed endpoint should fail")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestClosedAddressCanBeRecreated(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatalf("re-creating a closed address: %v", err)
+	}
+	if err := a.Send("b", testMsg(msg.KindUpdate, "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b2); string(got.Payload) != "fresh" {
+		t.Fatalf("payload %q", got.Payload)
+	}
+	// The old endpoint's channel still closes when the network closes.
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-b.Recv():
+		if ok {
+			t.Fatalf("unexpected message on retired endpoint")
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("retired endpoint's recv channel not closed after network close")
 	}
 }
 
@@ -277,5 +326,129 @@ func TestJitterStillDelivers(t *testing.T) {
 	}
 	for i := 0; i < k; i++ {
 		recvOne(t, b)
+	}
+}
+
+// TestMulticastEncodesOnce: the fan-out fast path serialises the frame a
+// single time and shares the wire bytes across all destinations.
+func TestMulticastEncodesOnce(t *testing.T) {
+	n := New()
+	defer n.Close()
+	src, _ := n.Endpoint("src")
+	var sinks []transport.Endpoint
+	addrs := []string{"s1", "s2", "s3", "s4"}
+	for _, ad := range addrs {
+		ep, _ := n.Endpoint(ad)
+		sinks = append(sinks, ep)
+	}
+	var encodes atomic.Int64
+	msg.EncodeHook = func(*msg.Message) { encodes.Add(1) }
+	defer func() { msg.EncodeHook = nil }()
+	if err := src.Multicast(addrs, testMsg(msg.KindUpdate, "once")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sinks {
+		if got := recvOne(t, s); string(got.Payload) != "once" {
+			t.Fatalf("multicast payload %q", got.Payload)
+		}
+	}
+	if got := encodes.Load(); got != 1 {
+		t.Fatalf("multicast to %d destinations encoded %d times, want 1", len(addrs), got)
+	}
+	if s := n.Stats(); s.Sent != uint64(len(addrs)) || s.Delivered != uint64(len(addrs)) {
+		t.Fatalf("fan-out counters: %+v", s)
+	}
+}
+
+// TestConcurrentSendersStats: hammer the network from many goroutines to
+// shake out races in the atomic counters and shared encode path (run with
+// -race).
+func TestConcurrentSendersStats(t *testing.T) {
+	n := New()
+	defer n.Close()
+	const senders = 8
+	const per = 50
+	sink, _ := n.Endpoint("sink")
+	eps := make([]transport.Endpoint, senders)
+	for i := range eps {
+		eps[i], _ = n.Endpoint(string(rune('a' + i)))
+	}
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				_ = ep.Send("sink", testMsg(msg.KindUpdate, "x"))
+			}
+		}(ep)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < senders*per; i++ {
+			recvOne(t, sink)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if s := n.Stats(); s.Sent != senders*per || s.Delivered != senders*per {
+		t.Fatalf("concurrent counters: %+v", s)
+	}
+}
+
+// TestInFlightDeliveryNotHandedToRecreatedEndpoint: a delivery scheduled to
+// an endpoint that closes before it lands is discarded, even if a fresh
+// endpoint reuses the address in the meantime — deliveries are pinned to the
+// endpoint incarnation that existed at send time.
+func TestInFlightDeliveryNotHandedToRecreatedEndpoint(t *testing.T) {
+	n := New(WithDefaultLink(LinkProfile{Latency: 20 * time.Millisecond}))
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	if err := a.Send("b", testMsg(msg.KindUpdate, "stale")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", testMsg(msg.KindUpdate, "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b2); string(got.Payload) != "fresh" {
+		t.Fatalf("recreated endpoint received %q; the stale in-flight frame must be discarded", got.Payload)
+	}
+	select {
+	case m := <-b2.Recv():
+		t.Fatalf("unexpected second delivery %q on recreated endpoint", m.Payload)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestMulticastBestEffortPastClosedDestination: a destination whose
+// endpoint closed (freeing its address) must not starve the remaining
+// fan-out targets; the sweep completes and the failure is still reported.
+func TestMulticastBestEffortPastClosedDestination(t *testing.T) {
+	n := New()
+	defer n.Close()
+	src, _ := n.Endpoint("src")
+	s1, _ := n.Endpoint("s1")
+	s2, _ := n.Endpoint("s2")
+	s3, _ := n.Endpoint("s3")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := src.Multicast([]string{"s1", "s2", "s3"}, testMsg(msg.KindUpdate, "go"))
+	if !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Fatalf("multicast error = %v, want ErrUnknownAddr for the closed destination", err)
+	}
+	for _, s := range []transport.Endpoint{s1, s3} {
+		if got := recvOne(t, s); string(got.Payload) != "go" {
+			t.Fatalf("live destination starved: %q", got.Payload)
+		}
 	}
 }

@@ -62,9 +62,36 @@ func Listen(addr string) (*Endpoint, error) {
 func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
 
 // Send transmits m to the endpoint listening at to, dialling or reusing a
-// cached connection.
+// cached connection. The frame is encoded into a pooled buffer that is
+// recycled once the bytes are on the socket.
 func (e *Endpoint) Send(to string, m *msg.Message) error {
-	body := msg.Encode(m)
+	wb := msg.EncodePooled(m)
+	defer wb.Release()
+	return e.writeFrame(to, wb.Bytes())
+}
+
+// Multicast sends m to each address in tos, encoding the frame exactly once
+// and fanning the shared wire bytes out over every connection. Fan-out is
+// best-effort: one unreachable destination must not starve the rest, so
+// every address is attempted and the first failure is reported after the
+// sweep.
+func (e *Endpoint) Multicast(tos []string, m *msg.Message) error {
+	if len(tos) == 0 {
+		return nil
+	}
+	wb := msg.EncodePooled(m)
+	defer wb.Release()
+	var firstErr error
+	for _, to := range tos {
+		if err := e.writeFrame(to, wb.Bytes()); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("multicast to %q: %w", to, err)
+		}
+	}
+	return firstErr
+}
+
+// writeFrame writes one length-prefixed frame to the connection for to.
+func (e *Endpoint) writeFrame(to string, body []byte) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("tcpnet: frame too large (%d bytes)", len(body))
 	}
@@ -86,16 +113,6 @@ func (e *Endpoint) Send(to string, m *msg.Message) error {
 	if _, err := conn.Write(body); err != nil {
 		e.dropConnLocked(to)
 		return fmt.Errorf("tcpnet: send body to %q: %w", to, err)
-	}
-	return nil
-}
-
-// Multicast sends m to each address in tos.
-func (e *Endpoint) Multicast(tos []string, m *msg.Message) error {
-	for _, to := range tos {
-		if err := e.Send(to, m); err != nil {
-			return fmt.Errorf("multicast to %q: %w", to, err)
-		}
 	}
 	return nil
 }
@@ -198,6 +215,7 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		e.mu.Unlock()
 	}()
 	var hdr [4]byte
+	var body []byte // reused across frames; Decode copies what it keeps
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return // peer closed or endpoint shutting down
@@ -206,7 +224,10 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		if n > maxFrame {
 			return
 		}
-		body := make([]byte, n)
+		if uint32(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}

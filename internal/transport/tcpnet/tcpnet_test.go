@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -173,5 +174,46 @@ func TestCloseUnblocksInboundReaders(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatalf("Close hung on inbound reader goroutines")
+	}
+}
+
+// TestMulticastEncodesOnce: tcpnet's multicast serialises the frame once and
+// writes the shared bytes to every connection.
+func TestMulticastEncodesOnce(t *testing.T) {
+	var eps []*Endpoint
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		ep, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps = append(eps, ep)
+		addrs = append(addrs, ep.Addr())
+	}
+	src, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var encodes atomic.Int64
+	msg.EncodeHook = func(*msg.Message) { encodes.Add(1) }
+	defer func() { msg.EncodeHook = nil }()
+	m := &msg.Message{Kind: msg.KindUpdate, Object: "o", Payload: []byte("once")}
+	if err := src.Multicast(addrs, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps {
+		select {
+		case got := <-ep.Recv():
+			if string(got.Payload) != "once" {
+				t.Fatalf("payload %q", got.Payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for multicast delivery")
+		}
+	}
+	if got := encodes.Load(); got != 1 {
+		t.Fatalf("multicast to %d destinations encoded %d times, want 1", len(addrs), got)
 	}
 }

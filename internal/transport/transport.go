@@ -31,7 +31,10 @@ type Endpoint interface {
 	Send(to string, m *msg.Message) error
 	// Multicast transmits m to every address in tos. It is the multicast
 	// facility the paper's Web-server communication object offers in
-	// addition to point-to-point messaging.
+	// addition to point-to-point messaging. Implementations encode the
+	// frame once and fan the wire bytes out best-effort: every address is
+	// attempted even if some fail, and the first failure is returned after
+	// the sweep.
 	Multicast(tos []string, m *msg.Message) error
 	// Recv returns the endpoint's delivery channel. After Close no further
 	// messages are delivered; the channel itself is closed once the

@@ -90,6 +90,17 @@ type Store struct {
 // Name returns the store's name within the system.
 func (s *Store) Name() string { return s.name }
 
+// Stats returns the replication protocol counters for one hosted object
+// (dissemination rounds, batch frames, demands, parked reads, ...).
+func (s *Store) Stats(object ObjectID) (replication.Stats, error) {
+	return s.st.Stats(ids.ObjectID(object))
+}
+
+// Applied returns the store's applied version vector for one hosted object.
+func (s *Store) Applied(object ObjectID) (ids.VersionVec, error) {
+	return s.st.Applied(ids.ObjectID(object))
+}
+
 // System is one in-process deployment of the framework over a simulated
 // network. Safe for concurrent use.
 type System struct {
@@ -212,6 +223,22 @@ func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) e
 		return err
 	}
 	s.ns.Register(object, naming.Entry{Addr: at.st.Addr(), Store: at.st.ID(), Role: at.role})
+	return nil
+}
+
+// Peer registers a and b as anti-entropy gossip peers for object, in both
+// directions. Gossip only applies to objects replicated under the eventual
+// model (mirrored sites); it lets sibling mirrors converge without a
+// permanent store on the path. Peering is all-or-nothing: if the second
+// registration fails the first is rolled back.
+func (s *System) Peer(a, b *Store, object ObjectID) error {
+	if err := a.st.AddPeer(ids.ObjectID(object), b.st.Addr()); err != nil {
+		return err
+	}
+	if err := b.st.AddPeer(ids.ObjectID(object), a.st.Addr()); err != nil {
+		_ = a.st.RemovePeer(ids.ObjectID(object), b.st.Addr())
+		return err
+	}
 	return nil
 }
 
