@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,7 +16,9 @@ import (
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/strategy"
+	"repro/internal/transport"
 	"repro/internal/transport/memnet"
+	"repro/internal/transport/tcpnet"
 	"repro/internal/vclock"
 	"repro/webobj"
 )
@@ -26,7 +29,7 @@ func BenchmarkMicro_MessageEncode(b *testing.B) {
 	m := &msg.Message{
 		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
 		Write: ids.WiD{Client: 3, Seq: 17},
-		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		VVec:  msg.VecFrom(ids.VersionVec{1: 5, 2: 9, 3: 17}),
 		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
 	}
 	b.ReportAllocs()
@@ -39,7 +42,7 @@ func BenchmarkMicro_MessageDecode(b *testing.B) {
 	wire := msg.Encode(&msg.Message{
 		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
 		Write: ids.WiD{Client: 3, Seq: 17},
-		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		VVec:  msg.VecFrom(ids.VersionVec{1: 5, 2: 9, 3: 17}),
 		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
 	})
 	b.ReportAllocs()
@@ -56,7 +59,7 @@ func BenchmarkMicro_MessageEncodePooled(b *testing.B) {
 	m := &msg.Message{
 		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
 		Write: ids.WiD{Client: 3, Seq: 17},
-		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		VVec:  msg.VecFrom(ids.VersionVec{1: 5, 2: 9, 3: 17}),
 		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
 	}
 	b.ReportAllocs()
@@ -72,7 +75,7 @@ func BenchmarkMicro_MessageDecodeAlias(b *testing.B) {
 	wire := msg.Encode(&msg.Message{
 		Kind: msg.KindUpdate, Object: "doc", From: "a", To: "b",
 		Write: ids.WiD{Client: 3, Seq: 17},
-		VVec:  ids.VersionVec{1: 5, 2: 9, 3: 17},
+		VVec:  msg.VecFrom(ids.VersionVec{1: 5, 2: 9, 3: 17}),
 		Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 512)},
 	})
 	b.ReportAllocs()
@@ -611,6 +614,249 @@ func BenchmarkGossip_AntiEntropy(b *testing.B) {
 	reportNet(b, sys, b.N*writesPerRound)
 	if st, err := m1.Stats(obj); err == nil && st.BatchesSent > 0 {
 		b.ReportMetric(float64(st.BatchedUpdates)/float64(st.BatchesSent), "ups/batch")
+	}
+}
+
+// --- P2: transport contention & relay amortization ---------------------------------
+
+// BenchmarkContention_MemnetMulticast drives the simulated network from many
+// concurrent sender endpoints, each fanning a small update out to its own
+// sinks. With one global network mutex every sender serialises on the RNG +
+// delivery heap; with per-endpoint RNGs and sharded delivery queues the
+// senders only share the read-locked topology. The link latency exceeds the
+// measured window, so the clock driver sleeps and the benchmark isolates the
+// send path — the serialisation point under test. ns/op is wall time per
+// multicast across all senders.
+func BenchmarkContention_MemnetMulticast(b *testing.B) {
+	const fanout = 4
+	for _, senders := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("senders-%d", senders), func(b *testing.B) {
+			n := memnet.New(memnet.WithSeed(1),
+				memnet.WithDefaultLink(memnet.LinkProfile{Latency: time.Minute}))
+			defer n.Close()
+			srcs := make([]transport.Endpoint, senders)
+			tos := make([][]string, senders)
+			var drain sync.WaitGroup
+			for i := 0; i < senders; i++ {
+				src, err := n.Endpoint(fmt.Sprintf("src%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				srcs[i] = src
+				for j := 0; j < fanout; j++ {
+					addr := fmt.Sprintf("sink%d-%d", i, j)
+					ep, err := n.Endpoint(addr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tos[i] = append(tos[i], addr)
+					drain.Add(1)
+					go func(ep transport.Endpoint) {
+						defer drain.Done()
+						for range ep.Recv() {
+						}
+					}(ep)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < senders; i++ {
+				ops := b.N / senders
+				if i < b.N%senders {
+					ops++
+				}
+				wg.Add(1)
+				go func(i, ops int) {
+					defer wg.Done()
+					m := &msg.Message{
+						Kind: msg.KindUpdate, Object: "doc", From: fmt.Sprintf("src%d", i),
+						Write: ids.WiD{Client: ids.ClientID(i + 1), Seq: 1},
+						VVec:  msg.VecFrom(msgVVec(i)),
+						Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 64)},
+					}
+					for k := 0; k < ops; k++ {
+						if err := srcs[i].Multicast(tos[i], m); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(i, ops)
+			}
+			wg.Wait()
+			b.StopTimer()
+			_ = n.Close() // close inboxes so the drainers exit
+			drain.Wait()
+		})
+	}
+}
+
+// BenchmarkContention_TCPConcurrentWriters hammers one tcpnet endpoint from
+// concurrent goroutines, each pinned to one of four peer connections. With a
+// single endpoint mutex and two conn.Write calls per frame, all writers
+// serialise; per-connection locks plus a single writev per frame let the
+// four connections proceed independently and back-to-back frames on one
+// connection share syscalls.
+func BenchmarkContention_TCPConcurrentWriters(b *testing.B) {
+	const conns = 4
+	for _, writers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("writers-%d", writers), func(b *testing.B) {
+			src, err := tcpnet.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer src.Close()
+			addrs := make([]string, 0, conns)
+			for i := 0; i < conns; i++ {
+				ep, err := tcpnet.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ep.Close()
+				addrs = append(addrs, ep.Addr())
+				go func(ep *tcpnet.Endpoint) {
+					for range ep.Recv() {
+					}
+				}(ep)
+			}
+			m := &msg.Message{
+				Kind: msg.KindUpdate, Object: "doc",
+				Write: ids.WiD{Client: 1, Seq: 1},
+				Inv:   msg.Invocation{Method: 4, Page: "index.html", Args: make([]byte, 64)},
+			}
+			for _, a := range addrs { // warm the connection cache
+				if err := src.Send(a, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				ops := b.N / writers
+				if w < b.N%writers {
+					ops++
+				}
+				wg.Add(1)
+				go func(w, ops int) {
+					defer wg.Done()
+					to := addrs[w%conns]
+					for k := 0; k < ops; k++ {
+						if err := src.Send(to, m); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, ops)
+			}
+			wg.Wait()
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkRelay_DeepHierarchyBatch measures batch preservation through a
+// three-level hierarchy (server → mirror → cache). Each round partitions the
+// server from the mirror, performs a burst of writes the mirror misses, then
+// heals; the next write exposes the gap, the mirror demands, the server
+// replays the burst as one KindUpdateBatch frame, and the mirror relays the
+// released updates to the cache. De-batched relaying ships one frame per
+// update on the mirror→cache hop; re-batched relaying ships one frame per
+// hop. msgs/op counts network frames per written update.
+func BenchmarkRelay_DeepHierarchyBatch(b *testing.B) {
+	st := webobj.Strategy{
+		Model:             coherence.PRAM,
+		Propagation:       strategy.PropagateUpdate,
+		Scope:             strategy.ScopeAll,
+		Writers:           strategy.SingleWriter,
+		Initiative:        strategy.Push,
+		Instant:           strategy.Immediate,
+		AccessTransfer:    strategy.TransferPartial,
+		CoherenceTransfer: strategy.CoherencePartial,
+		ObjectOutdate:     strategy.Demand,
+		ClientOutdate:     strategy.Demand,
+	}
+	if err := st.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	sys := webobj.NewSystemWithNetwork(memnet.WithSeed(1))
+	server, err := sys.NewServer("www")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const obj = webobj.ObjectID("relay-doc")
+	if err := sys.Publish(server, obj, st); err != nil {
+		b.Fatal(err)
+	}
+	mirror, err := sys.NewMirror("mirror", server)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(mirror, obj); err != nil {
+		b.Fatal(err)
+	}
+	cache, err := sys.NewCache("proxy", mirror)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(cache, obj); err != nil {
+		b.Fatal(err)
+	}
+	writer, err := sys.Open(obj, webobj.At(server))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { writer.Close(); _ = sys.Close() })
+	if err := writer.Append("log", []byte("seed")); err != nil {
+		b.Fatal(err)
+	}
+	waitCovers(b, sys, cache, obj, server)
+	const gap = 16
+	sys.Network().ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Network().Partition("store/www", "store/mirror")
+		for j := 0; j < gap; j++ {
+			if err := writer.Append("log", []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Network().Heal("store/www", "store/mirror")
+		// The next write exposes the sequence gap at the mirror.
+		if err := writer.Append("log", []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+		waitCovers(b, sys, cache, obj, server)
+	}
+	b.StopTimer()
+	reportNet(b, sys, b.N*(gap+1))
+	if st, err := mirror.Stats(obj); err == nil && st.BatchesSent > 0 {
+		b.ReportMetric(float64(st.BatchedUpdates)/float64(st.BatchesSent), "ups/batch")
+	}
+}
+
+// msgVVec builds a small distinct version vector per sender.
+func msgVVec(i int) ids.VersionVec {
+	return ids.VersionVec{1: uint64(i + 1), 2: 9, 3: 17}
+}
+
+// waitCovers blocks until dst's applied vector covers src's.
+func waitCovers(b *testing.B, sys *webobj.System, dst *webobj.Store, obj webobj.ObjectID, src *webobj.Store) {
+	b.Helper()
+	want, err := src.Applied(obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := dst.Applied(obj)
+		if err == nil && got.Covers(want) {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("hierarchy did not converge")
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 

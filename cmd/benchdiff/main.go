@@ -1,0 +1,139 @@
+// Command benchdiff compares the two most recent BENCH_<n>.json performance
+// baselines and fails (exit 1) when a tracked metric regressed beyond the
+// tolerance. It is the CI gate that keeps the perf trajectory recorded in
+// the BENCH files monotonic: every PR that lands a BENCH_<n>.json must not
+// regress ns/op or allocs/op of a benchmark the previous baseline tracked
+// by more than the tolerance (default 20%).
+//
+// Usage:
+//
+//	benchdiff [-dir .] [-tolerance 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchFile mirrors the BENCH_<n>.json layout.
+type benchFile struct {
+	Issue      int                   `json:"issue"`
+	Title      string                `json:"title"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Baseline map[string]float64 `json:"baseline"`
+	After    map[string]float64 `json:"after"`
+	Note     string             `json:"note"`
+}
+
+// tracked are the metrics the regression gate enforces; other recorded
+// metrics (B/op, msgs/op, ...) are informational.
+var tracked = []string{"ns_op", "allocs_op"}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json files")
+	tol := flag.Float64("tolerance", 0.20, "allowed relative regression per tracked metric")
+	flag.Parse()
+
+	files, err := loadAll(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(files) < 2 {
+		fmt.Printf("benchdiff: %d baseline file(s) found, nothing to compare\n", len(files))
+		return
+	}
+	prev, cur := files[len(files)-2], files[len(files)-1]
+	fmt.Printf("benchdiff: BENCH_%d.json vs BENCH_%d.json (tolerance %.0f%%)\n",
+		cur.Issue, prev.Issue, *tol*100)
+
+	var regressions []string
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old, ok := prev.Benchmarks[name]
+		if !ok || old.After == nil || cur.Benchmarks[name].After == nil {
+			continue
+		}
+		now := cur.Benchmarks[name]
+		for _, metric := range tracked {
+			ov, haveOld := old.After[metric]
+			nv, haveNew := now.After[metric]
+			if !haveOld || !haveNew {
+				continue
+			}
+			status := "ok"
+			switch {
+			case ov == 0 && nv > 0:
+				status = "REGRESSION"
+			case ov > 0 && nv > ov*(1+*tol):
+				status = "REGRESSION"
+			}
+			fmt.Printf("  %-55s %-10s %12s -> %-12s %s\n",
+				name, metric, fmtNum(ov), fmtNum(nv), status)
+			if status == "REGRESSION" {
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %s -> %s", name, metric, fmtNum(ov), fmtNum(nv)))
+			}
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%:\n", len(regressions), *tol*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no tracked regressions")
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// loadAll reads every BENCH_<n>.json in dir, ordered by n.
+func loadAll(dir string) ([]benchFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []benchFile
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var bf benchFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if bf.Issue == 0 {
+			bf.Issue = n
+		}
+		out = append(out, bf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Issue < out[j].Issue })
+	return out, nil
+}
+
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

@@ -32,4 +32,51 @@
 // Version-1 frames are rejected with ErrBadVersion. Both ends of every
 // deployment ship from this tree, so no cross-version compatibility shim is
 // kept; bump wireVersion again on any layout change.
+//
+// Version vectors inside frames (Message.VVec, Message.Deps, and per-entry
+// batch dependencies) use msg.Vec, a small-vector representation: up to
+// VecInline entries live in a sorted inline array and decode without
+// allocating; larger vectors spill to a map. The wire layout is unchanged —
+// Vec is purely an in-memory representation.
+//
+// # Transport concurrency model
+//
+// Both transports are built so that N concurrent senders share no exclusive
+// lock on the steady-state path.
+//
+// memnet (simulated network): topology — the endpoint table, link profiles,
+// and partitions — sits behind a read-write mutex that sends only
+// read-lock. Randomness for loss/jitter/duplication comes from per-endpoint
+// RNGs, each seeded deterministically from the network seed and the
+// endpoint address, so runs stay reproducible without a shared RNG lock.
+// Scheduled deliveries are sharded: each destination endpoint is pinned
+// (by address hash) to one of numShards delivery heaps with its own mutex
+// and FIFO tiebreak sequence, so senders contend only when targeting the
+// same shard. A single scheduler goroutine (the clock driver) sleeps until
+// the earliest delivery across shards is due, then drains every due
+// delivery; (time, seq) order within a shard preserves FIFO per
+// destination, and cross-destination ordering is — as on a real network —
+// unspecified.
+//
+// tcpnet (real TCP): each cached outbound connection carries its own write
+// locks, so an endpoint with K peer connections admits K concurrent
+// writers. A frame's 4-byte length header and body travel as one gathered
+// write (net.Buffers → writev), one syscall per frame instead of two.
+// Concurrent writers to the same connection group-commit: every writer
+// appends its header+body to the connection's open batch, the first to
+// acquire the write lock flushes the whole batch with a single writev, and
+// the rest inherit the flush result — back-to-back frames share syscalls
+// without a background flusher goroutine, and writeFrame still returns only
+// after the caller's bytes are on the socket.
+//
+// # Relay re-batching invariant
+//
+// Aggregated KindUpdateBatch frames survive the full root→leaf path: when a
+// mid-hierarchy store fans a batch arrival into its ordering engine, every
+// update the batch releases — including previously buffered updates it
+// unblocks — is collected and relayed to that store's children as one
+// KindUpdateBatch frame (one coherence transfer per hop), never as one
+// frame per released update. Demands are retried after a bounded delay
+// while a gap persists, so a lost batch frame on a quiet object re-requests
+// instead of stranding until the next arrival.
 package repro

@@ -168,7 +168,7 @@ func (p *Proxy) invokeRead(inv msg.Invocation) ([]byte, error) {
 		Kind:    msg.KindReadRequest,
 		Object:  p.object,
 		Client:  p.client,
-		VVec:    req,
+		VVec:    msg.VecFrom(req),
 		ReadDep: dep,
 		Inv:     inv,
 	}
@@ -179,7 +179,7 @@ func (p *Proxy) invokeRead(inv msg.Invocation) ([]byte, error) {
 	if reply.Status != msg.StatusOK {
 		return nil, &RemoteError{reply.Status, reply.Err}
 	}
-	p.session.ReadDone(reply.VVec)
+	p.session.ReadDone(reply.VVec.Version())
 	return reply.Payload, nil
 }
 
@@ -198,7 +198,7 @@ func (p *Proxy) invokeWrite(inv msg.Invocation) ([]byte, error) {
 		Object:    p.object,
 		Client:    p.client,
 		Write:     w,
-		Deps:      deps,
+		Deps:      msg.VecFrom(deps),
 		Inv:       inv,
 		WallNanos: time.Now().UnixNano(),
 	}

@@ -43,6 +43,20 @@ func (w *writer) inv(inv *Invocation) {
 	w.bytes(inv.Args)
 }
 
+// vecV encodes a Vec: inline entries are already sorted by client, so they
+// stream straight out; spilled vectors fall back to the sorted-map path.
+func (w *writer) vecV(v *Vec) {
+	if v.spill != nil {
+		w.vec(v.spill)
+		return
+	}
+	w.u16(uint16(v.n))
+	for i := 0; i < v.n; i++ {
+		w.u32(uint32(v.inline[i].Client))
+		w.u64(v.inline[i].Seq)
+	}
+}
+
 // smallVec is the map size up to which vec emits sorted entries by repeated
 // selection (O(n²) but allocation-free) instead of building a sort slice.
 // Version vectors in practice hold a handful of clients.
@@ -171,27 +185,38 @@ func (r *reader) bytes() ([]byte, error) {
 	return b, nil
 }
 
-func (r *reader) vec() (map[ids.ClientID]uint64, error) {
+// vecInto decodes a vector in place. Vectors that fit the inline array
+// allocate nothing — this is the small-vector fast path that keeps
+// DecodeAlias map-free; larger vectors spill to a map.
+func (r *reader) vecInto(v *Vec) error {
 	n, err := r.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n == 0 {
-		return nil, nil
+		return nil
 	}
-	v := make(map[ids.ClientID]uint64, n)
+	if int(n) > VecInline {
+		// Bound the pre-allocation by what the remaining frame could hold
+		// (12 wire bytes per entry), so a corrupt count cannot amplify.
+		capHint := int(n)
+		if max := r.remaining() / 12; capHint > max {
+			capHint = max
+		}
+		v.spill = make(map[ids.ClientID]uint64, capHint)
+	}
 	for i := 0; i < int(n); i++ {
 		c, err := r.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := r.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		v[ids.ClientID(c)] = s
+		v.Set(ids.ClientID(c), s)
 	}
-	return v, nil
+	return nil
 }
 
 func (r *reader) empty() bool    { return r.off == len(r.buf) }

@@ -136,7 +136,7 @@ type BatchUpdate struct {
 	Write     ids.WiD
 	GlobalSeq uint64
 	Stamp     vclock.Stamp
-	Deps      vclock.VC
+	Deps      Vec
 	Inv       Invocation
 	WallNanos int64
 }
@@ -173,11 +173,12 @@ type Message struct {
 	// VVec is a version vector: in updates, the sender's applied vector; in
 	// demand-update requests, the requester's current vector (the reply
 	// fills the gap); in read requests, the session-guarantee requirement.
-	VVec ids.VersionVec
+	// It is carried as a small-vector Vec so frames decode map-free.
+	VVec Vec
 	// Deps is the causal dependency vector (causal model, WFR guarantee):
 	// the update may be applied only at stores whose applied vector covers
 	// Deps.
-	Deps vclock.VC
+	Deps Vec
 	// ReadDep is the Read-Your-Writes dependency (last write + store where
 	// performed) transmitted with read requests, per §4.2.
 	ReadDep ids.Dependency
@@ -252,8 +253,8 @@ func wireSize(m *Message) int {
 	n += 4 + 8 // Write
 	n += 8     // GlobalSeq
 	n += 8 + 4 // Stamp
-	n += 2 + 12*len(m.VVec)
-	n += 2 + 12*len(m.Deps)
+	n += 2 + 12*m.VVec.Len()
+	n += 2 + 12*m.Deps.Len()
 	n += 4 + 8 + 4 // ReadDep
 	n += invSize(&m.Inv)
 	n += 4 + len(m.Payload)
@@ -270,7 +271,7 @@ func wireSize(m *Message) int {
 		n += 4 + 8 // Write
 		n += 8     // GlobalSeq
 		n += 8 + 4 // Stamp
-		n += 2 + 12*len(e.Deps)
+		n += 2 + 12*e.Deps.Len()
 		n += invSize(&e.Inv)
 		n += 8 // WallNanos
 	}
@@ -330,8 +331,8 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	w.u64(m.GlobalSeq)
 	w.u64(m.Stamp.Time)
 	w.u32(uint32(m.Stamp.Client))
-	w.vec(map[ids.ClientID]uint64(m.VVec))
-	w.vec(map[ids.ClientID]uint64(m.Deps))
+	w.vecV(&m.VVec)
+	w.vecV(&m.Deps)
 	w.u32(uint32(m.ReadDep.Write.Client))
 	w.u64(m.ReadDep.Write.Seq)
 	w.u32(uint32(m.ReadDep.Store))
@@ -354,7 +355,7 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		w.u64(e.GlobalSeq)
 		w.u64(e.Stamp.Time)
 		w.u32(uint32(e.Stamp.Client))
-		w.vec(map[ids.ClientID]uint64(e.Deps))
+		w.vecV(&e.Deps)
 		w.inv(&e.Inv)
 		w.u64(uint64(e.WallNanos))
 	}
@@ -483,19 +484,11 @@ func decode(b []byte, alias bool) (*Message, error) {
 		return nil, err
 	}
 	m.Stamp = vclock.Stamp{Time: stime, Client: ids.ClientID(sclient)}
-	vv, err := r.vec()
-	if err != nil {
+	if err := r.vecInto(&m.VVec); err != nil {
 		return nil, err
 	}
-	if len(vv) > 0 {
-		m.VVec = ids.VersionVec(vv)
-	}
-	dv, err := r.vec()
-	if err != nil {
+	if err := r.vecInto(&m.Deps); err != nil {
 		return nil, err
-	}
-	if len(dv) > 0 {
-		m.Deps = vclock.VC(dv)
 	}
 	rdc, err := r.u32()
 	if err != nil {
@@ -588,12 +581,8 @@ func decode(b []byte, alias bool) (*Message, error) {
 				return nil, err
 			}
 			e.Stamp = vclock.Stamp{Time: bst, Client: ids.ClientID(bsc)}
-			bdv, err := r.vec()
-			if err != nil {
+			if err := r.vecInto(&e.Deps); err != nil {
 				return nil, err
-			}
-			if len(bdv) > 0 {
-				e.Deps = vclock.VC(bdv)
 			}
 			if e.Inv.Method, err = r.u16(); err != nil {
 				return nil, err

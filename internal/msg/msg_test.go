@@ -23,8 +23,8 @@ func sampleMessage() *Message {
 		Write:     ids.WiD{Client: 7, Seq: 19},
 		GlobalSeq: 101,
 		Stamp:     vclock.Stamp{Time: 55, Client: 7},
-		VVec:      ids.VersionVec{7: 19, 2: 4},
-		Deps:      vclock.VC{2: 4},
+		VVec:      VecFrom(ids.VersionVec{7: 19, 2: 4}),
+		Deps:      VecFrom(vclock.VC{2: 4}),
 		ReadDep:   ids.Dependency{Write: ids.WiD{Client: 7, Seq: 18}, Store: 3},
 		Inv:       Invocation{Method: 2, Page: "program.html", Args: []byte("<h1>v19</h1>")},
 		Payload:   []byte{0x01, 0x02, 0x03},
@@ -55,8 +55,8 @@ func TestEncodeDecodeZeroFields(t *testing.T) {
 	if got.Kind != KindReadRequest || got.Object != "o" {
 		t.Fatalf("basic fields lost: %+v", got)
 	}
-	if got.VVec != nil || got.Deps != nil || got.Pages != nil || got.Payload != nil {
-		t.Fatalf("zero-value fields should decode as nil: %+v", got)
+	if got.VVec.Len() != 0 || got.Deps.Len() != 0 || got.Pages != nil || got.Payload != nil {
+		t.Fatalf("zero-value fields should decode as empty: %+v", got)
 	}
 }
 
@@ -176,15 +176,9 @@ func quickMessage(kind uint8, obj, from, to, page, errStr string, netSeq, wSeq, 
 		Status:    StatusOK,
 		Err:       errStr,
 	}
-	if len(vv) > 0 {
-		m.VVec = ids.NewVersionVec(len(vv))
-		for c, s := range vv {
-			if s > 0 {
-				m.VVec.Set(ids.ClientID(c), uint64(s))
-			}
-		}
-		if len(m.VVec) == 0 {
-			m.VVec = nil
+	for c, s := range vv {
+		if s > 0 {
+			m.VVec.Set(ids.ClientID(c), uint64(s))
 		}
 	}
 	if len(pages) > 0 {
@@ -257,7 +251,7 @@ func sampleBatchMessage() *Message {
 			Write:     ids.WiD{Client: 7, Seq: uint64(i)},
 			GlobalSeq: uint64(100 + i),
 			Stamp:     vclock.Stamp{Time: uint64(50 + i), Client: 7},
-			Deps:      vclock.VC{2: uint64(i)},
+			Deps:      VecFrom(vclock.VC{2: uint64(i)}),
 			Inv:       Invocation{Method: 2, Page: "program.html", Args: []byte("delta")},
 			WallNanos: int64(1000 + i),
 		})

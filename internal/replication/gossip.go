@@ -2,7 +2,6 @@ package replication
 
 import (
 	"repro/internal/coherence"
-	"repro/internal/ids"
 	"repro/internal/msg"
 )
 
@@ -74,7 +73,7 @@ func (o *Object) gossipRound() {
 			Object: o.object,
 			From:   o.addr,
 			Store:  o.self,
-			VVec:   o.applied(),
+			VVec:   o.appliedVec(),
 		}
 		o.send(peer, g)
 		o.stats.GossipRounds++
@@ -85,22 +84,22 @@ func (o *Object) gossipRound() {
 // single batch frame when more than one update is due), and answer with our
 // own digest so the exchange is symmetric.
 func (o *Object) onGossip(m *msg.Message) {
-	o.sendUpdates(m.From, o.missingFrom(m.VVec))
+	o.sendUpdates(m.From, o.missingFrom(&m.VVec))
 	r := m.Reply(msg.KindGossipReply)
 	r.From = o.addr
 	r.Store = o.self
-	r.VVec = o.applied()
+	r.VVec = o.appliedVec()
 	o.send(m.From, r)
 }
 
 // onGossipReply closes the loop: ship the peer anything the reply digest
 // shows it still lacks (our writes that arrived after its gossip was sent).
 func (o *Object) onGossipReply(m *msg.Message) {
-	o.sendUpdates(m.From, o.missingFrom(m.VVec))
+	o.sendUpdates(m.From, o.missingFrom(&m.VVec))
 }
 
 // missingFrom collects the logged updates a peer with digest v lacks.
-func (o *Object) missingFrom(v ids.VersionVec) []*coherence.Update {
+func (o *Object) missingFrom(v *msg.Vec) []*coherence.Update {
 	var missing []*coherence.Update
 	for _, u := range o.log {
 		if !v.CoversWrite(u.Write) {

@@ -86,10 +86,10 @@ func (o *Object) onRead(m *msg.Message) {
 
 // requirementMet checks the read's session-guarantee requirement vector.
 func (o *Object) requirementMet(m *msg.Message) bool {
-	if len(m.VVec) == 0 {
+	if m.VVec.Len() == 0 {
 		return true
 	}
-	return o.applied().Covers(m.VVec)
+	return m.VVec.CoveredBy(o.applied())
 }
 
 // serveOrFetch serves the read locally, fetching missing/invalidated state
@@ -98,8 +98,7 @@ func (o *Object) serveOrFetch(m *msg.Message) {
 	page := m.Inv.Page
 	if o.allInvalid || (page != "" && o.invalid[page]) {
 		if o.parent != "" {
-			o.fetch(page)
-			o.park(m)
+			o.parkFetch(m, page)
 			return
 		}
 	}
@@ -108,8 +107,7 @@ func (o *Object) serveOrFetch(m *msg.Message) {
 		// A cold or partially warm replica misses elements it never
 		// fetched; resolve through the parent per the access-transfer type.
 		if errors.Is(err, semantics.ErrNoElement) && o.parent != "" {
-			o.fetch(page)
-			o.park(m)
+			o.parkFetch(m, page)
 			return
 		}
 		o.stats.ReadsFailed++
@@ -121,7 +119,7 @@ func (o *Object) serveOrFetch(m *msg.Message) {
 	r.From = o.addr
 	r.Store = o.self
 	r.Payload = payload
-	r.VVec = o.applied()
+	r.VVec = o.appliedVec()
 	o.send(m.From, r)
 }
 
@@ -131,6 +129,17 @@ func (o *Object) park(m *msg.Message) {
 	p := &parkedRead{m: m, deadline: o.env.Now().Add(o.readTimeout)}
 	o.parked = append(o.parked, p)
 	o.env.AfterFunc(o.readTimeout, func() { o.expireParked() })
+}
+
+// parkFetch requests state for a read's page and parks the read, recording
+// the fetch so a completed-but-still-missing full transfer fails the read
+// instead of refetching forever.
+func (o *Object) parkFetch(m *msg.Message, page string) {
+	o.fetch(page)
+	o.park(m)
+	p := o.parked[len(o.parked)-1]
+	p.fetchTried = true
+	p.fetchedAt = o.fullFetches
 }
 
 // parkReval queues a read that must wait for one revalidation response.
@@ -188,12 +197,24 @@ func (o *Object) reconsiderParked() {
 }
 
 // serveOrFetchParked is serveOrFetch for an already parked read: on a state
-// miss it re-parks without double-counting.
+// miss it re-parks without double-counting. If the miss persists after a
+// full state transfer completed, the element does not exist at the parent
+// either, so the read fails with not-found rather than livelocking in a
+// fetch → state-reply → reconsider cycle.
 func (o *Object) serveOrFetchParked(p *parkedRead) {
 	payload, err := o.env.ServeRead(p.m.Inv)
 	if err != nil {
 		if errors.Is(err, semantics.ErrNoElement) && o.parent != "" {
-			o.fetch(p.m.Inv.Page)
+			page := p.m.Inv.Page
+			full := o.strat.AccessTransfer == strategy.TransferFull || page == ""
+			if full && p.fetchTried && o.fullFetches > p.fetchedAt {
+				o.stats.ReadsFailed++
+				o.replyErr(p.m, msg.StatusNotFound, err.Error())
+				return
+			}
+			o.fetch(page)
+			p.fetchTried = true
+			p.fetchedAt = o.fullFetches
 			o.parked = append(o.parked, p)
 			return
 		}
@@ -206,7 +227,7 @@ func (o *Object) serveOrFetchParked(p *parkedRead) {
 	r.From = o.addr
 	r.Store = o.self
 	r.Payload = payload
-	r.VVec = o.applied()
+	r.VVec = o.appliedVec()
 	o.send(p.m.From, r)
 }
 
@@ -294,7 +315,7 @@ func updateFromMsg(m *msg.Message) *coherence.Update {
 	return &coherence.Update{
 		Write:     m.Write,
 		GlobalSeq: m.GlobalSeq,
-		Deps:      m.Deps.Clone(),
+		Deps:      m.Deps.VC(),
 		Stamp:     m.Stamp,
 		Inv:       m.Inv,
 		WallNanos: m.WallNanos,
@@ -317,8 +338,8 @@ func (o *Object) applyReleased(released []*coherence.Update) {
 		}
 		o.stats.UpdatesApplied++
 		o.appendLog(u)
-		o.disseminate(u)
 	}
+	o.disseminate(released)
 	if len(released) > 0 {
 		o.reconsiderParked()
 	}
@@ -346,22 +367,74 @@ func (o *Object) appendLog(u *coherence.Update) {
 
 // --- dissemination ----------------------------------------------------------
 
-// disseminate propagates one applied update to subscribed children per the
-// strategy's propagation, initiative, instant, and coherence-transfer
-// parameters.
-func (o *Object) disseminate(u *coherence.Update) {
-	if len(o.children) == 0 || o.strat.Initiative == strategy.Pull {
+// disseminate propagates newly applied updates to subscribed children per
+// the strategy's propagation, initiative, instant, and coherence-transfer
+// parameters. It accepts the whole release set at once so updates that
+// became applicable together travel together.
+func (o *Object) disseminate(ups []*coherence.Update) {
+	if len(ups) == 0 || len(o.children) == 0 || o.strat.Initiative == strategy.Pull {
 		return // pull children fetch on their own schedule
 	}
 	if o.strat.Instant == strategy.Lazy {
-		o.lazyUpdates = append(o.lazyUpdates, u)
-		if u.Inv.Page != "" {
-			o.lazyPages[u.Inv.Page] = true
+		o.lazyUpdates = append(o.lazyUpdates, ups...)
+		for _, u := range ups {
+			if u.Inv.Page != "" {
+				o.lazyPages[u.Inv.Page] = true
+			}
 		}
 		o.armLazy()
 		return
 	}
-	o.shipNow([]*coherence.Update{u}, map[string]bool{u.Inv.Page: true})
+	if o.relayDepth > 0 {
+		// A batch arrival is mid-fan-in: collect the released updates and
+		// relay them as one frame when the whole batch has been processed.
+		o.relayBuf = append(o.relayBuf, ups...)
+		for _, u := range ups {
+			if u.Inv.Page != "" {
+				o.relayPages[u.Inv.Page] = true
+			}
+		}
+		return
+	}
+	o.shipNow(ups, pageSet(ups))
+}
+
+// pageSet collects the distinct non-empty pages the updates touch.
+func pageSet(ups []*coherence.Update) map[string]bool {
+	pages := make(map[string]bool, len(ups))
+	for _, u := range ups {
+		if u.Inv.Page != "" {
+			pages[u.Inv.Page] = true
+		}
+	}
+	return pages
+}
+
+// beginRelayBatch opens a relay collection scope: released updates are
+// buffered instead of shipped until the matching endRelayBatch.
+func (o *Object) beginRelayBatch() {
+	if o.relayDepth == 0 && o.relayPages == nil {
+		o.relayPages = make(map[string]bool, 4)
+	}
+	o.relayDepth++
+}
+
+// endRelayBatch closes the scope and ships everything collected as one
+// coherence transfer (one KindUpdateBatch frame for operation shipping, one
+// invalidation/notification/snapshot for the other transfer types).
+func (o *Object) endRelayBatch() {
+	o.relayDepth--
+	if o.relayDepth > 0 {
+		return
+	}
+	ups := o.relayBuf
+	pages := o.relayPages
+	o.relayBuf = nil
+	o.relayPages = nil
+	if len(ups) == 0 {
+		return
+	}
+	o.shipNow(ups, pages)
 }
 
 // armLazy schedules the aggregated flush.
@@ -439,7 +512,7 @@ func (o *Object) shipNow(ups []*coherence.Update, pages map[string]bool) {
 				From:      o.addr,
 				Store:     o.self,
 				Payload:   snap,
-				VVec:      o.applied(),
+				VVec:      o.appliedVec(),
 				GlobalSeq: o.engine.Global(),
 				WallNanos: ups[len(ups)-1].WallNanos,
 			}
@@ -458,7 +531,7 @@ func (o *Object) updateMsg(u *coherence.Update) *msg.Message {
 		Write:     u.Write,
 		GlobalSeq: u.GlobalSeq,
 		Stamp:     u.Stamp,
-		Deps:      u.Deps.Clone(),
+		Deps:      msg.VecFrom(u.Deps),
 		Inv:       u.Inv,
 		WallNanos: u.WallNanos,
 	}
@@ -472,7 +545,7 @@ func (o *Object) batchMsg(ups []*coherence.Update) *msg.Message {
 			Write:     u.Write,
 			GlobalSeq: u.GlobalSeq,
 			Stamp:     u.Stamp,
-			Deps:      u.Deps.Clone(),
+			Deps:      msg.VecFrom(u.Deps),
 			Inv:       u.Inv,
 			WallNanos: u.WallNanos,
 		}
@@ -533,14 +606,15 @@ func (o *Object) onUpdate(m *msg.Message) {
 	o.revalEpoch++
 	if len(m.Payload) > 0 {
 		// Aggregated full-state update.
-		if o.applied().Covers(m.VVec) && len(m.VVec) > 0 {
+		if m.VVec.Len() > 0 && m.VVec.CoveredBy(o.applied()) {
 			return // stale or duplicate snapshot
 		}
 		if err := o.env.ApplyFull(m.Payload); err != nil {
 			return
 		}
-		o.fetchVec.Merge(m.VVec)
-		o.engine.Seed(m.VVec, m.GlobalSeq)
+		o.fullFetches++
+		m.VVec.MergeInto(o.fetchVec)
+		o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
 		o.invalid = make(map[string]bool)
 		o.allInvalid = false
 		o.relayFull(m)
@@ -552,15 +626,20 @@ func (o *Object) onUpdate(m *msg.Message) {
 
 // onUpdateBatch fans an aggregated KindUpdateBatch frame into the ordering
 // engine entry by entry, exactly as if each update had arrived in its own
-// KindUpdate message.
+// KindUpdate message — except for dissemination: everything the batch
+// releases (including previously buffered updates it unblocks) is collected
+// and relayed to this store's children as one batch frame, so batching is
+// preserved hop by hop down the hierarchy.
 func (o *Object) onUpdateBatch(m *msg.Message) {
 	o.revalEpoch++
+	o.beginRelayBatch()
+	defer o.endRelayBatch()
 	for i := range m.Batch {
 		e := &m.Batch[i]
 		o.submitOp(&coherence.Update{
 			Write:     e.Write,
 			GlobalSeq: e.GlobalSeq,
-			Deps:      e.Deps.Clone(),
+			Deps:      e.Deps.VC(),
 			Stamp:     e.Stamp,
 			Inv:       e.Inv,
 			WallNanos: e.WallNanos,
@@ -662,20 +741,71 @@ func (o *Object) refreshInvalid(pages []string) {
 // --- demand / state transfer -------------------------------------------------
 
 // demandFromParent asks the parent for every update beyond our applied
-// vector.
+// vector, and arms the retry timer so a lost demand (or lost reply) on an
+// otherwise quiet object re-requests after a bounded delay instead of
+// stranding until the next arrival.
 func (o *Object) demandFromParent() {
 	if o.parent == "" {
 		return
 	}
+	// Every direct call opens a fresh retry cycle; an exhausted earlier
+	// cycle must not leave retries permanently disabled (retryDemand
+	// restores its own count after this reset).
+	o.demandRetries = 0
 	o.stats.DemandsSent++
 	d := &msg.Message{
 		Kind:   msg.KindDemandUpdate,
 		Object: o.object,
 		From:   o.addr,
 		Store:  o.self,
-		VVec:   o.applied(),
+		VVec:   o.appliedVec(),
 	}
 	o.send(o.parent, d)
+	o.demandEpoch = o.revalEpoch
+	o.armDemandRetry()
+}
+
+// maxDemandRetries bounds re-requests per unanswered-demand cycle, so a
+// dead parent is not hammered forever (the cycle resets on any coherence
+// response).
+const maxDemandRetries = 16
+
+// armDemandRetry schedules one retry check; it is a no-op when a check is
+// already pending or retries are disabled.
+func (o *Object) armDemandRetry() {
+	if o.demandRetryArmed || o.closed || o.demandRetry <= 0 {
+		return
+	}
+	o.demandRetryArmed = true
+	o.demandRetryTimer = o.env.AfterFunc(o.demandRetry, func() {
+		o.demandRetryArmed = false
+		o.retryDemand()
+	})
+}
+
+// retryDemand re-sends the demand if no coherence response arrived since it
+// was issued and something is still outstanding (buffered updates awaiting
+// predecessors, or parked reads).
+func (o *Object) retryDemand() {
+	if o.closed {
+		return
+	}
+	if o.revalEpoch != o.demandEpoch {
+		o.demandRetries = 0 // the parent answered; cycle complete
+		return
+	}
+	if o.engine.Pending() == 0 && len(o.parked) == 0 {
+		o.demandRetries = 0 // nothing outstanding to chase
+		return
+	}
+	if o.demandRetries >= maxDemandRetries {
+		return
+	}
+	// demandFromParent starts a fresh cycle (resetting the counter), so
+	// carry the retry count across the re-send explicitly.
+	retries := o.demandRetries + 1
+	o.demandFromParent()
+	o.demandRetries = retries
 }
 
 // fetch requests state per the access-transfer type: one element
@@ -708,7 +838,7 @@ func (o *Object) fetch(page string) {
 // or fall back to full state when the requester's vector predates the
 // retained log window (pruned history cannot be replayed).
 func (o *Object) onDemand(m *msg.Message) {
-	if o.logPruned && !o.logCovers(m.VVec) {
+	if o.logPruned && !o.logCovers(&m.VVec) {
 		o.sendFullState(m.From, nil)
 		return
 	}
@@ -726,7 +856,7 @@ func (o *Object) onDemand(m *msg.Message) {
 			Object: o.object,
 			From:   o.addr,
 			Store:  o.self,
-			VVec:   o.applied(),
+			VVec:   o.appliedVec(),
 		}
 		o.send(m.From, ack)
 		return
@@ -739,7 +869,7 @@ func (o *Object) onDemand(m *msg.Message) {
 // with vector v up to date: for every client, the requester must already
 // know everything older than the log's earliest retained write from that
 // client.
-func (o *Object) logCovers(v ids.VersionVec) bool {
+func (o *Object) logCovers(v *msg.Vec) bool {
 	minSeq := make(map[ids.ClientID]uint64, 4)
 	for _, u := range o.log {
 		if s, ok := minSeq[u.Write.Client]; !ok || u.Write.Seq < s {
@@ -767,7 +897,7 @@ func (o *Object) onStateRequest(m *msg.Message) {
 	r := m.Reply(msg.KindStateReply)
 	r.From = o.addr
 	r.Store = o.self
-	r.VVec = o.applied()
+	r.VVec = o.appliedVec()
 	r.Pages = m.Pages[:1]
 	data, err := o.env.SnapshotElement(m.Pages[0])
 	if err != nil {
@@ -790,7 +920,7 @@ func (o *Object) sendFullState(to string, req *msg.Message) {
 		From:      o.addr,
 		Store:     o.self,
 		Payload:   snap,
-		VVec:      o.applied(),
+		VVec:      o.appliedVec(),
 		GlobalSeq: o.engine.Global(),
 	}
 	if req != nil {
@@ -821,16 +951,17 @@ func (o *Object) onStateReply(m *msg.Message) {
 			pv = ids.NewVersionVec(4)
 			o.pageVec[page] = pv
 		}
-		pv.Merge(m.VVec)
+		m.VVec.MergeInto(pv)
 	} else {
 		o.fetching = false
 		if err := o.env.ApplyFull(m.Payload); err != nil {
 			return
 		}
+		o.fullFetches++
 		o.invalid = make(map[string]bool)
 		o.allInvalid = false
-		o.fetchVec.Merge(m.VVec)
-		o.engine.Seed(m.VVec, m.GlobalSeq)
+		m.VVec.MergeInto(o.fetchVec)
+		o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
 	}
 	o.reconsiderParked()
 }
@@ -862,7 +993,7 @@ func (o *Object) onSubscribe(m *msg.Message) {
 	r.From = o.addr
 	r.Store = o.self
 	r.Payload = snap
-	r.VVec = o.applied()
+	r.VVec = o.appliedVec()
 	r.GlobalSeq = o.engine.Global()
 	o.send(m.From, r)
 }
@@ -874,9 +1005,10 @@ func (o *Object) onSubscribeAck(m *msg.Message) {
 		if err := o.env.ApplyFull(m.Payload); err != nil {
 			return
 		}
+		o.fullFetches++
 	}
-	o.fetchVec.Merge(m.VVec)
-	o.engine.Seed(m.VVec, m.GlobalSeq)
+	m.VVec.MergeInto(o.fetchVec)
+	o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
 	o.reconsiderParked()
 }
 

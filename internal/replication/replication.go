@@ -111,6 +111,13 @@ type parkedRead struct {
 	// the parent has answered one revalidation (epoch advanced past epoch).
 	needsReval bool
 	epoch      uint64
+	// fetchTried/fetchedAt record that this read triggered a state fetch
+	// and how many full fetches had completed at that point: if a full
+	// fetch completes (fullFetches advances past fetchedAt) and the element
+	// is still missing, the parent does not have it and the read fails
+	// instead of looping fetch → state-reply → reconsider forever.
+	fetchTried bool
+	fetchedAt  uint64
 }
 
 // Object is the replication sub-object for one distributed shared object at
@@ -153,6 +160,14 @@ type Object struct {
 	lazyArmed   bool
 	lazyTimer   clock.Timer
 
+	// Relay re-batching: while a batch arrival is being fanned into the
+	// engine (relayDepth > 0), immediately-disseminated updates collect in
+	// relayBuf and ship as one frame when the fan-in completes, so batching
+	// survives the full root→leaf path.
+	relayDepth int
+	relayBuf   []*coherence.Update
+	relayPages map[string]bool
+
 	// Pull-initiative poller.
 	pollArmed bool
 	pollTimer clock.Timer
@@ -175,6 +190,20 @@ type Object struct {
 	pageVec map[string]ids.VersionVec
 	// fetching de-duplicates concurrent full-state fetches.
 	fetching bool
+	// fullFetches counts completed full state transfers (state replies,
+	// full-state updates, subscribe bootstraps); parked reads use it to
+	// detect "a full fetch finished and the element still is not here".
+	fullFetches uint64
+
+	// Demand-retry: a demand whose reply is lost would otherwise strand the
+	// store until the next arrival (tail-loss). After demandRetry with no
+	// coherence response (revalEpoch unchanged), the demand is re-sent,
+	// bounded by maxDemandRetries per cycle.
+	demandRetry      time.Duration
+	demandRetryArmed bool
+	demandRetryTimer clock.Timer
+	demandEpoch      uint64
+	demandRetries    int
 
 	parked      []*parkedRead
 	readTimeout time.Duration
@@ -203,6 +232,10 @@ type Config struct {
 	ReadTimeout time.Duration
 	// LogLimit caps the demand-serving log (default 4096 updates).
 	LogLimit int
+	// DemandRetry is the delay after which an unanswered demand-update is
+	// re-sent while updates stay buffered or reads stay parked (default
+	// 50ms; negative disables retries).
+	DemandRetry time.Duration
 }
 
 // New builds the replication object, choosing the ordering engine from the
@@ -256,6 +289,13 @@ func New(cfg Config) (*Object, error) {
 	if o.logLimit <= 0 {
 		o.logLimit = 4096
 	}
+	o.demandRetry = cfg.DemandRetry
+	if o.demandRetry == 0 {
+		o.demandRetry = 50 * time.Millisecond
+	}
+	if o.demandRetry < 0 {
+		o.demandRetry = 0 // disabled
+	}
 	return o, nil
 }
 
@@ -292,6 +332,9 @@ func (o *Object) Close() {
 	if o.gossipTimer != nil {
 		o.gossipTimer.Stop()
 	}
+	if o.demandRetryTimer != nil {
+		o.demandRetryTimer.Stop()
+	}
 	for _, p := range o.parked {
 		o.replyErr(p.m, msg.StatusRetry, "store closing")
 	}
@@ -305,6 +348,9 @@ func (o *Object) applied() ids.VersionVec {
 	v.Merge(o.fetchVec)
 	return v
 }
+
+// appliedVec is applied in wire (small-vector) form, for message fields.
+func (o *Object) appliedVec() msg.Vec { return msg.VecFrom(o.applied()) }
 
 // Applied exposes the combined applied vector.
 func (o *Object) Applied() ids.VersionVec { return o.applied() }

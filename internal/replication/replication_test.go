@@ -242,7 +242,7 @@ func TestInvalidateWaitDefersUntilAccess(t *testing.T) {
 	el, _ := doc.SnapshotElement("p")
 	o.Handle(&msg.Message{
 		Kind: msg.KindStateReply, Object: "obj", From: "parent-store",
-		Pages: []string{"p"}, Payload: el, VVec: ids.VersionVec{1: 1},
+		Pages: []string{"p"}, Payload: el, VVec: msg.VecFrom(ids.VersionVec{1: 1}),
 	})
 	// Invalidation arrives; wait reaction -> no traffic yet.
 	o.Handle(&msg.Message{Kind: msg.KindInvalidate, Object: "obj", From: "parent-store", Pages: []string{"p"}})
@@ -262,7 +262,7 @@ func TestInvalidateWaitDefersUntilAccess(t *testing.T) {
 	el2, _ := doc.SnapshotElement("p")
 	o.Handle(&msg.Message{
 		Kind: msg.KindStateReply, Object: "obj", From: "parent-store",
-		Pages: []string{"p"}, Payload: el2, VVec: ids.VersionVec{1: 2},
+		Pages: []string{"p"}, Payload: el2, VVec: msg.VecFrom(ids.VersionVec{1: 2}),
 	})
 	replies := env.takeSent(msg.KindReadReply)
 	if len(replies) != 1 || replies[0].Status != msg.StatusOK {
@@ -285,7 +285,7 @@ func TestDemandServedFromLog(t *testing.T) {
 	// aggregated batch frame.
 	o.Handle(&msg.Message{
 		Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1",
-		VVec: ids.VersionVec{1: 1},
+		VVec: msg.VecFrom(ids.VersionVec{1: 1}),
 	})
 	batches := env.takeSent(msg.KindUpdateBatch)
 	if len(batches) != 1 {
@@ -306,7 +306,7 @@ func TestDemandSingleMissingUpdateShipsUnbatched(t *testing.T) {
 	env.sent = nil
 	o.Handle(&msg.Message{
 		Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1",
-		VVec: ids.VersionVec{1: 1},
+		VVec: msg.VecFrom(ids.VersionVec{1: 1}),
 	})
 	ups := env.takeSent(msg.KindUpdate)
 	if len(ups) != 1 || ups[0].Write.Seq != 2 {
@@ -321,7 +321,7 @@ func TestDemandNothingMissingSendsAck(t *testing.T) {
 	env.sent = nil
 	o.Handle(&msg.Message{
 		Kind: msg.KindDemandUpdate, Object: "obj", From: "child-1",
-		VVec: ids.VersionVec{1: 1},
+		VVec: msg.VecFrom(ids.VersionVec{1: 1}),
 	})
 	acks := env.takeSent(msg.KindUpdateAck)
 	if len(acks) != 1 || acks[0].To != "child-1" {
@@ -363,7 +363,7 @@ func TestReadParkedUntilRequirementMet(t *testing.T) {
 	// RYW requirement for a write that has not arrived yet.
 	o.Handle(&msg.Message{
 		Kind: msg.KindReadRequest, Object: "obj", From: "m-ep", Client: 1,
-		VVec: ids.VersionVec{1: 1},
+		VVec: msg.VecFrom(ids.VersionVec{1: 1}),
 		Inv:  msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
 	})
 	if replies := env.takeSent(msg.KindReadReply); len(replies) != 0 {
@@ -387,7 +387,7 @@ func TestReadTimesOutWithRetryStatus(t *testing.T) {
 	o := newObj(t, env, RolePermanent, st, "")
 	o.Handle(&msg.Message{
 		Kind: msg.KindReadRequest, Object: "obj", From: "m-ep", Client: 1,
-		VVec: ids.VersionVec{1: 99},
+		VVec: msg.VecFrom(ids.VersionVec{1: 99}),
 		Inv:  msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
 	})
 	env.clk.Advance(2 * time.Second)
@@ -453,7 +453,7 @@ func TestCloseFailsParkedReads(t *testing.T) {
 	o := newObj(t, env, RolePermanent, st, "")
 	o.Handle(&msg.Message{
 		Kind: msg.KindReadRequest, Object: "obj", From: "m-ep", Client: 1,
-		VVec: ids.VersionVec{1: 9},
+		VVec: msg.VecFrom(ids.VersionVec{1: 9}),
 		Inv:  msg.Invocation{Method: webdoc.MethodGetPage, Page: "p"},
 	})
 	o.Close()
@@ -584,7 +584,7 @@ func TestGossipShipsBatch(t *testing.T) {
 	env.sent = nil
 	o.Handle(&msg.Message{
 		Kind: msg.KindGossip, Object: "obj", From: "peer-1",
-		VVec: ids.VersionVec{1: 1},
+		VVec: msg.VecFrom(ids.VersionVec{1: 1}),
 	})
 	batches := env.takeSent(msg.KindUpdateBatch)
 	if len(batches) != 1 || len(batches[0].Batch) != 3 {
@@ -592,5 +592,198 @@ func TestGossipShipsBatch(t *testing.T) {
 	}
 	if replies := env.takeSent(msg.KindGossipReply); len(replies) != 1 {
 		t.Fatalf("gossip replies: %+v", replies)
+	}
+}
+
+// TestBatchRelayedAsOneFramePerHop: a mid-hierarchy store receiving an
+// aggregated KindUpdateBatch relays everything the batch releases — including
+// previously buffered updates it unblocks — to its children as ONE batch
+// frame, instead of one KindUpdate frame per released update.
+func TestBatchRelayedAsOneFramePerHop(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RoleObjectInitiated, immediatePushStrategy(), "parent")
+	o.Handle(&msg.Message{Kind: msg.KindSubscribe, Object: "obj", From: "child-1"})
+	o.Handle(&msg.Message{Kind: msg.KindSubscribe, Object: "obj", From: "child-2"})
+	env.sent = nil
+
+	upd := func(seq uint64) msg.BatchUpdate {
+		return msg.BatchUpdate{
+			Write: ids.WiD{Client: 1, Seq: seq},
+			Inv: msg.Invocation{
+				Method: webdoc.MethodAppendPage, Page: "p",
+				Args: webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte("x")}),
+			},
+		}
+	}
+	// Seq 4 arrives alone and buffers (gap: 1..3 missing); nothing relays.
+	one := upd(4)
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdate, Object: "obj", From: "parent",
+		Write: one.Write, Inv: one.Inv,
+	})
+	if got := env.takeSent(msg.KindUpdateBatch); len(got) != 0 {
+		t.Fatalf("buffered update must not relay: %+v", got)
+	}
+	env.sent = nil // drop the gap-triggered demand
+
+	// The demanded batch 1..3 arrives and releases 1,2,3 plus buffered 4.
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdateBatch, Object: "obj", From: "parent",
+		Batch: []msg.BatchUpdate{upd(1), upd(2), upd(3)},
+	})
+	if singles := env.takeSent(msg.KindUpdate); len(singles) != 0 {
+		t.Fatalf("relay de-batched into %d KindUpdate frames", len(singles))
+	}
+	relays := env.takeSent(msg.KindUpdateBatch)
+	if len(relays) != 2 { // one multicast frame recorded per child
+		t.Fatalf("want one batch frame to each of 2 children, got %d", len(relays))
+	}
+	for _, r := range relays {
+		if len(r.Batch) != 4 {
+			t.Fatalf("relayed batch carries %d updates, want 4 (3 arrived + 1 unblocked)", len(r.Batch))
+		}
+	}
+	if got := o.Stats(); got.BatchesSent != 1 || got.BatchedUpdates != 4 {
+		t.Fatalf("batch stats: %+v", got)
+	}
+}
+
+// immediatePushStrategy is the Table-1 combination used by the relay and
+// fault-regression tests: PRAM, immediate push of partial (operation)
+// updates, demand reaction.
+func immediatePushStrategy() strategy.Strategy {
+	return strategy.Strategy{
+		Model:             coherence.PRAM,
+		Propagation:       strategy.PropagateUpdate,
+		Scope:             strategy.ScopeAll,
+		Writers:           strategy.SingleWriter,
+		Initiative:        strategy.Push,
+		Instant:           strategy.Immediate,
+		AccessTransfer:    strategy.TransferPartial,
+		CoherenceTransfer: strategy.CoherencePartial,
+		ObjectOutdate:     strategy.Demand,
+		ClientOutdate:     strategy.Demand,
+	}
+}
+
+// TestTransferFullMissingElementFailsFast is the regression test for the
+// TransferFull livelock: a read for a page that exists neither locally nor
+// at the parent must fail with not-found once a completed full fetch still
+// lacks it, instead of looping fetch → state-reply → reconsiderParked until
+// the read times out (~25k demands/s in the original repro).
+func TestTransferFullMissingElementFailsFast(t *testing.T) {
+	env := newFakeEnv()
+	st := immediatePushStrategy()
+	st.AccessTransfer = strategy.TransferFull
+	o := newObj(t, env, RoleClientInitiated, st, "parent")
+	o.Handle(&msg.Message{
+		Kind: msg.KindReadRequest, Object: "obj", From: "reader-ep", Client: 9,
+		Inv: msg.Invocation{Method: webdoc.MethodGetPage, Page: "ghost"},
+	})
+	reqs := env.takeSent(msg.KindStateRequest)
+	if len(reqs) != 1 || len(reqs[0].Pages) != 0 {
+		t.Fatalf("want one full state request, got %+v", reqs)
+	}
+	if replies := env.takeSent(msg.KindReadReply); len(replies) != 0 {
+		t.Fatalf("read answered before the fetch completed: %+v", replies)
+	}
+	// The parent's full snapshot arrives — and still has no such page.
+	snap, err := control.New(webdoc.New()).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Handle(&msg.Message{
+		Kind: msg.KindStateReply, Object: "obj", From: "parent", Payload: snap,
+	})
+	replies := env.takeSent(msg.KindReadReply)
+	if len(replies) != 1 || replies[0].Status != msg.StatusNotFound {
+		t.Fatalf("want immediate not-found reply, got %+v", replies)
+	}
+	if again := env.takeSent(msg.KindStateRequest); len(again) != 0 {
+		t.Fatalf("livelock: refetched %d times after a complete full fetch", len(again))
+	}
+	if got := o.Stats(); got.ReadsFailed != 1 || got.DemandsSent != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+// TestDemandRetryAfterLostReply: a demand whose reply frame is lost must be
+// re-sent after the bounded retry delay while the gap persists, and the
+// retries must stop once the gap is filled.
+func TestDemandRetryAfterLostReply(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RoleClientInitiated, immediatePushStrategy(), "parent")
+	appendInv := msg.Invocation{
+		Method: webdoc.MethodAppendPage, Page: "p",
+		Args: webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte("x")}),
+	}
+	// Seq 3 arrives with 1..2 missing: buffered, gap demand sent.
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdate, Object: "obj", From: "parent",
+		Write: ids.WiD{Client: 1, Seq: 3}, Inv: appendInv,
+	})
+	if d := env.takeSent(msg.KindDemandUpdate); len(d) != 1 {
+		t.Fatalf("want 1 gap demand, got %d", len(d))
+	}
+	// The replay batch is lost; after the retry delay the store re-asks.
+	env.clk.Advance(60 * time.Millisecond)
+	if d := env.takeSent(msg.KindDemandUpdate); len(d) != 1 {
+		t.Fatalf("want 1 retried demand after the delay, got %d", len(d))
+	}
+	// The retried replay arrives and fills the gap.
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdateBatch, Object: "obj", From: "parent",
+		Batch: []msg.BatchUpdate{
+			{Write: ids.WiD{Client: 1, Seq: 1}, Inv: appendInv},
+			{Write: ids.WiD{Client: 1, Seq: 2}, Inv: appendInv},
+		},
+	})
+	if !o.Applied().CoversWrite(ids.WiD{Client: 1, Seq: 3}) {
+		t.Fatalf("gap not filled: %v", o.Applied())
+	}
+	// No further retries once recovered.
+	env.clk.Advance(time.Second)
+	if d := env.takeSent(msg.KindDemandUpdate); len(d) != 0 {
+		t.Fatalf("retries continued after recovery: %d", len(d))
+	}
+}
+
+// TestDemandRetryRecoversAfterExhaustedCycle: exhausting one retry cycle
+// against a dead parent must not permanently disable retries — a fresh gap
+// opens a fresh cycle.
+func TestDemandRetryRecoversAfterExhaustedCycle(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RoleClientInitiated, immediatePushStrategy(), "parent")
+	appendInv := msg.Invocation{
+		Method: webdoc.MethodAppendPage, Page: "p",
+		Args: webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte("x")}),
+	}
+	// Gap with a dead parent: retries run until the cap, then stop.
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdate, Object: "obj", From: "parent",
+		Write: ids.WiD{Client: 1, Seq: 2}, Inv: appendInv,
+	})
+	for i := 0; i < maxDemandRetries+5; i++ {
+		env.clk.Advance(60 * time.Millisecond)
+	}
+	if d := env.takeSent(msg.KindDemandUpdate); len(d) != maxDemandRetries+1 {
+		t.Fatalf("want initial demand + %d retries, got %d", maxDemandRetries, len(d))
+	}
+	// The parent heals and fills the gap; a new gap later must retry again.
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdate, Object: "obj", From: "parent",
+		Write: ids.WiD{Client: 1, Seq: 1}, Inv: appendInv,
+	})
+	env.sent = nil
+	o.Handle(&msg.Message{
+		Kind: msg.KindUpdate, Object: "obj", From: "parent",
+		Write: ids.WiD{Client: 1, Seq: 4}, Inv: appendInv,
+	})
+	if d := env.takeSent(msg.KindDemandUpdate); len(d) != 1 {
+		t.Fatalf("want fresh gap demand, got %d", len(d))
+	}
+	env.clk.Advance(60 * time.Millisecond)
+	if d := env.takeSent(msg.KindDemandUpdate); len(d) != 1 {
+		t.Fatalf("exhausted earlier cycle disabled retries: got %d retried demands, want 1", len(d))
 	}
 }

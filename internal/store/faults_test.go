@@ -325,8 +325,10 @@ func TestGossipAntiEntropyBetweenMirrors(t *testing.T) {
 		return errA == nil && errB == nil && sa == sb
 	}, "mirrors converge via gossip, including LWW on the conflicting page")
 
-	sa, _ := mirrorA.Stats(obj)
-	if sa.GossipRounds == 0 {
-		t.Fatalf("no gossip rounds recorded: %+v", sa)
-	}
+	// Convergence can complete off the peer's first round alone, before this
+	// mirror's own gossip timer has fired, so poll rather than assert once.
+	eventually(t, 3*time.Second, func() bool {
+		sa, _ := mirrorA.Stats(obj)
+		return sa.GossipRounds > 0
+	}, "mirror A records its own gossip rounds")
 }

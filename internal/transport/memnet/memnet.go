@@ -17,6 +17,7 @@ package memnet
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -92,12 +93,33 @@ func (c *counters) reset() {
 	}
 }
 
+// numShards is the number of delivery-queue shards. Destinations are hashed
+// onto shards, so concurrent senders contend only when they target the same
+// shard; 16 comfortably covers the core counts this simulator runs on.
+const numShards = 16
+
+// shard is one slice of the delivery schedule: a min-heap of pending
+// deliveries with its own lock and FIFO tiebreak sequence. The struct is
+// padded to a cache line so neighbouring shards do not false-share.
+type shard struct {
+	mu    sync.Mutex
+	seq   uint64
+	queue deliveryQueue
+	_     [24]byte
+}
+
 // Network is a simulated network. Create endpoints with Endpoint, wire their
 // behaviour with SetLink/SetDefaultLink, and tear everything down with
 // Close, which waits for the delivery scheduler to stop.
+//
+// Concurrency model: topology (endpoints, links, partitions) is guarded by a
+// read-write mutex that the send path only read-locks; loss/jitter/dup
+// randomness comes from per-endpoint RNGs; and scheduled deliveries live in
+// per-destination shards, so N concurrent senders to distinct destinations
+// share no exclusive lock. One scheduler goroutine (the clock driver) drains
+// all shards in timestamp order.
 type Network struct {
-	mu        sync.Mutex
-	rng       *rand.Rand
+	mu        sync.RWMutex
 	endpoints map[string]*endpoint
 	// graveyard holds endpoints closed before the network itself closes:
 	// their addresses are free for reuse, but their receive channels still
@@ -106,13 +128,19 @@ type Network struct {
 	links     map[linkKey]LinkProfile
 	defProf   LinkProfile
 	parts     map[linkKey]bool
-	stats     counters
-	queue     deliveryQueue
-	seq       uint64
-	wake      chan struct{}
-	done      chan struct{}
 	closed    bool
-	wg        sync.WaitGroup
+
+	seed   int64
+	stats  counters
+	shards [numShards]shard
+	// sleepUntil is the scheduler's planned wake time (UnixNano); senders
+	// skip the wake signal when their delivery is not earlier. While the
+	// scheduler is awake (scanning or delivering) it holds MaxInt64, so
+	// racing senders always signal and the buffered token forces a rescan.
+	sleepUntil atomic.Int64
+	wake       chan struct{}
+	done       chan struct{}
+	wg         sync.WaitGroup
 }
 
 type linkKey struct{ from, to string }
@@ -120,9 +148,11 @@ type linkKey struct{ from, to string }
 // Option configures a Network.
 type Option func(*Network)
 
-// WithSeed fixes the RNG seed for deterministic jitter and loss decisions.
+// WithSeed fixes the base RNG seed. Every endpoint derives its own RNG from
+// the base seed and its address, so jitter/loss decisions are deterministic
+// per sender regardless of how goroutines interleave across endpoints.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) { n.seed = seed }
 }
 
 // WithDefaultLink sets the profile used by links that have no explicit
@@ -134,7 +164,7 @@ func WithDefaultLink(p LinkProfile) Option {
 // New creates a network. By default links are instantaneous and lossless.
 func New(opts ...Option) *Network {
 	n := &Network{
-		rng:       rand.New(rand.NewSource(1)),
+		seed:      1,
 		endpoints: make(map[string]*endpoint),
 		links:     make(map[linkKey]LinkProfile),
 		parts:     make(map[linkKey]bool),
@@ -144,9 +174,20 @@ func New(opts ...Option) *Network {
 	for _, o := range opts {
 		o(n)
 	}
+	n.sleepUntil.Store(math.MaxInt64)
 	n.wg.Add(1)
 	go n.run()
 	return n
+}
+
+// fnv64a hashes s (FNV-1a) for shard selection and per-endpoint RNG seeds.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Endpoint creates (or returns an error for a duplicate) the endpoint at
@@ -160,7 +201,14 @@ func (n *Network) Endpoint(addr string) (transport.Endpoint, error) {
 	if _, ok := n.endpoints[addr]; ok {
 		return nil, fmt.Errorf("memnet: duplicate endpoint %q", addr)
 	}
-	e := &endpoint{net: n, addr: addr, inbox: make(chan *msg.Message, 1024)}
+	h := fnv64a(addr)
+	e := &endpoint{
+		net:   n,
+		addr:  addr,
+		inbox: make(chan *msg.Message, 1024),
+		shard: &n.shards[h%numShards],
+		rng:   rand.New(rand.NewSource(n.seed ^ int64(h))),
+	}
 	n.endpoints[addr] = e
 	return e, nil
 }
@@ -224,22 +272,42 @@ func (n *Network) Close() error {
 	return nil
 }
 
-// send enqueues a message for delivery, applying the link profile.
-func (n *Network) send(from, to string, m *msg.Message) error {
-	wire := msg.Encode(m)
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return transport.ErrClosed
-	}
+// hop is one resolved destination of a send: the pinned endpoint, the link
+// profile to apply, and whether the link is currently partitioned.
+type hop struct {
+	dst  *endpoint
+	prof LinkProfile
+	part bool
+}
+
+// resolveLocked looks up one destination under the topology read lock.
+func (n *Network) resolveLocked(from, to string) (hop, bool) {
 	dst, ok := n.endpoints[to]
 	if !ok {
-		n.mu.Unlock()
+		return hop{}, false
+	}
+	prof, ok := n.links[linkKey{from, to}]
+	if !ok {
+		prof = n.defProf
+	}
+	return hop{dst: dst, prof: prof, part: n.parts[linkKey{from, to}]}, true
+}
+
+// send enqueues a message for delivery, applying the link profile. The
+// topology is only read-locked, so concurrent senders do not serialise.
+func (n *Network) send(src *endpoint, to string, m *msg.Message) error {
+	wire := msg.Encode(m)
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return transport.ErrClosed
+	}
+	h, ok := n.resolveLocked(src.addr, to)
+	n.mu.RUnlock()
+	if !ok {
 		return fmt.Errorf("%w: %q", transport.ErrUnknownAddr, to)
 	}
-	n.enqueueLocked(from, to, dst, wire)
-	n.mu.Unlock()
-	n.wakeScheduler()
+	n.enqueue(src, h, wire)
 	return nil
 }
 
@@ -253,74 +321,87 @@ func (n *Network) send(from, to string, m *msg.Message) error {
 // endpoint closed and freed its address) must not starve the remaining
 // destinations, so every address is attempted and the first failure is
 // reported after the sweep.
-func (n *Network) multicast(from string, tos []string, m *msg.Message) error {
+func (n *Network) multicast(src *endpoint, tos []string, m *msg.Message) error {
 	if len(tos) == 0 {
 		return nil
 	}
 	wire := msg.Encode(m)
 	var firstErr error
-	n.mu.Lock()
+	var hopArr [8]hop
+	hops := hopArr[:0]
+	n.mu.RLock()
 	if n.closed {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return transport.ErrClosed
 	}
 	for _, to := range tos {
-		dst, ok := n.endpoints[to]
+		h, ok := n.resolveLocked(src.addr, to)
 		if !ok {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("multicast to %q: %w", to, transport.ErrUnknownAddr)
 			}
 			continue
 		}
-		n.enqueueLocked(from, to, dst, wire)
+		hops = append(hops, h)
 	}
-	n.mu.Unlock()
-	n.wakeScheduler()
+	n.mu.RUnlock()
+	for i := range hops {
+		n.enqueue(src, hops[i], wire)
+	}
 	return firstErr
 }
 
-// enqueueLocked applies the link profile for from->to and schedules the wire
-// bytes for delivery to dst. The destination endpoint is captured by pointer
-// at enqueue time so a delivery in flight when the endpoint closes is never
-// handed to a fresh endpoint that reuses the address. Callers hold n.mu.
-func (n *Network) enqueueLocked(from, to string, dst *endpoint, wire []byte) {
+// enqueue applies the link profile and schedules the wire bytes on the
+// destination's shard. The destination endpoint is captured by pointer at
+// enqueue time so a delivery in flight when the endpoint closes is never
+// handed to a fresh endpoint that reuses the address. Loss, jitter, and
+// duplication randomness come from the sender's own RNG, so senders never
+// contend on a shared randomness source.
+func (n *Network) enqueue(src *endpoint, h hop, wire []byte) {
 	n.stats.sent.Add(1)
-	if n.parts[linkKey{from, to}] {
+	if h.part {
 		n.stats.dropped.Add(1)
 		return // partitions drop silently, like the real network
 	}
-	prof, ok := n.links[linkKey{from, to}]
-	if !ok {
-		prof = n.defProf
-	}
-	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
-		n.stats.dropped.Add(1)
-		return
-	}
+	prof := h.prof
 	delay := prof.Latency
-	if prof.Jitter > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
-	}
-	n.seq++
-	heap.Push(&n.queue, &delivery{
-		at:   time.Now().Add(delay),
-		seq:  n.seq,
-		ep:   dst,
-		wire: wire,
-	})
-	if prof.Dup > 0 && n.rng.Float64() < prof.Dup {
-		extra := delay + prof.Latency
-		if prof.Jitter > 0 {
-			extra += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
+	var extra time.Duration
+	dup := false
+	if prof.Loss > 0 || prof.Jitter > 0 || prof.Dup > 0 {
+		src.rngMu.Lock()
+		if prof.Loss > 0 && src.rng.Float64() < prof.Loss {
+			src.rngMu.Unlock()
+			n.stats.dropped.Add(1)
+			return
 		}
-		n.seq++
+		if prof.Jitter > 0 {
+			delay += time.Duration(src.rng.Int63n(int64(prof.Jitter)))
+		}
+		if prof.Dup > 0 && src.rng.Float64() < prof.Dup {
+			dup = true
+			extra = delay + prof.Latency
+			if prof.Jitter > 0 {
+				extra += time.Duration(src.rng.Int63n(int64(prof.Jitter)))
+			}
+		}
+		src.rngMu.Unlock()
+	}
+	at := time.Now().Add(delay)
+	sh := h.dst.shard
+	sh.mu.Lock()
+	sh.seq++
+	heap.Push(&sh.queue, &delivery{at: at, seq: sh.seq, ep: h.dst, wire: wire})
+	if dup {
 		n.stats.duplicated.Add(1)
-		heap.Push(&n.queue, &delivery{
-			at:   time.Now().Add(extra),
-			seq:  n.seq,
-			ep:   dst,
-			wire: wire,
-		})
+		sh.seq++
+		heap.Push(&sh.queue, &delivery{at: at.Add(extra - delay), seq: sh.seq, ep: h.dst, wire: wire})
+	}
+	sh.mu.Unlock()
+	// Wake the scheduler only when this delivery is due before its planned
+	// wake-up; a sleeping scheduler rescans every shard when it wakes, so
+	// later deliveries need no signal.
+	if at.UnixNano() < n.sleepUntil.Load() {
+		n.wakeScheduler()
 	}
 }
 
@@ -331,21 +412,20 @@ func (n *Network) wakeScheduler() {
 	}
 }
 
-// run is the delivery scheduler: it sleeps until the earliest queued
-// delivery is due, then hands the decoded copy to the destination inbox.
+// run is the delivery scheduler (the clock driver): it sleeps until the
+// earliest queued delivery across all shards is due, then drains every due
+// delivery into its destination inbox.
 func (n *Network) run() {
 	defer n.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
-		n.mu.Lock()
-		var next *delivery
-		if n.queue.Len() > 0 {
-			next = n.queue[0]
-		}
-		n.mu.Unlock()
-
-		if next == nil {
+		// Awake: any concurrent enqueue signals the wake channel, whose
+		// buffered token makes the next select return immediately, closing
+		// the race with the shard scan below.
+		n.sleepUntil.Store(math.MaxInt64)
+		next, ok := n.earliest()
+		if !ok {
 			select {
 			case <-n.done:
 				return
@@ -353,8 +433,9 @@ func (n *Network) run() {
 				continue
 			}
 		}
-		wait := time.Until(next.at)
+		wait := time.Until(next)
 		if wait > 0 {
+			n.sleepUntil.Store(next.UnixNano())
 			if !timer.Stop() {
 				select {
 				case <-timer.C:
@@ -374,36 +455,66 @@ func (n *Network) run() {
 	}
 }
 
-// deliverDue pops and delivers every due message in (time, seq) order.
-func (n *Network) deliverDue() {
-	for {
-		n.mu.Lock()
-		if n.queue.Len() == 0 || n.queue[0].at.After(time.Now()) {
-			n.mu.Unlock()
-			return
-		}
-		d := heap.Pop(&n.queue).(*delivery)
-		e := d.ep
-		n.mu.Unlock()
-		if e.isClosed() {
-			continue
-		}
-		// Zero-copy decode: the scheduler never reuses a frame, and
-		// multicast frames are shared read-only, so the delivered message
-		// may alias the wire bytes.
-		m, err := msg.DecodeAlias(d.wire)
-		if err != nil {
-			// Encode/Decode are inverses; a failure here is a programming
-			// error surfaced loudly in tests via the dropped counter.
-			n.stats.dropped.Add(1)
-			continue
-		}
-		if e.deliver(m, n.done) {
-			n.stats.delivered.Add(1)
-			n.stats.bytes.Add(uint64(len(d.wire)))
-			if k := int(m.Kind); k >= 0 && k < msg.KindCount {
-				n.stats.byKind[k].Add(1)
+// earliest peeks every shard for the soonest pending delivery time.
+func (n *Network) earliest() (time.Time, bool) {
+	var at time.Time
+	found := false
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		if sh.queue.Len() > 0 {
+			t := sh.queue[0].at
+			if !found || t.Before(at) {
+				at = t
+				found = true
 			}
+		}
+		sh.mu.Unlock()
+	}
+	return at, found
+}
+
+// deliverDue pops and delivers every due message. Within a shard deliveries
+// happen in (time, seq) order, which preserves FIFO per destination (each
+// destination maps to exactly one shard); deliveries to different
+// destinations carry no ordering promise.
+func (n *Network) deliverDue() {
+	for i := range n.shards {
+		sh := &n.shards[i]
+		for {
+			sh.mu.Lock()
+			if sh.queue.Len() == 0 || sh.queue[0].at.After(time.Now()) {
+				sh.mu.Unlock()
+				break
+			}
+			d := heap.Pop(&sh.queue).(*delivery)
+			sh.mu.Unlock()
+			n.deliverOne(d)
+		}
+	}
+}
+
+// deliverOne decodes and hands one due delivery to its destination inbox.
+func (n *Network) deliverOne(d *delivery) {
+	e := d.ep
+	if e.isClosed() {
+		return
+	}
+	// Zero-copy decode: the scheduler never reuses a frame, and multicast
+	// frames are shared read-only, so the delivered message may alias the
+	// wire bytes.
+	m, err := msg.DecodeAlias(d.wire)
+	if err != nil {
+		// Encode/Decode are inverses; a failure here is a programming
+		// error surfaced loudly in tests via the dropped counter.
+		n.stats.dropped.Add(1)
+		return
+	}
+	if e.deliver(m, n.done) {
+		n.stats.delivered.Add(1)
+		n.stats.bytes.Add(uint64(len(d.wire)))
+		if k := int(m.Kind); k >= 0 && k < msg.KindCount {
+			n.stats.byKind[k].Add(1)
 		}
 	}
 }
@@ -438,11 +549,18 @@ func (q *deliveryQueue) Pop() any {
 	return d
 }
 
-// endpoint implements transport.Endpoint on a Network.
+// endpoint implements transport.Endpoint on a Network. Each endpoint owns a
+// deterministic RNG (derived from the network seed and its address) for the
+// link randomness of its outbound sends, and is pinned to the delivery
+// shard its inbound traffic is scheduled on.
 type endpoint struct {
 	net   *Network
 	addr  string
 	inbox chan *msg.Message
+	shard *shard
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu     sync.Mutex
 	closed bool
@@ -456,14 +574,14 @@ func (e *endpoint) Send(to string, m *msg.Message) error {
 	if e.isClosed() {
 		return transport.ErrClosed
 	}
-	return e.net.send(e.addr, to, m)
+	return e.net.send(e, to, m)
 }
 
 func (e *endpoint) Multicast(tos []string, m *msg.Message) error {
 	if e.isClosed() {
 		return transport.ErrClosed
 	}
-	return e.net.multicast(e.addr, tos, m)
+	return e.net.multicast(e, tos, m)
 }
 
 func (e *endpoint) Recv() <-chan *msg.Message { return e.inbox }

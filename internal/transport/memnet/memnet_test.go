@@ -58,7 +58,7 @@ func TestMessagesAreDeepCopies(t *testing.T) {
 	defer n.Close()
 	a, _ := n.Endpoint("a")
 	b, _ := n.Endpoint("b")
-	orig := &msg.Message{Kind: msg.KindUpdate, Object: "o", VVec: ids.VersionVec{1: 1}, Payload: []byte("x")}
+	orig := &msg.Message{Kind: msg.KindUpdate, Object: "o", VVec: msg.VecFrom(ids.VersionVec{1: 1}), Payload: []byte("x")}
 	if err := a.Send("b", orig); err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,14 @@ package webobj_test
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/coherence"
+	"repro/internal/msg"
+	"repro/internal/strategy"
+	"repro/internal/transport/memnet"
 	"repro/webobj"
 )
 
@@ -211,5 +216,137 @@ func TestSystemCloseIdempotent(t *testing.T) {
 	}
 	if _, err := sys.NewServer("b"); err == nil {
 		t.Fatalf("store creation after close accepted")
+	}
+}
+
+// TestDeepHierarchyPreservesBatches drives a three-level chain (server →
+// mirror → cache): a partition makes the mirror miss a burst of writes, the
+// next write after healing exposes the gap, the mirror demands, and the
+// server replays the burst as one KindUpdateBatch frame. The mirror must
+// relay the released updates to the cache as one batch frame too — one frame
+// per hop, asserted via msg.EncodeHook.
+func TestDeepHierarchyPreservesBatches(t *testing.T) {
+	st := webobj.Strategy{
+		Model:             coherence.PRAM,
+		Propagation:       strategy.PropagateUpdate,
+		Scope:             strategy.ScopeAll,
+		Writers:           strategy.SingleWriter,
+		Initiative:        strategy.Push,
+		Instant:           strategy.Immediate,
+		AccessTransfer:    strategy.TransferPartial,
+		CoherenceTransfer: strategy.CoherencePartial,
+		ObjectOutdate:     strategy.Demand,
+		ClientOutdate:     strategy.Demand,
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys := webobj.NewSystemWithNetwork(memnet.WithSeed(1))
+	t.Cleanup(func() { _ = sys.Close() })
+	server, err := sys.NewServer("www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const obj = webobj.ObjectID("chain-doc")
+	if err := sys.Publish(server, obj, st); err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := sys.NewMirror("mirror", server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Replicate(mirror, obj); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := sys.NewCache("proxy", mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Replicate(cache, obj); err != nil {
+		t.Fatal(err)
+	}
+	writer, err := sys.Open(obj, webobj.At(server))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	waitChainCovers := func() {
+		t.Helper()
+		want, err := server.Applied(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got, err := cache.Applied(obj)
+			if err == nil && got.Covers(want) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cache did not converge: have %v want %v", got, want)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	if err := writer.Append("log", []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	waitChainCovers()
+
+	// The mirror misses a burst of writes behind a partition.
+	const gap = 16
+	sys.Network().Partition("store/www", "store/mirror")
+	for i := 0; i < gap; i++ {
+		if err := writer.Append("log", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Network().Heal("store/www", "store/mirror")
+
+	var singles, batchFrames, batchedUpdates atomic.Int64
+	msg.EncodeHook = func(m *msg.Message) {
+		switch m.Kind {
+		case msg.KindUpdate:
+			singles.Add(1)
+		case msg.KindUpdateBatch:
+			batchFrames.Add(1)
+			batchedUpdates.Add(int64(len(m.Batch)))
+		}
+	}
+	defer func() { msg.EncodeHook = nil }()
+
+	// The next write exposes the gap; demand replay + relay follow.
+	if err := writer.Append("log", []byte("trigger")); err != nil {
+		t.Fatal(err)
+	}
+	waitChainCovers()
+	msg.EncodeHook = nil
+
+	// One frame per hop: the server→mirror replay batch and the
+	// mirror→cache relay batch; the only KindUpdate single is the trigger's
+	// immediate push.
+	if got := batchFrames.Load(); got != 2 {
+		t.Fatalf("want 1 batch frame per hop (2 total), got %d", got)
+	}
+	if got := batchedUpdates.Load(); got != 2*(gap+1) {
+		t.Fatalf("batched updates = %d, want %d per hop", got, 2*(gap+1))
+	}
+	if got := singles.Load(); got != 1 {
+		t.Fatalf("KindUpdate singles = %d, want 1 (the trigger push)", got)
+	}
+	// The burst content arrived intact at the cache.
+	reader, err := sys.Open(obj, webobj.At(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	pg, err := reader.Get("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Version != gap+2 {
+		t.Fatalf("cache page version = %d, want %d", pg.Version, gap+2)
 	}
 }
