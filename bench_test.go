@@ -183,7 +183,7 @@ func newBenchSysSeeded(b *testing.B, strat webobj.Strategy, seed bool, session .
 		b.Fatal(err)
 	}
 	const obj = webobj.ObjectID("bench-doc")
-	if err := sys.Publish(server, obj, strat); err != nil {
+	if err := sys.Publish(server, obj, webobj.WebDoc(), strat); err != nil {
 		b.Fatal(err)
 	}
 	cache, err := sys.NewCache("proxy", server)
@@ -275,7 +275,7 @@ func BenchmarkFigure2_StoreLayers(b *testing.B) {
 		b.Fatal(err)
 	}
 	const obj = webobj.ObjectID("layers-doc")
-	if err := sys.Publish(server, obj, st); err != nil {
+	if err := sys.Publish(server, obj, webobj.WebDoc(), st); err != nil {
 		b.Fatal(err)
 	}
 	mirror, err := sys.NewMirror("mirror", server)
@@ -557,7 +557,7 @@ func BenchmarkGossip_AntiEntropy(b *testing.B) {
 		b.Fatal(err)
 	}
 	const obj = webobj.ObjectID("mirror-doc")
-	if err := sys.Publish(server, obj, webobj.MirroredSiteStrategy(2*time.Millisecond)); err != nil {
+	if err := sys.Publish(server, obj, webobj.WebDoc(), webobj.MirroredSiteStrategy(2*time.Millisecond)); err != nil {
 		b.Fatal(err)
 	}
 	m1, err := sys.NewMirror("m1", server)
@@ -785,7 +785,7 @@ func BenchmarkRelay_DeepHierarchyBatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	const obj = webobj.ObjectID("relay-doc")
-	if err := sys.Publish(server, obj, st); err != nil {
+	if err := sys.Publish(server, obj, webobj.WebDoc(), st); err != nil {
 		b.Fatal(err)
 	}
 	mirror, err := sys.NewMirror("mirror", server)
@@ -891,6 +891,56 @@ func BenchmarkE2E_LossyTransportRecovery(b *testing.B) {
 				b.ReportMetric(1, "converged")
 			} else {
 				b.ReportMetric(0, "converged")
+			}
+		})
+	}
+}
+
+// --- fabric end-to-end --------------------------------------------------------
+
+// BenchmarkFabric_EndToEndPutGet measures one full public-API round trip —
+// typed-handle Put (write ordered and applied at the store) followed by Get
+// — through the identical deployment code over each fabric. It is the
+// webobj-level end-to-end number the BENCH_<n>.json trajectory tracks: any
+// regression anywhere on the handle → proxy → transport → store event loop
+// → control path shows up here.
+func BenchmarkFabric_EndToEndPutGet(b *testing.B) {
+	for _, fab := range []struct {
+		name string
+		make func() webobj.Fabric
+	}{
+		{"memnet", func() webobj.Fabric { return webobj.NewMemFabric(memnet.WithSeed(1)) }},
+		{"tcpnet", func() webobj.Fabric { return webobj.NewTCPFabric("") }},
+	} {
+		b.Run("fabric="+fab.name, func(b *testing.B) {
+			sys := webobj.NewSystem(webobj.WithFabric(fab.make()))
+			defer sys.Close()
+			server, err := sys.NewServer("www")
+			if err != nil {
+				b.Fatal(err)
+			}
+			const obj = webobj.ObjectID("bench-doc")
+			if err := sys.Publish(server, obj, webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
+				b.Fatal(err)
+			}
+			doc, err := sys.Open(obj, webobj.At(server))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer doc.Close()
+			content := []byte("<h1>bench</h1>")
+			if err := doc.Put("index.html", content, "text/html"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := doc.Put("index.html", content, "text/html"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := doc.Get("index.html"); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -1,25 +1,31 @@
 // Command globectl is the client tool for globed daemons: it binds to a
-// distributed Web object at any store and reads, writes, appends, deletes,
-// or lists its pages over TCP.
+// distributed Web object at any store over TCP and invokes its methods
+// through the typed webobj handles. It is built entirely on the public
+// webobj API.
+//
+// Web documents (the default semantics):
 //
 //	globectl -store 127.0.0.1:7001 -object conf-page put index.html '<h1>hi</h1>'
 //	globectl -store 127.0.0.1:7002 -object conf-page -session ryw get index.html
 //	globectl -store 127.0.0.1:7002 -object conf-page pages
+//
+// Key-value maps and append-only logs:
+//
+//	globectl -store 127.0.0.1:7001 -object biblio -semantics kv put knuth 'TAOCP'
+//	globectl -store 127.0.0.1:7001 -object biblio -semantics kv keys
+//	globectl -store 127.0.0.1:7001 -object forum -semantics applog append 'hello'
+//	globectl -store 127.0.0.1:7001 -object forum -semantics applog suffix 0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/coherence"
-	"repro/internal/core"
-	"repro/internal/ids"
-	"repro/internal/msg"
-	"repro/internal/semantics/webdoc"
-	"repro/internal/transport/tcpnet"
+	"repro/webobj"
 )
 
 func main() {
@@ -33,8 +39,9 @@ func run() error {
 	var (
 		storeAddr = flag.String("store", "127.0.0.1:7001", "store address to bind to")
 		object    = flag.String("object", "", "object ID (required)")
+		semName   = flag.String("semantics", "webdoc", "semantics type: webdoc | kv | applog")
 		session   = flag.String("session", "", "client models: ryw,mr,mw,wfr")
-		clientID  = flag.Uint("client", 0, "client ID (0 = derive from pid/time)")
+		clientID  = flag.Uint("client", 0, "client ID (0 = derive from time; writers in concurrent deployments should pin unique IDs)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-call timeout")
 	)
 	flag.Parse()
@@ -43,36 +50,66 @@ func run() error {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: globectl [flags] get|put|append|delete|pages|stat [page] [content]")
+		return fmt.Errorf("usage: globectl [flags] <command> [args]\n" +
+			"  webdoc: get|stat|put|append|delete|pages\n" +
+			"  kv:     get|put|delete|keys\n" +
+			"  applog: append|len|entry|suffix")
 	}
 
-	models, err := parseSession(*session)
+	models, err := webobj.ClientModelsByNames(*session)
 	if err != nil {
 		return err
 	}
-	cid := ids.ClientID(*clientID)
+	sem, err := webobj.SemanticsByName(*semName)
+	if err != nil {
+		return err
+	}
+	cid := uint32(*clientID)
 	if cid == 0 {
-		cid = ids.ClientID(time.Now().UnixNano()%1_000_000 + 2)
+		cid = uint32(time.Now().UnixNano()%1_000_000 + 2)
 	}
-	ep, err := tcpnet.Listen("127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	defer ep.Close()
-	proxy, err := core.Bind(core.BindConfig{
-		Object:    ids.ObjectID(*object),
-		Endpoint:  ep,
-		StoreAddr: *storeAddr,
-		Client:    cid,
-		Session:   models,
-		Prototype: webdoc.New(),
-		Timeout:   *timeout,
-	})
-	if err != nil {
-		return err
-	}
-	defer proxy.Close()
 
+	sys := webobj.NewSystem(webobj.WithFabric(webobj.NewTCPFabric("")))
+	defer sys.Close()
+	remote, err := sys.AttachServer(*storeAddr)
+	if err != nil {
+		return err
+	}
+	obj := webobj.ObjectID(*object)
+	opts := []webobj.OpenOption{
+		webobj.At(remote),
+		webobj.WithSession(models...),
+		webobj.WithTimeout(*timeout),
+		webobj.AsClient(cid),
+	}
+
+	switch sem.Name() {
+	case "webdoc":
+		doc, err := sys.OpenDocument(obj, opts...)
+		if err != nil {
+			return err
+		}
+		defer doc.Close()
+		return runDoc(doc, cid, args)
+	case "kvstore":
+		m, err := sys.OpenMap(obj, opts...)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		return runMap(m, args)
+	case "applog":
+		l, err := sys.OpenLog(obj, opts...)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		return runLog(l, args)
+	}
+	return fmt.Errorf("unreachable semantics %q", sem.Name())
+}
+
+func runDoc(doc *webobj.Document, cid uint32, args []string) error {
 	cmd := args[0]
 	page := ""
 	if len(args) > 1 {
@@ -80,11 +117,7 @@ func run() error {
 	}
 	switch cmd {
 	case "get":
-		out, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodGetPage, Page: page})
-		if err != nil {
-			return err
-		}
-		pg, err := webdoc.DecodePage(out)
+		pg, err := doc.Get(page)
 		if err != nil {
 			return err
 		}
@@ -95,11 +128,7 @@ func run() error {
 		log.Printf("(version %d, %s, modified %s)", pg.Version, pg.ContentType,
 			time.Unix(0, pg.ModifiedNanos).Format(time.RFC3339))
 	case "stat":
-		out, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodStatPage, Page: page})
-		if err != nil {
-			return err
-		}
-		pg, err := webdoc.DecodePage(out)
+		pg, err := doc.Stat(page)
 		if err != nil {
 			return err
 		}
@@ -109,30 +138,23 @@ func run() error {
 		if len(args) < 3 {
 			return fmt.Errorf("%s needs: page content", cmd)
 		}
-		method := webdoc.MethodPutPage
-		if cmd == "append" {
-			method = webdoc.MethodAppendPage
+		var err error
+		if cmd == "put" {
+			err = doc.Put(page, []byte(args[2]), "text/html")
+		} else {
+			err = doc.Append(page, []byte(args[2]))
 		}
-		wargs := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
-			Content:       []byte(args[2]),
-			ContentType:   "text/html",
-			ModifiedNanos: time.Now().UnixNano(),
-		})
-		if _, err := proxy.Invoke(msg.Invocation{Method: method, Page: page, Args: wargs}); err != nil {
+		if err != nil {
 			return err
 		}
 		fmt.Printf("%s %s OK (client %d)\n", cmd, page, cid)
 	case "delete":
-		if _, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodDeletePage, Page: page}); err != nil {
+		if err := doc.Delete(page); err != nil {
 			return err
 		}
 		fmt.Printf("delete %s OK\n", page)
 	case "pages":
-		out, err := proxy.Invoke(msg.Invocation{Method: webdoc.MethodListPages})
-		if err != nil {
-			return err
-		}
-		names, err := webdoc.DecodeStrings(out)
+		names, err := doc.Pages()
 		if err != nil {
 			return err
 		}
@@ -140,30 +162,93 @@ func run() error {
 			fmt.Println(n)
 		}
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("unknown webdoc command %q (want get|stat|put|append|delete|pages)", cmd)
 	}
 	return nil
 }
 
-func parseSession(s string) ([]coherence.ClientModel, error) {
-	if s == "" {
-		return nil, nil
+func runMap(m *webobj.Map, args []string) error {
+	cmd := args[0]
+	key := ""
+	if len(args) > 1 {
+		key = args[1]
 	}
-	var out []coherence.ClientModel
-	for _, part := range strings.Split(s, ",") {
-		switch strings.TrimSpace(part) {
-		case "ryw":
-			out = append(out, coherence.ReadYourWrites)
-		case "mr":
-			out = append(out, coherence.MonotonicReads)
-		case "mw":
-			out = append(out, coherence.MonotonicWrites)
-		case "wfr":
-			out = append(out, coherence.WritesFollowReads)
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown session model %q", part)
+	switch cmd {
+	case "get":
+		v, err := m.Get(key)
+		if err != nil {
+			return err
 		}
+		fmt.Printf("%s\n", v)
+	case "put":
+		if len(args) < 3 {
+			return fmt.Errorf("put needs: key value")
+		}
+		if err := m.Put(key, []byte(args[2])); err != nil {
+			return err
+		}
+		fmt.Printf("put %s OK\n", key)
+	case "delete":
+		if err := m.Delete(key); err != nil {
+			return err
+		}
+		fmt.Printf("delete %s OK\n", key)
+	case "keys":
+		keys, err := m.Keys()
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+	default:
+		return fmt.Errorf("unknown kv command %q (want get|put|delete|keys)", cmd)
 	}
-	return out, nil
+	return nil
+}
+
+func runLog(l *webobj.Log, args []string) error {
+	cmd := args[0]
+	switch cmd {
+	case "append":
+		if len(args) < 2 {
+			return fmt.Errorf("append needs: payload")
+		}
+		if err := l.Append([]byte(args[1])); err != nil {
+			return err
+		}
+		fmt.Println("append OK")
+	case "len":
+		n, err := l.Len()
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+	case "entry", "suffix":
+		if len(args) < 2 {
+			return fmt.Errorf("%s needs: index", cmd)
+		}
+		i, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad index %q", args[1])
+		}
+		if cmd == "entry" {
+			e, err := l.Entry(i)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\n", e)
+			return nil
+		}
+		entries, err := l.Suffix(i)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			fmt.Printf("%s\n", e)
+		}
+	default:
+		return fmt.Errorf("unknown applog command %q (want append|len|entry|suffix)", cmd)
+	}
+	return nil
 }

@@ -1,7 +1,8 @@
 // Command globed is a store daemon: it hosts replicas of distributed Web
 // objects over real TCP, in any of the paper's three store layers. A
-// permanent store publishes a document; mirror/cache stores replicate it
-// from a parent daemon.
+// permanent store publishes an object; mirror/cache stores replicate it
+// from a parent daemon. It is built entirely on the public webobj API —
+// the same calls a simulation makes, deployed over the TCP fabric.
 //
 // Start a Web server (permanent store) publishing a document:
 //
@@ -9,9 +10,10 @@
 //
 // Start a proxy cache replicating it:
 //
-//	globed -listen 127.0.0.1:7002 -object conf-page -role cache -parent 127.0.0.1:7001 -strategy conference -session ryw
+//	globed -listen 127.0.0.1:7002 -object conf-page -role cache -parent 127.0.0.1:7001 -strategy conference -session ryw -id 2
 //
-// Then use globectl to read and write pages.
+// Then use globectl to read and write pages. Non-webdoc objects pick their
+// semantics type with -semantics kv | applog.
 package main
 
 import (
@@ -25,13 +27,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/coherence"
-	"repro/internal/ids"
-	"repro/internal/replication"
-	"repro/internal/semantics/webdoc"
-	"repro/internal/store"
-	"repro/internal/strategy"
-	"repro/internal/transport/tcpnet"
+	"repro/webobj"
 )
 
 func main() {
@@ -48,6 +44,7 @@ func run() error {
 		role      = flag.String("role", "permanent", "store role: permanent | mirror | cache")
 		parent    = flag.String("parent", "", "parent store address (required for mirror/cache)")
 		stratName = flag.String("strategy", "conference", "strategy preset: "+presetNames())
+		semName   = flag.String("semantics", "webdoc", "semantics type: webdoc | kv | applog")
 		session   = flag.String("session", "", "comma-separated client models this store supports: ryw,mr,mw,wfr")
 		storeID   = flag.Uint("id", 1, "store ID (unique per deployment)")
 	)
@@ -55,46 +52,63 @@ func run() error {
 	if *object == "" {
 		return fmt.Errorf("-object is required")
 	}
-
-	r, err := parseRole(*role)
-	if err != nil {
-		return err
-	}
-	if r != replication.RolePermanent && *parent == "" {
-		return fmt.Errorf("role %s requires -parent", *role)
-	}
-	st, ok := strategy.Presets()[*stratName]
+	strat, ok := webobj.StrategyPresets()[*stratName]
 	if !ok {
 		return fmt.Errorf("unknown strategy %q (have: %s)", *stratName, presetNames())
 	}
-	models, err := parseSession(*session)
+	sem, err := webobj.SemanticsByName(*semName)
+	if err != nil {
+		return err
+	}
+	models, err := webobj.ClientModelsByNames(*session)
 	if err != nil {
 		return err
 	}
 
-	ep, err := tcpnet.Listen(*listen)
-	if err != nil {
-		return err
+	// One System over the TCP fabric; the store name is the listen address,
+	// which pins the daemon's advertised endpoint.
+	sys := webobj.NewSystem(webobj.WithFabric(webobj.NewTCPFabric("")))
+	defer sys.Close()
+	obj := webobj.ObjectID(*object)
+	idOpt := webobj.WithStoreID(uint32(*storeID))
+
+	var st *webobj.Store
+	switch *role {
+	case "permanent":
+		if st, err = sys.NewServer(*listen, idOpt); err != nil {
+			return err
+		}
+		if err := sys.Publish(st, obj, sem, strat, models...); err != nil {
+			return err
+		}
+	case "mirror", "object-initiated", "cache", "client-initiated":
+		if *parent == "" {
+			return fmt.Errorf("role %s requires -parent", *role)
+		}
+		up, err := sys.AttachServer(*parent)
+		if err != nil {
+			return err
+		}
+		if err := sys.AttachObject(up, obj, sem, strat); err != nil {
+			return err
+		}
+		if *role == "mirror" || *role == "object-initiated" {
+			st, err = sys.NewMirror(*listen, up, idOpt)
+		} else {
+			st, err = sys.NewCache(*listen, up, idOpt)
+		}
+		if err != nil {
+			return err
+		}
+		if err := sys.Replicate(st, obj, models...); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown role %q", *role)
 	}
-	defer ep.Close()
-	s := store.New(store.Config{
-		ID:       ids.StoreID(*storeID),
-		Role:     r,
-		Endpoint: ep,
-	})
-	defer s.Close()
-	if err := s.Host(store.HostConfig{
-		Object:    ids.ObjectID(*object),
-		Semantics: webdoc.New(),
-		Strat:     st,
-		Parent:    *parent,
-		Session:   models,
-		Subscribe: *parent != "",
-	}); err != nil {
-		return err
-	}
-	log.Printf("globed: %s store %d hosting %q at %s (strategy %s)",
-		r, *storeID, *object, ep.Addr(), *stratName)
+
+	log.Printf("globed: %s store %d hosting %q (%s) at %s (strategy %s)",
+		*role, *storeID, *object, sem.Name(), st.Addr(), *stratName)
 	if *parent != "" {
 		log.Printf("globed: subscribed to parent %s", *parent)
 	}
@@ -109,51 +123,15 @@ func run() error {
 			log.Printf("globed: shutting down")
 			return nil
 		case <-ticker.C:
-			if stats, err := s.Stats(ids.ObjectID(*object)); err == nil {
+			if stats, err := st.Stats(obj); err == nil {
 				log.Printf("globed: stats %+v", stats)
 			}
 		}
 	}
 }
 
-func parseRole(s string) (replication.Role, error) {
-	switch s {
-	case "permanent":
-		return replication.RolePermanent, nil
-	case "mirror", "object-initiated":
-		return replication.RoleObjectInitiated, nil
-	case "cache", "client-initiated":
-		return replication.RoleClientInitiated, nil
-	default:
-		return 0, fmt.Errorf("unknown role %q", s)
-	}
-}
-
-func parseSession(s string) ([]coherence.ClientModel, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []coherence.ClientModel
-	for _, part := range strings.Split(s, ",") {
-		switch strings.TrimSpace(part) {
-		case "ryw":
-			out = append(out, coherence.ReadYourWrites)
-		case "mr":
-			out = append(out, coherence.MonotonicReads)
-		case "mw":
-			out = append(out, coherence.MonotonicWrites)
-		case "wfr":
-			out = append(out, coherence.WritesFollowReads)
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown session model %q (want ryw|mr|mw|wfr)", part)
-		}
-	}
-	return out, nil
-}
-
 func presetNames() string {
-	ps := strategy.Presets()
+	ps := webobj.StrategyPresets()
 	names := make([]string, 0, len(ps))
 	for n := range ps {
 		names = append(names, n)

@@ -11,10 +11,25 @@
 // this package regenerates every figure and table of the paper as Go
 // benchmarks. See README.md, DESIGN.md, and EXPERIMENTS.md.
 //
+// # One surface from simulation to real TCP
+//
+// A webobj.System deploys over a pluggable network fabric
+// (transport.Fabric): memnet — the in-process simulated network — and
+// tcpnet — real TCP — implement the same interface, so identical
+// deployment code runs as a single-process simulation or as a
+// multi-process production system. Stores in other processes join by
+// address (System.AttachServer / AttachObject), which is how the globed
+// cache daemon replicates from a permanent-store daemon. Objects carry a
+// semantics type (webdoc, kvstore, applog) selected at Publish and checked
+// at bind time; clients access them through typed handles (Document, Map,
+// Log) sharing one binding core.
+//
 // # Wire format
 //
 // Messages travel as version-prefixed binary frames (internal/msg). Wire
-// version 2 (this revision) made three changes over version 1:
+// version 3 (this revision) appended the Sem field — the semantics type
+// name a bind request declares so stores can reject mismatched typed
+// handles at bind time. Version 2 made three changes over version 1:
 //
 //   - A new frame kind, KindUpdateBatch, carries N aggregated operation
 //     updates in one frame. Lazy flushes, demand replays, and gossip deltas
@@ -26,8 +41,14 @@
 //     transports a zero-allocation steady state. Multicast on both memnet
 //     and tcpnet encodes a frame exactly once per fan-out.
 //   - DecodeAlias offers a zero-copy decode that aliases the frame for
-//     Args/Payload; memnet uses it (frames are immutable after delivery),
-//     tcpnet keeps the copying Decode because it reuses its read buffer.
+//     Args/Payload — and, via unsafe.String over the immutable frame, for
+//     every string field, so a small-vector frame decodes with a single
+//     allocation (the Message itself). Both transports use it: memnet
+//     frames are immutable after delivery, and tcpnet readers carve frames
+//     out of handoff chunks that are abandoned, never rewritten (see
+//     below). Receivers treat Args/Payload as immutable; code that retains
+//     a decoded string for the lifetime of a replica (e.g. subscriber
+//     addresses) clones it so it does not pin its frame's chunk.
 //
 // Version-1 frames are rejected with ErrBadVersion. Both ends of every
 // deployment ship from this tree, so no cross-version compatibility shim is
@@ -68,6 +89,14 @@
 // the rest inherit the flush result — back-to-back frames share syscalls
 // without a background flusher goroutine, and writeFrame still returns only
 // after the caller's bytes are on the socket.
+//
+// The inbound path mirrors this: each connection's reader carves frame
+// bodies out of a 64 KiB handoff chunk and hands them to msg.DecodeAlias
+// without copying. A chunk is abandoned when the next frame does not fit
+// and lives exactly as long as the messages aliasing it — one allocation
+// per ~64 KiB of traffic instead of one body copy per frame
+// (BenchmarkTCPInboundAllocs tracks the rate). Frames larger than a chunk
+// get a dedicated buffer.
 //
 // # Relay re-batching invariant
 //

@@ -29,7 +29,7 @@ func main() {
 	}
 	const page = webobj.ObjectID("icdcs98-home-page")
 	// Table 2: lazy (periodic) push every 150ms.
-	if err := sys.Publish(server, page, webobj.ConferenceStrategy(150*time.Millisecond)); err != nil {
+	if err := sys.Publish(server, page, webobj.WebDoc(), webobj.ConferenceStrategy(150*time.Millisecond)); err != nil {
 		log.Fatal(err)
 	}
 

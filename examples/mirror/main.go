@@ -25,7 +25,7 @@ func main() {
 	const site = webobj.ObjectID("mirrored-site")
 	// Mirrors synchronise lazily (every 10s here, so they are always stale
 	// within this run) under eventual coherence.
-	if err := sys.Publish(primary, site, webobj.MirroredSiteStrategy(10*time.Second)); err != nil {
+	if err := sys.Publish(primary, site, webobj.WebDoc(), webobj.MirroredSiteStrategy(10*time.Second)); err != nil {
 		log.Fatal(err)
 	}
 	mirror, err := sys.NewMirror("mirror.site.org", primary)

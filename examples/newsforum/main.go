@@ -3,10 +3,11 @@
 // a participant's reaction makes sense only if the audience has received
 // the message that triggered the reaction."
 //
-// A poster publishes an article; a second participant reads it at their own
-// cache and posts a reaction. Under the causal model (plus the
-// Writes-Follow-Reads session guarantee for the reactor), no replica ever
-// applies the reaction before the article.
+// The forum is an AppLog object — an append-only log accessed through the
+// typed Log handle. A poster publishes an article; a second participant
+// reads it at their own cache and posts a reaction. Under the causal model
+// (plus the Writes-Follow-Reads session guarantee for the reactor), no
+// replica ever applies the reaction before the article.
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	const forum = webobj.ObjectID("comp.dist.web-objects")
-	if err := sys.Publish(server, forum, webobj.ForumStrategy()); err != nil {
+	if err := sys.Publish(server, forum, webobj.AppLog(), webobj.ForumStrategy()); err != nil {
 		log.Fatal(err)
 	}
 
@@ -46,19 +47,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	poster, err := sys.Open(forum, webobj.At(cacheA))
+	poster, err := sys.OpenLog(forum, webobj.At(cacheA))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer poster.Close()
-	reactor, err := sys.Open(forum, webobj.At(cacheB), webobj.WithSession(webobj.WritesFollowReads))
+	reactor, err := sys.OpenLog(forum, webobj.At(cacheB), webobj.WithSession(webobj.WritesFollowReads))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reactor.Close()
 
 	// The poster writes the article.
-	if err := poster.Append("thread", []byte("<post>Globe makes Web objects scalable.</post>")); err != nil {
+	if err := poster.Append([]byte("<post>Globe makes Web objects scalable.</post>")); err != nil {
 		log.Fatal(err)
 	}
 
@@ -66,8 +67,8 @@ func main() {
 	// this read is what creates the causal dependency.
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		pg, err := reactor.Get("thread")
-		if err == nil && strings.Contains(string(pg.Content), "scalable") {
+		entries, err := reactor.Suffix(0)
+		if err == nil && len(entries) > 0 && strings.Contains(string(entries[0]), "scalable") {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -76,23 +77,27 @@ func main() {
 		time.Sleep(10 * time.Millisecond)
 	}
 	// The reaction now causally follows the article.
-	if err := reactor.Append("thread", []byte("<reply>Agreed -- per-object coherence is the key.</reply>")); err != nil {
+	if err := reactor.Append([]byte("<reply>Agreed -- per-object coherence is the key.</reply>")); err != nil {
 		log.Fatal(err)
 	}
 
 	// Every replica must show the article before the reaction.
-	caches := []*webobj.Document{poster, reactor}
-	for i, d := range caches {
+	logs := []*webobj.Log{poster, reactor}
+	for i, l := range logs {
 		deadline := time.Now().Add(3 * time.Second)
 		for {
-			pg, err := d.Get("thread")
+			entries, err := l.Suffix(0)
 			if err == nil {
-				s := string(pg.Content)
+				joined := make([]string, len(entries))
+				for k, e := range entries {
+					joined[k] = string(e)
+				}
+				s := strings.Join(joined, "\n")
 				if strings.Contains(s, "<reply>") {
 					if strings.Index(s, "<post>") > strings.Index(s, "<reply>") {
 						log.Fatalf("causality violated at replica %d: %s", i, s)
 					}
-					fmt.Printf("replica %d sees causally ordered thread\n", i)
+					fmt.Printf("replica %d sees causally ordered thread (%d entries)\n", i, len(entries))
 					break
 				}
 			}

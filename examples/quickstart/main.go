@@ -1,6 +1,13 @@
 // Quickstart: publish a Web document at a server, replicate it at a proxy
 // cache, and access it from two clients — the smallest end-to-end use of the
 // framework.
+//
+// This runs over the default in-process simulated network. The identical
+// calls deploy over real TCP by swapping the fabric —
+//
+//	sys := webobj.NewSystem(webobj.WithFabric(webobj.NewTCPFabric("")))
+//
+// — which is exactly how cmd/globed and cmd/globectl are built.
 package main
 
 import (
@@ -24,7 +31,7 @@ func main() {
 	// Publish a document with the conference-page strategy of the paper's
 	// Table 2 (PRAM coherence, single writer, periodic partial pushes).
 	const doc = webobj.ObjectID("my-first-object")
-	if err := sys.Publish(server, doc, webobj.ConferenceStrategy(100*time.Millisecond)); err != nil {
+	if err := sys.Publish(server, doc, webobj.WebDoc(), webobj.ConferenceStrategy(100*time.Millisecond)); err != nil {
 		log.Fatal(err)
 	}
 

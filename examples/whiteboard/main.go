@@ -24,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 	const board = webobj.ObjectID("shared-whiteboard")
-	if err := sys.Publish(server, board, webobj.WhiteboardStrategy()); err != nil {
+	if err := sys.Publish(server, board, webobj.WebDoc(), webobj.WhiteboardStrategy()); err != nil {
 		log.Fatal(err)
 	}
 

@@ -63,6 +63,19 @@ func (s *Session) Enable(m ClientModel) {
 	s.models[m] = true
 }
 
+// SeedSeq advances the write counter to at least seq. Binds call it with
+// the store's applied sequence for this client, so a returning client (a
+// new process reusing a persistent client identity) resumes after its last
+// acknowledged write instead of re-issuing WiDs the deployment has already
+// applied — which would be silently deduplicated as replays.
+func (s *Session) SeedSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+}
+
 // NextWrite allocates the next write identifier and returns it together
 // with the dependency vector the write must carry: under Writes Follow
 // Reads, everything the client has read; under Monotonic Writes, the

@@ -54,6 +54,12 @@ type BindConfig struct {
 	// Prototype supplies the method table for read/write classification; it
 	// is never invoked.
 	Prototype semantics.Object
+	// Semantics, when set, names the semantics type the client expects
+	// ("webdoc", "kvstore", "applog", ...). It travels in the bind
+	// request's Sem field, and stores that host the object under a
+	// different semantics type reject the bind — a typed handle fails
+	// fast instead of producing unknown-method errors at invoke time.
+	Semantics string
 	// Timeout bounds each remote call (default 5s).
 	Timeout time.Duration
 }
@@ -68,6 +74,7 @@ type Proxy struct {
 	ep      transport.Endpoint
 	store   string
 	storeID ids.StoreID
+	sem     string
 	timeout time.Duration
 
 	mu      sync.Mutex
@@ -93,6 +100,7 @@ func Bind(cfg BindConfig) (*Proxy, error) {
 		table:   semantics.NewTable(cfg.Prototype),
 		ep:      cfg.Endpoint,
 		store:   cfg.StoreAddr,
+		sem:     cfg.Semantics,
 		timeout: cfg.Timeout,
 		pending: make(map[uint64]chan *msg.Message),
 		done:    make(chan struct{}),
@@ -104,6 +112,7 @@ func Bind(cfg BindConfig) (*Proxy, error) {
 		Kind:   msg.KindBindRequest,
 		Object: cfg.Object,
 		Client: cfg.Client,
+		Sem:    cfg.Semantics,
 	})
 	if err != nil {
 		p.Close()
@@ -114,6 +123,10 @@ func Bind(cfg BindConfig) (*Proxy, error) {
 		return nil, fmt.Errorf("core: bind %q: %w", cfg.Object, &RemoteError{reply.Status, reply.Err})
 	}
 	p.storeID = reply.Store
+	// Resume the client's write history: a rebinding process reusing a
+	// persistent client ID must not re-issue write IDs the deployment
+	// already applied (they would be deduplicated as replays).
+	p.session.SeedSeq(reply.VVec.Get(cfg.Client))
 	return p, nil
 }
 
@@ -140,6 +153,7 @@ func (p *Proxy) Rebind(storeAddr string) error {
 		Kind:   msg.KindBindRequest,
 		Object: p.object,
 		Client: p.client,
+		Sem:    p.sem,
 	})
 	if err != nil {
 		return err
@@ -150,6 +164,7 @@ func (p *Proxy) Rebind(storeAddr string) error {
 	p.mu.Lock()
 	p.storeID = reply.Store
 	p.mu.Unlock()
+	p.session.SeedSeq(reply.VVec.Get(p.client))
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"repro/internal/ids"
 )
@@ -157,6 +158,17 @@ func (r *reader) str() (string, error) {
 	}
 	if err := r.need(int(n)); err != nil {
 		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	if r.alias {
+		// The alias contract promises buf is immutable for the lifetime of
+		// the decoded message, which is exactly the guarantee a string
+		// header needs — so string fields decode zero-copy too.
+		s := unsafe.String(&r.buf[r.off], int(n))
+		r.off += int(n)
+		return s, nil
 	}
 	s := string(r.buf[r.off : r.off+int(n)])
 	r.off += int(n)

@@ -205,6 +205,11 @@ type Message struct {
 	// Status and Err report the outcome in replies.
 	Status Status
 	Err    string
+
+	// Sem names the semantics type of the object ("webdoc", "kvstore",
+	// "applog") in bind requests; stores hosting the object under a
+	// different type reject the bind. Empty skips the check.
+	Sem string
 }
 
 // Reply constructs a reply envelope of kind k addressed back to m's sender,
@@ -229,11 +234,12 @@ var ErrShortMessage = errors.New("msg: short or corrupt message")
 // ErrBadVersion reports an unsupported codec version byte.
 var ErrBadVersion = errors.New("msg: unsupported wire version")
 
-// wireVersion is the current codec version. Version 2 appended the
-// KindUpdateBatch kind and the trailing batch section to the frame layout;
-// version-1 frames are rejected (no live deployments to stay compatible
-// with — the experiment harness always upgrades both ends together).
-const wireVersion = 2
+// wireVersion is the current codec version. Version 3 appended the Sem
+// field (bind-time semantics type checking). Version 2 appended the
+// KindUpdateBatch kind and the trailing batch section to the frame layout.
+// Older frames are rejected (no live deployments to stay compatible with —
+// the experiment harness always upgrades both ends together).
+const wireVersion = 3
 
 // EncodeHook, when non-nil, is invoked once per frame encoding. It exists
 // for tests that assert how many times a message was serialised (e.g. that
@@ -265,6 +271,7 @@ func wireSize(m *Message) int {
 	n += 8 // WallNanos
 	n += 1 // Status
 	n += 2 + strLen(m.Err)
+	n += 2 + strLen(m.Sem)
 	n += 2
 	for i := range capBatch(m.Batch) {
 		e := &m.Batch[i]
@@ -346,6 +353,7 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	w.u64(uint64(m.WallNanos))
 	w.u8(uint8(m.Status))
 	w.str(m.Err)
+	w.str(m.Sem)
 	batch := capBatch(m.Batch)
 	w.u16(uint16(len(batch)))
 	for i := range batch {
@@ -416,7 +424,8 @@ func Decode(b []byte) (*Message, error) {
 // DecodeAlias parses like Decode but aliases b for Args and Payload instead
 // of copying. It is safe only when the frame is immutable for the lifetime
 // of the message — true for memnet, whose scheduler never reuses a
-// delivered frame; tcpnet reuses its read buffer and must keep copying.
+// delivered frame, and for tcpnet, whose readers carve each frame out of a
+// handoff chunk that is abandoned (never rewritten) once full.
 func DecodeAlias(b []byte) (*Message, error) {
 	return decode(b, true)
 }
@@ -541,6 +550,9 @@ func decode(b []byte, alias bool) (*Message, error) {
 	}
 	m.Status = Status(sb)
 	if m.Err, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Sem, err = r.str(); err != nil {
 		return nil, err
 	}
 	nb, err := r.u16()

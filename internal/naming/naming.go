@@ -8,6 +8,7 @@ package naming
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -25,31 +26,81 @@ type Entry struct {
 // Service is an in-memory location service. The zero value is unusable;
 // create with New. Safe for concurrent use.
 type Service struct {
-	mu         sync.Mutex
-	objects    map[ids.ObjectID][]Entry
-	nextClient ids.ClientID
-	nextStore  ids.StoreID
+	mu            sync.Mutex
+	objects       map[ids.ObjectID][]Entry
+	nextClient    ids.ClientID
+	nextStore     ids.StoreID
+	pinnedClients map[ids.ClientID]bool
+	pinnedStores  map[ids.StoreID]bool
 }
 
 // New creates an empty location service.
 func New() *Service {
-	return &Service{objects: make(map[ids.ObjectID][]Entry)}
+	return &Service{
+		objects:       make(map[ids.ObjectID][]Entry),
+		pinnedClients: make(map[ids.ClientID]bool),
+		pinnedStores:  make(map[ids.StoreID]bool),
+	}
 }
 
-// NextClient allocates a fresh client identifier.
+// NextClient allocates a fresh client identifier, skipping identifiers
+// pinned via ReserveClient.
 func (s *Service) NextClient() ids.ClientID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextClient++
-	return s.nextClient
+	for {
+		s.nextClient++
+		if !s.pinnedClients[s.nextClient] {
+			return s.nextClient
+		}
+	}
 }
 
-// NextStore allocates a fresh store identifier.
+// NextStore allocates a fresh store identifier, skipping identifiers pinned
+// via ReserveStore.
 func (s *Service) NextStore() ids.StoreID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextStore++
-	return s.nextStore
+	for {
+		s.nextStore++
+		if !s.pinnedStores[s.nextStore] {
+			return s.nextStore
+		}
+	}
+}
+
+// ReserveClient pins id so NextClient never allocates it. Deployments that
+// choose their own client IDs call this to keep pinned and auto-allocated
+// identities disjoint. Re-pinning an already pinned id succeeds — reusing
+// a persistent client identity across bindings is how a returning client
+// resumes its session — but pinning an id NextClient already handed out is
+// an error: two live clients would share a write-ID namespace.
+func (s *Service) ReserveClient(id ids.ClientID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pinnedClients[id] {
+		return nil
+	}
+	if id <= s.nextClient {
+		return fmt.Errorf("naming: client ID %d was already auto-allocated", id)
+	}
+	s.pinnedClients[id] = true
+	return nil
+}
+
+// ReserveStore pins id so NextStore never allocates it. Pinning an id
+// NextStore already handed out is an error.
+func (s *Service) ReserveStore(id ids.StoreID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pinnedStores[id] {
+		return nil
+	}
+	if id <= s.nextStore {
+		return fmt.Errorf("naming: store ID %d was already auto-allocated", id)
+	}
+	s.pinnedStores[id] = true
+	return nil
 }
 
 // Register adds a contact point for an object. Registering the same address
@@ -92,6 +143,48 @@ func (s *Service) Lookup(obj ids.ObjectID) []Entry {
 		return layerRank(entries[i].Role) < layerRank(entries[j].Role)
 	})
 	return entries
+}
+
+// Pick returns the default contact point for a client that expressed no
+// preference: the lowest-layer replica (client-initiated before
+// object-initiated before permanent — closer layers are usually
+// preferable), with ties broken by smallest store ID and then address, so
+// the choice is deterministic regardless of registration order. Remote
+// entries registered without a store ID (ID 0) sort after identified ones
+// within their layer.
+func (s *Service) Pick(obj ids.ObjectID) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.objects[obj]
+	if len(entries) == 0 {
+		return Entry{}, false
+	}
+	best := entries[0]
+	for _, e := range entries[1:] {
+		if pickLess(e, best) {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// pickLess orders entries by (layer, store ID with 0 last, address).
+func pickLess(a, b Entry) bool {
+	ra, rb := layerRank(a.Role), layerRank(b.Role)
+	if ra != rb {
+		return ra < rb
+	}
+	ia, ib := uint64(a.Store), uint64(b.Store)
+	if ia == 0 {
+		ia = math.MaxUint64
+	}
+	if ib == 0 {
+		ib = math.MaxUint64
+	}
+	if ia != ib {
+		return ia < ib
+	}
+	return a.Addr < b.Addr
 }
 
 // LookupRole returns the contact points with a given role.

@@ -2,6 +2,7 @@ package replication
 
 import (
 	"errors"
+	"strings"
 
 	"repro/internal/coherence"
 	"repro/internal/ids"
@@ -317,9 +318,23 @@ func updateFromMsg(m *msg.Message) *coherence.Update {
 		GlobalSeq: m.GlobalSeq,
 		Deps:      m.Deps.VC(),
 		Stamp:     m.Stamp,
-		Inv:       m.Inv,
+		Inv:       cloneInv(m.Inv),
 		WallNanos: m.WallNanos,
 	}
+}
+
+// cloneInv deep-copies an invocation taken from a wire message. Updates
+// outlive their frame — they sit in the update log and their Page/Args end
+// up inside semantics state — so retaining the zero-copy decoded fields
+// would pin whole transport buffers (tcpnet handoff chunks, memnet frames)
+// for the replica's lifetime. One copy per write restores the footprint of
+// the old copying decode while reads stay zero-copy end to end.
+func cloneInv(inv msg.Invocation) msg.Invocation {
+	out := msg.Invocation{Method: inv.Method, Page: strings.Clone(inv.Page)}
+	if inv.Args != nil {
+		out.Args = append([]byte(nil), inv.Args...)
+	}
+	return out
 }
 
 // applyReleased applies ordered updates to semantics, logs them, and feeds
@@ -641,7 +656,7 @@ func (o *Object) onUpdateBatch(m *msg.Message) {
 			GlobalSeq: e.GlobalSeq,
 			Deps:      e.Deps.VC(),
 			Stamp:     e.Stamp,
-			Inv:       e.Inv,
+			Inv:       cloneInv(e.Inv),
 			WallNanos: e.WallNanos,
 		})
 	}
@@ -719,7 +734,9 @@ func (o *Object) markInvalid(pages []string) {
 		return
 	}
 	for _, p := range pages {
-		o.invalid[p] = true
+		// Page names arrive zero-copy decoded; the invalid set may hold
+		// them past the frame's lifetime, so clone (see cloneInv).
+		o.invalid[strings.Clone(p)] = true
 		o.stats.Invalidations++
 	}
 }
@@ -935,7 +952,9 @@ func (o *Object) sendFullState(to string, req *msg.Message) {
 func (o *Object) onStateReply(m *msg.Message) {
 	o.revalEpoch++
 	if len(m.Pages) > 0 {
-		page := m.Pages[0]
+		// Cloned: the name is retained as a pageVec key and a semantics
+		// element key, long past this frame (see cloneInv).
+		page := strings.Clone(m.Pages[0])
 		if m.Status == msg.StatusNotFound {
 			// The parent lacks it too; fail parked reads for that page.
 			o.failParkedPage(page, m.Err)
@@ -984,7 +1003,10 @@ func (o *Object) failParkedPage(page, errText string) {
 
 // onSubscribe registers a child store and bootstraps it with full state.
 func (o *Object) onSubscribe(m *msg.Message) {
-	o.children[m.From] = true
+	// The child address is retained for the replica's lifetime; clone it so
+	// a zero-copy decoded string does not pin its transport frame (tcpnet
+	// handoff chunks, memnet wire buffers) for that long.
+	o.children[strings.Clone(m.From)] = true
 	snap, err := o.env.Snapshot()
 	if err != nil {
 		return

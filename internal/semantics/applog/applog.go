@@ -176,6 +176,21 @@ func encodeEntries(entries [][]byte) []byte {
 	return buf
 }
 
+// EncodeIndex marshals the u32 index argument of MethodEntry / MethodSuffix.
+func EncodeIndex(i int) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(i))
+	return buf[:]
+}
+
+// DecodeLen unmarshals a MethodLen reply.
+func DecodeLen(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("applog: short length reply")
+	}
+	return int(binary.BigEndian.Uint32(b)), nil
+}
+
 // DecodeEntries unmarshals the encoding produced by Snapshot / Suffix.
 func DecodeEntries(b []byte) ([][]byte, error) {
 	if len(b) < 4 {

@@ -60,14 +60,7 @@ func (s *Store) Invoke(inv msg.Invocation) ([]byte, error) {
 		}
 		return v, nil
 	case MethodKeys:
-		keys := s.Keys()
-		var buf []byte
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
-		for _, k := range keys {
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
-			buf = append(buf, k...)
-		}
-		return buf, nil
+		return EncodeKeys(s.Keys()), nil
 	case MethodPut:
 		s.Put(inv.Page, inv.Args)
 		return nil, nil
@@ -192,6 +185,47 @@ func (s *Store) Restore(data []byte) error {
 	s.data = m
 	s.mu.Unlock()
 	return nil
+}
+
+// EncodeKeys marshals a MethodKeys reply: u32 count, then u32-length-
+// prefixed keys.
+func EncodeKeys(keys []string) []byte {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+// DecodeKeys unmarshals a MethodKeys reply.
+func DecodeKeys(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("kvstore: short keys encoding")
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	// Bound the pre-allocation by what the reply could actually hold (each
+	// key occupies at least 4 wire bytes), so a corrupt count cannot
+	// amplify into a huge allocation.
+	capHint := int(n)
+	if max := len(b) / 4; capHint > max {
+		capHint = max
+	}
+	out := make([]string, 0, capHint)
+	for i := uint32(0); i < n; i++ {
+		k, rest, err := takeChunk(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, string(k))
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("kvstore: %d trailing key bytes", len(b))
+	}
+	return out, nil
 }
 
 func takeChunk(b []byte) ([]byte, []byte, error) {

@@ -506,3 +506,47 @@ func TestStoreAPIBasics(t *testing.T) {
 		t.Fatalf("host after close: %v", err)
 	}
 }
+
+// TestBindSemanticsCheck: a store hosting an object under a named semantics
+// type rejects binds that declare a different type, accepts matching and
+// unnamed binds.
+func TestBindSemanticsCheck(t *testing.T) {
+	r := newRig(t)
+	s := r.store("store/www", replication.RolePermanent)
+	if err := s.Host(store.HostConfig{
+		Object: "doc", Semantics: webdoc.New(), SemName: "webdoc",
+		Strat: strategy.Conference(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	bindAs := func(epAddr, sem string) error {
+		ep, err := r.net.Endpoint(epAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.Bind(core.BindConfig{
+			Object:    "doc",
+			Endpoint:  ep,
+			StoreAddr: s.Addr(),
+			Client:    r.ns.NextClient(),
+			Prototype: webdoc.New(),
+			Semantics: sem,
+			Timeout:   3 * time.Second,
+		})
+		if err == nil {
+			p.Close()
+		}
+		return err
+	}
+	if err := bindAs("client/match", "webdoc"); err != nil {
+		t.Fatalf("matching semantics rejected: %v", err)
+	}
+	if err := bindAs("client/unnamed", ""); err != nil {
+		t.Fatalf("unnamed semantics rejected: %v", err)
+	}
+	err := bindAs("client/mismatch", "kvstore")
+	if err == nil || !strings.Contains(err.Error(), "semantics mismatch") {
+		t.Fatalf("mismatched semantics bind: %v", err)
+	}
+}

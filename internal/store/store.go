@@ -48,6 +48,7 @@ type Config struct {
 type replica struct {
 	ctrl *control.Control
 	repl *replication.Object
+	sem  string // semantics type name; "" = unchecked
 }
 
 // Store hosts replicas and runs their shared event loop.
@@ -92,6 +93,11 @@ type HostConfig struct {
 
 	// Semantics is the replica's semantics object (fresh or pre-loaded).
 	Semantics semantics.Object
+	// SemName, when set, names the semantics type ("webdoc", "kvstore",
+	// "applog", ...). Bind requests that declare a different semantics name
+	// are rejected, so a client holding the wrong typed handle fails fast
+	// at bind time instead of hitting unknown-method errors later.
+	SemName string
 	// Strat is the object's replication strategy (Table 1).
 	Strat strategy.Strategy
 	// Parent is the upstream store's address ("" for permanent stores).
@@ -130,7 +136,7 @@ func (s *Store) Host(hc HostConfig) error {
 			errCh <- err
 			return
 		}
-		s.replicas[hc.Object] = &replica{ctrl: ctrl, repl: ro}
+		s.replicas[hc.Object] = &replica{ctrl: ctrl, repl: ro, sem: hc.SemName}
 		if hc.Subscribe {
 			ro.SubscribeToParent()
 		}
@@ -271,14 +277,28 @@ func (s *Store) dispatch(m *msg.Message) {
 	r.repl.Handle(m)
 }
 
-// onBind answers a client bind request: success if the object is hosted.
+// onBind answers a client bind request: success if the object is hosted and
+// the client's declared semantics type (the bind request's Sem field)
+// matches the replica's. Either side may leave the name empty to skip the
+// check.
 func (s *Store) onBind(m *msg.Message) {
 	r := m.Reply(msg.KindBindReply)
 	r.From = s.Addr()
 	r.Store = s.cfg.ID
-	if _, ok := s.replicas[m.Object]; !ok {
+	rep, ok := s.replicas[m.Object]
+	switch {
+	case !ok:
 		r.Status = msg.StatusNotFound
 		r.Err = string(m.Object) + " not hosted"
+	case m.Sem != "" && rep.sem != "" && m.Sem != rep.sem:
+		r.Status = msg.StatusError
+		r.Err = fmt.Sprintf("semantics mismatch: object %q is %s, client bound a %s handle",
+			m.Object, rep.sem, m.Sem)
+	default:
+		// The reply carries the replica's applied vector so the client's
+		// session can seed its write counter past writes this deployment
+		// already applied under its client ID (see coherence.SeedSeq).
+		r.VVec = msg.VecFrom(rep.repl.Applied())
 	}
 	_ = s.cfg.Endpoint.Send(m.From, r)
 }

@@ -568,6 +568,9 @@ type endpoint struct {
 
 var _ transport.Endpoint = (*endpoint)(nil)
 
+// A Network is a Fabric: webobj systems deploy over it directly.
+var _ transport.Fabric = (*Network)(nil)
+
 func (e *endpoint) Addr() string { return e.addr }
 
 func (e *endpoint) Send(to string, m *msg.Message) error {

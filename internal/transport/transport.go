@@ -19,6 +19,22 @@ var ErrClosed = errors.New("transport: endpoint closed")
 // on the network.
 var ErrUnknownAddr = errors.New("transport: unknown address")
 
+// Fabric is a network substrate that can mint the endpoints of one
+// deployment. It is the extension point that lets the same System be built
+// either as an in-process simulation (memnet.Network is a Fabric) or as a
+// real multi-process TCP deployment (tcpnet.Fabric). Implementations must
+// be safe for concurrent use.
+type Fabric interface {
+	// Endpoint creates the endpoint named name. The name is a
+	// fabric-specific hint: memnet uses it verbatim as the simulated
+	// address; tcpnet listens on the name's host:port suffix when it has
+	// one and on an ephemeral port otherwise.
+	Endpoint(name string) (Endpoint, error)
+	// Close tears down the fabric and every endpoint it created that has
+	// not been closed individually. It is idempotent.
+	Close() error
+}
+
 // Endpoint is a communication object: the messaging port of one address
 // space participating in a distributed shared object. Implementations must
 // be safe for concurrent use.

@@ -1,0 +1,172 @@
+package webobj
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/semantics/applog"
+	"repro/internal/semantics/kvstore"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/transport"
+)
+
+// binding is the shared client-side core every typed handle wraps: one
+// proxy bound to one replica, plus the endpoint the binding owns. All
+// session-guarantee bookkeeping lives in the proxy; the typed handles only
+// translate methods to marshalled invocations.
+type binding struct {
+	proxy *core.Proxy
+	ep    transport.Endpoint
+	once  sync.Once
+}
+
+// Client returns the binding's client identity.
+func (b *binding) Client() ids.ClientID { return b.proxy.Client() }
+
+// StoreAddr returns the address of the store the binding is attached to.
+func (b *binding) StoreAddr() string { return b.proxy.StoreAddr() }
+
+// Rebind moves this client to another store, keeping session guarantees
+// (the Monotonic Reads travelling-client scenario).
+func (b *binding) Rebind(at *Store) error { return b.proxy.Rebind(at.Addr()) }
+
+// Close releases the binding and its endpoint. Idempotent.
+func (b *binding) Close() {
+	b.once.Do(func() {
+		b.proxy.Close()
+		_ = b.ep.Close()
+	})
+}
+
+// Document is a typed client binding to a WebDoc object: a distributed
+// multi-page Web document.
+type Document struct {
+	*binding
+}
+
+// Get retrieves a page.
+func (d *Document) Get(page string) (*Page, error) {
+	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodGetPage, Page: page})
+	if err != nil {
+		return nil, err
+	}
+	return webdoc.DecodePage(out)
+}
+
+// Stat retrieves page metadata without content.
+func (d *Document) Stat(page string) (*Page, error) {
+	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodStatPage, Page: page})
+	if err != nil {
+		return nil, err
+	}
+	return webdoc.DecodePage(out)
+}
+
+// Put replaces a page.
+func (d *Document) Put(page string, content []byte, contentType string) error {
+	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
+		Content: content, ContentType: contentType, ModifiedNanos: time.Now().UnixNano(),
+	})
+	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodPutPage, Page: page, Args: args})
+	return err
+}
+
+// Append adds content to a page (the paper's incremental update).
+func (d *Document) Append(page string, content []byte) error {
+	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
+		Content: content, ModifiedNanos: time.Now().UnixNano(),
+	})
+	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodAppendPage, Page: page, Args: args})
+	return err
+}
+
+// Delete removes a page.
+func (d *Document) Delete(page string) error {
+	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodDeletePage, Page: page})
+	return err
+}
+
+// Pages lists page names.
+func (d *Document) Pages() ([]string, error) {
+	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodListPages})
+	if err != nil {
+		return nil, err
+	}
+	return webdoc.DecodeStrings(out)
+}
+
+// Map is a typed client binding to a KV object: a distributed key-value
+// map.
+type Map struct {
+	*binding
+}
+
+// Get returns the value stored under key.
+func (m *Map) Get(key string) ([]byte, error) {
+	out, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodGet, Page: key})
+	// Copied before return: the reply payload may alias a shared transport
+	// buffer, which a caller retaining the value would otherwise pin. The
+	// other read methods decode into fresh memory already.
+	return append([]byte(nil), out...), err
+}
+
+// Put stores value under key.
+func (m *Map) Put(key string, value []byte) error {
+	_, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodPut, Page: key, Args: value})
+	return err
+}
+
+// Delete removes key.
+func (m *Map) Delete(key string) error {
+	_, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodDelete, Page: key})
+	return err
+}
+
+// Keys lists the sorted key set.
+func (m *Map) Keys() ([]string, error) {
+	out, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodKeys})
+	if err != nil {
+		return nil, err
+	}
+	return kvstore.DecodeKeys(out)
+}
+
+// Log is a typed client binding to an AppLog object: a distributed
+// append-only log.
+type Log struct {
+	*binding
+}
+
+// Append adds an entry to the log.
+func (l *Log) Append(payload []byte) error {
+	_, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodAppend, Args: payload})
+	return err
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() (int, error) {
+	out, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodLen})
+	if err != nil {
+		return 0, err
+	}
+	return applog.DecodeLen(out)
+}
+
+// Entry returns the i-th entry.
+func (l *Log) Entry(i int) ([]byte, error) {
+	out, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodEntry, Args: applog.EncodeIndex(i)})
+	// Copied before return; see Map.Get.
+	return append([]byte(nil), out...), err
+}
+
+// Suffix returns all entries from index i on.
+func (l *Log) Suffix(i int) ([][]byte, error) {
+	out, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodSuffix, Args: applog.EncodeIndex(i)})
+	if err != nil {
+		return nil, err
+	}
+	return applog.DecodeEntries(out)
+}

@@ -1,0 +1,45 @@
+package webobj
+
+import (
+	"repro/internal/semantics"
+	"repro/internal/semantics/applog"
+	"repro/internal/semantics/kvstore"
+	"repro/internal/semantics/webdoc"
+)
+
+// Semantics selects the semantics type of a distributed object: what state
+// it holds and which methods it offers. The framework replicates any
+// semantics type under any strategy — the paper's separation between the
+// semantics sub-object and the replication machinery around it. Publish
+// takes a selector; each selector has a matching typed Open (WebDoc →
+// OpenDocument, KV → OpenMap, AppLog → OpenLog), and binds are type-checked
+// at the store, so a client holding the wrong handle fails fast.
+type Semantics struct {
+	name    string
+	factory semantics.Factory
+}
+
+// Name returns the semantics type name ("webdoc", "kvstore", "applog").
+func (s Semantics) Name() string { return s.name }
+
+// valid reports whether the selector was produced by one of the
+// constructors (the zero Semantics is unusable).
+func (s Semantics) valid() bool { return s.factory != nil }
+
+// WebDoc is a multi-page Web document (the paper's main subject): pages are
+// put, appended to, deleted, and listed. Open with OpenDocument.
+func WebDoc() Semantics {
+	return Semantics{name: "webdoc", factory: func() semantics.Object { return webdoc.New() }}
+}
+
+// KV is a key-value map (the paper's shared bibliographic-database example,
+// §3.2.1). Open with OpenMap.
+func KV() Semantics {
+	return Semantics{name: "kvstore", factory: func() semantics.Object { return kvstore.New() }}
+}
+
+// AppLog is an append-only log (the paper's Web-forum example, §3.2.1 — the
+// workload causal coherence serves). Open with OpenLog.
+func AppLog() Semantics {
+	return Semantics{name: "applog", factory: func() semantics.Object { return applog.New() }}
+}

@@ -1,20 +1,37 @@
-// Package webobj is the public face of the framework: distributed, consistent,
-// replicated Web documents with a per-document caching/replication strategy,
-// reproducing "A Framework for Consistent, Replicated Web Objects"
-// (Kermarrec, Kuz, van Steen, Tanenbaum; ICDCS 1998).
+// Package webobj is the public face of the framework: distributed,
+// consistent, replicated Web objects with a per-object caching/replication
+// strategy, reproducing "A Framework for Consistent, Replicated Web
+// Objects" (Kermarrec, Kuz, van Steen, Tanenbaum; ICDCS 1998).
 //
-// A System is one simulated wide-area deployment: it owns a network, a
-// location (naming) service, and any number of stores in the paper's three
-// layers — permanent stores (Web servers), object-initiated stores
-// (mirrors), and client-initiated stores (proxy/browser caches). A Web
-// document is published at a permanent store with a Strategy (the paper's
-// Table 1 parameters + the object-based coherence model); replicas are then
-// installed at other stores; clients Open the document at any store, with
-// optional client-based coherence models (session guarantees).
+// A System is one deployment of the framework over a network Fabric. The
+// fabric is pluggable: the default in-process simulated network
+// (NewMemFabric) and real TCP (NewTCPFabric) build the same System, so the
+// code that publishes, replicates, and accesses objects is identical in a
+// single-process simulation and a multi-process production deployment —
+// only the fabric changes:
+//
+//	sys := webobj.NewSystem()                                      // simulation
+//	sys := webobj.NewSystem(webobj.WithFabric(webobj.NewTCPFabric(""))) // real TCP
+//
+// A System owns a location (naming) service and any number of stores in
+// the paper's three layers — permanent stores (Web servers), object-
+// initiated stores (mirrors), and client-initiated stores (proxy/browser
+// caches). Stores running in other processes join by address:
+// AttachServer registers a remote daemon's store, and AttachObject declares
+// an object it publishes, after which local stores replicate from it
+// exactly as from a local parent.
+//
+// An object is published at a permanent store with a Semantics selector
+// (WebDoc, KV, AppLog) and a Strategy (the paper's Table 1 parameters plus
+// the object-based coherence model); replicas are installed at other
+// stores; clients bind through the typed Open calls — OpenDocument,
+// OpenMap, OpenLog — optionally with client-based coherence models (session
+// guarantees). Binds are semantics-checked at the store, so a client
+// holding the wrong typed handle fails at bind time, not at first use.
 //
 //	sys := webobj.NewSystem()
 //	server, _ := sys.NewServer("www")
-//	_ = sys.Publish(server, "conf-page", webobj.ConferenceStrategy(time.Second))
+//	_ = sys.Publish(server, "conf-page", webobj.WebDoc(), webobj.ConferenceStrategy(time.Second))
 //	cache, _ := sys.NewCache("proxy", server)
 //	_ = sys.Replicate(cache, "conf-page", webobj.ReadYourWrites)
 //	doc, _ := sys.Open("conf-page", webobj.At(cache), webobj.WithSession(webobj.ReadYourWrites))
@@ -25,13 +42,13 @@ package webobj
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/ids"
-	"repro/internal/msg"
 	"repro/internal/naming"
 	"repro/internal/replication"
 	"repro/internal/semantics/webdoc"
@@ -40,10 +57,10 @@ import (
 	"repro/internal/transport/memnet"
 )
 
-// ObjectID names a distributed Web document.
+// ObjectID names a distributed Web object.
 type ObjectID = ids.ObjectID
 
-// Strategy is the per-document replication policy (Table 1 of the paper).
+// Strategy is the per-object replication policy (Table 1 of the paper).
 type Strategy = strategy.Strategy
 
 // Page is a Web-document page with its version metadata.
@@ -80,79 +97,198 @@ var (
 	MirroredSiteStrategy = strategy.MirroredSite
 )
 
-// Store is one store process (any layer).
-type Store struct {
-	name string
-	st   *store.Store
-	role replication.Role
+// StrategyPresets returns the named presets with default periods, keyed the
+// way tools (globed -strategy) select them.
+func StrategyPresets() map[string]Strategy { return strategy.Presets() }
+
+// SemanticsByName resolves a semantics selector from its type name
+// ("webdoc", "kvstore"/"kv", "applog"/"log"); tools use it to parse flags.
+func SemanticsByName(name string) (Semantics, error) {
+	switch name {
+	case "webdoc", "doc":
+		return WebDoc(), nil
+	case "kvstore", "kv":
+		return KV(), nil
+	case "applog", "log":
+		return AppLog(), nil
+	default:
+		return Semantics{}, fmt.Errorf("webobj: unknown semantics %q (want webdoc|kv|applog)", name)
+	}
 }
 
-// Name returns the store's name within the system.
+// ClientModelsByNames parses a comma-separated list of session-guarantee
+// short names (ryw, mr, mw, wfr); tools use it to parse flags.
+func ClientModelsByNames(list string) ([]ClientModel, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []ClientModel
+	for _, part := range strings.Split(list, ",") {
+		switch strings.TrimSpace(part) {
+		case "ryw":
+			out = append(out, ReadYourWrites)
+		case "mr":
+			out = append(out, MonotonicReads)
+		case "mw":
+			out = append(out, MonotonicWrites)
+		case "wfr":
+			out = append(out, WritesFollowReads)
+		case "":
+		default:
+			return nil, fmt.Errorf("webobj: unknown session model %q (want ryw|mr|mw|wfr)", part)
+		}
+	}
+	return out, nil
+}
+
+// Store is one store (any layer). Local stores run inside this process;
+// attached stores (AttachServer) are daemons in other processes, addressed
+// over the fabric.
+type Store struct {
+	name string
+	addr string
+	role replication.Role
+	st   *store.Store // nil for attached (remote) stores
+}
+
+// Name returns the store's name within the system (for attached stores,
+// their address).
 func (s *Store) Name() string { return s.name }
+
+// Addr returns the store's transport address.
+func (s *Store) Addr() string {
+	if s.st != nil {
+		return s.st.Addr()
+	}
+	return s.addr
+}
+
+// Remote reports whether the store runs in another process (attached via
+// AttachServer) rather than inside this System.
+func (s *Store) Remote() bool { return s.st == nil }
+
+// ErrRemoteStore is returned by operations that need the store's in-process
+// state when called on an attached (remote) store.
+var ErrRemoteStore = errors.New("webobj: store is in another process")
 
 // Stats returns the replication protocol counters for one hosted object
 // (dissemination rounds, batch frames, demands, parked reads, ...).
 func (s *Store) Stats(object ObjectID) (replication.Stats, error) {
+	if s.st == nil {
+		return replication.Stats{}, ErrRemoteStore
+	}
 	return s.st.Stats(ids.ObjectID(object))
 }
 
 // Applied returns the store's applied version vector for one hosted object.
 func (s *Store) Applied(object ObjectID) (ids.VersionVec, error) {
+	if s.st == nil {
+		return nil, ErrRemoteStore
+	}
 	return s.st.Applied(ids.ObjectID(object))
 }
 
-// System is one in-process deployment of the framework over a simulated
-// network. Safe for concurrent use.
-type System struct {
-	mu         sync.Mutex
-	net        *memnet.Network
-	ns         *naming.Service
-	stores     map[string]*Store
-	parents    map[string]string // store name -> parent store name
-	strategies map[ObjectID]Strategy
-	nextEP     int
-	closed     bool
+// objectInfo is what the System knows about a published or attached object.
+type objectInfo struct {
+	sem   Semantics
+	strat Strategy
 }
 
-// NewSystem creates a deployment with an instantaneous, lossless network.
-// Use NewSystemWithNetwork for latency/loss configurations.
-func NewSystem() *System { return NewSystemWithNetwork() }
+// System is one deployment of the framework over a Fabric. Safe for
+// concurrent use.
+type System struct {
+	mu      sync.Mutex
+	fabric  Fabric
+	ns      *naming.Service
+	stores  map[string]*Store
+	parents map[string]string // store name -> parent store name
+	objects map[ObjectID]objectInfo
+	nextEP  int
+	closed  bool
+}
 
-// NewSystemWithNetwork creates a deployment with memnet options (seed,
-// default link profile).
-func NewSystemWithNetwork(opts ...memnet.Option) *System {
-	return &System{
-		net:        memnet.New(opts...),
-		ns:         naming.New(),
-		stores:     make(map[string]*Store),
-		parents:    make(map[string]string),
-		strategies: make(map[ObjectID]Strategy),
+// SystemOption configures NewSystem.
+type SystemOption func(*System)
+
+// WithFabric deploys the system over f instead of the default in-process
+// simulated network. The system takes ownership: System.Close closes the
+// fabric.
+func WithFabric(f Fabric) SystemOption { return func(s *System) { s.fabric = f } }
+
+// NewSystem creates a deployment. By default it runs over an
+// instantaneous, lossless in-process network; pass WithFabric to deploy
+// over a configured memnet or over real TCP.
+func NewSystem(opts ...SystemOption) *System {
+	s := &System{
+		ns:      naming.New(),
+		stores:  make(map[string]*Store),
+		parents: make(map[string]string),
+		objects: make(map[ObjectID]objectInfo),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.fabric == nil {
+		s.fabric = NewMemFabric()
+	}
+	return s
+}
+
+// NewSystemWithNetwork creates a simulated deployment with memnet options
+// (seed, default link profile). Shorthand for
+// NewSystem(WithFabric(NewMemFabric(opts...))).
+func NewSystemWithNetwork(opts ...memnet.Option) *System {
+	return NewSystem(WithFabric(NewMemFabric(opts...)))
 }
 
 // Network exposes the underlying simulated network (link shaping, traffic
-// statistics).
-func (s *System) Network() *memnet.Network { return s.net }
+// statistics) when the system runs over a memnet fabric, and nil otherwise.
+func (s *System) Network() *memnet.Network {
+	if n, ok := s.fabric.(*memnet.Network); ok {
+		return n
+	}
+	return nil
+}
 
 // Naming exposes the location service.
 func (s *System) Naming() *naming.Service { return s.ns }
 
-// NewServer creates a permanent store (a Web server).
-func (s *System) NewServer(name string) (*Store, error) {
-	return s.newStore(name, replication.RolePermanent, nil)
+// StoreOption configures store creation.
+type StoreOption func(*storeCfg)
+
+type storeCfg struct {
+	id ids.StoreID
+}
+
+// WithStoreID pins the store's identifier instead of allocating one from
+// the system's naming service. Multi-process deployments need it: each
+// process has its own naming service, so daemons must be configured with
+// deployment-unique IDs.
+func WithStoreID(id uint32) StoreOption {
+	return func(c *storeCfg) { c.id = ids.StoreID(id) }
+}
+
+// NewServer creates a permanent store (a Web server). Over a TCP fabric a
+// name of the form host:port pins the listen address.
+func (s *System) NewServer(name string, opts ...StoreOption) (*Store, error) {
+	return s.newStore(name, replication.RolePermanent, nil, opts)
 }
 
 // NewMirror creates an object-initiated store below parent.
-func (s *System) NewMirror(name string, parent *Store) (*Store, error) {
-	return s.newStore(name, replication.RoleObjectInitiated, parent)
+func (s *System) NewMirror(name string, parent *Store, opts ...StoreOption) (*Store, error) {
+	return s.newStore(name, replication.RoleObjectInitiated, parent, opts)
 }
 
 // NewCache creates a client-initiated store below parent.
-func (s *System) NewCache(name string, parent *Store) (*Store, error) {
-	return s.newStore(name, replication.RoleClientInitiated, parent)
+func (s *System) NewCache(name string, parent *Store, opts ...StoreOption) (*Store, error) {
+	return s.newStore(name, replication.RoleClientInitiated, parent, opts)
 }
 
-func (s *System) newStore(name string, role replication.Role, parent *Store) (*Store, error) {
+func (s *System) newStore(name string, role replication.Role, parent *Store, opts []StoreOption) (*Store, error) {
+	var cfg storeCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -161,12 +297,27 @@ func (s *System) newStore(name string, role replication.Role, parent *Store) (*S
 	if _, dup := s.stores[name]; dup {
 		return nil, fmt.Errorf("webobj: store %q already exists", name)
 	}
-	ep, err := s.net.Endpoint("store/" + name)
+	ep, err := s.fabric.Endpoint("store/" + name)
 	if err != nil {
 		return nil, err
 	}
+	id := cfg.id
+	if id == 0 {
+		id = s.ns.NextStore()
+	} else {
+		// Keep pinned and auto-allocated IDs disjoint within this system:
+		// duplicate store identities corrupt version-vector accounting.
+		if err := s.ns.ReserveStore(id); err != nil {
+			return nil, fmt.Errorf("webobj: store %q: %w", name, err)
+		}
+		for _, other := range s.stores {
+			if other.st != nil && other.st.ID() == id {
+				return nil, fmt.Errorf("webobj: store ID %d already used by %q", id, other.name)
+			}
+		}
+	}
 	st := store.New(store.Config{
-		ID:       s.ns.NextStore(),
+		ID:       id,
 		Role:     role,
 		Endpoint: ep,
 	})
@@ -178,28 +329,86 @@ func (s *System) newStore(name string, role replication.Role, parent *Store) (*S
 	return h, nil
 }
 
-// Publish creates a Web document at a permanent store under the given
-// strategy and registers it with the location service.
-func (s *System) Publish(server *Store, object ObjectID, strat Strategy) error {
+// AttachServer registers a permanent store running in another process at
+// addr (a daemon started with cmd/globed, or any process hosting a Store
+// over the same fabric type). The returned handle can parent local caches
+// and mirrors, be a bind target (At), and be declared the publisher of
+// objects via AttachObject.
+func (s *System) AttachServer(addr string) (*Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("webobj: system closed")
+	}
+	if _, dup := s.stores[addr]; dup {
+		return nil, fmt.Errorf("webobj: store %q already exists", addr)
+	}
+	h := &Store{name: addr, addr: addr, role: replication.RolePermanent}
+	s.stores[addr] = h
+	return h, nil
+}
+
+// Publish creates an object of the given semantics type at a permanent
+// store under the given strategy and registers it with the location
+// service. The session models declare which client-based guarantees the
+// permanent store itself must be able to enforce for clients bound
+// directly to it (replicas declare theirs via Replicate).
+func (s *System) Publish(server *Store, object ObjectID, sem Semantics, strat Strategy, session ...ClientModel) error {
+	if !sem.valid() {
+		return errors.New("webobj: zero Semantics; use WebDoc(), KV(), or AppLog()")
+	}
+	if server.Remote() {
+		return fmt.Errorf("webobj: %q is in another process; publish there and use AttachObject here", server.name)
+	}
 	if server.role != replication.RolePermanent {
-		return fmt.Errorf("webobj: documents are published at permanent stores, %q is %v", server.name, server.role)
+		return fmt.Errorf("webobj: objects are published at permanent stores, %q is %v", server.name, server.role)
 	}
 	if err := server.st.Host(store.HostConfig{
-		Object: object, Semantics: webdoc.New(), Strat: strat,
+		Object: object, Semantics: sem.factory(), SemName: sem.name, Strat: strat,
+		Session: session,
 	}); err != nil {
 		return err
 	}
 	s.ns.Register(object, naming.Entry{Addr: server.st.Addr(), Store: server.st.ID(), Role: server.role})
 	s.mu.Lock()
-	s.strategies[object] = strat
+	s.objects[object] = objectInfo{sem: sem, strat: strat}
 	s.mu.Unlock()
 	return nil
 }
 
-// Replicate installs a replica of a published document at a mirror or
-// cache, subscribing it to its parent store. The session models declare
-// which client-based guarantees this replica must be able to enforce.
+// AttachObject declares an object that is published in another process at
+// the attached store: sem and strat mirror the remote Publish. It registers
+// the remote contact point with the local location service and records the
+// semantics and strategy, after which local stores can Replicate the object
+// from the attached store and clients can Open it.
+func (s *System) AttachObject(at *Store, object ObjectID, sem Semantics, strat Strategy) error {
+	if !sem.valid() {
+		return errors.New("webobj: zero Semantics; use WebDoc(), KV(), or AppLog()")
+	}
+	s.mu.Lock()
+	if info, ok := s.objects[object]; ok && info.sem.name != sem.name {
+		s.mu.Unlock()
+		return fmt.Errorf("webobj: object %q already known as %s, cannot attach as %s",
+			object, info.sem.name, sem.name)
+	}
+	s.objects[object] = objectInfo{sem: sem, strat: strat}
+	s.mu.Unlock()
+	var id ids.StoreID
+	if at.st != nil {
+		id = at.st.ID()
+	}
+	s.ns.Register(object, naming.Entry{Addr: at.Addr(), Store: id, Role: at.role})
+	return nil
+}
+
+// Replicate installs a replica of a published (or attached) object at a
+// mirror or cache, subscribing it to its parent store — which may live in
+// another process. The session models declare which client-based guarantees
+// this replica must be able to enforce.
 func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) error {
+	if at.Remote() {
+		return fmt.Errorf("webobj: cannot install replicas at %q, it is in another process", at.name)
+	}
 	s.mu.Lock()
 	parentName, ok := s.parents[at.name]
 	var parent *Store
@@ -210,15 +419,15 @@ func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) e
 	if parent == nil {
 		return fmt.Errorf("webobj: store %q has no parent to replicate from", at.name)
 	}
-	// The replica adopts the object's published strategy, read from the
-	// permanent store's registration.
-	strat, err := s.publishedStrategy(object)
+	// The replica adopts the object's published semantics and strategy,
+	// recorded by Publish or AttachObject.
+	info, err := s.publishedInfo(object)
 	if err != nil {
 		return err
 	}
 	if err := at.st.Host(store.HostConfig{
-		Object: object, Semantics: webdoc.New(), Strat: strat,
-		Parent: parent.st.Addr(), Session: session, Subscribe: true,
+		Object: object, Semantics: info.sem.factory(), SemName: info.sem.name, Strat: info.strat,
+		Parent: parent.Addr(), Session: session, Subscribe: true,
 	}); err != nil {
 		return err
 	}
@@ -232,36 +441,40 @@ func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) e
 // permanent store on the path. Peering is all-or-nothing: if the second
 // registration fails the first is rolled back.
 func (s *System) Peer(a, b *Store, object ObjectID) error {
-	if err := a.st.AddPeer(ids.ObjectID(object), b.st.Addr()); err != nil {
+	if a.Remote() || b.Remote() {
+		return errors.New("webobj: gossip peering requires both stores in this process")
+	}
+	if err := a.st.AddPeer(ids.ObjectID(object), b.Addr()); err != nil {
 		return err
 	}
-	if err := b.st.AddPeer(ids.ObjectID(object), a.st.Addr()); err != nil {
-		_ = a.st.RemovePeer(ids.ObjectID(object), b.st.Addr())
+	if err := b.st.AddPeer(ids.ObjectID(object), a.Addr()); err != nil {
+		_ = a.st.RemovePeer(ids.ObjectID(object), b.Addr())
 		return err
 	}
 	return nil
 }
 
-func (s *System) publishedStrategy(object ObjectID) (Strategy, error) {
+func (s *System) publishedInfo(object ObjectID) (objectInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.strategies[object]
+	info, ok := s.objects[object]
 	if !ok {
-		return Strategy{}, fmt.Errorf("webobj: object %q not published", object)
+		return objectInfo{}, fmt.Errorf("webobj: object %q not published or attached", object)
 	}
-	return st, nil
+	return info, nil
 }
 
-// OpenOption configures Open.
+// OpenOption configures the typed Open calls.
 type OpenOption func(*openCfg)
 
 type openCfg struct {
 	at      *Store
 	session []ClientModel
+	client  ids.ClientID
 	timeout time.Duration
 }
 
-// At binds to a specific store instead of the nearest replica.
+// At binds to a specific store instead of the default replica.
 func At(st *Store) OpenOption { return func(c *openCfg) { c.at = st } }
 
 // WithSession enables client-based coherence models for this client.
@@ -274,112 +487,116 @@ func WithTimeout(d time.Duration) OpenOption {
 	return func(c *openCfg) { c.timeout = d }
 }
 
-// Document is a client binding to one distributed Web document.
-type Document struct {
-	sys   *System
-	proxy *core.Proxy
+// AsClient pins the client identifier instead of allocating one from the
+// system's naming service. Multi-process deployments need it for writers:
+// write IDs are (client, seq), so concurrent writers in different processes
+// must be configured with deployment-unique client IDs. A returning client
+// reusing its identity resumes its write history — the bind seeds the
+// session's write sequence from the bound store's applied vector — so bind
+// at a store that has applied your previous writes (normally where you
+// wrote them); rebinding a reused identity at a replica that lags those
+// writes would re-issue their IDs and be deduplicated as replays.
+func AsClient(id uint32) OpenOption {
+	return func(c *openCfg) { c.client = ids.ClientID(id) }
 }
 
-// Open binds a new client to the document. Without At, the lowest-layer
-// registered replica is chosen (the paper: "it is generally up to the
-// client to decide to which replica he will bind").
+// Open binds a new client to a WebDoc object; it is shorthand for
+// OpenDocument, the common case of the paper.
 func (s *System) Open(object ObjectID, opts ...OpenOption) (*Document, error) {
+	return s.OpenDocument(object, opts...)
+}
+
+// OpenDocument binds a new client to a WebDoc object. Without At, the
+// lowest-layer registered replica is chosen deterministically (the paper:
+// "it is generally up to the client to decide to which replica he will
+// bind" — closer layers are usually preferable; ties go to the smallest
+// store ID).
+func (s *System) OpenDocument(object ObjectID, opts ...OpenOption) (*Document, error) {
+	b, err := s.open(object, WebDoc(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{binding: b}, nil
+}
+
+// OpenMap binds a new client to a KV object. Replica selection follows
+// OpenDocument.
+func (s *System) OpenMap(object ObjectID, opts ...OpenOption) (*Map, error) {
+	b, err := s.open(object, KV(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Map{binding: b}, nil
+}
+
+// OpenLog binds a new client to an AppLog object. Replica selection follows
+// OpenDocument.
+func (s *System) OpenLog(object ObjectID, opts ...OpenOption) (*Log, error) {
+	b, err := s.open(object, AppLog(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{binding: b}, nil
+}
+
+// open is the shared binding core of the typed Open calls.
+func (s *System) open(object ObjectID, sem Semantics, opts []OpenOption) (*binding, error) {
 	cfg := openCfg{timeout: 5 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	var addr string
-	if cfg.at != nil {
-		addr = cfg.at.st.Addr()
-	} else {
-		entries := s.ns.Lookup(object)
-		if len(entries) == 0 {
-			return nil, fmt.Errorf("webobj: object %q not registered", object)
-		}
-		addr = entries[0].Addr
-	}
+	// Fail fast locally when the object is known under another semantics
+	// type; the bind itself re-checks at the store, which is what protects
+	// purely remote opens.
 	s.mu.Lock()
+	if info, ok := s.objects[object]; ok && info.sem.name != sem.name {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("webobj: object %q is %s, not %s", object, info.sem.name, sem.name)
+	}
 	s.nextEP++
 	epName := fmt.Sprintf("client/%d", s.nextEP)
 	s.mu.Unlock()
-	ep, err := s.net.Endpoint(epName)
+
+	var addr string
+	if cfg.at != nil {
+		addr = cfg.at.Addr()
+	} else {
+		e, ok := s.ns.Pick(object)
+		if !ok {
+			return nil, fmt.Errorf("webobj: object %q not registered", object)
+		}
+		addr = e.Addr
+	}
+	ep, err := s.fabric.Endpoint(epName)
 	if err != nil {
 		return nil, err
+	}
+	cid := cfg.client
+	if cid == 0 {
+		cid = s.ns.NextClient()
+	} else if err := s.ns.ReserveClient(cid); err != nil {
+		_ = ep.Close()
+		return nil, fmt.Errorf("webobj: %w (pick an ID no auto-allocated client holds)", err)
 	}
 	p, err := core.Bind(core.BindConfig{
 		Object:    object,
 		Endpoint:  ep,
 		StoreAddr: addr,
-		Client:    s.ns.NextClient(),
+		Client:    cid,
 		Session:   cfg.session,
-		Prototype: webdoc.New(),
+		Prototype: sem.factory(),
+		Semantics: sem.name,
 		Timeout:   cfg.timeout,
 	})
 	if err != nil {
+		_ = ep.Close()
 		return nil, err
 	}
-	return &Document{sys: s, proxy: p}, nil
+	return &binding{proxy: p, ep: ep}, nil
 }
 
-// Get retrieves a page.
-func (d *Document) Get(page string) (*Page, error) {
-	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodGetPage, Page: page})
-	if err != nil {
-		return nil, err
-	}
-	return webdoc.DecodePage(out)
-}
-
-// Stat retrieves page metadata without content.
-func (d *Document) Stat(page string) (*Page, error) {
-	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodStatPage, Page: page})
-	if err != nil {
-		return nil, err
-	}
-	return webdoc.DecodePage(out)
-}
-
-// Put replaces a page.
-func (d *Document) Put(page string, content []byte, contentType string) error {
-	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
-		Content: content, ContentType: contentType, ModifiedNanos: time.Now().UnixNano(),
-	})
-	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodPutPage, Page: page, Args: args})
-	return err
-}
-
-// Append adds content to a page (the paper's incremental update).
-func (d *Document) Append(page string, content []byte) error {
-	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
-		Content: content, ModifiedNanos: time.Now().UnixNano(),
-	})
-	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodAppendPage, Page: page, Args: args})
-	return err
-}
-
-// Delete removes a page.
-func (d *Document) Delete(page string) error {
-	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodDeletePage, Page: page})
-	return err
-}
-
-// Pages lists page names.
-func (d *Document) Pages() ([]string, error) {
-	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodListPages})
-	if err != nil {
-		return nil, err
-	}
-	return webdoc.DecodeStrings(out)
-}
-
-// Rebind moves this client to another store, keeping session guarantees
-// (the Monotonic Reads travelling-client scenario).
-func (d *Document) Rebind(at *Store) error { return d.proxy.Rebind(at.st.Addr()) }
-
-// Close releases the binding.
-func (d *Document) Close() { d.proxy.Close() }
-
-// Close tears down the whole system: stores first, then the network.
+// Close tears down the whole system: stores first, then the fabric (which
+// closes any endpoints still open, including attached clients').
 func (s *System) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -393,7 +610,9 @@ func (s *System) Close() error {
 	}
 	s.mu.Unlock()
 	for _, st := range stores {
-		_ = st.st.Close()
+		if st.st != nil {
+			_ = st.st.Close()
+		}
 	}
-	return s.net.Close()
+	return s.fabric.Close()
 }

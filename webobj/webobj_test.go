@@ -26,7 +26,7 @@ func TestPublishOpenPutGet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(time.Hour)); err != nil {
+	if err := sys.Publish(server, "doc", webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
 	d, err := sys.Open("doc")
@@ -63,14 +63,14 @@ func TestPublishOpenPutGet(t *testing.T) {
 func TestPublishRequiresPermanentStore(t *testing.T) {
 	sys := newSys(t)
 	server, _ := sys.NewServer("www")
-	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(time.Hour)); err != nil {
+	if err := sys.Publish(server, "doc", webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
 	cache, err := sys.NewCache("c", server)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Publish(cache, "doc2", webobj.ConferenceStrategy(time.Hour)); err == nil {
+	if err := sys.Publish(cache, "doc2", webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err == nil {
 		t.Fatalf("publish at cache accepted")
 	}
 }
@@ -107,7 +107,7 @@ func TestOpenUnknownObject(t *testing.T) {
 func TestAppendAndReplication(t *testing.T) {
 	sys := newSys(t)
 	server, _ := sys.NewServer("www")
-	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(20*time.Millisecond)); err != nil {
+	if err := sys.Publish(server, "doc", webobj.WebDoc(), webobj.ConferenceStrategy(20*time.Millisecond)); err != nil {
 		t.Fatal(err)
 	}
 	cache, err := sys.NewCache("proxy", server)
@@ -141,7 +141,7 @@ func TestAppendAndReplication(t *testing.T) {
 func TestRebindKeepsSession(t *testing.T) {
 	sys := newSys(t)
 	server, _ := sys.NewServer("www")
-	if err := sys.Publish(server, "doc", webobj.MirroredSiteStrategy(time.Hour)); err != nil {
+	if err := sys.Publish(server, "doc", webobj.WebDoc(), webobj.MirroredSiteStrategy(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
 	mirror, err := sys.NewMirror("mirror", server)
@@ -177,7 +177,7 @@ func TestRebindKeepsSession(t *testing.T) {
 func TestNetworkAndNamingAccessors(t *testing.T) {
 	sys := newSys(t)
 	server, _ := sys.NewServer("www")
-	if err := sys.Publish(server, "doc", webobj.ConferenceStrategy(time.Hour)); err != nil {
+	if err := sys.Publish(server, "doc", webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Network() == nil || sys.Naming() == nil {
@@ -248,7 +248,7 @@ func TestDeepHierarchyPreservesBatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	const obj = webobj.ObjectID("chain-doc")
-	if err := sys.Publish(server, obj, st); err != nil {
+	if err := sys.Publish(server, obj, webobj.WebDoc(), st); err != nil {
 		t.Fatal(err)
 	}
 	mirror, err := sys.NewMirror("mirror", server)
