@@ -945,3 +945,143 @@ func BenchmarkFabric_EndToEndPutGet(b *testing.B) {
 		})
 	}
 }
+
+// --- digest heartbeats (anti-entropy) -----------------------------------------
+
+// BenchmarkDigest_IdleNetworkOverhead measures what anti-entropy heartbeats
+// cost when nothing is happening: a three-layer hierarchy (permanent →
+// mirror → cache) sits idle for a fixed window and the benchmark reports
+// the wire byte and digest-frame rate. digest=off is the zero baseline —
+// heartbeats are opt-in precisely so quiet deployments pay nothing.
+func BenchmarkDigest_IdleNetworkOverhead(b *testing.B) {
+	for _, interval := range []time.Duration{0, 25 * time.Millisecond} {
+		name := "digest=off"
+		if interval > 0 {
+			name = "digest=" + interval.String()
+		}
+		b.Run(name, func(b *testing.B) {
+			sys := webobj.NewSystem(
+				webobj.WithFabric(webobj.NewMemFabric(memnet.WithSeed(1))),
+				webobj.WithDigestInterval(interval),
+			)
+			defer sys.Close()
+			server, err := sys.NewServer("www")
+			if err != nil {
+				b.Fatal(err)
+			}
+			const obj = webobj.ObjectID("idle-doc")
+			if err := sys.Publish(server, obj, webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
+				b.Fatal(err)
+			}
+			mirror, err := sys.NewMirror("mirror", server)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Replicate(mirror, obj); err != nil {
+				b.Fatal(err)
+			}
+			cache, err := sys.NewCache("proxy", mirror)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Replicate(cache, obj); err != nil {
+				b.Fatal(err)
+			}
+			doc, err := sys.Open(obj, webobj.At(server))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer doc.Close()
+			if err := doc.Put("index.html", []byte("<h1>idle</h1>"), "text/html"); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(50 * time.Millisecond) // let dissemination settle
+			net := sys.Network()
+			net.ResetStats()
+			const window = 250 * time.Millisecond
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				time.Sleep(window) // the object is completely idle
+			}
+			b.StopTimer()
+			s := net.Stats()
+			secs := (time.Duration(b.N) * window).Seconds()
+			b.ReportMetric(float64(s.Bytes)/secs, "idleB/sec")
+			b.ReportMetric(float64(s.ByKind[msg.KindDigest])/secs, "digests/sec")
+		})
+	}
+}
+
+// BenchmarkDigest_ConvergenceAfterHeal measures the latency the heartbeat
+// bounds: each iteration partitions the cache from its server, writes behind
+// its back (the pushes are lost in the partition), heals, and times how long
+// the replica needs — with zero foreground traffic — until its applied
+// vector covers the stranded write again. The heartbeat interval is 25ms, so
+// the protocol's promise is convergence in ≤ ~31ms plus a demand round trip.
+func BenchmarkDigest_ConvergenceAfterHeal(b *testing.B) {
+	const interval = 25 * time.Millisecond
+	sys := webobj.NewSystem(
+		webobj.WithFabric(webobj.NewMemFabric(memnet.WithSeed(1))),
+		webobj.WithDigestInterval(interval),
+	)
+	defer sys.Close()
+	server, err := sys.NewServer("www")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const obj = webobj.ObjectID("heal-doc")
+	if err := sys.Publish(server, obj, webobj.WebDoc(), webobj.ConferenceStrategy(2*time.Millisecond)); err != nil {
+		b.Fatal(err)
+	}
+	cache, err := sys.NewCache("proxy", server)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Replicate(cache, obj); err != nil {
+		b.Fatal(err)
+	}
+	doc, err := sys.Open(obj, webobj.At(server))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer doc.Close()
+	cid := doc.Client()
+	net := sys.Network()
+
+	waitCovered := func(seq uint64) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			v, err := cache.Applied(obj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v[cid] >= seq {
+				return
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("cache never covered write %d", seq)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	if err := doc.Append("log", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	waitCovered(1)
+
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Partition("store/www", "store/proxy")
+		if err := doc.Append("log", []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+		time.Sleep(6 * time.Millisecond) // the lazy flush ships into the void
+		net.Heal("store/www", "store/proxy")
+		start := time.Now()
+		waitCovered(uint64(i + 2))
+		total += time.Since(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "convergeMs")
+}

@@ -47,6 +47,8 @@ func run() error {
 		semName   = flag.String("semantics", "webdoc", "semantics type: webdoc | kv | applog")
 		session   = flag.String("session", "", "comma-separated client models this store supports: ryw,mr,mw,wfr")
 		storeID   = flag.Uint("id", 1, "store ID (unique per deployment)")
+		digest    = flag.Duration("digest", 0, "anti-entropy digest heartbeat interval (0 disables); children behind lost updates resync within ~one interval")
+		demRetry  = flag.Duration("demand-retry", 0, "unanswered-demand re-request delay (0 = 50ms default, negative disables); keep well below -digest")
 	)
 	flag.Parse()
 	if *object == "" {
@@ -67,7 +69,11 @@ func run() error {
 
 	// One System over the TCP fabric; the store name is the listen address,
 	// which pins the daemon's advertised endpoint.
-	sys := webobj.NewSystem(webobj.WithFabric(webobj.NewTCPFabric("")))
+	sys := webobj.NewSystem(
+		webobj.WithFabric(webobj.NewTCPFabric("")),
+		webobj.WithDigestInterval(*digest),
+		webobj.WithDemandRetry(*demRetry),
+	)
 	defer sys.Close()
 	obj := webobj.ObjectID(*object)
 	idOpt := webobj.WithStoreID(uint32(*storeID))
@@ -111,6 +117,9 @@ func run() error {
 		*role, *storeID, *object, sem.Name(), st.Addr(), *stratName)
 	if *parent != "" {
 		log.Printf("globed: subscribed to parent %s", *parent)
+	}
+	if *digest > 0 {
+		log.Printf("globed: digest heartbeats every %v (jittered)", *digest)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -27,9 +27,12 @@
 // # Wire format
 //
 // Messages travel as version-prefixed binary frames (internal/msg). Wire
-// version 3 (this revision) appended the Sem field — the semantics type
-// name a bind request declares so stores can reject mismatched typed
-// handles at bind time. Version 2 made three changes over version 1:
+// version 4 (this revision) added the KindDigest kind — the anti-entropy
+// heartbeat frame, carrying a store's applied vector in VVec (see the
+// anti-entropy section below). Version 3 appended the Sem field — the
+// semantics type name a bind request declares so stores can reject
+// mismatched typed handles at bind time. Version 2 made three changes over
+// version 1:
 //
 //   - A new frame kind, KindUpdateBatch, carries N aggregated operation
 //     updates in one frame. Lazy flushes, demand replays, and gossip deltas
@@ -108,4 +111,45 @@
 // frame per released update. Demands are retried after a bounded delay
 // while a gap persists, so a lost batch frame on a quiet object re-requests
 // instead of stranding until the next arrival.
+//
+// # Anti-entropy: digest heartbeats
+//
+// The paper's UDP configuration (§4.2) recovers lost updates through the
+// coherence model: a later arrival exposes the per-client sequence gap and
+// the store demands the missing writes. That leaves one window open —
+// silent tail loss. If every remaining push for an object is dropped (the
+// last flush of a burst, or a partition swallowing everything), no later
+// arrival exists, and a replica that nobody reads stays stale indefinitely.
+//
+// Digest heartbeats close that window. When enabled (replication
+// Config.DigestInterval; store Config.DigestInterval;
+// webobj.WithDigestInterval / WithStoreDigestInterval; globed -digest),
+// every store periodically multicasts its subscribed children one
+// KindDigest frame per hosted object carrying its applied version vector —
+// a few dozen bytes. A child whose own applied vector does not cover the
+// digest has provably missed updates and requests them through the
+// existing demand path; a digest arriving while a demand is already
+// outstanding is ignored, so heartbeats and the demand-retry timer never
+// issue duplicate requests for one gap. A replica behind a healed
+// partition therefore converges within about one heartbeat (worst case
+// 1.25 intervals: the period is jittered by up to a quarter interval so
+// store fleets do not tick in lockstep) with zero foreground traffic.
+//
+// Heartbeats are off by default: a digest only ever helps liveness, so
+// lossless deployments and benchmarks pay nothing. The digest snapshot is
+// cached on the store's event loop and invalidated by applies and state
+// transfers, so an idle heartbeat re-sends cached bytes rather than
+// re-materialising the applied vector.
+//
+// The guarantee is proven, not assumed: internal/chaos is a fault-schedule
+// convergence harness that runs seeded randomized workloads over a lossy,
+// duplicating, partitioned memnet, heals, and asserts every replica
+// converges (byte-identical under the sequential model, identical token
+// sets under PRAM) and that no session guarantee — RYW, MR, MW, WFR — was
+// violated at any point any client observed. The harness is the scenario
+// backbone for future fault work; internal/store's digest tests pin the
+// acceptance bound (convergence within 2× DigestInterval on memnet and
+// tcpnet, demonstrable stall with heartbeats off), and tcpnet gained
+// Pause/Resume/AbortConns fault hooks plus a one-shot redial retry so the
+// first frame after a reconnect is not burned on a stale connection.
 package repro

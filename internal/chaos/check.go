@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// token is one workload write: a harness-assigned client label and that
+// client's per-write sequence number. Tokens are what the checkers reason
+// about; their wire form is the page content itself ("c<label>.<seq>;"
+// concatenated in application order), so any duplicate, reordered, or lost
+// apply is visible in every read.
+type token struct {
+	label int
+	seq   int
+}
+
+func (t token) String() string { return fmt.Sprintf("c%d.%d;", t.label, t.seq) }
+
+// parseTokens decodes a page's content back into its token sequence, in
+// application order. Malformed content is itself a violation (it means an
+// apply corrupted or interleaved within a single append).
+func parseTokens(content string, rec *recorder, where string) []token {
+	if content == "" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimSuffix(content, ";"), ";")
+	out := make([]token, 0, len(parts))
+	for _, part := range parts {
+		var t token
+		rest, ok := strings.CutPrefix(part, "c")
+		if !ok {
+			rec.violatef("%s: malformed token %q in %q", where, part, content)
+			return out
+		}
+		lab, seq, ok := strings.Cut(rest, ".")
+		if !ok {
+			rec.violatef("%s: malformed token %q in %q", where, part, content)
+			return out
+		}
+		var err1, err2 error
+		t.label, err1 = strconv.Atoi(lab)
+		t.seq, err2 = strconv.Atoi(seq)
+		if err1 != nil || err2 != nil {
+			rec.violatef("%s: malformed token %q in %q", where, part, content)
+			return out
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func tokenSet(ts []token) map[token]bool {
+	m := make(map[token]bool, len(ts))
+	for _, t := range ts {
+		m[t] = true
+	}
+	return m
+}
+
+func sameTokenSet(a, b []token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	bs := tokenSet(b)
+	for _, t := range a {
+		if !bs[t] {
+			return false
+		}
+	}
+	return len(tokenSet(a)) == len(bs) // equal lengths and no dups hiding
+}
+
+// checkPerClientOrder asserts the Monotonic Writes / PRAM invariant that
+// holds for every content ever observable in this system: one client's
+// tokens appear in sequence order with no gaps and no duplicates, starting
+// at 1. (A store may only apply a client's write after all its predecessors;
+// content is built by in-order appends from empty, and state transfers copy
+// a store that itself obeyed the rule.)
+func checkPerClientOrder(ts []token, where string, rec *recorder) {
+	next := make(map[int]int, 4)
+	for _, t := range ts {
+		want := next[t.label] + 1
+		if t.seq != want {
+			rec.violatef("%s: client %d tokens out of order: saw seq %d, expected %d (MW/PRAM violation)",
+				where, t.label, t.seq, want)
+			return
+		}
+		next[t.label] = t.seq
+	}
+}
+
+// observation is one successful client read: which reader, at which store,
+// of which page, and the tokens it saw in order.
+type observation struct {
+	reader string
+	store  string
+	page   string
+	tokens []token
+}
+
+// recorder collects observations, acked writes, WFR dependencies, and
+// violations across the workload goroutines. All methods are safe for
+// concurrent use.
+type recorder struct {
+	mu         sync.Mutex
+	violations []string
+	obs        []observation
+	acked      map[string]map[token]bool // page -> acked tokens
+	wfrDeps    map[token][]token         // WFR write -> tokens its preceding read saw
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		acked:   make(map[string]map[token]bool),
+		wfrDeps: make(map[token][]token),
+	}
+}
+
+// maxViolations caps the list so a systemic failure reports crisply instead
+// of flooding.
+const maxViolations = 32
+
+func (r *recorder) violatef(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.violations) < maxViolations {
+		r.violations = append(r.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *recorder) observe(reader, store, page, content string) {
+	toks := parseTokens(content, r, reader)
+	r.mu.Lock()
+	r.obs = append(r.obs, observation{reader: reader, store: store, page: page, tokens: toks})
+	r.mu.Unlock()
+}
+
+func (r *recorder) recordAck(t token, page string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.acked[page] == nil {
+		r.acked[page] = make(map[token]bool)
+	}
+	r.acked[page][t] = true
+}
+
+func (r *recorder) ackedByPage() map[string]map[token]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]map[token]bool, len(r.acked))
+	for p, m := range r.acked {
+		cp := make(map[token]bool, len(m))
+		for t := range m {
+			cp[t] = true
+		}
+		out[p] = cp
+	}
+	return out
+}
+
+func (r *recorder) recordWFRDeps(t token, deps []token) {
+	cp := append([]token(nil), deps...)
+	r.mu.Lock()
+	r.wfrDeps[t] = cp
+	r.mu.Unlock()
+}
+
+// checkObservations runs the global, after-the-fact checks over every read
+// any client performed during the run (faults in flight included):
+//
+//   - per-client order (MW/PRAM): every observed content shows each client's
+//     tokens gapless and in order;
+//   - Writes Follow Reads: no observation anywhere shows a WFR write without
+//     every token its preceding read had observed.
+func (r *recorder) checkObservations() {
+	r.mu.Lock()
+	obs := r.obs
+	deps := r.wfrDeps
+	r.mu.Unlock()
+	for _, o := range obs {
+		where := fmt.Sprintf("%s read of %s/%q", o.reader, o.store, o.page)
+		checkPerClientOrder(o.tokens, where, r)
+		got := tokenSet(o.tokens)
+		for _, t := range o.tokens {
+			need, ok := deps[t]
+			if !ok {
+				continue
+			}
+			for _, d := range need {
+				if !got[d] {
+					r.violatef("WFR violated: %s shows %v but not its read-dependency %v", where, t, d)
+				}
+			}
+		}
+	}
+}
+
+func (r *recorder) take() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.violations
+	r.violations = nil
+	return out
+}

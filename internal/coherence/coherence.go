@@ -119,6 +119,10 @@ type Engine interface {
 	// client (earlier ones may have been superseded), which still upper-
 	// bounds what a session guarantee can demand.
 	Applied() ids.VersionVec
+	// Covers reports whether the applied vector covers write w, without
+	// materialising the vector — per-write admission checks (at-most-once
+	// replay suppression) sit on the hot path and must not allocate.
+	Covers(w ids.WiD) bool
 	// Pending reports how many updates are buffered awaiting predecessors.
 	Pending() int
 	// Seed fast-forwards the engine past writes whose effects arrived via

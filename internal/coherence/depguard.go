@@ -74,6 +74,9 @@ func (g *DepGuard) drain() []*Update {
 // Applied reports the inner engine's applied vector.
 func (g *DepGuard) Applied() ids.VersionVec { return g.inner.Applied() }
 
+// Covers implements Engine.
+func (g *DepGuard) Covers(w ids.WiD) bool { return g.inner.Covers(w) }
+
 // Pending counts both guard-buffered and inner-buffered updates.
 func (g *DepGuard) Pending() int { return len(g.buffer) + g.inner.Pending() }
 

@@ -272,6 +272,16 @@ func (e *eventualEngine) Stamps() map[string]vclock.Stamp {
 	return out
 }
 
+// --- allocation-free cover checks ---------------------------------------------
+
+// Covers implements Engine for each ordering engine: a direct lookup on the
+// live applied vector, no clone.
+func (e *pramEngine) Covers(w ids.WiD) bool       { return e.applied.CoversWrite(w) }
+func (e *fifoEngine) Covers(w ids.WiD) bool       { return e.applied.CoversWrite(w) }
+func (e *causalEngine) Covers(w ids.WiD) bool     { return ids.VersionVec(e.applied).CoversWrite(w) }
+func (e *sequentialEngine) Covers(w ids.WiD) bool { return e.applied.CoversWrite(w) }
+func (e *eventualEngine) Covers(w ids.WiD) bool   { return e.applied.CoversWrite(w) }
+
 // --- state-transfer seeding ---------------------------------------------------
 
 // Seed implements Engine: contiguous models merge the vector (state covers

@@ -98,10 +98,18 @@ func (s *Session) NextWrite() (ids.WiD, vclock.VC) {
 	return w, deps
 }
 
-// AbortWrite rolls back the sequence counter after a write that was never
-// accepted anywhere (rejected or timed out before transmission could have
-// mattered), so the client's next write does not leave a permanent gap in
-// per-client ordering. Only the most recent allocation can be aborted.
+// AbortWrite rolls back the sequence counter after a failed write call, so
+// the client's next write does not leave a permanent gap in per-client
+// ordering. Only the most recent allocation can be aborted.
+//
+// A timed-out write's true outcome is unknown — the request or only its ack
+// may have been lost. Rolling back means the next write REUSES the WiD; the
+// stores resolve the ambiguity with at-most-once admission: if the original
+// was applied, the reissued WiD is re-acked without applying. The caller's
+// side of that contract is to retry the SAME invocation after a timeout
+// before issuing different writes (retrying different content under a
+// reused WiD is silently deduplicated, exactly like rebinding a reused
+// client identity at a lagging replica — see webobj.AsClient).
 func (s *Session) AbortWrite(w ids.WiD) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

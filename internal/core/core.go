@@ -60,7 +60,11 @@ type BindConfig struct {
 	// different semantics type reject the bind — a typed handle fails
 	// fast instead of producing unknown-method errors at invoke time.
 	Semantics string
-	// Timeout bounds each remote call (default 5s).
+	// Timeout bounds each remote call (default 5s). A timed-out write is
+	// transparently retried once under the same write identifier (the
+	// at-most-once path resolves whether the original was applied), so a
+	// failing write can block for up to 2× Timeout before returning
+	// ErrTimeout.
 	Timeout time.Duration
 }
 
@@ -81,6 +85,13 @@ type Proxy struct {
 	nextSeq uint64
 	pending map[uint64]chan *msg.Message
 	closed  bool
+
+	// writeMu serialises write departure: it is held from write-ID
+	// allocation until the frame is handed to the transport, so a client's
+	// writes reach the wire in sequence order even when the proxy is used
+	// concurrently. Stores rely on ordered departure for at-most-once
+	// replay detection of unstamped writes.
+	writeMu sync.Mutex
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -199,10 +210,15 @@ func (p *Proxy) invokeRead(inv msg.Invocation) ([]byte, error) {
 }
 
 func (p *Proxy) invokeWrite(inv msg.Invocation) ([]byte, error) {
-	// Serialise writes so per-client sequence numbers leave in order.
+	// Serialise writes so per-client sequence numbers leave in order: the
+	// lock spans write-ID allocation THROUGH transport hand-off (released
+	// inside callOrdered), otherwise two concurrent writers could allocate
+	// N and N+1 and send them in the opposite order.
+	p.writeMu.Lock()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.writeMu.Unlock()
 		return nil, ErrClosed
 	}
 	w, deps := p.session.NextWrite()
@@ -217,7 +233,16 @@ func (p *Proxy) invokeWrite(inv msg.Invocation) ([]byte, error) {
 		Inv:       inv,
 		WallNanos: time.Now().UnixNano(),
 	}
-	reply, err := p.call(m)
+	reply, err := p.callOrdered(m, &p.writeMu)
+	if err != nil && errors.Is(err, ErrTimeout) {
+		// The outcome is unknown: the request or only its ack may have been
+		// lost. Retry the identical frame once — the stores' at-most-once
+		// admission re-acks it if it was applied and admits it if it never
+		// arrived — so the ambiguity usually resolves without abandoning
+		// the write ID (which a subsequent different write would reuse and
+		// have silently absorbed as a replay).
+		reply, err = p.call(m)
+	}
 	if err != nil {
 		p.session.AbortWrite(w)
 		return nil, err
@@ -232,9 +257,20 @@ func (p *Proxy) invokeWrite(inv msg.Invocation) ([]byte, error) {
 
 // call sends m to the bound store and awaits the correlated reply.
 func (p *Proxy) call(m *msg.Message) (*msg.Message, error) {
+	return p.callOrdered(m, nil)
+}
+
+// callOrdered is call with an optional departure lock: orderMu, when
+// non-nil, is held by the caller and released as soon as the frame has been
+// handed to the transport — waiting for the reply happens outside it, so
+// ordered departure costs no reply-latency serialisation.
+func (p *Proxy) callOrdered(m *msg.Message, orderMu *sync.Mutex) (*msg.Message, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		if orderMu != nil {
+			orderMu.Unlock()
+		}
 		return nil, ErrClosed
 	}
 	p.nextSeq++
@@ -251,7 +287,11 @@ func (p *Proxy) call(m *msg.Message) (*msg.Message, error) {
 		delete(p.pending, seq)
 		p.mu.Unlock()
 	}()
-	if err := p.ep.Send(storeAddr, m); err != nil {
+	err := p.ep.Send(storeAddr, m)
+	if orderMu != nil {
+		orderMu.Unlock()
+	}
+	if err != nil {
 		return nil, err
 	}
 	select {

@@ -27,7 +27,8 @@ type Kind uint8
 // read/write carry client invocations; update/invalidate/notify/demand are
 // the coherence-transfer messages of Table 1; state request/reply implement
 // full state transfer; gossip implements anti-entropy for the eventual
-// model.
+// model; digest is the parent→child applied-vector heartbeat that closes
+// the silent tail-loss window on unreliable transports (§4.2).
 const (
 	KindBindRequest Kind = iota + 1
 	KindBindReply
@@ -48,6 +49,7 @@ const (
 	KindGossip
 	KindGossipReply
 	KindUpdateBatch
+	KindDigest
 	kindMax // sentinel, keep last
 )
 
@@ -75,6 +77,7 @@ var kindNames = map[Kind]string{
 	KindGossip:       "gossip",
 	KindGossipReply:  "gossip-reply",
 	KindUpdateBatch:  "update-batch",
+	KindDigest:       "digest",
 }
 
 // String names the kind.
@@ -234,12 +237,15 @@ var ErrShortMessage = errors.New("msg: short or corrupt message")
 // ErrBadVersion reports an unsupported codec version byte.
 var ErrBadVersion = errors.New("msg: unsupported wire version")
 
-// wireVersion is the current codec version. Version 3 appended the Sem
-// field (bind-time semantics type checking). Version 2 appended the
+// wireVersion is the current codec version. Version 4 added the KindDigest
+// kind (anti-entropy heartbeats carrying a store's applied vector in VVec;
+// no layout change, but a v3 receiver would reject the unknown kind, so both
+// ends must agree on the kind table). Version 3 appended the Sem field
+// (bind-time semantics type checking). Version 2 appended the
 // KindUpdateBatch kind and the trailing batch section to the frame layout.
 // Older frames are rejected (no live deployments to stay compatible with —
 // the experiment harness always upgrades both ends together).
-const wireVersion = 3
+const wireVersion = 4
 
 // EncodeHook, when non-nil, is invoked once per frame encoding. It exists
 // for tests that assert how many times a message was serialised (e.g. that

@@ -1,0 +1,149 @@
+package replication
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+// Digest heartbeats are the framework-level answer to the UDP configuration
+// of §4.2: "reliability comes as a side-effect of the coherence model" only
+// works when a later arrival exposes the gap, so a silently dropped frame on
+// an otherwise quiet object — tail loss, or every push swallowed by a
+// partition — would strand a replica until unrelated traffic happens to
+// arrive. With heartbeats enabled, every store periodically multicasts its
+// children a compact applied-vector digest (one KindDigest frame per hosted
+// object); a child whose applied vector does not cover the digest detects
+// the gap immediately and requests the missing updates through the existing
+// demand path. A healed partition or lost flush therefore converges within
+// one heartbeat period instead of waiting for foreground traffic.
+//
+// The digest-triggered demand reuses demandFromParent, including its bounded
+// retry timer; a heartbeat arriving while a demand is already outstanding is
+// ignored, so timers and heartbeats never duplicate requests for the same
+// gap.
+
+// armDigest schedules the next heartbeat. It is a no-op while a heartbeat is
+// already pending, when heartbeats are disabled, or while the store has no
+// subscribed children to tell.
+func (o *Object) armDigest() {
+	if o.digestArmed || o.closed || o.digestInterval <= 0 || len(o.children) == 0 {
+		return
+	}
+	o.digestArmed = true
+	o.digestTimer = o.env.AfterFunc(o.digestPeriod(), func() {
+		o.digestArmed = false
+		if o.closed {
+			return
+		}
+		o.digestRound()
+		o.armDigest()
+	})
+}
+
+// digestPeriod is the configured interval plus a deterministic jitter in
+// [0, interval/4), so a fleet of stores sharing one configured interval does
+// not heartbeat in lockstep (and a child is never more than 1.25 intervals
+// behind its parent's next digest).
+func (o *Object) digestPeriod() time.Duration {
+	d := o.digestInterval
+	if quarter := int64(d / 4); quarter > 0 {
+		d += time.Duration(o.digestRNG.Int63n(quarter))
+	}
+	return d
+}
+
+// digestRound multicasts this store's applied-vector digest to its children.
+// GlobalSeq rides along so sequentially-coherent children could compare
+// sequencer positions too; the vector alone is what gap detection uses.
+func (o *Object) digestRound() {
+	tos := o.Children()
+	if len(tos) == 0 {
+		return
+	}
+	m := &msg.Message{
+		Kind:      msg.KindDigest,
+		Object:    o.object,
+		From:      o.addr,
+		Store:     o.self,
+		VVec:      o.digestVec(),
+		GlobalSeq: o.engine.Global(),
+	}
+	o.multicast(tos, m)
+	o.stats.DigestsSent += uint64(len(tos))
+}
+
+// digestVec returns the wire-form applied vector for heartbeats, rebuilt
+// only when an apply or state transfer invalidated the cached snapshot
+// (markDigestStale). Idle heartbeats — the steady state the knob is sized
+// for — re-send the cached Vec without re-materialising the applied vector,
+// so the heartbeat path never adds work to, or synchronises with, the apply
+// path beyond sharing the store's event loop.
+func (o *Object) digestVec() msg.Vec {
+	if o.digestStale {
+		o.cachedDigest = o.appliedVec()
+		o.digestStale = false
+	}
+	return o.cachedDigest
+}
+
+// markDigestStale records that applied() advanced since the last snapshot.
+// Called wherever ordered applies or state transfers extend coherence
+// knowledge; cheap enough to call unconditionally (heartbeats disabled just
+// never read the flag).
+func (o *Object) markDigestStale() { o.digestStale = true }
+
+// onDigest handles a heartbeat at a child: when the parent's digest covers
+// writes this replica has not applied, the gap is real (those updates were
+// lost or cut off by a partition) and the child demands them. Digests from
+// anyone but the configured parent are ignored — the demand path runs up
+// the hierarchy only.
+func (o *Object) onDigest(m *msg.Message) {
+	o.stats.DigestsRecv++
+	if o.parent == "" || m.From != o.parent {
+		return
+	}
+	// Gap detection mirrors Vec.CoveredBy but tests each entry against the
+	// engine and fetch vectors directly (Engine.Covers): the common case —
+	// a converged child answering "nothing missing" every interval — must
+	// not re-materialise the applied vector per heartbeat.
+	//
+	// Precision matches the vector representation: under the contiguous
+	// models (sequential, PRAM, causal) a covered component proves every
+	// earlier write arrived, so detection is exact. The eventual and FIFO
+	// engines deliberately jump gaps (newest-write-wins vectors), so a
+	// digest cannot name a superseded or per-page hole there — those
+	// deployments pair the eventual model with full coherence transfer
+	// (snapshots repair content wholesale, as the mirror preset does) or
+	// gossip. See ROADMAP.
+	gap := false
+	m.VVec.Each(func(c ids.ClientID, s uint64) bool {
+		w := ids.WiD{Client: c, Seq: s}
+		if s > 0 && !o.engine.Covers(w) && !o.fetchVec.CoversWrite(w) {
+			gap = true
+			return false
+		}
+		return true
+	})
+	if !gap {
+		return // nothing missing; stay quiet
+	}
+	if o.demandOutstanding() {
+		return // the demand-retry timer owns re-requests for this gap
+	}
+	o.stats.DigestDemands++
+	// Mark the cycle as digest-initiated: a silent-tail-loss gap has no
+	// buffered updates and no parked reads, so without the flag retryDemand
+	// would see "nothing outstanding" and drop a lost demand (or lost
+	// reply) on the floor until the next heartbeat.
+	o.digestGapDemand = true
+	o.demandFromParent()
+}
+
+// demandOutstanding reports whether a previously issued demand is still
+// unanswered: its retry timer is armed and no coherence response has arrived
+// since it was sent.
+func (o *Object) demandOutstanding() bool {
+	return o.demandRetryArmed && o.revalEpoch == o.demandEpoch
+}

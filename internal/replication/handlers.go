@@ -29,6 +29,12 @@ func (o *Object) Handle(m *msg.Message) {
 		o.onUpdateBatch(m)
 	case msg.KindUpdateAck:
 		// "Nothing missing" answer to a demand: counts as revalidation.
+		// The ack's vector covers writes the sender will never send — LWW
+		// losers superseded before dissemination — so fold it into fetch
+		// knowledge; otherwise a digest advertising those components would
+		// re-demand every heartbeat forever.
+		m.VVec.MergeInto(o.fetchVec)
+		o.markDigestStale()
 		o.revalEpoch++
 		o.reconsiderParked()
 	case msg.KindInvalidate:
@@ -53,6 +59,8 @@ func (o *Object) Handle(m *msg.Message) {
 		if o.validGossipStrategy() {
 			o.onGossipReply(m)
 		}
+	case msg.KindDigest:
+		o.onDigest(m)
 	}
 }
 
@@ -242,6 +250,28 @@ func (o *Object) onWrite(m *msg.Message) {
 	if o.role != RolePermanent {
 		if o.strat.Model == coherence.Eventual {
 			if m.Stamp.Zero() {
+				if o.replayedUnstamped(m) {
+					// Already stamped here once; a second stamp would win
+					// LWW and double-apply (see the permanent-store check).
+					// The retry may exist because the ORIGINAL forward (or
+					// the ack) was lost, so re-propagate the logged stamped
+					// form upstream — re-forwarding the unstamped replay
+					// instead would mint a second stamp at the parent and
+					// double-apply on the way back down; an identical stamp
+					// is deduplicated by LWW everywhere.
+					if o.parent != "" {
+						if u := o.loggedWrite(m.Write); u != nil {
+							fwd := *m
+							fwd.To = o.parent
+							fwd.Stamp = u.Stamp
+							fwd.Inv = u.Inv
+							o.stats.WritesForwarded++
+							o.sendRaw(o.parent, &fwd)
+						}
+					}
+					o.ackWrite(m)
+					return
+				}
 				m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
 			} else {
 				o.lamport.Witness(m.Stamp.Time)
@@ -249,10 +279,7 @@ func (o *Object) onWrite(m *msg.Message) {
 			u := updateFromMsg(m)
 			o.applyReleased(o.engine.Submit(u))
 			// Ack immediately: eventual coherence promises no more.
-			r := m.Reply(msg.KindWriteReply)
-			r.From = o.addr
-			r.Store = o.self
-			o.send(m.From, r)
+			o.ackWrite(m)
 			// Continue propagation towards the permanent store.
 			if o.parent != "" {
 				fwd := *m
@@ -286,7 +313,23 @@ func (o *Object) onWrite(m *msg.Message) {
 		}
 	}
 
+	// At-most-once admission: a request frame duplicated by the link (the
+	// UDP configuration) or retried after a lost ack must be re-acked, not
+	// admitted again — under the sequential model a second pass would
+	// assign the same WiD a fresh GlobalSeq and apply it twice, and under
+	// the eventual model it would mint a fresh Lamport stamp that wins LWW
+	// against itself. Client-originated requests are exactly the unstamped
+	// ones (only eventual mirrors forward pre-stamped frames, whose
+	// replays carry an identical stamp that LWW drops on its own), and the
+	// watermark+holes record distinguishes a replay from a genuinely new
+	// write that was merely overtaken in flight — the engines' own applied
+	// vectors cannot, since the sequential, FIFO, and eventual ones all
+	// jump per-client gaps.
 	if m.Stamp.Zero() {
+		if o.replayedUnstamped(m) {
+			o.ackWrite(m)
+			return
+		}
 		m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
 	} else {
 		o.lamport.Witness(m.Stamp.Time)
@@ -304,11 +347,108 @@ func (o *Object) onWrite(m *msg.Message) {
 	o.applyReleased(released)
 	// Ack the writer (the client learns the store that performed its
 	// write — the (WiD, store) dependency of §4.2).
+	o.ackWrite(m)
+	o.reconsiderParked()
+}
+
+// ackWrite sends the OK write reply for m.
+func (o *Object) ackWrite(m *msg.Message) {
 	r := m.Reply(msg.KindWriteReply)
 	r.From = o.addr
 	r.Store = o.self
 	o.send(m.From, r)
-	o.reconsiderParked()
+}
+
+// stampedSeqs is one client's unstamped-write admission record: the highest
+// sequence stamped so far plus the sequences below it this store has NOT
+// seen (holes left by in-flight reordering on a jittered link). The holes
+// set is bounded by the client's writes-in-flight window in practice; a
+// pathological gap (e.g. a reused client identity resuming far ahead, see
+// coherence.SeedSeq) is not recorded beyond the cap, and uncovered old
+// sequences then classify as replays — matching the documented semantics of
+// reused write IDs everywhere else in the system.
+type stampedSeqs struct {
+	max   uint64
+	holes map[uint64]bool
+}
+
+// maxStampedHoles caps the per-client holes set.
+const maxStampedHoles = 256
+
+// maxStampedClients caps the admission map itself so client churn on a
+// long-lived daemon cannot grow it without bound; when full, a record
+// (preferably one with no holes) is evicted. This is the bounded-memory
+// trade every dedup cache makes: a replay from an evicted identity —
+// requiring more than this many writer identities on ONE object plus a
+// duplicate still floating from before the eviction — can be re-admitted.
+const maxStampedClients = 4096
+
+// replayedUnstamped reports whether this store already minted a Lamport
+// stamp for the given write, recording the admission otherwise. Only
+// unstamped requests — which come directly from a client session — consult
+// this: a sequence at or below the watermark that is not a recorded hole
+// was stamped here before, so the frame is a link duplicate (or an
+// ack-loss retry) that must not be stamped again; a recorded hole is a
+// genuinely new write that was merely overtaken in flight. Forwarded
+// store-to-store traffic is already stamped and never reaches this check.
+func (o *Object) replayedUnstamped(m *msg.Message) bool {
+	c, seq := m.Write.Client, m.Write.Seq
+	u := o.stamped[c]
+	if u == nil {
+		if len(o.stamped) >= maxStampedClients {
+			// Bound the map unconditionally; prefer evicting a record with
+			// no holes, but never let "all records hold holes" unbound it.
+			var victim ids.ClientID
+			found := false
+			for old, rec := range o.stamped {
+				victim, found = old, true
+				if len(rec.holes) == 0 {
+					break
+				}
+			}
+			if found {
+				delete(o.stamped, victim)
+			}
+		}
+		u = &stampedSeqs{}
+		o.stamped[c] = u
+		if seq > maxStampedHoles {
+			// First contact at a high sequence is a resumed client identity
+			// (binds seed the session counter past prior applied writes, see
+			// coherence.SeedSeq) — its old sequences were admitted in an
+			// earlier life and must classify as replays, not as holes a
+			// floating duplicate could crawl back through.
+			u.max = seq
+			return false
+		}
+	}
+	switch {
+	case seq > u.max:
+		for s := u.max + 1; s < seq && len(u.holes) < maxStampedHoles; s++ {
+			if u.holes == nil {
+				u.holes = make(map[uint64]bool, 2)
+			}
+			u.holes[s] = true
+		}
+		u.max = seq
+		return false
+	case u.holes[seq]:
+		delete(u.holes, seq)
+		return false // overtaken in flight; new write, admit it
+	default:
+		return true
+	}
+}
+
+// loggedWrite finds the applied update with the given write ID in the
+// retained log (newest first — replays chase recent writes).
+func (o *Object) loggedWrite(w ids.WiD) *coherence.Update {
+	for i := len(o.log) - 1; i >= 0; i-- {
+		if o.log[i].Write == w {
+			return o.log[i]
+		}
+	}
+	return nil
 }
 
 // updateFromMsg builds the engine-level update from a wire message.
@@ -343,6 +483,12 @@ func cloneInv(inv msg.Invocation) msg.Invocation {
 // are not re-applied to semantics — re-applying an incremental append would
 // duplicate content.
 func (o *Object) applyReleased(released []*coherence.Update) {
+	// Unconditional: a Submit can advance the applied vector without
+	// releasing anything (an eventual-model write losing the LWW race), and
+	// the digest must advertise that component or children would demand it
+	// forever. A spurious mark costs one snapshot rebuild at the next
+	// heartbeat, nothing on idle stores.
+	o.markDigestStale()
 	for _, u := range released {
 		if !o.coveredByState(u) {
 			if err := o.env.ApplyOp(u); err != nil {
@@ -630,6 +776,7 @@ func (o *Object) onUpdate(m *msg.Message) {
 		o.fullFetches++
 		m.VVec.MergeInto(o.fetchVec)
 		o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
+		o.markDigestStale()
 		o.invalid = make(map[string]bool)
 		o.allInvalid = false
 		o.relayFull(m)
@@ -809,9 +956,14 @@ func (o *Object) retryDemand() {
 	}
 	if o.revalEpoch != o.demandEpoch {
 		o.demandRetries = 0 // the parent answered; cycle complete
+		o.digestGapDemand = false
 		return
 	}
-	if o.engine.Pending() == 0 && len(o.parked) == 0 {
+	// A digest-initiated demand chases a silent gap: nothing is buffered
+	// and no read is parked, yet the demand (or its reply) may have been
+	// lost — without the flag this check would end the cycle and recovery
+	// would wait a whole extra heartbeat.
+	if o.engine.Pending() == 0 && len(o.parked) == 0 && !o.digestGapDemand {
 		o.demandRetries = 0 // nothing outstanding to chase
 		return
 	}
@@ -852,10 +1004,13 @@ func (o *Object) fetch(page string) {
 }
 
 // onDemand serves a child's demand-update: replay logged updates it lacks,
-// or fall back to full state when the requester's vector predates the
-// retained log window (pruned history cannot be replayed).
+// or fall back to full state when the log genuinely cannot bring the
+// requester up to date — because history was pruned, or because this
+// store's own knowledge arrived by state transfer (seeded writes are never
+// logged). Answering "nothing missing" in that situation would let the
+// requester mark content it never received as covered.
 func (o *Object) onDemand(m *msg.Message) {
-	if o.logPruned && !o.logCovers(&m.VVec) {
+	if !o.logCovers(&m.VVec) {
 		o.sendFullState(m.From, nil)
 		return
 	}
@@ -981,6 +1136,7 @@ func (o *Object) onStateReply(m *msg.Message) {
 		o.allInvalid = false
 		m.VVec.MergeInto(o.fetchVec)
 		o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
+		o.markDigestStale()
 	}
 	o.reconsiderParked()
 }
@@ -1018,6 +1174,7 @@ func (o *Object) onSubscribe(m *msg.Message) {
 	r.VVec = o.appliedVec()
 	r.GlobalSeq = o.engine.Global()
 	o.send(m.From, r)
+	o.armDigest()
 }
 
 // onSubscribeAck installs the bootstrap state received from the parent.
@@ -1031,6 +1188,7 @@ func (o *Object) onSubscribeAck(m *msg.Message) {
 	}
 	m.VVec.MergeInto(o.fetchVec)
 	o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
+	o.markDigestStale()
 	o.reconsiderParked()
 }
 

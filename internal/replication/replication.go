@@ -14,6 +14,8 @@
 package replication
 
 import (
+	"hash/fnv"
+	"math/rand"
 	"time"
 
 	"repro/internal/clock"
@@ -100,6 +102,9 @@ type Stats struct {
 	GossipRounds    uint64 // anti-entropy digests sent to peers
 	BatchesSent     uint64 // KindUpdateBatch frames shipped
 	BatchedUpdates  uint64 // updates carried inside batch frames
+	DigestsSent     uint64 // heartbeat digests sent to children
+	DigestsRecv     uint64 // heartbeat digests received
+	DigestDemands   uint64 // demands triggered by a heartbeat gap
 }
 
 // parkedRead is a read waiting for coherence (requirement vector), state
@@ -145,6 +150,15 @@ type Object struct {
 	// Sequencer state (permanent store, sequential model).
 	nextGlobal uint64
 	lamport    vclock.Lamport
+	// stamped tracks, per client, which write sequences this store has
+	// admitted (minted a stamp for) — the at-most-once guard for unstamped
+	// (direct-from-client) requests. The engines' applied vectors cannot
+	// play this role: the sequential, FIFO, and eventual ones jump
+	// per-client gaps, so "covered" does not imply "admitted". A watermark
+	// alone cannot either (a jittered link can reorder two in-flight
+	// writes), so each entry also keeps the bounded set of unseen
+	// sequences below its watermark.
+	stamped map[ids.ClientID]*stampedSeqs
 
 	// log keeps applied updates in application order for demand-serving
 	// and child relaying; logLimit caps its length (oldest pruned first).
@@ -176,6 +190,23 @@ type Object struct {
 	peers       map[string]bool
 	gossipArmed bool
 	gossipTimer clock.Timer
+
+	// Digest heartbeats: every digestInterval (jittered), the store sends
+	// its children a compact applied-vector digest so a child behind silent
+	// tail-loss or a healed partition detects the gap and demands, instead
+	// of staying stale until the next unrelated arrival. cachedDigest is the
+	// wire-form snapshot, rebuilt lazily (digestStale) so idle heartbeats
+	// never re-materialise the applied vector.
+	digestInterval time.Duration
+	digestArmed    bool
+	digestTimer    clock.Timer
+	digestRNG      *rand.Rand
+	cachedDigest   msg.Vec
+	digestStale    bool
+	// digestGapDemand marks the open demand cycle as digest-initiated: its
+	// gap has no buffered updates or parked reads to witness it, so the
+	// retry timer must chase it anyway (see retryDemand).
+	digestGapDemand bool
 
 	// Cache validity: pages invalidated by Invalidate/Notify messages, and
 	// allInvalid set by a page-less notification.
@@ -236,6 +267,12 @@ type Config struct {
 	// re-sent while updates stay buffered or reads stay parked (default
 	// 50ms; negative disables retries).
 	DemandRetry time.Duration
+	// DigestInterval enables digest heartbeats: every interval (plus a
+	// deterministic jitter of up to a quarter interval) the store sends its
+	// subscribed children a KindDigest frame carrying its applied vector.
+	// Zero or negative disables heartbeats (the default — benchmarks and
+	// lossless deployments pay nothing).
+	DigestInterval time.Duration
 }
 
 // New builds the replication object, choosing the ordering engine from the
@@ -276,6 +313,7 @@ func New(cfg Config) (*Object, error) {
 		engine:      eng,
 		children:    make(map[string]bool),
 		nextGlobal:  1,
+		stamped:     make(map[ids.ClientID]*stampedSeqs),
 		lazyPages:   make(map[string]bool),
 		invalid:     make(map[string]bool),
 		fetchVec:    ids.NewVersionVec(4),
@@ -295,6 +333,19 @@ func New(cfg Config) (*Object, error) {
 	}
 	if o.demandRetry < 0 {
 		o.demandRetry = 0 // disabled
+	}
+	if cfg.DigestInterval > 0 {
+		o.digestInterval = cfg.DigestInterval
+		// Per-object deterministic jitter source: seeded from the store's
+		// address, the object, and the store ID, so a fleet sharing one
+		// interval — and the N objects co-hosted on one store — all
+		// de-synchronise, the same way on every run. Only touched on the
+		// owning event loop.
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(cfg.Addr))
+		_, _ = h.Write([]byte(cfg.Object))
+		o.digestRNG = rand.New(rand.NewSource(int64(h.Sum64()) ^ int64(cfg.Self)<<32))
+		o.digestStale = true
 	}
 	return o, nil
 }
@@ -331,6 +382,9 @@ func (o *Object) Close() {
 	}
 	if o.gossipTimer != nil {
 		o.gossipTimer.Stop()
+	}
+	if o.digestTimer != nil {
+		o.digestTimer.Stop()
 	}
 	if o.demandRetryTimer != nil {
 		o.demandRetryTimer.Stop()

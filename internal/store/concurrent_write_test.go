@@ -1,0 +1,90 @@
+package store_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/replication"
+	"repro/internal/semantics/webdoc"
+	"repro/internal/store"
+	"repro/internal/strategy"
+)
+
+// putPageErr is putPage without the test-fataling (safe off the test
+// goroutine).
+func putPageErr(p *core.Proxy, page, content string) error {
+	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
+		Content: []byte(content), ContentType: "text/html", ModifiedNanos: time.Now().UnixNano(),
+	})
+	_, err := p.Invoke(msg.Invocation{Method: webdoc.MethodPutPage, Page: page, Args: args})
+	return err
+}
+
+// TestConcurrentWritersOneProxy pins ordered write departure: the proxy is
+// documented safe for concurrent use, so goroutines racing Put on one handle
+// must not let a higher write sequence reach the wire before a lower one —
+// the store's at-most-once replay detection (and the contiguous engines'
+// liveness) depend on it. Every write must be acked AND applied exactly
+// once. Run under both an eventual store (where a mis-ordered unstamped
+// write would be dropped as a replay) and a PRAM store (where it would
+// strand the engine buffering forever).
+func TestConcurrentWritersOneProxy(t *testing.T) {
+	cases := []struct {
+		name  string
+		strat strategy.Strategy
+	}{
+		{"eventual", strategy.MirroredSite(time.Hour)},
+		{"pram", func() strategy.Strategy {
+			st := strategy.Conference(time.Hour)
+			st.Writers = strategy.MultipleWriters
+			return st
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t)
+			obj := ids.ObjectID("conc-" + tc.name)
+			role := replication.RolePermanent
+			perm := r.store("perm-"+tc.name, role)
+			if err := perm.Host(store.HostConfig{Object: obj, Semantics: webdoc.New(), Strat: tc.strat}); err != nil {
+				t.Fatal(err)
+			}
+			p := r.bind("writer-"+tc.name, "perm-"+tc.name, obj)
+
+			const n = 24
+			var wg sync.WaitGroup
+			errs := make([]error, n)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = putPageErr(p, fmt.Sprintf("pg%d", i), "x")
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("concurrent write %d failed: %v", i, err)
+				}
+			}
+			stats, err := perm.Stats(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.UpdatesApplied != n {
+				t.Fatalf("applied %d of %d acked concurrent writes (buffered %d): %+v",
+					stats.UpdatesApplied, n, stats.UpdatesBuffered, stats)
+			}
+			for i := 0; i < n; i++ {
+				if got, err := getPage(t, p, fmt.Sprintf("pg%d", i)); err != nil || got != "x" {
+					t.Fatalf("page pg%d after concurrent writes: %q, %v", i, got, err)
+				}
+			}
+		})
+	}
+}

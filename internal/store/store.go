@@ -42,6 +42,15 @@ type Config struct {
 	Clock    clock.Clock
 	// ReadTimeout bounds parked reads (default 5s, tests shrink it).
 	ReadTimeout time.Duration
+	// DemandRetry is the per-replica unanswered-demand re-request delay
+	// (default 50ms; negative disables retries).
+	DemandRetry time.Duration
+	// DigestInterval enables anti-entropy digest heartbeats for every
+	// replica this store hosts: each interval (jittered) the store sends
+	// its subscribed children a compact applied-vector digest, so a child
+	// behind silent tail-loss or a healed partition demands the gap instead
+	// of waiting for new traffic. Zero disables heartbeats (the default).
+	DigestInterval time.Duration
 }
 
 // replica is one hosted local object.
@@ -122,15 +131,17 @@ func (s *Store) Host(hc HostConfig) error {
 		}
 		env := &replicaEnv{store: s, ctrl: ctrl}
 		ro, err := replication.New(replication.Config{
-			Env:         env,
-			Object:      hc.Object,
-			Self:        s.cfg.ID,
-			Addr:        s.Addr(),
-			Role:        s.cfg.Role,
-			Parent:      hc.Parent,
-			Strat:       hc.Strat,
-			Session:     hc.Session,
-			ReadTimeout: s.cfg.ReadTimeout,
+			Env:            env,
+			Object:         hc.Object,
+			Self:           s.cfg.ID,
+			Addr:           s.Addr(),
+			Role:           s.cfg.Role,
+			Parent:         hc.Parent,
+			Strat:          hc.Strat,
+			Session:        hc.Session,
+			ReadTimeout:    s.cfg.ReadTimeout,
+			DemandRetry:    s.cfg.DemandRetry,
+			DigestInterval: s.cfg.DigestInterval,
 		})
 		if err != nil {
 			errCh <- err

@@ -66,13 +66,15 @@ type peerConn struct {
 
 // Endpoint is a TCP-backed communication object.
 type Endpoint struct {
-	ln    net.Listener
+	addr  string // resolved listen address; stable across Pause/Resume
 	inbox chan *msg.Message
 	done  chan struct{} // closed on Close; unblocks readers stuck on a full inbox
 
 	mu      sync.Mutex
+	ln      net.Listener         // nil while paused
 	conns   map[string]*peerConn // outbound connection cache, keyed by address
 	inConns map[net.Conn]bool    // inbound connections, closed on shutdown
+	paused  bool
 	closed  bool
 
 	wg sync.WaitGroup
@@ -87,6 +89,7 @@ func Listen(addr string) (*Endpoint, error) {
 		return nil, fmt.Errorf("tcpnet: listen %q: %w", addr, err)
 	}
 	e := &Endpoint{
+		addr:    ln.Addr().String(),
 		ln:      ln,
 		inbox:   make(chan *msg.Message, 1024),
 		done:    make(chan struct{}),
@@ -94,12 +97,75 @@ func Listen(addr string) (*Endpoint, error) {
 		inConns: make(map[net.Conn]bool),
 	}
 	e.wg.Add(1)
-	go e.acceptLoop()
+	go e.acceptLoop(ln)
 	return e, nil
 }
 
 // Addr returns the bound listen address (with the resolved port).
-func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Pause severs the endpoint from the network without closing it: the
+// listener stops, and every live connection — inbound and outbound, possibly
+// mid-frame — is killed. Until Resume, outbound sends fail and peers cannot
+// reach this endpoint, so the frames they send are lost exactly as across a
+// network partition. It exists for fault drills: chaos tests partition a
+// TCP deployment the way memnet's Partition cuts a simulated link.
+func (e *Endpoint) Pause() error {
+	e.mu.Lock()
+	if e.closed || e.paused {
+		e.mu.Unlock()
+		return nil
+	}
+	e.paused = true
+	ln := e.ln
+	e.ln = nil
+	e.severLocked()
+	e.mu.Unlock()
+	return ln.Close()
+}
+
+// Resume re-listens on the endpoint's original address after a Pause.
+// Peers reconnect on their next send; nothing lost during the pause is
+// replayed by the transport — recovering it is the coherence protocol's job
+// (demand retries and digest heartbeats).
+func (e *Endpoint) Resume() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || !e.paused {
+		return nil
+	}
+	ln, err := net.Listen("tcp", e.addr)
+	if err != nil {
+		return fmt.Errorf("tcpnet: resume %q: %w", e.addr, err)
+	}
+	e.paused = false
+	e.ln = ln
+	e.wg.Add(1)
+	go e.acceptLoop(ln)
+	return nil
+}
+
+// AbortConns kills every live connection — mid-frame if one is in flight —
+// while leaving the listener up, so peers redial successfully on their next
+// send. It models a transient connection reset (the fault the reconnect +
+// heartbeat path must absorb without duplicating or reordering applies).
+func (e *Endpoint) AbortConns() {
+	e.mu.Lock()
+	e.severLocked()
+	e.mu.Unlock()
+}
+
+// severLocked closes and forgets every inbound and outbound connection.
+func (e *Endpoint) severLocked() {
+	for to, pc := range e.conns {
+		_ = pc.c.Close()
+		delete(e.conns, to)
+	}
+	for c := range e.inConns {
+		_ = c.Close()
+		delete(e.inConns, c)
+	}
+}
 
 // Send transmits m to the endpoint listening at to, dialling or reusing a
 // cached connection. The frame is encoded into a pooled buffer that is
@@ -130,16 +196,18 @@ func (e *Endpoint) Multicast(tos []string, m *msg.Message) error {
 	return firstErr
 }
 
-// writeFrame writes one length-prefixed frame to the connection for to.
+// writeFrame writes one length-prefixed frame to the connection for to,
+// redialling once when a cached connection turns out to be dead.
 //
-// The header and body travel as one gathered write (net.Buffers → writev),
-// so a frame costs a single syscall instead of two. Writers only take the
-// target connection's locks — frames to different peers proceed fully in
-// parallel — and concurrent frames to the same peer group-commit: every
-// writer appends its buffers to the connection's open batch, the first to
-// acquire the write lock flushes the whole batch with one writev, and the
-// rest inherit the result. writeFrame returns only after its bytes are on
-// the socket (or the flush failed), so callers may recycle body immediately.
+// A cached connection can be long dead — the peer reset or restarted while
+// this side was idle — and the first write is how the sender finds out. One
+// retry on a fresh dial means a stale connection costs its detection, not
+// the frame: without it, the first frame after every reconnect (a healed
+// partition's digest heartbeat, typically) would be silently lost and
+// recovery would wait a full extra heartbeat. If the frame was in fact
+// delivered before the error surfaced, the retry produces a duplicate, which
+// the coherence engines deduplicate — the same contract as a duplicated UDP
+// datagram.
 func (e *Endpoint) writeFrame(to string, body []byte) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("tcpnet: frame too large (%d bytes)", len(body))
@@ -148,7 +216,28 @@ func (e *Endpoint) writeFrame(to string, body []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := e.flushFrame(to, pc, body); err != nil {
+		pc2, derr := e.conn(to) // flushFrame dropped pc; this dials fresh
+		if derr != nil || pc2 == pc {
+			return err
+		}
+		return e.flushFrame(to, pc2, body)
+	}
+	return nil
+}
 
+// flushFrame writes one frame to an established connection, dropping the
+// connection from the cache on error.
+//
+// The header and body travel as one gathered write (net.Buffers → writev),
+// so a frame costs a single syscall instead of two. Writers only take the
+// target connection's locks — frames to different peers proceed fully in
+// parallel — and concurrent frames to the same peer group-commit: every
+// writer appends its buffers to the connection's open batch, the first to
+// acquire the write lock flushes the whole batch with one writev, and the
+// rest inherit the result. flushFrame returns only after its bytes are on
+// the socket (or the flush failed), so callers may recycle body immediately.
+func (e *Endpoint) flushFrame(to string, pc *peerConn, body []byte) error {
 	// Uncontended fast path: the write lock is free and no batch is
 	// pending, so write this frame directly from the connection's scratch
 	// buffers — one writev, zero allocations.
@@ -229,17 +318,15 @@ func (e *Endpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	for to, pc := range e.conns {
-		_ = pc.c.Close()
-		delete(e.conns, to)
-	}
-	for c := range e.inConns {
-		_ = c.Close() // unblock reader goroutines stuck in ReadFull
-		delete(e.inConns, c)
-	}
+	e.severLocked() // unblock reader goroutines stuck in ReadFull
+	ln := e.ln
+	e.ln = nil
 	e.mu.Unlock()
 	close(e.done)
-	err := e.ln.Close()
+	var err error
+	if ln != nil { // nil while paused (listener already closed)
+		err = ln.Close()
+	}
 	e.wg.Wait()
 	close(e.inbox)
 	return err
@@ -251,6 +338,10 @@ func (e *Endpoint) conn(to string) (*peerConn, error) {
 	if e.closed {
 		e.mu.Unlock()
 		return nil, transport.ErrClosed
+	}
+	if e.paused {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("tcpnet: endpoint paused, send to %q dropped", to)
 	}
 	if pc, ok := e.conns[to]; ok {
 		e.mu.Unlock()
@@ -264,9 +355,12 @@ func (e *Endpoint) conn(to string) (*peerConn, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed || e.paused {
 		_ = c.Close()
-		return nil, transport.ErrClosed
+		if e.closed {
+			return nil, transport.ErrClosed
+		}
+		return nil, fmt.Errorf("tcpnet: endpoint paused, send to %q dropped", to)
 	}
 	if existing, ok := e.conns[to]; ok {
 		_ = c.Close()
@@ -290,15 +384,17 @@ func (e *Endpoint) dropConn(to string, pc *peerConn) {
 
 // acceptLoop accepts inbound connections and spawns a framed reader per
 // connection; all readers are tracked by the wait group so Close can drain.
-func (e *Endpoint) acceptLoop() {
+// The listener is passed in (rather than read from the endpoint) because
+// Pause/Resume cycles replace it, each cycle with its own loop.
+func (e *Endpoint) acceptLoop(ln net.Listener) {
 	defer e.wg.Done()
 	for {
-		conn, err := e.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
 		e.mu.Lock()
-		if e.closed {
+		if e.closed || e.paused {
 			e.mu.Unlock()
 			_ = conn.Close()
 			return

@@ -311,3 +311,124 @@ func TestConcurrentWritersCoalesceAndDeliver(t *testing.T) {
 		t.Fatalf("%d flushes exceed %d frames", got, writers*per)
 	}
 }
+
+// TestPauseResumeSeversAndRestores drills the endpoint-level partition: a
+// paused endpoint is unreachable in both directions and its own sends fail;
+// after Resume, traffic flows again on fresh connections without losing the
+// first post-heal frame (the writeFrame redial retry).
+func TestPauseResumeSeversAndRestores(t *testing.T) {
+	a := listen(t)
+	b := listen(t)
+	send := func(from, to *Endpoint, seq uint64) error {
+		return from.Send(to.Addr(), &msg.Message{
+			Kind: msg.KindUpdate, Object: "o", From: from.Addr(), NetSeq: seq,
+		})
+	}
+	if err := send(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b); got.NetSeq != 1 {
+		t.Fatalf("got %+v", got)
+	}
+
+	if err := b.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	// Outbound from the paused endpoint fails locally (no connections, no
+	// dials while paused).
+	if err := send(b, a, 2); err == nil {
+		t.Fatalf("send from paused endpoint succeeded")
+	}
+	// Inbound frames are lost during the pause. The send itself may report
+	// success — TCP buffers a write into a freshly-reset connection before
+	// the RST is processed — which is exactly the silent-loss window the
+	// digest heartbeat protocol exists to close; all the transport promises
+	// is that nothing is delivered (b's readers are gone).
+	_ = send(a, b, 3)
+
+	if err := b.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	// After resume, traffic must flow again: the stale cached connection is
+	// detected on write and redialled. A frame racing the RST can still be
+	// swallowed, so drive sends until one is delivered.
+	got := sendUntilDelivered(t, a, b, 100)
+	if got.NetSeq < 100 {
+		t.Fatalf("delivered a pause-era frame: %+v", got)
+	}
+	if err := send(b, a, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, a); got.NetSeq != 5 {
+		t.Fatalf("post-resume reverse frame: %+v", got)
+	}
+	if addr := b.Addr(); addr == "" {
+		t.Fatalf("Addr lost across pause/resume")
+	}
+}
+
+// sendUntilDelivered sends frames with sequence numbers startSeq, startSeq+1,
+// ... until one is delivered, and returns it. Individual frames may be lost
+// while a connection reset is still propagating; liveness, not losslessness,
+// is the transport's post-fault contract.
+func sendUntilDelivered(t *testing.T, from, to *Endpoint, startSeq uint64) *msg.Message {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for seq := startSeq; ; seq++ {
+		err := from.Send(to.Addr(), &msg.Message{
+			Kind: msg.KindUpdate, Object: "o", From: from.Addr(), NetSeq: seq,
+		})
+		if err == nil {
+			select {
+			case m, ok := <-to.Recv():
+				if !ok {
+					t.Fatalf("recv channel closed")
+				}
+				return m
+			case <-time.After(100 * time.Millisecond):
+			case <-deadline:
+				t.Fatalf("no frame delivered after fault")
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no frame delivered after fault")
+		default:
+		}
+	}
+}
+
+// TestAbortConnsReconnectsTransparently kills every live connection while
+// the listener stays up; subsequent sends redial and deliver again (frames
+// racing the reset may be lost — the coherence protocol's problem, not the
+// transport's).
+func TestAbortConnsReconnectsTransparently(t *testing.T) {
+	a := listen(t)
+	b := listen(t)
+	base := uint64(100)
+	for round := 0; round < 3; round++ {
+		b.AbortConns() // idempotent on a quiet endpoint, fatal to live conns
+		got := sendUntilDelivered(t, a, b, base)
+		if got.NetSeq < base {
+			t.Fatalf("round %d delivered a stale frame: %+v", round, got)
+		}
+		base = got.NetSeq + 100
+	}
+}
+
+// TestCloseWhilePaused: closing a paused endpoint must not panic or hang.
+func TestCloseWhilePaused(t *testing.T) {
+	e, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-e.Recv(); ok {
+		t.Fatalf("recv channel not closed")
+	}
+}

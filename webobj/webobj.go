@@ -197,14 +197,16 @@ type objectInfo struct {
 // System is one deployment of the framework over a Fabric. Safe for
 // concurrent use.
 type System struct {
-	mu      sync.Mutex
-	fabric  Fabric
-	ns      *naming.Service
-	stores  map[string]*Store
-	parents map[string]string // store name -> parent store name
-	objects map[ObjectID]objectInfo
-	nextEP  int
-	closed  bool
+	mu          sync.Mutex
+	fabric      Fabric
+	ns          *naming.Service
+	stores      map[string]*Store
+	parents     map[string]string // store name -> parent store name
+	objects     map[ObjectID]objectInfo
+	digest      time.Duration // default DigestInterval for stores in this system
+	demandRetry time.Duration // default DemandRetry for stores in this system
+	nextEP      int
+	closed      bool
 }
 
 // SystemOption configures NewSystem.
@@ -214,6 +216,26 @@ type SystemOption func(*System)
 // simulated network. The system takes ownership: System.Close closes the
 // fabric.
 func WithFabric(f Fabric) SystemOption { return func(s *System) { s.fabric = f } }
+
+// WithDemandRetry tunes the unanswered-demand re-request delay for every
+// store this system creates (default 50ms; negative disables retries). Keep
+// it well below the digest interval: the retry chases a demand whose frame
+// or reply was lost, the heartbeat exposes gaps nobody knows about.
+func WithDemandRetry(d time.Duration) SystemOption {
+	return func(s *System) { s.demandRetry = d }
+}
+
+// WithDigestInterval turns on anti-entropy digest heartbeats for every store
+// this system creates: each interval (jittered per store) a store sends its
+// subscribed children a compact applied-vector digest, and a child that
+// detects a gap demands the missing updates — so a replica behind silent
+// tail-loss or a healed partition converges within about one heartbeat
+// instead of waiting for new traffic. Zero (the default) disables
+// heartbeats. Individual stores can override with the store-level
+// WithStoreDigestInterval.
+func WithDigestInterval(d time.Duration) SystemOption {
+	return func(s *System) { s.digest = d }
+}
 
 // NewSystem creates a deployment. By default it runs over an
 // instantaneous, lossless in-process network; pass WithFabric to deploy
@@ -257,7 +279,9 @@ func (s *System) Naming() *naming.Service { return s.ns }
 type StoreOption func(*storeCfg)
 
 type storeCfg struct {
-	id ids.StoreID
+	id        ids.StoreID
+	digest    time.Duration
+	digestSet bool
 }
 
 // WithStoreID pins the store's identifier instead of allocating one from
@@ -266,6 +290,12 @@ type storeCfg struct {
 // deployment-unique IDs.
 func WithStoreID(id uint32) StoreOption {
 	return func(c *storeCfg) { c.id = ids.StoreID(id) }
+}
+
+// WithStoreDigestInterval overrides the system's digest-heartbeat interval
+// for one store (zero disables heartbeats at that store).
+func WithStoreDigestInterval(d time.Duration) StoreOption {
+	return func(c *storeCfg) { c.digest, c.digestSet = d, true }
 }
 
 // NewServer creates a permanent store (a Web server). Over a TCP fabric a
@@ -316,10 +346,16 @@ func (s *System) newStore(name string, role replication.Role, parent *Store, opt
 			}
 		}
 	}
+	digest := s.digest
+	if cfg.digestSet {
+		digest = cfg.digest
+	}
 	st := store.New(store.Config{
-		ID:       id,
-		Role:     role,
-		Endpoint: ep,
+		ID:             id,
+		Role:           role,
+		Endpoint:       ep,
+		DemandRetry:    s.demandRetry,
+		DigestInterval: digest,
 	})
 	h := &Store{name: name, st: st, role: role}
 	s.stores[name] = h
