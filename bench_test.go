@@ -15,6 +15,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/nameserv"
 	"repro/internal/strategy"
 	"repro/internal/transport"
 	"repro/internal/transport/memnet"
@@ -1084,4 +1085,137 @@ func BenchmarkDigest_ConvergenceAfterHeal(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "convergeMs")
+}
+
+// --- name service: resolve/bind latency and directory-sync overhead -----------
+
+// nameBenchSystem builds a memnet deployment whose System resolves through
+// a real name-service client (server and client share the fabric), with one
+// published object.
+func nameBenchSystem(b *testing.B, ttl time.Duration) (*webobj.System, webobj.ObjectID) {
+	b.Helper()
+	net := memnet.New(memnet.WithSeed(1))
+	srv, err := nameserv.NewServer(nameserv.Config{Fabric: net, Name: "ns", SyncInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := nameserv.NewClient(nameserv.ClientConfig{
+		Fabric: net, Name: "nsc", Servers: []string{srv.Addr()}, CacheTTL: ttl,
+	})
+	sys := webobj.NewSystem(webobj.WithFabric(net), webobj.WithResolver(client))
+	b.Cleanup(func() {
+		_ = sys.Close() // closes the resolver and the shared fabric
+		_ = srv.Close()
+	})
+	server, err := sys.NewServer("www")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const obj = webobj.ObjectID("bench-doc")
+	if err := sys.Publish(server, obj, webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
+		b.Fatal(err)
+	}
+	doc, err := sys.Open(obj, webobj.At(server))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := doc.Put("index.html", []byte("x"), "text/html"); err != nil {
+		b.Fatal(err)
+	}
+	doc.Close()
+	return sys, obj
+}
+
+// BenchmarkName_Resolve measures one record resolution through the
+// name-service client: cold = an RPC to the name server per call (cache
+// disabled), cached = served from the client cache within its TTL.
+func BenchmarkName_Resolve(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		ttl  time.Duration
+	}{{"lookup=cold", -1}, {"lookup=cached", time.Hour}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, obj := nameBenchSystem(b, mode.ttl)
+			if _, err := sys.ResolveName(obj); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.ResolveName(obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkName_OpenByName measures the full client entry path through the
+// naming subsystem: resolve the record, pick a replica, bind a typed handle
+// (semantics-checked), close. Cold re-resolves per open; cached rides the
+// record cache — the cost a name-served deployment pays over a hardwired
+// store address.
+func BenchmarkName_OpenByName(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		ttl  time.Duration
+	}{{"lookup=cold", -1}, {"lookup=cached", time.Hour}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, obj := nameBenchSystem(b, mode.ttl)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doc, err := sys.Open(obj)
+				if err != nil {
+					b.Fatal(err)
+				}
+				doc.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkName_DirectorySyncIdle measures the steady-state cost of
+// directory anti-entropy between two naming peers holding a populated
+// directory with nothing changing: bytes/sec and digest frames/sec on an
+// idle deployment (the naming analogue of Digest_IdleNetworkOverhead).
+func BenchmarkName_DirectorySyncIdle(b *testing.B) {
+	net := memnet.New(memnet.WithSeed(1))
+	defer net.Close()
+	const interval = 25 * time.Millisecond
+	s1, err := nameserv.NewServer(nameserv.Config{
+		Fabric: net, Name: "ns1", Index: 1, Total: 2, Peers: []string{"ns2"}, SyncInterval: interval,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := nameserv.NewServer(nameserv.Config{
+		Fabric: net, Name: "ns2", Index: 2, Total: 2, Peers: []string{"ns1"}, SyncInterval: interval,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s2.Close()
+	client := nameserv.NewClient(nameserv.ClientConfig{Fabric: net, Name: "c", Servers: []string{s1.Addr()}})
+	defer client.Close()
+	for i := 0; i < 50; i++ {
+		obj := ids.ObjectID(fmt.Sprintf("obj-%d", i))
+		err := client.Register(obj, webobj.NameEntry{Addr: fmt.Sprintf("store-%d", i), Store: ids.StoreID(i + 1), Role: 1},
+			webobj.NameMeta{Sem: "webdoc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	time.Sleep(2 * interval) // let the directories converge
+	net.ResetStats()
+	const window = 250 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		time.Sleep(window) // the directory is completely idle
+	}
+	b.StopTimer()
+	s := net.Stats()
+	secs := (time.Duration(b.N) * window).Seconds()
+	b.ReportMetric(float64(s.Bytes)/secs, "idleB/sec")
+	b.ReportMetric(float64(s.ByKind[msg.KindNameDigest])/secs, "digests/sec")
+	b.ReportMetric(float64(s.ByKind[msg.KindNameSync])/secs, "syncs/sec")
 }

@@ -15,6 +15,19 @@
 //	globectl -store 127.0.0.1:7001 -object biblio -semantics kv keys
 //	globectl -store 127.0.0.1:7001 -object forum -semantics applog append 'hello'
 //	globectl -store 127.0.0.1:7001 -object forum -semantics applog suffix 0
+//
+// With a name server, -store is unnecessary — the object is resolved and a
+// replica chosen deterministically; the record's semantics type-checks the
+// bind:
+//
+//	globectl -nameserver 127.0.0.1:7100 -object conf-page get index.html
+//	globectl -nameserver 127.0.0.1:7100 -object conf-page resolve
+//
+// The ctl subcommands drive a daemon's control address to host or drop
+// replicas at runtime:
+//
+//	globectl -ctl 127.0.0.1:7009 -object conf-page -session ryw ctl host
+//	globectl -ctl 127.0.0.1:7009 -object conf-page ctl drop
 package main
 
 import (
@@ -37,12 +50,18 @@ func main() {
 
 func run() error {
 	var (
-		storeAddr = flag.String("store", "127.0.0.1:7001", "store address to bind to")
-		object    = flag.String("object", "", "object ID (required)")
-		semName   = flag.String("semantics", "webdoc", "semantics type: webdoc | kv | applog")
-		session   = flag.String("session", "", "client models: ryw,mr,mw,wfr")
-		clientID  = flag.Uint("client", 0, "client ID (0 = derive from time; writers in concurrent deployments should pin unique IDs)")
-		timeout   = flag.Duration("timeout", 5*time.Second, "per-call timeout")
+		storeAddr  = flag.String("store", "", "store address to bind to (optional with -nameserver)")
+		nameServer = flag.String("nameserver", "", "name-server address(es), comma-separated; resolves -object to a store")
+		ctlAddr    = flag.String("ctl", "", "daemon control address (ctl subcommands)")
+		object     = flag.String("object", "", "object ID (required)")
+		semName    = flag.String("semantics", "webdoc", "semantics type: webdoc | kv | applog")
+		session    = flag.String("session", "", "client models: ryw,mr,mw,wfr")
+		clientID   = flag.Uint("client", 0, "client ID (0 = derive from time; writers in concurrent deployments should pin unique IDs)")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-call timeout")
+		ctlStore   = flag.String("ctl-store", "", "daemon store name a ctl subcommand targets (\"\" = the daemon's only store)")
+		ctlParent  = flag.String("parent", "", "parent store address for ctl host (\"\" = resolve from the record)")
+		ctlPublish = flag.Bool("publish", false, "ctl host publishes the object instead of replicating it")
+		stratSpec  = flag.String("strategy", "conference", "strategy preset or text (ctl host -publish)")
 	)
 	flag.Parse()
 	if *object == "" {
@@ -53,7 +72,9 @@ func run() error {
 		return fmt.Errorf("usage: globectl [flags] <command> [args]\n" +
 			"  webdoc: get|stat|put|append|delete|pages\n" +
 			"  kv:     get|put|delete|keys\n" +
-			"  applog: append|len|entry|suffix")
+			"  applog: append|len|entry|suffix\n" +
+			"  naming: resolve\n" +
+			"  daemon: ctl host | ctl drop")
 	}
 
 	models, err := webobj.ClientModelsByNames(*session)
@@ -64,23 +85,72 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// With a name server, an unpinned client leases a globally unique ID;
+	// without one, derive a quasi-unique ID below the lease base (pinned
+	// IDs must stay outside the leased space).
 	cid := uint32(*clientID)
-	if cid == 0 {
-		cid = uint32(time.Now().UnixNano()%1_000_000 + 2)
+	if cid == 0 && *nameServer == "" {
+		cid = uint32(time.Now().UnixNano()%60_000 + 2)
 	}
 
-	sys := webobj.NewSystem(webobj.WithFabric(webobj.NewTCPFabric("")))
-	defer sys.Close()
-	remote, err := sys.AttachServer(*storeAddr)
-	if err != nil {
-		return err
+	sysOpts := []webobj.SystemOption{webobj.WithFabric(webobj.NewTCPFabric(""))}
+	if *nameServer != "" {
+		sysOpts = append(sysOpts, webobj.WithNameServer(strings.Split(*nameServer, ",")...))
 	}
+	sys := webobj.NewSystem(sysOpts...)
+	defer sys.Close()
 	obj := webobj.ObjectID(*object)
+
+	switch args[0] {
+	case "resolve":
+		return runResolve(sys, obj)
+	case "ctl":
+		if len(args) < 2 {
+			return fmt.Errorf("ctl needs a verb: host | drop")
+		}
+		if *ctlAddr == "" {
+			return fmt.Errorf("ctl subcommands need -ctl <daemon control address>")
+		}
+		ctl, err := webobj.NewControl(webobj.NewTCPFabric(""), *ctlAddr)
+		if err != nil {
+			return err
+		}
+		defer ctl.Close()
+		req := webobj.ControlRequest{
+			Op:     args[1],
+			Store:  *ctlStore,
+			Object: *object,
+			Parent: *ctlParent,
+		}
+		if args[1] == "host" {
+			req.Publish = *ctlPublish
+			req.Session = *session
+			if *ctlPublish {
+				req.Semantics = *semName
+				req.Strategy = *stratSpec
+			}
+		}
+		if err := ctl.Call(req); err != nil {
+			return err
+		}
+		fmt.Printf("ctl %s %s OK\n", args[1], *object)
+		return nil
+	}
+
 	opts := []webobj.OpenOption{
-		webobj.At(remote),
 		webobj.WithSession(models...),
 		webobj.WithTimeout(*timeout),
 		webobj.AsClient(cid),
+	}
+	switch {
+	case *storeAddr != "":
+		remote, err := sys.AttachServer(*storeAddr)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, webobj.At(remote))
+	case *nameServer == "":
+		return fmt.Errorf("need -store or -nameserver to reach the object")
 	}
 
 	switch sem.Name() {
@@ -90,7 +160,7 @@ func run() error {
 			return err
 		}
 		defer doc.Close()
-		return runDoc(doc, cid, args)
+		return runDoc(doc, uint32(doc.Client()), args)
 	case "kvstore":
 		m, err := sys.OpenMap(obj, opts...)
 		if err != nil {
@@ -107,6 +177,28 @@ func run() error {
 		return runLog(l, args)
 	}
 	return fmt.Errorf("unreachable semantics %q", sem.Name())
+}
+
+// runResolve prints an object's name record.
+func runResolve(sys *webobj.System, obj webobj.ObjectID) error {
+	rec, err := sys.ResolveName(obj)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("object %s (record version %d)\n", rec.Object, rec.Version)
+	if rec.Meta.Sem != "" {
+		fmt.Printf("  semantics %s\n", rec.Meta.Sem)
+	}
+	if rec.Meta.HasStrat {
+		fmt.Printf("  strategy  %v\n", rec.Meta.Strat)
+	}
+	if len(rec.Meta.Models) > 0 {
+		fmt.Printf("  models    %s\n", strings.Join(rec.Meta.Models, ","))
+	}
+	for _, e := range rec.Entries {
+		fmt.Printf("  replica   %s store=%d role=%v\n", e.Addr, e.Store, e.Role)
+	}
+	return nil
 }
 
 func runDoc(doc *webobj.Document, cid uint32, args []string) error {

@@ -1,22 +1,48 @@
 // Command globed is a store daemon: it hosts replicas of distributed Web
-// objects over real TCP, in any of the paper's three store layers. A
-// permanent store publishes an object; mirror/cache stores replicate it
-// from a parent daemon. It is built entirely on the public webobj API —
-// the same calls a simulation makes, deployed over the TCP fabric.
+// objects over real TCP, in any of the paper's three store layers. It is
+// built entirely on the public webobj API — the same calls a simulation
+// makes, deployed over the TCP fabric.
 //
-// Start a Web server (permanent store) publishing a document:
+// A daemon hosts any number of objects across any number of stores, driven
+// by a manifest, and can add or drop replicas at runtime through its
+// control address:
+//
+//	globed -manifest deploy.json
+//
+// where deploy.json looks like
+//
+//	{
+//	  "nameserver": "127.0.0.1:7100",
+//	  "control":    "127.0.0.1:7009",
+//	  "digest":     "50ms",
+//	  "stores": [
+//	    {"listen": "127.0.0.1:7001", "role": "permanent", "objects": [
+//	      {"object": "conf-page", "publish": true, "semantics": "webdoc",
+//	       "strategy": "conference", "session": "ryw"},
+//	      {"object": "biblio", "publish": true, "semantics": "kv",
+//	       "strategy": "forum"}
+//	    ]},
+//	    {"listen": "127.0.0.1:7002", "role": "cache", "objects": [
+//	      {"object": "conf-page", "session": "ryw"}
+//	    ]}
+//	  ]
+//	}
+//
+// With a name server configured, replica objects need no semantics,
+// strategy, or parent: the daemon resolves the published record and
+// replicates from the object's permanent store. Store IDs are leased from
+// the name server (globally unique across daemons) unless pinned with
+// "id". Without a name server, replicas must name a "parent" and the
+// publisher's semantics/strategy must be mirrored per object.
+//
+// The single-object flag form from earlier releases still works:
 //
 //	globed -listen 127.0.0.1:7001 -object conf-page -role permanent -strategy conference
-//
-// Start a proxy cache replicating it:
-//
 //	globed -listen 127.0.0.1:7002 -object conf-page -role cache -parent 127.0.0.1:7001 -strategy conference -session ryw -id 2
-//
-// Then use globectl to read and write pages. Non-webdoc objects pick their
-// semantics type with -semantics kv | applog.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +56,34 @@ import (
 	"repro/webobj"
 )
 
+// manifest mirrors the deployment JSON.
+type manifest struct {
+	NameServer  string      `json:"nameserver,omitempty"`
+	Control     string      `json:"control,omitempty"`
+	Digest      string      `json:"digest,omitempty"`
+	DemandRetry string      `json:"demand_retry,omitempty"`
+	MaxFrame    int         `json:"max_frame,omitempty"`
+	Stores      []storeSpec `json:"stores"`
+}
+
+type storeSpec struct {
+	Name    string    `json:"name,omitempty"` // defaults to Listen
+	Listen  string    `json:"listen"`
+	Role    string    `json:"role"`
+	ID      uint32    `json:"id,omitempty"`     // 0 = allocate (leased with a name server)
+	Parent  string    `json:"parent,omitempty"` // default upstream for this store's replicas
+	Objects []objSpec `json:"objects"`
+}
+
+type objSpec struct {
+	Object    string `json:"object"`
+	Publish   bool   `json:"publish,omitempty"`
+	Semantics string `json:"semantics,omitempty"`
+	Strategy  string `json:"strategy,omitempty"`
+	Session   string `json:"session,omitempty"`
+	Parent    string `json:"parent,omitempty"` // per-object upstream override
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.SetFlags(0)
@@ -39,87 +93,119 @@ func main() {
 
 func run() error {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7001", "TCP address to listen on")
-		object    = flag.String("object", "", "object ID to host (required)")
-		role      = flag.String("role", "permanent", "store role: permanent | mirror | cache")
-		parent    = flag.String("parent", "", "parent store address (required for mirror/cache)")
-		stratName = flag.String("strategy", "conference", "strategy preset: "+presetNames())
-		semName   = flag.String("semantics", "webdoc", "semantics type: webdoc | kv | applog")
-		session   = flag.String("session", "", "comma-separated client models this store supports: ryw,mr,mw,wfr")
-		storeID   = flag.Uint("id", 1, "store ID (unique per deployment)")
-		digest    = flag.Duration("digest", 0, "anti-entropy digest heartbeat interval (0 disables); children behind lost updates resync within ~one interval")
-		demRetry  = flag.Duration("demand-retry", 0, "unanswered-demand re-request delay (0 = 50ms default, negative disables); keep well below -digest")
+		manifestPath = flag.String("manifest", "", "deployment manifest (JSON); supersedes the single-object flags")
+		nameServer   = flag.String("nameserver", "", "name-server address(es), comma-separated; overrides the manifest's")
+		control      = flag.String("control", "", "control RPC listen address (host/drop replicas at runtime); overrides the manifest's")
+		listen       = flag.String("listen", "127.0.0.1:7001", "TCP address to listen on (single-object form)")
+		object       = flag.String("object", "", "object ID to host (single-object form)")
+		role         = flag.String("role", "permanent", "store role: permanent | mirror | cache")
+		parent       = flag.String("parent", "", "parent store address (replica roles; optional with -nameserver)")
+		stratName    = flag.String("strategy", "conference", "strategy preset ("+presetNames()+") or strategy text")
+		semName      = flag.String("semantics", "webdoc", "semantics type: webdoc | kv | applog")
+		session      = flag.String("session", "", "comma-separated client models this store supports: ryw,mr,mw,wfr")
+		storeID      = flag.Uint("id", 0, "store ID (0 = allocate; leased from the name server when configured)")
+		digest       = flag.Duration("digest", 0, "anti-entropy digest heartbeat interval (0 disables)")
+		demRetry     = flag.Duration("demand-retry", 0, "unanswered-demand re-request delay (0 = 50ms default, negative disables)")
+		maxFrame     = flag.Int("max-frame", 0, "per-peer inbound frame budget in bytes (0 = 16MiB cap); reject larger frames before allocation")
 	)
 	flag.Parse()
-	if *object == "" {
-		return fmt.Errorf("-object is required")
+
+	var m manifest
+	if *manifestPath != "" {
+		data, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("manifest %s: %w", *manifestPath, err)
+		}
+	} else {
+		// Synthesize a one-store one-object manifest from the legacy flags.
+		if *object == "" {
+			return fmt.Errorf("-object is required without -manifest")
+		}
+		spec := objSpec{Object: *object, Session: *session}
+		if *role == "permanent" {
+			spec.Publish = true
+			spec.Semantics = *semName
+			spec.Strategy = *stratName
+		} else if *nameServer == "" || *parent != "" {
+			// Without a name server the replica mirrors the publisher's
+			// configuration manually (the pre-name-service deployment mode).
+			spec.Semantics = *semName
+			spec.Strategy = *stratName
+		}
+		m.Stores = []storeSpec{{
+			Listen: *listen, Role: *role, ID: uint32(*storeID),
+			Parent: *parent, Objects: []objSpec{spec},
+		}}
 	}
-	strat, ok := webobj.StrategyPresets()[*stratName]
-	if !ok {
-		return fmt.Errorf("unknown strategy %q (have: %s)", *stratName, presetNames())
+	if *nameServer != "" {
+		m.NameServer = *nameServer
 	}
-	sem, err := webobj.SemanticsByName(*semName)
+	if *control != "" {
+		m.Control = *control
+	}
+	if *maxFrame != 0 {
+		m.MaxFrame = *maxFrame
+	}
+	digestIv, err := durationField(m.Digest, *digest)
 	if err != nil {
-		return err
+		return fmt.Errorf("digest: %w", err)
 	}
-	models, err := webobj.ClientModelsByNames(*session)
+	retryIv, err := durationField(m.DemandRetry, *demRetry)
 	if err != nil {
-		return err
+		return fmt.Errorf("demand_retry: %w", err)
+	}
+	if len(m.Stores) == 0 {
+		return fmt.Errorf("manifest defines no stores")
 	}
 
-	// One System over the TCP fabric; the store name is the listen address,
-	// which pins the daemon's advertised endpoint.
-	sys := webobj.NewSystem(
-		webobj.WithFabric(webobj.NewTCPFabric("")),
-		webobj.WithDigestInterval(*digest),
-		webobj.WithDemandRetry(*demRetry),
-	)
+	sysOpts := []webobj.SystemOption{
+		webobj.WithFabric(webobj.NewTCPFabric("", webobj.WithMaxInboundFrame(m.MaxFrame))),
+		webobj.WithDigestInterval(digestIv),
+		webobj.WithDemandRetry(retryIv),
+	}
+	if m.NameServer != "" {
+		sysOpts = append(sysOpts, webobj.WithNameServer(strings.Split(m.NameServer, ",")...))
+	}
+	sys := webobj.NewSystem(sysOpts...)
 	defer sys.Close()
-	obj := webobj.ObjectID(*object)
-	idOpt := webobj.WithStoreID(uint32(*storeID))
 
-	var st *webobj.Store
-	switch *role {
-	case "permanent":
-		if st, err = sys.NewServer(*listen, idOpt); err != nil {
-			return err
-		}
-		if err := sys.Publish(st, obj, sem, strat, models...); err != nil {
-			return err
-		}
-	case "mirror", "object-initiated", "cache", "client-initiated":
-		if *parent == "" {
-			return fmt.Errorf("role %s requires -parent", *role)
-		}
-		up, err := sys.AttachServer(*parent)
+	type hosted struct {
+		store *webobj.Store
+		obj   webobj.ObjectID
+	}
+	var all []hosted
+	for _, spec := range m.Stores {
+		st, err := createStore(sys, spec)
 		if err != nil {
 			return err
 		}
-		if err := sys.AttachObject(up, obj, sem, strat); err != nil {
-			return err
+		for _, o := range spec.Objects {
+			if err := hostObject(sys, st, spec, o); err != nil {
+				return fmt.Errorf("store %s object %s: %w", spec.Listen, o.Object, err)
+			}
+			all = append(all, hosted{store: st, obj: webobj.ObjectID(o.Object)})
+			verb := "replicating"
+			if o.Publish {
+				verb = "publishing"
+			}
+			log.Printf("globed: %s store at %s %s %q", spec.Role, st.Addr(), verb, o.Object)
 		}
-		if *role == "mirror" || *role == "object-initiated" {
-			st, err = sys.NewMirror(*listen, up, idOpt)
-		} else {
-			st, err = sys.NewCache(*listen, up, idOpt)
-		}
+	}
+	if m.Control != "" {
+		addr, err := sys.ServeControl(m.Control)
 		if err != nil {
 			return err
 		}
-		if err := sys.Replicate(st, obj, models...); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown role %q", *role)
+		log.Printf("globed: control RPC at %s", addr)
 	}
-
-	log.Printf("globed: %s store %d hosting %q (%s) at %s (strategy %s)",
-		*role, *storeID, *object, sem.Name(), st.Addr(), *stratName)
-	if *parent != "" {
-		log.Printf("globed: subscribed to parent %s", *parent)
+	if m.NameServer != "" {
+		log.Printf("globed: registered with name server %s", m.NameServer)
 	}
-	if *digest > 0 {
-		log.Printf("globed: digest heartbeats every %v (jittered)", *digest)
+	if digestIv > 0 {
+		log.Printf("globed: digest heartbeats every %v (jittered)", digestIv)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -132,11 +218,129 @@ func run() error {
 			log.Printf("globed: shutting down")
 			return nil
 		case <-ticker.C:
-			if stats, err := st.Stats(obj); err == nil {
-				log.Printf("globed: stats %+v", stats)
+			for _, h := range all {
+				if stats, err := h.store.Stats(h.obj); err == nil {
+					log.Printf("globed: %s %q stats %+v", h.store.Addr(), h.obj, stats)
+				}
 			}
 		}
 	}
+}
+
+// createStore builds one manifest store (without its replicas' parents —
+// those attach per object).
+func createStore(sys *webobj.System, spec storeSpec) (*webobj.Store, error) {
+	name := spec.Name
+	if name == "" {
+		name = spec.Listen
+	}
+	var opts []webobj.StoreOption
+	if name != spec.Listen {
+		opts = append(opts, webobj.WithListenAddr(spec.Listen))
+	}
+	if spec.ID != 0 {
+		opts = append(opts, webobj.WithStoreID(spec.ID))
+	}
+	var defaultParent *webobj.Store
+	if spec.Parent != "" {
+		p, err := attachOrReuse(sys, spec.Parent)
+		if err != nil {
+			return nil, err
+		}
+		defaultParent = p
+	}
+	switch spec.Role {
+	case "permanent":
+		return sys.NewServer(name, opts...)
+	case "mirror", "object-initiated":
+		return sys.NewMirror(name, defaultParent, opts...)
+	case "cache", "client-initiated":
+		return sys.NewCache(name, defaultParent, opts...)
+	default:
+		return nil, fmt.Errorf("unknown role %q", spec.Role)
+	}
+}
+
+// hostObject publishes or replicates one manifest object at its store.
+func hostObject(sys *webobj.System, st *webobj.Store, spec storeSpec, o objSpec) error {
+	obj := webobj.ObjectID(o.Object)
+	models, err := webobj.ClientModelsByNames(o.Session)
+	if err != nil {
+		return err
+	}
+	if o.Publish {
+		sem, err := webobj.SemanticsByName(o.Semantics)
+		if err != nil {
+			return err
+		}
+		strat, err := webobj.StrategyBySpec(o.Strategy)
+		if err != nil {
+			return err
+		}
+		return sys.Publish(st, obj, sem, strat, models...)
+	}
+	// Replica. Manual mirroring (no name server) needs the published
+	// semantics/strategy declared per object; with a name server the
+	// record supplies them.
+	parentAddr := o.Parent
+	if parentAddr == "" {
+		parentAddr = spec.Parent
+	}
+	if o.Semantics != "" || o.Strategy != "" {
+		if parentAddr == "" {
+			return fmt.Errorf("replica with manual semantics/strategy needs a parent")
+		}
+		sem, err := webobj.SemanticsByName(o.Semantics)
+		if err != nil {
+			return err
+		}
+		strat, err := webobj.StrategyBySpec(o.Strategy)
+		if err != nil {
+			return err
+		}
+		up, err := attachOrReuse(sys, parentAddr)
+		if err != nil {
+			return err
+		}
+		if err := sys.AttachObject(up, obj, sem, strat); err != nil {
+			return err
+		}
+		return sys.ReplicateFrom(st, up, obj, models...)
+	}
+	if parentAddr == "" {
+		rec, err := sys.ResolveName(obj)
+		if err != nil {
+			return fmt.Errorf("no parent given and record unresolvable: %w", err)
+		}
+		parentAddr = webobj.ParentFromRecord(rec, st.Addr())
+		if parentAddr == "" {
+			return fmt.Errorf("record for %q lists no permanent store", obj)
+		}
+	}
+	up, err := attachOrReuse(sys, parentAddr)
+	if err != nil {
+		return err
+	}
+	return sys.ReplicateFrom(st, up, obj, models...)
+}
+
+// attachOrReuse attaches a remote store handle once per address.
+func attachOrReuse(sys *webobj.System, addr string) (*webobj.Store, error) {
+	if st, ok := sys.LookupStore(addr); ok {
+		return st, nil
+	}
+	return sys.AttachServer(addr)
+}
+
+// durationField resolves a manifest duration string with a flag override.
+func durationField(text string, flagVal time.Duration) (time.Duration, error) {
+	if flagVal != 0 {
+		return flagVal, nil
+	}
+	if text == "" {
+		return 0, nil
+	}
+	return time.ParseDuration(text)
 }
 
 func presetNames() string {

@@ -5,8 +5,9 @@
 //
 // The public API lives in package webobj; the framework internals are under
 // internal/ (coherence models, Table 1 strategies, replication objects,
-// store hierarchy, transports, semantics objects, naming); cmd/ holds the
-// store daemon (globed), client (globectl), and experiment runner
+// store hierarchy, transports, semantics objects, naming, and the
+// networked name service nameserv); cmd/ holds the store daemon (globed),
+// client (globectl), name server (globens), and experiment runner
 // (globebench); examples/ holds five runnable scenarios. bench_test.go in
 // this package regenerates every figure and table of the paper as Go
 // benchmarks. See README.md, DESIGN.md, and EXPERIMENTS.md.
@@ -24,12 +25,69 @@
 // at bind time; clients access them through typed handles (Document, Map,
 // Log) sharing one binding core.
 //
+// # The naming/location subsystem
+//
+// The paper's binding model (§2) requires a system-wide location service:
+// "in order for a process to invoke an object's method, it must first bind
+// to that object by contacting it at one of the object's contact points".
+// webobj resolves every bind, replica installation, and identifier
+// allocation through a Resolver seam. The default is the in-process
+// naming.Service (simulations, single-process deployments); the networked
+// implementation is internal/nameserv, reached with
+// webobj.WithNameServer(addrs...) and served by cmd/globens or an embedded
+// webobj.NewNameServer.
+//
+// A name record carries the object's contact points (addr, store ID, store
+// layer) AND its metadata — semantics type name, full replication strategy
+// (strategy.Marshal text), and session-model set — so a process binds and
+// replicates objects it was never configured for: Replicate fetches the
+// record when the object is unknown locally, the typed Open calls
+// type-check against the record's semantics before dialling (the wire Sem
+// field at the store remains the authority), and AttachObject's manual
+// sem/strat mirroring becomes an override rather than a requirement.
+// Records are cached client-side with a TTL; a bind that fails at a
+// resolved contact point invalidates, re-resolves, and retries once at the
+// next replica.
+//
+// Naming peers replicate the directory with the same digest/anti-entropy
+// pattern the replica layer uses for object state: every item (entry
+// upsert/tombstone, metadata update, write-sequence floor, lease cursor)
+// carries a two-part stamp — a witnessed Lamport time that orders
+// conflicting edits (last-writer-wins per key), and the origin's private
+// CONTIGUOUS item sequence, which is what makes anti-entropy exact: peers
+// advertise per-origin contiguous floors (KindNameDigest) on a jittered
+// interval, so a lost push pins the floor and the holder keeps re-shipping
+// the tail (KindNameSync, chunked) until the hole fills — a max-based
+// vector would jump the hole and hide the loss forever. Identifier
+// allocation is leased: daemons draw client/store ID ranges
+// (NextClient/NextStore) striped across the peer group, so identities are
+// globally unique with no coordination on the allocation path; each
+// server's allocation cursor and item counter replicate as directory items,
+// and a restarting peer answers StatusRetry (clients fail over and retry)
+// until it has recovered them from a peer or a grace period elapses, so a
+// restart does not re-issue ranges daemons already hold. The service also
+// keeps a replicated per-client write-sequence floor, reported when a
+// pinned-identity session closes; binds seed the session's write counter
+// from max(bound store's applied vector, floor), closing the
+// covered-write-ID reissue a reused identity hit when binding a lagging
+// replica.
+//
+// Daemons are multi-object: globed loads a manifest (stores × objects) or
+// accepts the control RPC (KindCtrlRequest served by System.ServeControl,
+// driven by globectl's ctl subcommands or webobj.NewControl) to host and
+// drop replicas at runtime. A dropped replica unsubscribes from its parent
+// (KindUnsubscribe) and deregisters its contact point.
+//
 // # Wire format
 //
 // Messages travel as version-prefixed binary frames (internal/msg). Wire
-// version 4 (this revision) added the KindDigest kind — the anti-entropy
-// heartbeat frame, carrying a store's applied vector in VVec (see the
-// anti-entropy section below). Version 3 appended the Sem field — the
+// version 5 (this revision) added the name-service kinds — KindNameRegister,
+// KindNameDeregister, KindNameResolve, KindNameLease, KindNameReply,
+// KindNameDigest, KindNameSync — and the daemon-control kinds
+// (KindCtrlRequest/KindCtrlReply). Version 4 added the KindDigest kind —
+// the anti-entropy heartbeat frame, carrying a store's applied vector in
+// VVec (see the anti-entropy section below). Version 3 appended the Sem
+// field — the
 // semantics type name a bind request declares so stores can reject
 // mismatched typed handles at bind time. Version 2 made three changes over
 // version 1:
@@ -101,6 +159,12 @@
 // (BenchmarkTCPInboundAllocs tracks the rate). Frames larger than a chunk
 // get a dedicated buffer.
 //
+// Inbound frames are budgeted per peer: a connection announcing a frame
+// larger than the endpoint's budget (tcpnet.ListenLimit /
+// webobj.WithMaxInboundFrame / globed -max-frame; absolute cap 16 MiB) is
+// dropped after the 4-byte header, before any body allocation — the
+// non-loopback hardening ROADMAP called for.
+//
 // # Relay re-batching invariant
 //
 // Aggregated KindUpdateBatch frames survive the full root→leaf path: when a
@@ -140,6 +204,16 @@
 // cached on the store's event loop and invalidated by applies and state
 // transfers, so an idle heartbeat re-sends cached bytes rather than
 // re-materialising the applied vector.
+//
+// Subscription is reliable too: the bootstrap KindSubscribeAck doubles as
+// the subscribe's acknowledgement; until it arrives the child re-sends on
+// a bounded timer (demandRetry cadence), and a digest heard from the
+// parent while still unacked triggers an immediate re-subscribe — a lossy
+// link can no longer strand a replica outside the children set. Snapshot
+// installs (subscribe acks, state replies, full-state updates) discard
+// stale payloads and re-apply the update log's tail beyond the snapshot's
+// vector, so a reordered or retried snapshot can never roll locally
+// applied content back.
 //
 // The guarantee is proven, not assumed: internal/chaos is a fault-schedule
 // convergence harness that runs seeded randomized workloads over a lossy,

@@ -121,6 +121,22 @@ func Run(cfg Config) (*Result, error) {
 	defer net.Close()
 	ns := naming.New()
 
+	// The store↔store links are hostile from the very first frame: the
+	// subscribe/bootstrap handshake itself runs under loss (its ack + retry
+	// and the digest-triggered re-subscribe are part of what this harness
+	// proves — the old harness had to warm up on a clean network because a
+	// lost send-once subscribe stranded the replica). Client links stay
+	// clean (see the package comment's fault model).
+	prof := memnet.LinkProfile{
+		Latency: 200 * time.Microsecond,
+		Jitter:  500 * time.Microsecond,
+		Loss:    cfg.Loss,
+		Dup:     cfg.Dup,
+	}
+	for _, p := range storePairs {
+		net.SetLinkBoth(p[0], p[1], prof)
+	}
+
 	st := baseStrategy(cfg)
 	session := []coherence.ClientModel{
 		coherence.ReadYourWrites, coherence.MonotonicReads,
@@ -181,48 +197,6 @@ func Run(cfg Config) (*Result, error) {
 			Client: ns.NextClient(), Session: models,
 			Prototype: webdoc.New(), Timeout: 500 * time.Millisecond,
 		})
-	}
-
-	// Warm up on a clean network: subscription and its bootstrap snapshot
-	// are send-once frames, so they must land before faults start (a lost
-	// subscribe stranding a replica is a separate, known protocol gap — see
-	// ROADMAP — not what this harness measures). A probe write proves the
-	// push path to every replica, i.e. every child registered.
-	warmup, err := bind("client/warmup", "perm")
-	if err != nil {
-		return nil, err
-	}
-	probe := token{9, 1}
-	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte(probe.String())})
-	if _, err := warmup.Invoke(msg.Invocation{Method: webdoc.MethodAppendPage, Page: "warmup", Args: args}); err != nil {
-		warmup.Close()
-		return nil, fmt.Errorf("chaos: warmup write: %w", err)
-	}
-	warmup.Close()
-	warmDeadline := time.Now().Add(5 * time.Second)
-	for _, addr := range storeAddrs {
-		for {
-			c, err := localPage(stores[addr], obj, "warmup")
-			if err == nil && c == probe.String() {
-				break
-			}
-			if time.Now().After(warmDeadline) {
-				return nil, fmt.Errorf("chaos: warmup never reached %s (err=%v content=%q)", addr, err, c)
-			}
-			time.Sleep(2 * time.Millisecond)
-		}
-	}
-
-	// Hierarchy proven; now the store↔store links turn hostile. Client
-	// links stay clean (see the package comment's fault model).
-	prof := memnet.LinkProfile{
-		Latency: 200 * time.Microsecond,
-		Jitter:  500 * time.Microsecond,
-		Loss:    cfg.Loss,
-		Dup:     cfg.Dup,
-	}
-	for _, p := range storePairs {
-		net.SetLinkBoth(p[0], p[1], prof)
 	}
 
 	// The cast: two plain writers at the permanent store, a Read-Your-Writes

@@ -50,6 +50,22 @@ const (
 	KindGossipReply
 	KindUpdateBatch
 	KindDigest
+	// Name-service kinds (wire v5): the networked naming/location protocol
+	// of internal/nameserv. Register/Deregister/Resolve/Lease are
+	// client→server RPCs answered by KindNameReply; Digest and Sync are the
+	// server↔server directory anti-entropy (the same vector-digest pattern
+	// the replica heartbeats use, applied to name records).
+	KindNameRegister
+	KindNameDeregister
+	KindNameResolve
+	KindNameLease
+	KindNameReply
+	KindNameDigest
+	KindNameSync
+	// Control kinds (wire v5): the daemon control RPC (host/drop a replica
+	// at runtime) served by webobj.System.ServeControl.
+	KindCtrlRequest
+	KindCtrlReply
 	kindMax // sentinel, keep last
 )
 
@@ -78,6 +94,16 @@ var kindNames = map[Kind]string{
 	KindGossipReply:  "gossip-reply",
 	KindUpdateBatch:  "update-batch",
 	KindDigest:       "digest",
+
+	KindNameRegister:   "name-register",
+	KindNameDeregister: "name-deregister",
+	KindNameResolve:    "name-resolve",
+	KindNameLease:      "name-lease",
+	KindNameReply:      "name-reply",
+	KindNameDigest:     "name-digest",
+	KindNameSync:       "name-sync",
+	KindCtrlRequest:    "ctrl-request",
+	KindCtrlReply:      "ctrl-reply",
 }
 
 // String names the kind.
@@ -237,7 +263,11 @@ var ErrShortMessage = errors.New("msg: short or corrupt message")
 // ErrBadVersion reports an unsupported codec version byte.
 var ErrBadVersion = errors.New("msg: unsupported wire version")
 
-// wireVersion is the current codec version. Version 4 added the KindDigest
+// wireVersion is the current codec version. Version 5 added the name-service
+// kinds (KindName*) and the daemon control kinds (KindCtrl*) — the networked
+// naming/location subsystem and runtime replica management; no layout
+// change, but a v4 receiver would reject the unknown kinds, so both ends
+// must agree on the kind table. Version 4 added the KindDigest
 // kind (anti-entropy heartbeats carrying a store's applied vector in VVec;
 // no layout change, but a v3 receiver would reject the unknown kind, so both
 // ends must agree on the kind table). Version 3 appended the Sem field
@@ -245,7 +275,7 @@ var ErrBadVersion = errors.New("msg: unsupported wire version")
 // KindUpdateBatch kind and the trailing batch section to the frame layout.
 // Older frames are rejected (no live deployments to stay compatible with —
 // the experiment harness always upgrades both ends together).
-const wireVersion = 4
+const wireVersion = 5
 
 // EncodeHook, when non-nil, is invoked once per frame encoding. It exists
 // for tests that assert how many times a message was serialised (e.g. that

@@ -1,0 +1,362 @@
+package nameserv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/naming"
+	"repro/internal/transport"
+)
+
+// ErrTimeout reports a name-server call that received no reply in time.
+var ErrTimeout = errors.New("nameserv: call timed out")
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("nameserv: client closed")
+
+// NotFoundError reports a resolve for an object the name service does not
+// know.
+type NotFoundError struct{ Object ids.ObjectID }
+
+// Error implements error.
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("nameserv: object %q not registered", e.Object)
+}
+
+// ClientConfig assembles a name-service client.
+type ClientConfig struct {
+	// Fabric mints the client's endpoint lazily (on first call), so
+	// constructing a Client never fails; Name is the endpoint name hint.
+	Fabric transport.Fabric
+	Name   string
+	// Servers lists name-server addresses, tried in order with failover.
+	Servers []string
+	// Timeout bounds each call (default 2s).
+	Timeout time.Duration
+	// CacheTTL bounds how long a resolved record is served from cache
+	// before the next Resolve re-fetches (default 1s; negative disables
+	// caching). Invalidation is eager on the client's own registrations
+	// and on bind failures (webobj re-resolves through Invalidate).
+	CacheTTL time.Duration
+}
+
+type cachedRecord struct {
+	rec naming.Record
+	at  time.Time
+}
+
+type idLease struct {
+	next, end uint64
+}
+
+// Client talks to the name service: it is the networked implementation of
+// the webobj Resolver seam. Safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	demux   *transport.Demux
+	epErr   error
+	cache   map[ids.ObjectID]cachedRecord
+	clients idLease
+	stores  idLease
+	srvIdx  int // last server that answered; calls start here
+	closed  bool
+}
+
+// NewClient creates a name-service client. The endpoint is created on
+// first use, so this never touches the network.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Name == "" {
+		cfg.Name = "nsc"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = time.Second
+	}
+	return &Client{
+		cfg:   cfg,
+		cache: make(map[ids.ObjectID]cachedRecord),
+	}
+}
+
+// Close releases the client and its endpoint.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	d := c.demux
+	c.mu.Unlock()
+	if d != nil {
+		return d.Close()
+	}
+	return nil
+}
+
+// ensureDemux lazily creates the endpoint and its reply demultiplexer.
+func (c *Client) ensureDemux() (*transport.Demux, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.demux != nil || c.epErr != nil {
+		return c.demux, c.epErr
+	}
+	if c.cfg.Fabric == nil || len(c.cfg.Servers) == 0 {
+		c.epErr = errors.New("nameserv: client has no fabric or no servers configured")
+		return nil, c.epErr
+	}
+	ep, err := c.cfg.Fabric.Endpoint(c.cfg.Name)
+	if err != nil {
+		c.epErr = err
+		return nil, err
+	}
+	c.demux = transport.NewDemux(ep)
+	return c.demux, nil
+}
+
+// errNotReady marks a server that answered StatusRetry: it is recovering
+// state from its peers (a restarted instance, or a fresh cluster inside
+// its grace window) and will serve shortly.
+var errNotReady = errors.New("nameserv: server not ready")
+
+// call performs one request/reply against the configured servers, failing
+// over to the next server on timeout or send error. Servers answering
+// "recovering" (StatusRetry) are retried with a short backoff within the
+// call's overall timeout budget, so a restarting name service looks like
+// latency, not an error.
+func (c *Client) call(m *msg.Message) (*msg.Message, error) {
+	d, err := c.ensureDemux()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	var lastErr error
+	for {
+		c.mu.Lock()
+		start := c.srvIdx
+		c.mu.Unlock()
+		retryable := false
+		for attempt := 0; attempt < len(c.cfg.Servers); attempt++ {
+			addr := c.cfg.Servers[(start+attempt)%len(c.cfg.Servers)]
+			r, err := c.callOne(d, addr, m)
+			if err == nil {
+				c.mu.Lock()
+				c.srvIdx = (start + attempt) % len(c.cfg.Servers)
+				c.mu.Unlock()
+				return r, nil
+			}
+			if errors.Is(err, errNotReady) {
+				retryable = true
+			}
+			lastErr = err
+		}
+		if !retryable || !time.Now().Before(deadline) {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-d.Done():
+			return nil, ErrClosed
+		}
+	}
+}
+
+// callOne performs one demuxed request and maps the name-service reply
+// statuses onto errors.
+func (c *Client) callOne(d *transport.Demux, addr string, m *msg.Message) (*msg.Message, error) {
+	r, err := d.Call(addr, m, c.cfg.Timeout)
+	if err != nil {
+		if errors.Is(err, transport.ErrClosed) {
+			return nil, ErrClosed
+		}
+		if errors.Is(err, transport.ErrTimeout) {
+			return nil, fmt.Errorf("%w: %v", ErrTimeout, err)
+		}
+		return nil, err
+	}
+	switch r.Status {
+	case msg.StatusOK:
+		return r, nil
+	case msg.StatusNotFound:
+		return nil, &NotFoundError{Object: m.Object}
+	case msg.StatusRetry:
+		return nil, fmt.Errorf("%w: %s", errNotReady, r.Err)
+	default:
+		return nil, fmt.Errorf("nameserv: %s: %s", r.Status, r.Err)
+	}
+}
+
+// Register publishes one contact point (and, when meta is non-zero, the
+// object's record metadata) to the name service.
+func (c *Client) Register(obj ids.ObjectID, e naming.Entry, meta naming.Meta) error {
+	items := []Item{{Kind: itemEntry, Object: obj, Entry: e}}
+	if meta.Sem != "" || meta.HasStrat || len(meta.Models) > 0 {
+		items = append(items, Item{Kind: itemMeta, Object: obj, Meta: meta})
+	}
+	_, err := c.call(&msg.Message{
+		Kind:    msg.KindNameRegister,
+		Object:  obj,
+		Payload: EncodeItems(items),
+	})
+	if err == nil {
+		c.Invalidate(obj)
+	}
+	return err
+}
+
+// Deregister removes one contact point.
+func (c *Client) Deregister(obj ids.ObjectID, addr string) error {
+	_, err := c.call(&msg.Message{
+		Kind:   msg.KindNameDeregister,
+		Object: obj,
+		Pages:  []string{addr},
+	})
+	if err == nil {
+		c.Invalidate(obj)
+	}
+	return err
+}
+
+// Resolve fetches the object's name record, serving from the client cache
+// within the TTL.
+func (c *Client) Resolve(obj ids.ObjectID) (naming.Record, error) {
+	if c.cfg.CacheTTL > 0 {
+		c.mu.Lock()
+		if e, ok := c.cache[obj]; ok && time.Since(e.at) < c.cfg.CacheTTL {
+			rec := e.rec
+			c.mu.Unlock()
+			return rec, nil
+		}
+		c.mu.Unlock()
+	}
+	r, err := c.call(&msg.Message{Kind: msg.KindNameResolve, Object: obj})
+	if err != nil {
+		return naming.Record{}, err
+	}
+	items, err := DecodeItems(r.Payload)
+	if err != nil {
+		return naming.Record{}, err
+	}
+	rec := recordFromItems(obj, r.GlobalSeq, items)
+	if c.cfg.CacheTTL > 0 {
+		c.mu.Lock()
+		c.cache[obj] = cachedRecord{rec: rec, at: time.Now()}
+		c.mu.Unlock()
+	}
+	return rec, nil
+}
+
+// Invalidate drops the cached record for obj; the next Resolve re-fetches.
+// webobj calls it when a bind to a resolved contact point fails (the
+// replica died or was re-registered elsewhere).
+func (c *Client) Invalidate(obj ids.ObjectID) {
+	c.mu.Lock()
+	delete(c.cache, obj)
+	c.mu.Unlock()
+}
+
+// Pick resolves obj and applies the deterministic default-replica choice.
+func (c *Client) Pick(obj ids.ObjectID) (naming.Entry, bool) {
+	rec, err := c.Resolve(obj)
+	if err != nil {
+		return naming.Entry{}, false
+	}
+	return naming.PickEntry(rec.Entries)
+}
+
+// lease refills one identifier lease via the given lease op.
+func (c *Client) lease(op uint16, l *idLease) (uint64, error) {
+	c.mu.Lock()
+	if l.next < l.end {
+		id := l.next
+		l.next++
+		c.mu.Unlock()
+		return id, nil
+	}
+	c.mu.Unlock()
+	r, err := c.call(&msg.Message{Kind: msg.KindNameLease, Inv: msg.Invocation{Method: op}})
+	if err != nil {
+		return 0, err
+	}
+	start, span, err := DecodeLease(r.Payload)
+	if err != nil || span == 0 {
+		return 0, fmt.Errorf("nameserv: bad lease reply: %v", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l.next, l.end = start+1, start+span
+	return start, nil
+}
+
+// NextClient allocates a globally unique client identifier from the
+// client's current lease, refilling from the name server when exhausted.
+func (c *Client) NextClient() (ids.ClientID, error) {
+	id, err := c.lease(opLeaseClients, &c.clients)
+	return ids.ClientID(id), err
+}
+
+// NextStore allocates a globally unique store identifier.
+func (c *Client) NextStore() (ids.StoreID, error) {
+	id, err := c.lease(opLeaseStores, &c.stores)
+	return ids.StoreID(id), err
+}
+
+// ReserveClient pins a hand-chosen client identity at the name service.
+func (c *Client) ReserveClient(id ids.ClientID) error {
+	_, err := c.call(&msg.Message{
+		Kind:   msg.KindNameLease,
+		Client: id,
+		Inv:    msg.Invocation{Method: opReserveClient},
+	})
+	return err
+}
+
+// ReserveStore pins a hand-chosen store identity at the name service.
+func (c *Client) ReserveStore(id ids.StoreID) error {
+	_, err := c.call(&msg.Message{
+		Kind:  msg.KindNameLease,
+		Store: id,
+		Inv:   msg.Invocation{Method: opReserveStore},
+	})
+	return err
+}
+
+// ClientSeqFloor fetches the replicated write-sequence floor of a client
+// identity (zero on any failure — the bound store's applied vector is the
+// other, always-available half of the max()).
+func (c *Client) ClientSeqFloor(id ids.ClientID) uint64 {
+	r, err := c.call(&msg.Message{
+		Kind:   msg.KindNameLease,
+		Client: id,
+		Inv:    msg.Invocation{Method: opQueryFloor},
+	})
+	if err != nil {
+		return 0
+	}
+	return r.Write.Seq
+}
+
+// ReportClientSeq raises a client identity's write-sequence floor at the
+// name service (called when a session using a pinned identity closes).
+func (c *Client) ReportClientSeq(id ids.ClientID, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	_, _ = c.call(&msg.Message{
+		Kind:   msg.KindNameLease,
+		Client: id,
+		Write:  ids.WiD{Client: id, Seq: seq},
+		Inv:    msg.Invocation{Method: opReportFloor},
+	})
+}

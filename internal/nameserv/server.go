@@ -1,0 +1,773 @@
+package nameserv
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/naming"
+	"repro/internal/transport"
+)
+
+// Lease-space layout: leased identifier ranges start above these bases so
+// hand-pinned IDs (small numbers chosen by operators and tests) and leased
+// IDs never collide. LeaseSpan identifiers are handed out per lease.
+const (
+	ClientLeaseBase = 1 << 16
+	StoreLeaseBase  = 1 << 12
+	DefaultSpan     = 64
+)
+
+// Config assembles a name server.
+type Config struct {
+	// Fabric mints the server's endpoint; Name is the endpoint name hint
+	// (for TCP fabrics, "ns/<host:port>" pins the listen address).
+	Fabric transport.Fabric
+	Name   string
+	// Index/Total place this server in the naming peer group for lease
+	// striping: server Index of Total (1-based) allocates only the ranges
+	// whose index ≡ Index-1 (mod Total). Zero values mean a single server.
+	Index, Total int
+	// Peers lists the other name servers' addresses for directory
+	// anti-entropy.
+	Peers []string
+	// SyncInterval is the peer digest period (default 500ms; negative
+	// disables anti-entropy — single-server deployments pay nothing).
+	SyncInterval time.Duration
+	// LeaseSpan is the number of identifiers per lease (default 64).
+	LeaseSpan uint64
+	Clock     clock.Clock
+}
+
+// entryState is one contact point with its replication stamp.
+type entryState struct {
+	e     naming.Entry
+	dead  bool
+	stamp Stamp
+}
+
+// objState is the directory's record of one object.
+type objState struct {
+	entries   map[string]*entryState // by address
+	meta      naming.Meta
+	metaStamp Stamp
+	hasMeta   bool
+	version   uint64 // bumped on every applied change; clients cache against it
+}
+
+// floorState is one client identity's replicated write-sequence floor.
+type floorState struct {
+	seq   uint64
+	stamp Stamp
+}
+
+// originState tracks how much of one origin's contiguous item stream this
+// server has: floor is the highest seq below which EVERY item was applied;
+// ahead holds applied seqs above a hole. The advertised digest carries
+// floors, so a lost item pins the floor and peers keep re-shipping the
+// tail until the hole fills — exact gap detection, the property a max-based
+// vector cannot give (see Stamp).
+type originState struct {
+	floor uint64
+	ahead map[uint64]bool
+}
+
+// leaseState is one origin's replicated allocation cursor for one lease
+// kind (next unallocated range index). Replicating it lets a restarted
+// naming peer recover where it left off from its peers instead of
+// re-issuing ranges daemons already hold.
+type leaseState struct {
+	next  uint64
+	stamp Stamp
+}
+
+// Server is a networked naming/location service instance. All state is
+// confined to the event loop goroutine.
+type Server struct {
+	cfg  Config
+	self uint32
+	ep   transport.Endpoint
+
+	events  chan func()
+	done    chan struct{}
+	stopped chan struct{} // closed when the event loop exits (Close OR endpoint death)
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+
+	// Event-loop state.
+	dir     map[ids.ObjectID]*objState
+	floors  map[ids.ClientID]*floorState
+	origins map[uint32]*originState
+	lamport uint64 // LWW clock, witnessed across servers
+	itemSeq uint64 // own contiguous item counter (recovered from peers on restart)
+
+	// leases maps (origin, lease kind) → that origin's allocation cursor.
+	leases map[uint32]map[ids.ClientID]*leaseState
+
+	pinnedClients map[ids.ClientID]bool
+	pinnedStores  map[ids.StoreID]bool
+
+	// ready gates the serving RPCs: a server with peers answers
+	// StatusRetry (clients fail over) until one sync exchange completed or
+	// a grace period elapsed, so a restarted peer first recovers its item
+	// counter and lease cursors instead of originating with a reset one.
+	ready bool
+
+	syncArmed bool
+	syncTimer clock.Timer
+	syncRNG   *rand.Rand
+}
+
+// NewServer creates and starts a name server on its own endpoint.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Fabric == nil {
+		return nil, fmt.Errorf("nameserv: config needs a fabric")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "ns"
+	}
+	if cfg.Index <= 0 {
+		cfg.Index = 1
+	}
+	if cfg.Total <= 0 {
+		cfg.Total = 1
+	}
+	if cfg.Index > cfg.Total {
+		return nil, fmt.Errorf("nameserv: server index %d of %d", cfg.Index, cfg.Total)
+	}
+	if cfg.SyncInterval == 0 {
+		cfg.SyncInterval = 500 * time.Millisecond
+	}
+	if cfg.LeaseSpan == 0 {
+		cfg.LeaseSpan = DefaultSpan
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	ep, err := cfg.Fabric.Endpoint(cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(ep.Addr()))
+	s := &Server{
+		cfg:           cfg,
+		self:          uint32(cfg.Index),
+		ep:            ep,
+		events:        make(chan func(), 256),
+		done:          make(chan struct{}),
+		stopped:       make(chan struct{}),
+		dir:           make(map[ids.ObjectID]*objState),
+		floors:        make(map[ids.ClientID]*floorState),
+		origins:       make(map[uint32]*originState),
+		leases:        make(map[uint32]map[ids.ClientID]*leaseState),
+		pinnedClients: make(map[ids.ClientID]bool),
+		pinnedStores:  make(map[ids.StoreID]bool),
+		syncRNG:       rand.New(rand.NewSource(int64(h.Sum64()))),
+	}
+	peered := len(cfg.Peers) > 0 && cfg.SyncInterval > 0
+	s.ready = !peered
+	s.wg.Add(1)
+	go s.loop()
+	if peered {
+		s.post(func() {
+			s.armSync()
+			s.syncRound() // solicit recovery state immediately
+		})
+		// Become ready unconditionally after a grace period: peers may all
+		// be down, and a lone survivor must still serve.
+		grace := 2 * cfg.SyncInterval
+		cfg.Clock.AfterFunc(grace, func() {
+			s.post(func() { s.ready = true })
+		})
+	}
+	return s, nil
+}
+
+// Addr returns the server's transport address (what daemons and clients
+// are configured with).
+func (s *Server) Addr() string { return s.ep.Addr() }
+
+// Close stops the server and its endpoint.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	return s.ep.Close()
+}
+
+func (s *Server) post(f func()) bool {
+	select {
+	case <-s.done:
+		return false
+	case <-s.stopped:
+		return false
+	default:
+	}
+	select {
+	case s.events <- f:
+		return true
+	case <-s.done:
+		return false
+	case <-s.stopped:
+		return false
+	}
+}
+
+// loop is the server's single event goroutine. stopped is closed on every
+// exit path — including the endpoint's recv channel closing underneath us
+// (a shared fabric torn down first) — so posted closures that will never
+// run do not strand their callers.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	defer close(s.stopped)
+	recv := s.ep.Recv()
+	for {
+		select {
+		case <-s.done:
+			if s.syncTimer != nil {
+				s.syncTimer.Stop()
+			}
+			return
+		case f := <-s.events:
+			f()
+		case m, ok := <-recv:
+			if !ok {
+				return
+			}
+			s.dispatch(m)
+		}
+	}
+}
+
+func (s *Server) dispatch(m *msg.Message) {
+	switch m.Kind {
+	case msg.KindNameRegister, msg.KindNameDeregister, msg.KindNameResolve, msg.KindNameLease:
+		if !s.ready {
+			s.replyErr(m, msg.StatusRetry, "name server recovering from peers; retry another server")
+			return
+		}
+	}
+	switch m.Kind {
+	case msg.KindNameRegister:
+		s.onRegister(m)
+	case msg.KindNameDeregister:
+		s.onDeregister(m)
+	case msg.KindNameResolve:
+		s.onResolve(m)
+	case msg.KindNameLease:
+		s.onLease(m)
+	case msg.KindNameDigest:
+		s.onDigest(m)
+	case msg.KindNameSync:
+		// Deliberately does NOT end the recovery gate: a routine push from
+		// a peer proves nothing about how much of the directory (lease
+		// cursors included) we have back. Readiness comes from a digest
+		// comparison showing we are caught up (onDigest) or the grace
+		// timer.
+		s.onSync(m)
+	}
+}
+
+// stamp mints the next local stamp: a witnessed Lamport time for LWW plus
+// the origin's private contiguous item seq for anti-entropy coverage.
+func (s *Server) stamp() Stamp {
+	s.lamport++
+	s.itemSeq++
+	return Stamp{Time: s.lamport, Origin: s.self, Seq: s.itemSeq}
+}
+
+// witness folds an applied stamp into the Lamport clock (so later local
+// edits order after everything seen) and into the per-origin coverage
+// state. Receiving our OWN items back from a peer fast-forwards the item
+// counter — that is how a restarted server resumes its contiguous stream
+// instead of re-originating from 1.
+func (s *Server) witness(st Stamp) {
+	if st.Time > s.lamport {
+		s.lamport = st.Time
+	}
+	if st.Origin == s.self && st.Seq > s.itemSeq {
+		s.itemSeq = st.Seq
+	}
+	s.markApplied(st.Origin, st.Seq)
+}
+
+// markApplied records one origin item as received, advancing the floor
+// through any now-contiguous run.
+func (s *Server) markApplied(origin uint32, seq uint64) {
+	o := s.origins[origin]
+	if o == nil {
+		o = &originState{}
+		s.origins[origin] = o
+	}
+	switch {
+	case seq <= o.floor:
+		return // duplicate
+	case seq == o.floor+1:
+		o.floor = seq
+		for o.ahead[o.floor+1] {
+			delete(o.ahead, o.floor+1)
+			o.floor++
+		}
+	default:
+		if o.ahead == nil {
+			o.ahead = make(map[uint64]bool, 2)
+		}
+		o.ahead[seq] = true
+	}
+}
+
+// coverageVec is the advertised digest: per origin, the contiguous floor.
+func (s *Server) coverageVec() msg.Vec {
+	v := msg.Vec{}
+	for origin, o := range s.origins {
+		v.Set(ids.ClientID(origin), o.floor)
+	}
+	// Our own stream is always fully known to us.
+	v.Set(ids.ClientID(s.self), s.selfFloor())
+	return v
+}
+
+func (s *Server) selfFloor() uint64 {
+	if o := s.origins[s.self]; o != nil {
+		return o.floor
+	}
+	return 0
+}
+
+func (s *Server) obj(id ids.ObjectID) *objState {
+	o := s.dir[id]
+	if o == nil {
+		o = &objState{entries: make(map[string]*entryState)}
+		s.dir[id] = o
+	}
+	return o
+}
+
+// applyItem merges one directory item (local origination or peer sync).
+// Returns true when the item changed state (fresh information).
+func (s *Server) applyItem(it *Item) bool {
+	s.witness(it.Stamp)
+	switch it.Kind {
+	case itemEntry:
+		o := s.obj(it.Object)
+		cur := o.entries[it.Entry.Addr]
+		if cur != nil && !cur.stamp.Less(it.Stamp) {
+			return false
+		}
+		o.entries[it.Entry.Addr] = &entryState{e: it.Entry, dead: it.Dead, stamp: it.Stamp}
+		o.version++
+		return true
+	case itemMeta:
+		o := s.obj(it.Object)
+		if o.hasMeta && !o.metaStamp.Less(it.Stamp) {
+			return false
+		}
+		o.meta, o.metaStamp, o.hasMeta = it.Meta, it.Stamp, true
+		o.version++
+		return true
+	case itemFloor:
+		cur := s.floors[it.Client]
+		if cur == nil {
+			s.floors[it.Client] = &floorState{seq: it.FloorSeq, stamp: it.Stamp}
+			return true
+		}
+		changed := false
+		if it.FloorSeq > cur.seq {
+			cur.seq = it.FloorSeq // floors max-merge regardless of stamp
+			changed = true
+		}
+		if cur.stamp.Less(it.Stamp) {
+			cur.stamp = it.Stamp
+		}
+		return changed
+	case itemLease:
+		byKind := s.leases[it.Stamp.Origin]
+		if byKind == nil {
+			byKind = make(map[ids.ClientID]*leaseState, 2)
+			s.leases[it.Stamp.Origin] = byKind
+		}
+		cur := byKind[it.Client]
+		if cur == nil {
+			cur = &leaseState{}
+			byKind[it.Client] = cur
+		}
+		changed := false
+		if it.FloorSeq > cur.next {
+			cur.next = it.FloorSeq // cursors max-merge
+			changed = true
+		}
+		if cur.stamp.Less(it.Stamp) {
+			cur.stamp = it.Stamp
+		}
+		return changed
+	}
+	return false
+}
+
+// leaseCursor returns this server's persistent-via-peers allocation cursor
+// for one lease kind.
+func (s *Server) leaseCursor(kind ids.ClientID) uint64 {
+	if byKind := s.leases[s.self]; byKind != nil {
+		if cur := byKind[kind]; cur != nil {
+			return cur.next
+		}
+	}
+	return 0
+}
+
+// advanceLease bumps this server's cursor for one lease kind, replicating
+// the new value to peers, and returns the range index to allocate.
+func (s *Server) advanceLease(kind ids.ClientID) uint64 {
+	idx := s.leaseCursor(kind)
+	it := Item{Kind: itemLease, Client: kind, FloorSeq: idx + 1, Stamp: s.stamp()}
+	s.applyItem(&it)
+	s.pushPeers([]Item{it})
+	return idx
+}
+
+// pushPeers forwards freshly originated items to every naming peer
+// (fire-and-forget; the digest/anti-entropy cycle repairs losses).
+func (s *Server) pushPeers(items []Item) {
+	if len(s.cfg.Peers) == 0 || len(items) == 0 {
+		return
+	}
+	for _, chunk := range ChunkItems(items) {
+		m := &msg.Message{
+			Kind:    msg.KindNameSync,
+			From:    s.ep.Addr(),
+			Store:   ids.StoreID(s.self),
+			Payload: EncodeItems(chunk),
+		}
+		_ = s.ep.Multicast(s.cfg.Peers, m)
+	}
+}
+
+func (s *Server) reply(m *msg.Message, k msg.Kind) *msg.Message {
+	r := m.Reply(k)
+	r.From = s.ep.Addr()
+	r.Store = ids.StoreID(s.self)
+	return r
+}
+
+func (s *Server) replyErr(m *msg.Message, status msg.Status, text string) {
+	r := s.reply(m, msg.KindNameReply)
+	r.Status = status
+	r.Err = text
+	_ = s.ep.Send(m.From, r)
+}
+
+// onRegister applies a batch of client-submitted record facts (entries,
+// meta), stamping each here — registration authority rests with the server
+// the daemon is configured to talk to.
+func (s *Server) onRegister(m *msg.Message) {
+	items, err := DecodeItems(m.Payload)
+	if err != nil {
+		s.replyErr(m, msg.StatusError, err.Error())
+		return
+	}
+	for i := range items {
+		items[i].Stamp = s.stamp()
+		s.applyItem(&items[i])
+	}
+	s.pushPeers(items)
+	r := s.reply(m, msg.KindNameReply)
+	if m.Object != "" {
+		if o := s.dir[m.Object]; o != nil {
+			r.GlobalSeq = o.version
+		}
+	}
+	_ = s.ep.Send(m.From, r)
+}
+
+// onDeregister tombstones one contact point of one object.
+func (s *Server) onDeregister(m *msg.Message) {
+	if len(m.Pages) == 0 {
+		s.replyErr(m, msg.StatusError, "deregister needs an address")
+		return
+	}
+	addr := m.Pages[0]
+	it := Item{Kind: itemEntry, Object: m.Object, Dead: true, Stamp: s.stamp()}
+	it.Entry.Addr = addr
+	if o := s.dir[m.Object]; o != nil {
+		if cur := o.entries[addr]; cur != nil {
+			it.Entry = cur.e // keep store/role in the tombstone for observability
+		}
+	}
+	s.applyItem(&it)
+	s.pushPeers([]Item{it})
+	_ = s.ep.Send(m.From, s.reply(m, msg.KindNameReply))
+}
+
+// record assembles the live record of one object (nil when unknown).
+func (s *Server) record(obj ids.ObjectID) *naming.Record {
+	o := s.dir[obj]
+	if o == nil {
+		return nil
+	}
+	rec := &naming.Record{Object: obj, Version: o.version}
+	for _, es := range o.entries {
+		if !es.dead {
+			rec.Entries = append(rec.Entries, es.e)
+		}
+	}
+	sort.Slice(rec.Entries, func(i, j int) bool { return rec.Entries[i].Addr < rec.Entries[j].Addr })
+	if o.hasMeta {
+		rec.Meta = o.meta
+	}
+	if len(rec.Entries) == 0 && !o.hasMeta {
+		return nil
+	}
+	return rec
+}
+
+func (s *Server) onResolve(m *msg.Message) {
+	rec := s.record(m.Object)
+	if rec == nil {
+		s.replyErr(m, msg.StatusNotFound, fmt.Sprintf("object %q not registered", m.Object))
+		return
+	}
+	r := s.reply(m, msg.KindNameReply)
+	r.Payload = EncodeItems(recordItems(rec))
+	r.GlobalSeq = rec.Version
+	_ = s.ep.Send(m.From, r)
+}
+
+// leaseStart computes the first identifier of this server's k-th range in
+// the striped lease space.
+func leaseStart(base, span uint64, index, total int, k uint64) uint64 {
+	return base + (k*uint64(total)+uint64(index-1))*span
+}
+
+func (s *Server) onLease(m *msg.Message) {
+	r := s.reply(m, msg.KindNameReply)
+	switch m.Inv.Method {
+	case opLeaseClients:
+		k := s.advanceLease(leaseKindClient)
+		r.Payload = EncodeLease(leaseStart(ClientLeaseBase, s.cfg.LeaseSpan, s.cfg.Index, s.cfg.Total, k), s.cfg.LeaseSpan)
+	case opLeaseStores:
+		k := s.advanceLease(leaseKindStore)
+		r.Payload = EncodeLease(leaseStart(StoreLeaseBase, s.cfg.LeaseSpan, s.cfg.Index, s.cfg.Total, k), s.cfg.LeaseSpan)
+	case opReserveClient:
+		if m.Client >= ClientLeaseBase {
+			s.replyErr(m, msg.StatusForbidden,
+				fmt.Sprintf("client ID %d is inside the leased space (pin below %d)", m.Client, ClientLeaseBase))
+			return
+		}
+		s.pinnedClients[m.Client] = true
+	case opReserveStore:
+		if m.Store >= StoreLeaseBase {
+			s.replyErr(m, msg.StatusForbidden,
+				fmt.Sprintf("store ID %d is inside the leased space (pin below %d)", m.Store, StoreLeaseBase))
+			return
+		}
+		s.pinnedStores[m.Store] = true
+	case opReportFloor:
+		it := Item{Kind: itemFloor, Client: m.Client, FloorSeq: m.Write.Seq, Stamp: s.stamp()}
+		if s.applyItem(&it) {
+			s.pushPeers([]Item{it})
+		}
+	case opQueryFloor:
+		if f := s.floors[m.Client]; f != nil {
+			r.Write.Seq = f.seq
+		}
+	default:
+		s.replyErr(m, msg.StatusError, fmt.Sprintf("unknown lease op %d", m.Inv.Method))
+		return
+	}
+	_ = s.ep.Send(m.From, r)
+}
+
+// --- peer anti-entropy -------------------------------------------------------
+
+// armSync schedules the next peer digest round (jittered like the replica
+// heartbeats, so a fleet sharing one interval de-synchronises).
+func (s *Server) armSync() {
+	if s.syncArmed || s.cfg.SyncInterval <= 0 || len(s.cfg.Peers) == 0 {
+		return
+	}
+	s.syncArmed = true
+	d := s.cfg.SyncInterval
+	if quarter := int64(d / 4); quarter > 0 {
+		d += time.Duration(s.syncRNG.Int63n(quarter))
+	}
+	s.syncTimer = s.cfg.Clock.AfterFunc(d, func() {
+		s.post(func() {
+			s.syncArmed = false
+			s.syncRound()
+			s.armSync()
+		})
+	})
+}
+
+// syncRound multicasts this server's directory digest to its peers.
+func (s *Server) syncRound() {
+	m := &msg.Message{
+		Kind:  msg.KindNameDigest,
+		From:  s.ep.Addr(),
+		Store: ids.StoreID(s.self),
+		VVec:  s.coverageVec(),
+	}
+	_ = s.ep.Multicast(s.cfg.Peers, m)
+}
+
+// itemsBeyond collects every directory item whose stamp seq exceeds the
+// peer's advertised contiguous floor for its origin — a superset of what
+// the peer is missing (it may hold some of them above a hole; duplicates
+// merge away on arrival).
+func (s *Server) itemsBeyond(v *msg.Vec) []Item {
+	var out []Item
+	needed := func(st Stamp) bool { return st.Seq > v.Get(ids.ClientID(st.Origin)) }
+	for obj, o := range s.dir {
+		for _, es := range o.entries {
+			if needed(es.stamp) {
+				out = append(out, Item{Kind: itemEntry, Object: obj, Entry: es.e, Dead: es.dead, Stamp: es.stamp})
+			}
+		}
+		if o.hasMeta && needed(o.metaStamp) {
+			out = append(out, Item{Kind: itemMeta, Object: obj, Meta: o.meta, Stamp: o.metaStamp})
+		}
+	}
+	for c, f := range s.floors {
+		if needed(f.stamp) {
+			out = append(out, Item{Kind: itemFloor, Client: c, FloorSeq: f.seq, Stamp: f.stamp})
+		}
+	}
+	for _, byKind := range s.leases {
+		for kind, ls := range byKind {
+			if needed(ls.stamp) {
+				out = append(out, Item{Kind: itemLease, Client: kind, FloorSeq: ls.next, Stamp: ls.stamp})
+			}
+		}
+	}
+	return out
+}
+
+// onDigest answers a peer's directory digest: ship what they lack, and
+// solicit (with our own digest) when their floors run ahead of ours. The
+// solicit is sent only when the peer is strictly ahead, so two converged
+// servers exchange one frame per interval and nothing else.
+func (s *Server) onDigest(m *msg.Message) {
+	// Fast-forward the own-stream counter past whatever the peer has seen
+	// of it: after a restart, surviving items alone can under-count (an
+	// item of ours that a peer's newer edit overwrote no longer exists
+	// anywhere, yet its seq is inside every floor), and re-originating at
+	// or below the fleet's floors would put fresh items permanently
+	// beneath gap detection. The floor itself is NOT raised — coverage
+	// must keep reflecting items actually received, so a lost recovery
+	// shipment keeps being re-sent. The residue is bounded chatter: when
+	// superseded seqs can never be re-shipped, the floors stay apart and
+	// converged peers exchange one extra digest per interval.
+	if their := m.VVec.Get(ids.ClientID(s.self)); their > s.itemSeq {
+		s.itemSeq = their
+	}
+	if items := s.itemsBeyond(&m.VVec); len(items) > 0 {
+		for _, chunk := range ChunkItems(items) {
+			r := &msg.Message{
+				Kind:    msg.KindNameSync,
+				From:    s.ep.Addr(),
+				Store:   ids.StoreID(s.self),
+				Payload: EncodeItems(chunk),
+			}
+			_ = s.ep.Send(m.From, r)
+		}
+	}
+	ahead := false
+	m.VVec.Each(func(c ids.ClientID, seq uint64) bool {
+		var our uint64
+		if o := s.origins[uint32(c)]; o != nil {
+			our = o.floor
+		}
+		if seq > our {
+			ahead = true
+			return false
+		}
+		return true
+	})
+	if ahead {
+		d := &msg.Message{
+			Kind:  msg.KindNameDigest,
+			From:  s.ep.Addr(),
+			Store: ids.StoreID(s.self),
+			VVec:  s.coverageVec(),
+		}
+		_ = s.ep.Send(m.From, d)
+	} else {
+		// Nothing to recover from this peer: safe to start serving. (When
+		// the peer IS ahead, readiness waits for its sync shipment or the
+		// grace timer.)
+		s.ready = true
+	}
+}
+
+// onSync merges a peer's item batch.
+func (s *Server) onSync(m *msg.Message) {
+	items, err := DecodeItems(m.Payload)
+	if err != nil {
+		return
+	}
+	for i := range items {
+		s.applyItem(&items[i])
+	}
+}
+
+// --- debug/test accessors ----------------------------------------------------
+
+// RecordSnapshot returns the live record of obj as seen by this server
+// (tests and the globens status loop). ok is false when the object is
+// unknown or the server is closed.
+func (s *Server) RecordSnapshot(obj ids.ObjectID) (naming.Record, bool) {
+	var rec naming.Record
+	ok := false
+	ch := make(chan struct{})
+	if !s.post(func() {
+		if r := s.record(obj); r != nil {
+			rec, ok = *r, true
+		}
+		close(ch)
+	}) {
+		return rec, false
+	}
+	select {
+	case <-ch:
+	case <-s.stopped:
+		// The loop exited (Close, or the endpoint died under a shared
+		// fabric) without draining; don't wait for a closure that will
+		// never run.
+		return naming.Record{}, false
+	}
+	return rec, ok
+}
+
+// FloorSnapshot returns a client's replicated write-sequence floor.
+func (s *Server) FloorSnapshot(id ids.ClientID) uint64 {
+	var out uint64
+	ch := make(chan struct{})
+	if !s.post(func() {
+		if f := s.floors[id]; f != nil {
+			out = f.seq
+		}
+		close(ch)
+	}) {
+		return 0
+	}
+	select {
+	case <-ch:
+	case <-s.stopped:
+		return 0
+	}
+	return out
+}

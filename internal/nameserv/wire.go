@@ -1,0 +1,414 @@
+// Package nameserv is the networked naming/location service: a name server
+// that any number of daemons register their objects with, that clients
+// resolve through, and that replicates its directory between naming peers
+// with the same digest/anti-entropy pattern the replica layer uses for
+// object state (KindNameDigest ↔ KindDigest).
+//
+// The directory's unit of replication is the item: an entry upsert (one
+// contact point of one object, possibly a tombstone), a metadata update
+// (semantics type, strategy, session models), or a client write-sequence
+// floor. Every item a server originates is stamped (origin server, seq)
+// from that server's monotonic counter; peers merge items last-writer-wins
+// per key (floors max-merge), and a per-origin version vector over stamps
+// is the directory digest peers exchange to detect and repair gaps.
+//
+// Identifier allocation is leased: a daemon asks its name server for a
+// range of client or store IDs and allocates locally from it. Ranges are
+// striped across naming peers (server i of N hands out the ranges whose
+// index ≡ i−1 mod N, matching leaseStart), so identities are globally
+// unique without any inter-server coordination on the allocation path.
+package nameserv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ids"
+	"repro/internal/naming"
+	"repro/internal/replication"
+	"repro/internal/strategy"
+)
+
+// Lease sub-operations carried in a KindNameLease request's Inv.Method.
+const (
+	opLeaseClients uint16 = iota + 1
+	opLeaseStores
+	opReserveClient
+	opReserveStore
+	opReportFloor
+	opQueryFloor
+)
+
+// Item kinds on the sync wire.
+const (
+	itemEntry byte = iota + 1
+	itemMeta
+	itemFloor
+	itemLease
+)
+
+// Stamp orders and tracks directory items. It carries two counters with
+// distinct jobs:
+//
+//   - Time is a Lamport clock witnessed across servers; (Time, Origin) is
+//     the last-writer-wins order for conflicting edits of one key, and it
+//     respects happened-before (an edit made after observing another
+//     always wins against it).
+//   - Seq is the origin's private, strictly contiguous item counter
+//     (1, 2, 3, ... per origin, never witnessed from others). Contiguity is
+//     what makes anti-entropy exact: a receiver advertises, per origin, the
+//     highest seq below which it has EVERY item (its floor), so a lost item
+//     keeps the floor pinned and peers keep re-shipping everything beyond
+//     it until the hole fills. A single witnessed counter cannot provide
+//     this — applying seq 6 after seq 5 was lost would advance a max-based
+//     vector straight past the hole and hide it forever.
+type Stamp struct {
+	Time   uint64
+	Origin uint32
+	Seq    uint64
+}
+
+// Less orders stamps for LWW by (Time, origin) — a total order that agrees
+// with the happened-before the witnessing rule establishes.
+func (s Stamp) Less(o Stamp) bool {
+	if s.Time != o.Time {
+		return s.Time < o.Time
+	}
+	return s.Origin < o.Origin
+}
+
+// Item is one replicated directory fact.
+type Item struct {
+	Kind   byte
+	Object ids.ObjectID // entry, meta
+
+	// Entry fields (itemEntry). Dead marks a tombstone: the contact point
+	// was deregistered and the fact must outlive it so a peer that still
+	// holds the live entry retires it.
+	Entry naming.Entry
+	Dead  bool
+
+	// Meta fields (itemMeta).
+	Meta naming.Meta
+
+	// Floor fields (itemFloor): a client identity's write-sequence floor.
+	// For itemLease the pair is reused as (lease kind, next range index):
+	// Client 1 = client-ID ranges, 2 = store-ID ranges, and FloorSeq is the
+	// origin's next unallocated range index — replicated so a restarted
+	// naming peer recovers its allocation cursor from its peers instead of
+	// re-issuing ranges daemons already hold.
+	Client   ids.ClientID
+	FloorSeq uint64
+
+	Stamp Stamp
+}
+
+// Lease kinds inside an itemLease's Client field.
+const (
+	leaseKindClient ids.ClientID = 1
+	leaseKindStore  ids.ClientID = 2
+)
+
+// ErrShort reports a truncated or corrupt nameserv payload.
+var ErrShort = errors.New("nameserv: short or corrupt payload")
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if len(r.buf)-r.off < n {
+		return ErrShort
+	}
+	return nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// MaxItemsPerFrame bounds one sync frame's item count well below both the
+// u16 wire count and the transports' frame budgets; senders of unbounded
+// batches split across frames with ChunkItems (silent truncation would let
+// the receiver's digest advance past items it never saw).
+const MaxItemsPerFrame = 2048
+
+// ChunkItems splits an item batch into MaxItemsPerFrame-sized sub-batches.
+func ChunkItems(items []Item) [][]Item {
+	if len(items) <= MaxItemsPerFrame {
+		return [][]Item{items}
+	}
+	var out [][]Item
+	for len(items) > 0 {
+		n := len(items)
+		if n > MaxItemsPerFrame {
+			n = MaxItemsPerFrame
+		}
+		out = append(out, items[:n])
+		items = items[n:]
+	}
+	return out
+}
+
+// EncodeItems serialises a batch of directory items into a frame payload.
+// Batches beyond the u16 count are truncated — callers with unbounded
+// batches must split with ChunkItems first.
+func EncodeItems(items []Item) []byte {
+	w := writer{buf: make([]byte, 0, 72*len(items)+2)}
+	if len(items) > math.MaxUint16 {
+		items = items[:math.MaxUint16]
+	}
+	w.u16(uint16(len(items)))
+	for i := range items {
+		it := &items[i]
+		w.u8(it.Kind)
+		w.u64(it.Stamp.Time)
+		w.u32(it.Stamp.Origin)
+		w.u64(it.Stamp.Seq)
+		switch it.Kind {
+		case itemEntry:
+			w.str(string(it.Object))
+			w.str(it.Entry.Addr)
+			w.u32(uint32(it.Entry.Store))
+			w.u8(uint8(it.Entry.Role))
+			dead := uint8(0)
+			if it.Dead {
+				dead = 1
+			}
+			w.u8(dead)
+		case itemMeta:
+			w.str(string(it.Object))
+			w.str(it.Meta.Sem)
+			strat := ""
+			if it.Meta.HasStrat {
+				strat = strategy.Marshal(it.Meta.Strat)
+			}
+			w.str(strat)
+			n := len(it.Meta.Models)
+			if n > math.MaxUint8 {
+				n = math.MaxUint8
+			}
+			w.u8(uint8(n))
+			for _, m := range it.Meta.Models[:n] {
+				w.str(m)
+			}
+		case itemFloor, itemLease:
+			w.u32(uint32(it.Client))
+			w.u64(it.FloorSeq)
+		}
+	}
+	return w.buf
+}
+
+// DecodeItems parses an EncodeItems payload.
+func DecodeItems(b []byte) ([]Item, error) {
+	r := reader{buf: b}
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	// Bound the pre-allocation by what the payload could actually hold
+	// (every item occupies ≥ 21 wire bytes), so a corrupt count cannot
+	// amplify into a huge allocation.
+	capHint := int(n)
+	if max := len(b) / 21; capHint > max {
+		capHint = max
+	}
+	items := make([]Item, 0, capHint)
+	for i := 0; i < int(n); i++ {
+		var it Item
+		if it.Kind, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if it.Stamp.Time, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if it.Stamp.Origin, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if it.Stamp.Seq, err = r.u64(); err != nil {
+			return nil, err
+		}
+		switch it.Kind {
+		case itemEntry:
+			obj, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			it.Object = ids.ObjectID(obj)
+			if it.Entry.Addr, err = r.str(); err != nil {
+				return nil, err
+			}
+			st, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			it.Entry.Store = ids.StoreID(st)
+			role, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			it.Entry.Role = replication.Role(role)
+			dead, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			it.Dead = dead != 0
+		case itemMeta:
+			obj, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			it.Object = ids.ObjectID(obj)
+			if it.Meta.Sem, err = r.str(); err != nil {
+				return nil, err
+			}
+			stratText, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			if stratText != "" {
+				strat, err := strategy.Parse(stratText)
+				if err != nil {
+					return nil, fmt.Errorf("nameserv: record strategy: %w", err)
+				}
+				it.Meta.Strat, it.Meta.HasStrat = strat, true
+			}
+			nm, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < int(nm); j++ {
+				m, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				it.Meta.Models = append(it.Meta.Models, m)
+			}
+		case itemFloor, itemLease:
+			c, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			it.Client = ids.ClientID(c)
+			if it.FloorSeq, err = r.u64(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown item kind %d", ErrShort, it.Kind)
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// EncodeLease serialises a leased identifier range.
+func EncodeLease(start, span uint64) []byte {
+	w := writer{buf: make([]byte, 0, 16)}
+	w.u64(start)
+	w.u64(span)
+	return w.buf
+}
+
+// DecodeLease parses an EncodeLease payload.
+func DecodeLease(b []byte) (start, span uint64, err error) {
+	r := reader{buf: b}
+	if start, err = r.u64(); err != nil {
+		return 0, 0, err
+	}
+	if span, err = r.u64(); err != nil {
+		return 0, 0, err
+	}
+	return start, span, nil
+}
+
+// recordItems flattens a record into resolve-reply items (entries + meta).
+func recordItems(rec *naming.Record) []Item {
+	items := make([]Item, 0, len(rec.Entries)+1)
+	for _, e := range rec.Entries {
+		items = append(items, Item{Kind: itemEntry, Object: rec.Object, Entry: e})
+	}
+	if rec.Meta.Sem != "" || rec.Meta.HasStrat || len(rec.Meta.Models) > 0 {
+		items = append(items, Item{Kind: itemMeta, Object: rec.Object, Meta: rec.Meta})
+	}
+	return items
+}
+
+// recordFromItems inverts recordItems at the client.
+func recordFromItems(obj ids.ObjectID, version uint64, items []Item) naming.Record {
+	rec := naming.Record{Object: obj, Version: version}
+	for i := range items {
+		it := &items[i]
+		switch it.Kind {
+		case itemEntry:
+			if !it.Dead {
+				rec.Entries = append(rec.Entries, it.Entry)
+			}
+		case itemMeta:
+			rec.Meta = it.Meta
+		}
+	}
+	return rec
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/replication"
+	"repro/internal/strategy"
 )
 
 // Entry is one contact point of an object: a store holding a replica.
@@ -23,11 +24,44 @@ type Entry struct {
 	Role  replication.Role
 }
 
+// Meta is the per-object metadata a name record carries beyond contact
+// points: the semantics type name, the replication strategy, and the
+// client-based session models the object's replicas are expected to
+// support. It is what lets a process bind to an object it has never been
+// configured for — the record, not the client, carries the object's
+// semantics and model (the incremental-consistency spirit of PAPERS.md).
+type Meta struct {
+	// Sem is the semantics type name ("webdoc", "kvstore", "applog").
+	Sem string
+	// Strat is the object's replication strategy; HasStrat reports whether
+	// it was ever recorded (a zero Strategy is not distinguishable
+	// otherwise).
+	Strat    strategy.Strategy
+	HasStrat bool
+	// Models lists the session-model short names ("ryw", "mr", "mw",
+	// "wfr") the object's deployment supports for clients.
+	Models []string
+}
+
+// Record is a full name record: everything the location service knows about
+// one object. Version increases whenever the record changes (entry
+// registration/removal or metadata update); clients use it to detect that a
+// cached record went stale.
+type Record struct {
+	Object  ids.ObjectID
+	Entries []Entry
+	Meta    Meta
+	Version uint64
+}
+
 // Service is an in-memory location service. The zero value is unusable;
 // create with New. Safe for concurrent use.
 type Service struct {
 	mu            sync.Mutex
 	objects       map[ids.ObjectID][]Entry
+	meta          map[ids.ObjectID]Meta
+	versions      map[ids.ObjectID]uint64
+	floors        map[ids.ClientID]uint64
 	nextClient    ids.ClientID
 	nextStore     ids.StoreID
 	pinnedClients map[ids.ClientID]bool
@@ -38,6 +72,9 @@ type Service struct {
 func New() *Service {
 	return &Service{
 		objects:       make(map[ids.ObjectID][]Entry),
+		meta:          make(map[ids.ObjectID]Meta),
+		versions:      make(map[ids.ObjectID]uint64),
+		floors:        make(map[ids.ClientID]uint64),
 		pinnedClients: make(map[ids.ClientID]bool),
 		pinnedStores:  make(map[ids.StoreID]bool),
 	}
@@ -108,6 +145,7 @@ func (s *Service) ReserveStore(id ids.StoreID) error {
 func (s *Service) Register(obj ids.ObjectID, e Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.versions[obj]++
 	entries := s.objects[obj]
 	for i, old := range entries {
 		if old.Addr == e.Addr {
@@ -125,10 +163,59 @@ func (s *Service) Deregister(obj ids.ObjectID, addr string) {
 	entries := s.objects[obj]
 	for i, e := range entries {
 		if e.Addr == addr {
+			s.versions[obj]++
 			s.objects[obj] = append(entries[:i], entries[i+1:]...)
 			return
 		}
 	}
+}
+
+// SetMeta records an object's semantics/strategy/model metadata, completing
+// its name record.
+func (s *Service) SetMeta(obj ids.ObjectID, m Meta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions[obj]++
+	s.meta[obj] = m
+}
+
+// Record returns the full name record of obj (entries sorted as Lookup
+// sorts them). ok is false when the service knows nothing about obj.
+func (s *Service) Record(obj ids.ObjectID) (Record, bool) {
+	s.mu.Lock()
+	entries := append([]Entry(nil), s.objects[obj]...)
+	m, hasMeta := s.meta[obj]
+	v := s.versions[obj]
+	s.mu.Unlock()
+	if len(entries) == 0 && !hasMeta {
+		return Record{}, false
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return layerRank(entries[i].Role) < layerRank(entries[j].Role)
+	})
+	return Record{Object: obj, Entries: entries, Meta: m, Version: v}, true
+}
+
+// ReportClientSeq raises a client identity's write-sequence floor: the
+// highest per-client write sequence a session using this identity reports
+// having issued. A later bind seeds its write counter from
+// max(bound store's applied vector, this floor), so a reused identity
+// binding a replica that lags its previous writes does not re-issue covered
+// write IDs (which stores silently absorb as replays).
+func (s *Service) ReportClientSeq(id ids.ClientID, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.floors[id] {
+		s.floors[id] = seq
+	}
+}
+
+// ClientSeqFloor returns the recorded write-sequence floor for a client
+// identity (zero when the identity never reported).
+func (s *Service) ClientSeqFloor(id ids.ClientID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floors[id]
 }
 
 // Lookup returns every contact point of obj, lowest store layer first
@@ -155,7 +242,12 @@ func (s *Service) Lookup(obj ids.ObjectID) []Entry {
 func (s *Service) Pick(obj ids.ObjectID) (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries := s.objects[obj]
+	return PickEntry(s.objects[obj])
+}
+
+// PickEntry applies the deterministic default-replica choice to an entry
+// set from any source — the in-process service or a fetched name record.
+func PickEntry(entries []Entry) (Entry, bool) {
 	if len(entries) == 0 {
 		return Entry{}, false
 	}

@@ -104,6 +104,14 @@ func (o *Object) onDigest(m *msg.Message) {
 	if o.parent == "" || m.From != o.parent {
 		return
 	}
+	// Hearing a digest proves the parent has us in its children set; if the
+	// bootstrap ack never arrived (lost on the wire, or the retry budget ran
+	// out), re-subscribe now — the fresh ack re-seeds the engine and restores
+	// a replica the send-once protocol would have stranded half-initialised.
+	if o.subWanted && !o.subAcked && !o.subArmed {
+		o.subRetries = 0
+		o.sendSubscribe()
+	}
 	// Gap detection mirrors Vec.CoveredBy but tests each entry against the
 	// engine and fetch vectors directly (Engine.Covers): the common case —
 	// a converged child answering "nothing missing" every interval — must

@@ -51,6 +51,8 @@ func (o *Object) Handle(m *msg.Message) {
 		o.onSubscribe(m)
 	case msg.KindSubscribeAck:
 		o.onSubscribeAck(m)
+	case msg.KindUnsubscribe:
+		o.onUnsubscribe(m)
 	case msg.KindGossip:
 		if o.validGossipStrategy() {
 			o.onGossip(m)
@@ -506,6 +508,27 @@ func (o *Object) applyReleased(released []*coherence.Update) {
 	}
 }
 
+// reapplyBeyond re-applies logged updates the snapshot vector does not
+// cover (restricted to one page when page != ""). A state transfer installs
+// the sender's content wholesale; when this replica had already applied
+// ops the snapshot predates — a reply overtaken by later pushes, or a
+// retried subscribe's stale ack — ApplyFull/ApplyElement would silently
+// roll that content back while the engine keeps its newer applied state,
+// and no digest would ever flag the loss. Replaying the log's tail on top
+// of the snapshot reconstructs exactly snapshot ∪ newer-local-ops.
+func (o *Object) reapplyBeyond(v *msg.Vec, page string) {
+	for _, u := range o.log {
+		if page != "" && u.Inv.Page != page {
+			continue
+		}
+		if !v.CoversWrite(u.Write) {
+			if err := o.env.ApplyOp(u); err != nil {
+				o.stats.ReadsFailed++
+			}
+		}
+	}
+}
+
 // coveredByState reports whether u's content effects already arrived via
 // state transfer.
 func (o *Object) coveredByState(u *coherence.Update) bool {
@@ -774,6 +797,7 @@ func (o *Object) onUpdate(m *msg.Message) {
 			return
 		}
 		o.fullFetches++
+		o.reapplyBeyond(&m.VVec, "")
 		m.VVec.MergeInto(o.fetchVec)
 		o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
 		o.markDigestStale()
@@ -1119,6 +1143,10 @@ func (o *Object) onStateReply(m *msg.Message) {
 		if err := o.env.ApplyElement(page, m.Payload); err != nil {
 			return
 		}
+		// The fetched page is the parent's content at reply time; restore any
+		// locally applied ops the reply predates (reordered replies, a reply
+		// overtaken by pushes) — see reapplyBeyond.
+		o.reapplyBeyond(&m.VVec, page)
 		delete(o.invalid, page)
 		pv, ok := o.pageVec[page]
 		if !ok {
@@ -1128,10 +1156,17 @@ func (o *Object) onStateReply(m *msg.Message) {
 		m.VVec.MergeInto(pv)
 	} else {
 		o.fetching = false
+		// Same stale-snapshot guard as onSubscribeAck: a delayed reply whose
+		// vector we already cover must not roll semantics content back.
+		if m.VVec.Len() > 0 && m.VVec.CoveredBy(o.applied()) {
+			o.reconsiderParked()
+			return
+		}
 		if err := o.env.ApplyFull(m.Payload); err != nil {
 			return
 		}
 		o.fullFetches++
+		o.reapplyBeyond(&m.VVec, "")
 		o.invalid = make(map[string]bool)
 		o.allInvalid = false
 		m.VVec.MergeInto(o.fetchVec)
@@ -1177,14 +1212,27 @@ func (o *Object) onSubscribe(m *msg.Message) {
 	o.armDigest()
 }
 
-// onSubscribeAck installs the bootstrap state received from the parent.
+// onSubscribeAck installs the bootstrap state received from the parent and
+// completes the subscription handshake (stopping the re-send timer).
+//
+// Stale acks are discarded: subscribe retries mean several acks can be in
+// flight, and a late one whose vector this replica already covers must not
+// ApplyFull — replacing newer semantics content with an older snapshot
+// while the engine keeps its newer applied state would silently lose the
+// overwritten updates forever (no digest would ever flag the gap).
 func (o *Object) onSubscribeAck(m *msg.Message) {
+	o.subAcked = true
 	o.revalEpoch++
+	if m.VVec.Len() > 0 && m.VVec.CoveredBy(o.applied()) {
+		o.reconsiderParked()
+		return
+	}
 	if len(m.Payload) > 0 {
 		if err := o.env.ApplyFull(m.Payload); err != nil {
 			return
 		}
 		o.fullFetches++
+		o.reapplyBeyond(&m.VVec, "")
 	}
 	m.VVec.MergeInto(o.fetchVec)
 	o.engine.Seed(m.VVec.Version(), m.GlobalSeq)
@@ -1192,12 +1240,58 @@ func (o *Object) onSubscribeAck(m *msg.Message) {
 	o.reconsiderParked()
 }
 
+// onUnsubscribe removes a departing child from the children set (the
+// drop-replica control path); further dissemination skips it.
+func (o *Object) onUnsubscribe(m *msg.Message) {
+	delete(o.children, m.From)
+}
+
 // SubscribeToParent initiates the child->parent subscription and arms the
-// pull poller when the strategy asks for one.
+// pull poller when the strategy asks for one. The subscribe is retried on a
+// bounded timer until the parent's bootstrap ack arrives (see sendSubscribe).
 func (o *Object) SubscribeToParent() {
 	if o.parent == "" {
 		return
 	}
+	o.subWanted = true
+	o.sendSubscribe()
+	if o.strat.Initiative == strategy.Pull && o.strat.PullInterval > 0 {
+		o.armPoll()
+	}
+}
+
+// UnsubscribeFromParent tells the parent to stop pushing to this replica
+// (runtime replica removal). It also cancels any subscribe retries.
+func (o *Object) UnsubscribeFromParent() {
+	if o.parent == "" || !o.subWanted {
+		return
+	}
+	o.subWanted = false
+	if o.subTimer != nil {
+		o.subTimer.Stop()
+	}
+	u := &msg.Message{
+		Kind:   msg.KindUnsubscribe,
+		Object: o.object,
+		From:   o.addr,
+		Store:  o.self,
+	}
+	o.send(o.parent, u)
+}
+
+// maxSubscribeRetries bounds subscribe re-sends, so a dead parent is not
+// dialled forever; once a digest from the parent is heard, re-subscription
+// restarts the cycle (digest-triggered re-subscribe).
+const maxSubscribeRetries = 32
+
+// sendSubscribe transmits one subscribe frame and arms the retry timer: a
+// subscribe (or its ack) lost on a lossy link must not strand the replica
+// outside the children set, so the child re-sends every demandRetry until
+// the bootstrap ack arrives. Duplicate subscribes are idempotent at the
+// parent (children is a set; the extra bootstrap snapshot is absorbed like
+// any full-state transfer).
+func (o *Object) sendSubscribe() {
+	o.stats.SubscribesSent++
 	s := &msg.Message{
 		Kind:   msg.KindSubscribe,
 		Object: o.object,
@@ -1205,9 +1299,27 @@ func (o *Object) SubscribeToParent() {
 		Store:  o.self,
 	}
 	o.send(o.parent, s)
-	if o.strat.Initiative == strategy.Pull && o.strat.PullInterval > 0 {
-		o.armPoll()
+	o.armSubscribeRetry()
+}
+
+// armSubscribeRetry schedules the next subscribe re-send check; a no-op
+// when already armed, acked, disabled (demandRetry <= 0), or exhausted.
+func (o *Object) armSubscribeRetry() {
+	if o.subArmed || o.closed || o.subAcked || o.demandRetry <= 0 {
+		return
 	}
+	if o.subRetries >= maxSubscribeRetries {
+		return
+	}
+	o.subArmed = true
+	o.subTimer = o.env.AfterFunc(o.demandRetry, func() {
+		o.subArmed = false
+		if o.closed || o.subAcked || !o.subWanted {
+			return
+		}
+		o.subRetries++
+		o.sendSubscribe()
+	})
 }
 
 // armPoll schedules periodic demand pulls (TTL-style refresh).

@@ -105,6 +105,7 @@ type Stats struct {
 	DigestsSent     uint64 // heartbeat digests sent to children
 	DigestsRecv     uint64 // heartbeat digests received
 	DigestDemands   uint64 // demands triggered by a heartbeat gap
+	SubscribesSent  uint64 // subscribe frames sent (1 + retries + re-subscribes)
 }
 
 // parkedRead is a read waiting for coherence (requirement vector), state
@@ -185,6 +186,19 @@ type Object struct {
 	// Pull-initiative poller.
 	pollArmed bool
 	pollTimer clock.Timer
+
+	// Subscription reliability: the subscribe frame used to be send-once,
+	// so one lost frame on a lossy link stranded the replica outside the
+	// parent's children set forever (no pushes, no digests). Now the
+	// bootstrap KindSubscribeAck doubles as the subscribe's ack: until it
+	// arrives the child re-sends on a bounded timer, and a digest heard
+	// from the parent while still unacked (the ack itself was lost — the
+	// parent registered us) triggers an immediate re-subscribe.
+	subWanted  bool // SubscribeToParent was requested
+	subAcked   bool // bootstrap ack received
+	subRetries int
+	subArmed   bool
+	subTimer   clock.Timer
 
 	// Anti-entropy gossip peers (eventual model, sibling mirrors).
 	peers       map[string]bool
@@ -379,6 +393,9 @@ func (o *Object) Close() {
 	}
 	if o.pollTimer != nil {
 		o.pollTimer.Stop()
+	}
+	if o.subTimer != nil {
+		o.subTimer.Stop()
 	}
 	if o.gossipTimer != nil {
 		o.gossipTimer.Stop()

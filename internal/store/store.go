@@ -159,6 +159,29 @@ func (s *Store) Host(hc HostConfig) error {
 	return <-errCh
 }
 
+// Unhost removes a hosted replica at runtime: it unsubscribes from the
+// parent (so the parent stops pushing to a dead address), closes the
+// replication object, and forgets the replica. The multi-object daemon's
+// drop-replica control RPC is built on it.
+func (s *Store) Unhost(object ids.ObjectID) error {
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		r.repl.UnsubscribeFromParent()
+		r.repl.Close()
+		delete(s.replicas, object)
+		errCh <- nil
+	})
+	if !posted {
+		return ErrClosed
+	}
+	return <-errCh
+}
+
 // Stats returns the replication counters of a hosted object.
 func (s *Store) Stats(object ids.ObjectID) (replication.Stats, error) {
 	var out replication.Stats

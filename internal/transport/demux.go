@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// ErrTimeout reports a demuxed call that received no reply in time.
+var ErrTimeout = errors.New("transport: call timed out")
+
+// Demux is the shared request/reply core for RPC-style clients over an
+// Endpoint: it assigns each outgoing request a NetSeq, demultiplexes
+// replies back to the waiting caller, and bounds each call with a timeout.
+// The name-service client and the daemon control client are both built on
+// it. Safe for concurrent use; the Demux owns the endpoint's receive side
+// but not its lifecycle (callers close the endpoint via Close).
+type Demux struct {
+	ep Endpoint
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan *msg.Message
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewDemux starts the reply loop over ep.
+func NewDemux(ep Endpoint) *Demux {
+	d := &Demux{
+		ep:      ep,
+		pending: make(map[uint64]chan *msg.Message),
+		done:    make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.recvLoop()
+	return d
+}
+
+func (d *Demux) recvLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case m, ok := <-d.ep.Recv():
+			if !ok {
+				return
+			}
+			d.mu.Lock()
+			ch := d.pending[m.NetSeq]
+			d.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- m:
+				default: // duplicate reply; drop
+				}
+			}
+		}
+	}
+}
+
+// Done exposes the closed-ness channel so callers can abort their own
+// retry loops when the demux closes.
+func (d *Demux) Done() <-chan struct{} { return d.done }
+
+// Call sends m to addr (filling From and NetSeq) and awaits the correlated
+// reply for at most timeout.
+func (d *Demux) Call(addr string, m *msg.Message, timeout time.Duration) (*msg.Message, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	d.nextSeq++
+	seq := d.nextSeq
+	ch := make(chan *msg.Message, 1)
+	d.pending[seq] = ch
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.pending, seq)
+		d.mu.Unlock()
+	}()
+	m.NetSeq = seq
+	m.From = d.ep.Addr()
+	if err := d.ep.Send(addr, m); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("%w after %v (%v to %s)", ErrTimeout, timeout, m.Kind, addr)
+	case <-d.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the reply loop and closes the endpoint.
+func (d *Demux) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.done)
+	err := d.ep.Close()
+	d.wg.Wait()
+	return err
+}

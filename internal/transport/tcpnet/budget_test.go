@@ -1,0 +1,90 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// TestInboundFrameBudgetRejectsBeforeAllocation connects raw TCP to a
+// budgeted endpoint and announces a frame far above the budget: the
+// endpoint must drop the connection after reading only the 4-byte header —
+// before allocating or reading any body — while frames within the budget
+// keep flowing on fresh connections.
+func TestInboundFrameBudgetRejectsBeforeAllocation(t *testing.T) {
+	const budget = 64 << 10
+	e, err := ListenLimit("127.0.0.1:0", budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// An adversarial peer announces a 1 GiB frame (it never even has to
+	// send the body; the announcement alone must kill the connection).
+	conn, err := net.Dial("tcp", e.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(hdr[:]); err != io.EOF {
+		t.Fatalf("oversized announcement not disconnected: read err = %v, want EOF", err)
+	}
+
+	// A frame above the budget but below the absolute cap is rejected too —
+	// the budget, not the 16 MiB ceiling, is what's enforced.
+	conn2, err := net.Dial("tcp", e.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	binary.BigEndian.PutUint32(hdr[:], budget+1)
+	if _, err := conn2.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn2.Read(hdr[:]); err != io.EOF {
+		t.Fatalf("over-budget frame not disconnected: read err = %v, want EOF", err)
+	}
+
+	// Legitimate traffic within the budget still flows.
+	sender := listen(t)
+	m := &msg.Message{Kind: msg.KindNotify, Object: "o", From: sender.Addr(), NetSeq: 7}
+	if err := sender.Send(e.Addr(), m); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, e)
+	if got.NetSeq != 7 {
+		t.Fatalf("in-budget frame mangled: %+v", got)
+	}
+}
+
+// TestInboundFrameBudgetDefault keeps the unbudgeted path at the absolute
+// cap: a frame between a typical budget and the cap is accepted.
+func TestInboundFrameBudgetDefault(t *testing.T) {
+	a := listen(t)
+	b := listen(t)
+	m := &msg.Message{
+		Kind:    msg.KindStateReply,
+		Object:  "o",
+		From:    a.Addr(),
+		NetSeq:  9,
+		Payload: make([]byte, 128<<10), // larger than the budget above
+	}
+	if err := a.Send(b.Addr(), m); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b)
+	if got.NetSeq != 9 || len(got.Payload) != 128<<10 {
+		t.Fatalf("large default-budget frame mangled: seq=%d len=%d", got.NetSeq, len(got.Payload))
+	}
+}

@@ -18,7 +18,8 @@ import (
 // clients). Closing the fabric closes every endpoint it created that has
 // not already been closed individually.
 type Fabric struct {
-	host string
+	host  string
+	maxIn int // per-peer inbound frame budget for every endpoint minted
 
 	mu     sync.Mutex
 	eps    map[*fabricEndpoint]struct{}
@@ -27,13 +28,29 @@ type Fabric struct {
 
 var _ transport.Fabric = (*Fabric)(nil)
 
+// FabricOption configures NewFabric.
+type FabricOption func(*Fabric)
+
+// WithMaxInboundFrame sets the per-peer inbound frame budget for every
+// endpoint the fabric mints: a peer announcing a larger frame is
+// disconnected before any allocation (see ListenLimit). Non-loopback
+// deployments should set this to a small multiple of their largest
+// snapshot.
+func WithMaxInboundFrame(n int) FabricOption {
+	return func(f *Fabric) { f.maxIn = n }
+}
+
 // NewFabric creates a TCP fabric. host is the address ephemeral endpoints
 // bind to; "" defaults to 127.0.0.1 (loopback deployments and tests).
-func NewFabric(host string) *Fabric {
+func NewFabric(host string, opts ...FabricOption) *Fabric {
 	if host == "" {
 		host = "127.0.0.1"
 	}
-	return &Fabric{host: host, eps: make(map[*fabricEndpoint]struct{})}
+	f := &Fabric{host: host, eps: make(map[*fabricEndpoint]struct{})}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
 }
 
 // Endpoint implements transport.Fabric.
@@ -53,7 +70,7 @@ func (f *Fabric) Endpoint(name string) (transport.Endpoint, error) {
 	if strings.ContainsRune(hint, ':') {
 		listen = hint
 	}
-	ep, err := Listen(listen)
+	ep, err := ListenLimit(listen, f.maxIn)
 	if err != nil {
 		return nil, err
 	}

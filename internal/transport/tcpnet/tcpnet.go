@@ -26,8 +26,13 @@ import (
 	"repro/internal/transport"
 )
 
-// maxFrame bounds a single message frame (16 MiB), protecting against
-// corrupt length prefixes.
+// maxFrame is the absolute bound on a single message frame (16 MiB),
+// protecting against corrupt length prefixes. Deployments facing
+// non-loopback peers should configure a much tighter per-peer budget
+// (WithMaxInboundFrame / ListenLimit): the budget is enforced on the
+// length prefix BEFORE any body allocation, so an adversarial or corrupt
+// peer cannot make a daemon allocate gigabytes — the connection is
+// dropped instead.
 const maxFrame = 16 << 20
 
 // flushHook, when non-nil, is invoked once per connection flush with the
@@ -67,6 +72,7 @@ type peerConn struct {
 // Endpoint is a TCP-backed communication object.
 type Endpoint struct {
 	addr  string // resolved listen address; stable across Pause/Resume
+	maxIn int    // per-peer inbound frame budget (≤ maxFrame)
 	inbox chan *msg.Message
 	done  chan struct{} // closed on Close; unblocks readers stuck on a full inbox
 
@@ -82,14 +88,25 @@ type Endpoint struct {
 
 var _ transport.Endpoint = (*Endpoint)(nil)
 
-// Listen creates an endpoint bound to addr (e.g. "127.0.0.1:0").
-func Listen(addr string) (*Endpoint, error) {
+// Listen creates an endpoint bound to addr (e.g. "127.0.0.1:0") with the
+// default (absolute-maximum) inbound frame budget.
+func Listen(addr string) (*Endpoint, error) { return ListenLimit(addr, 0) }
+
+// ListenLimit creates an endpoint whose inbound frames are budgeted: a
+// peer announcing a frame larger than maxInbound bytes is disconnected
+// before any body allocation happens. Zero (or anything above the absolute
+// cap) means the 16 MiB default.
+func ListenLimit(addr string, maxInbound int) (*Endpoint, error) {
+	if maxInbound <= 0 || maxInbound > maxFrame {
+		maxInbound = maxFrame
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %q: %w", addr, err)
 	}
 	e := &Endpoint{
 		addr:    ln.Addr().String(),
+		maxIn:   maxInbound,
 		ln:      ln,
 		inbox:   make(chan *msg.Message, 1024),
 		done:    make(chan struct{}),
@@ -440,7 +457,10 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 			return // peer closed or endpoint shutting down
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
-		if n > maxFrame {
+		if n > uint32(e.maxIn) {
+			// Budget exceeded: drop the connection before allocating or
+			// reading a single body byte. A well-behaved peer redials; a
+			// misbehaving one cannot cost more than the 4-byte header.
 			return
 		}
 		need := int(n)

@@ -1,20 +1,40 @@
 #!/usr/bin/env bash
-# smoke_e2e.sh — end-to-end smoke of the real-TCP deployment: build globed
-# and globectl, start a permanent store and a cache daemon (two processes),
-# round-trip a put at the server and a read-your-writes get at the cache via
-# globectl, and check the content survives. Exercises the same public-API
-# path the webobj cross-fabric tests assert in-process.
+# smoke_e2e.sh — end-to-end smoke of the real-TCP deployment, two parts:
+#
+# Part 1 (legacy flags): a permanent store and a cache daemon (two
+# processes), round-trip a put at the server and a read-your-writes get at
+# the cache via globectl.
+#
+# Part 2 (name-server topology): globens + two manifest-driven multi-object
+# daemons. globectl reaches every object purely through name resolution (no
+# -store), the resolve subcommand prints the record, and a replica added at
+# runtime through the control RPC becomes resolvable and serves reads.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PORT_A="${PORT_A:-7401}"
 PORT_B="${PORT_B:-7402}"
+PORT_NS="${PORT_NS:-7410}"
+PORT_C="${PORT_C:-7411}"
+PORT_D="${PORT_D:-7412}"
+PORT_D2="${PORT_D2:-7413}"
+PORT_CTL="${PORT_CTL:-7414}"
 OBJ=smoke-doc
 BIN="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 go build -o "$BIN/globed" ./cmd/globed
 go build -o "$BIN/globectl" ./cmd/globectl
+go build -o "$BIN/globens" ./cmd/globens
+
+wait_port() {
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- || true; return 0; fi
+        sleep 0.1
+    done
+    echo "smoke_e2e: port $1 never came up" >&2
+    return 1
+}
 
 "$BIN/globed" -listen "127.0.0.1:$PORT_A" -object $OBJ -role permanent \
     -strategy conference -id 1 &
@@ -22,12 +42,8 @@ go build -o "$BIN/globectl" ./cmd/globectl
     -parent "127.0.0.1:$PORT_A" -strategy conference -session ryw -id 2 &
 
 # Wait for both daemons to accept connections.
-for port in "$PORT_A" "$PORT_B"; do
-    for _ in $(seq 1 50); do
-        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then exec 3>&- || true; break; fi
-        sleep 0.1
-    done
-done
+wait_port "$PORT_A"
+wait_port "$PORT_B"
 
 WANT='<h1>smoke over TCP</h1>'
 "$BIN/globectl" -store "127.0.0.1:$PORT_A" -object $OBJ -client 101 \
@@ -50,4 +66,100 @@ fi
 # Page listing works at the cache too.
 "$BIN/globectl" -store "127.0.0.1:$PORT_B" -object $OBJ pages | grep -qx index.html
 
-echo "smoke_e2e: OK (put at 127.0.0.1:$PORT_A, replicated get at 127.0.0.1:$PORT_B)"
+echo "smoke_e2e: part 1 OK (put at 127.0.0.1:$PORT_A, replicated get at 127.0.0.1:$PORT_B)"
+
+# ---- Part 2: name-server topology --------------------------------------------
+NS="127.0.0.1:$PORT_NS"
+"$BIN/globens" -listen "$NS" &
+wait_port "$PORT_NS"
+
+# Daemon C: one permanent store publishing TWO objects (a document and a KV
+# map) — the multi-object manifest form.
+cat > "$BIN/manifest_c.json" <<EOF
+{
+  "nameserver": "$NS",
+  "digest": "50ms",
+  "stores": [
+    {"listen": "127.0.0.1:$PORT_C", "role": "permanent", "objects": [
+      {"object": "ns-doc", "publish": true, "semantics": "webdoc",
+       "strategy": "conference", "session": "ryw"},
+      {"object": "ns-kv", "publish": true, "semantics": "kv",
+       "strategy": "forum"}
+    ]}
+  ]
+}
+EOF
+"$BIN/globed" -manifest "$BIN/manifest_c.json" &
+wait_port "$PORT_C"
+
+# Daemon D: two stores — a cache replicating ns-doc purely from the record
+# (no parent, no semantics, no strategy in the manifest), and a mirror left
+# empty for the runtime control test. Store IDs are leased from globens.
+cat > "$BIN/manifest_d.json" <<EOF
+{
+  "nameserver": "$NS",
+  "control": "127.0.0.1:$PORT_CTL",
+  "digest": "50ms",
+  "stores": [
+    {"name": "cacheD", "listen": "127.0.0.1:$PORT_D", "role": "cache", "objects": [
+      {"object": "ns-doc", "session": "ryw"}
+    ]},
+    {"name": "mirrorD", "listen": "127.0.0.1:$PORT_D2", "role": "mirror", "objects": []}
+  ]
+}
+EOF
+"$BIN/globed" -manifest "$BIN/manifest_d.json" &
+wait_port "$PORT_D"
+wait_port "$PORT_CTL"
+
+# Write and read through pure name resolution: no -store anywhere. The put
+# resolves to the cache (lowest layer) and forwards up; the get must see it.
+WANT2='<h1>resolved over the name service</h1>'
+"$BIN/globectl" -nameserver "$NS" -object ns-doc -client 201 -session ryw \
+    put welcome.html "$WANT2"
+GOT2=""
+for _ in $(seq 1 50); do
+    GOT2="$("$BIN/globectl" -nameserver "$NS" -object ns-doc -client 202 \
+        get welcome.html 2>/dev/null || true)"
+    [ "$GOT2" = "$WANT2" ] && break
+    sleep 0.1
+done
+if [ "$GOT2" != "$WANT2" ]; then
+    echo "smoke_e2e: FAIL: resolved read $(printf %q "$GOT2"), want $(printf %q "$WANT2")" >&2
+    exit 1
+fi
+
+# The KV object co-hosted by daemon C works through resolution too, with
+# the record supplying its semantics for the bind-time type check.
+"$BIN/globectl" -nameserver "$NS" -object ns-kv -semantics kv -client 203 put knuth 'TAOCP'
+# No -client here: the ID is leased from globens (the globally-unique path).
+"$BIN/globectl" -nameserver "$NS" -object ns-kv -semantics kv get knuth | grep -qx 'TAOCP'
+
+# The resolve subcommand prints the record: both replicas of ns-doc and the
+# published metadata.
+RES="$("$BIN/globectl" -nameserver "$NS" -object ns-doc resolve)"
+echo "$RES" | grep -q "semantics webdoc"
+echo "$RES" | grep -q "127.0.0.1:$PORT_C"
+echo "$RES" | grep -q "127.0.0.1:$PORT_D"
+
+# Runtime replica: the control RPC hosts ns-kv on daemon D's empty mirror
+# store; it must register itself and serve reads.
+"$BIN/globectl" -ctl "127.0.0.1:$PORT_CTL" -object ns-kv -ctl-store mirrorD ctl host
+for _ in $(seq 1 50); do
+    if "$BIN/globectl" -nameserver "$NS" -object ns-kv resolve | grep -q "127.0.0.1:$PORT_D2"; then break; fi
+    sleep 0.1
+done
+"$BIN/globectl" -nameserver "$NS" -object ns-kv resolve | grep -q "127.0.0.1:$PORT_D2"
+GOTKV=""
+for _ in $(seq 1 50); do
+    GOTKV="$("$BIN/globectl" -store "127.0.0.1:$PORT_D2" -object ns-kv -semantics kv -client 205 \
+        get knuth 2>/dev/null || true)"
+    [ "$GOTKV" = "TAOCP" ] && break
+    sleep 0.1
+done
+if [ "$GOTKV" != "TAOCP" ]; then
+    echo "smoke_e2e: FAIL: runtime replica read $(printf %q "$GOTKV"), want TAOCP" >&2
+    exit 1
+fi
+
+echo "smoke_e2e: OK (legacy pair + name-server topology: globens at $NS, multi-object daemons, runtime replica via control RPC)"

@@ -21,8 +21,19 @@ type Fabric = transport.Fabric
 // shaping and partitions address stores as "store/<name>".
 func NewMemFabric(opts ...memnet.Option) *memnet.Network { return memnet.New(opts...) }
 
+// TCPOption configures NewTCPFabric (e.g. WithMaxInboundFrame).
+type TCPOption = tcpnet.FabricOption
+
+// WithMaxInboundFrame bounds the frames a TCP endpoint accepts from any
+// peer: a larger announced frame drops the connection before any body
+// allocation. Deployments reachable from beyond loopback should set it to
+// a small multiple of their largest expected snapshot.
+func WithMaxInboundFrame(n int) TCPOption { return tcpnet.WithMaxInboundFrame(n) }
+
 // NewTCPFabric creates a real-TCP fabric. Stores whose name is a host:port
 // listen on exactly that address (the way a daemon pins its advertised
 // address); all other endpoints listen on an ephemeral port of host
 // ("" = 127.0.0.1).
-func NewTCPFabric(host string) *tcpnet.Fabric { return tcpnet.NewFabric(host) }
+func NewTCPFabric(host string, opts ...TCPOption) *tcpnet.Fabric {
+	return tcpnet.NewFabric(host, opts...)
+}

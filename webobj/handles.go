@@ -21,6 +21,10 @@ type binding struct {
 	proxy *core.Proxy
 	ep    transport.Endpoint
 	once  sync.Once
+	// closeHook runs once on Close, before teardown; pinned-client
+	// bindings use it to report the session's write-sequence floor to the
+	// resolver so a future session reusing the identity resumes past it.
+	closeHook func()
 }
 
 // Client returns the binding's client identity.
@@ -36,6 +40,9 @@ func (b *binding) Rebind(at *Store) error { return b.proxy.Rebind(at.Addr()) }
 // Close releases the binding and its endpoint. Idempotent.
 func (b *binding) Close() {
 	b.once.Do(func() {
+		if b.closeHook != nil {
+			b.closeHook()
+		}
 		b.proxy.Close()
 		_ = b.ep.Close()
 	})

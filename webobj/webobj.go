@@ -44,16 +44,19 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/nameserv"
 	"repro/internal/naming"
 	"repro/internal/replication"
 	"repro/internal/semantics/webdoc"
 	"repro/internal/store"
 	"repro/internal/strategy"
+	"repro/internal/transport"
 	"repro/internal/transport/memnet"
 )
 
@@ -200,11 +203,14 @@ type System struct {
 	mu          sync.Mutex
 	fabric      Fabric
 	ns          *naming.Service
+	res         Resolver
+	nsAddrs     []string // name-server addresses (WithNameServer)
 	stores      map[string]*Store
 	parents     map[string]string // store name -> parent store name
 	objects     map[ObjectID]objectInfo
-	digest      time.Duration // default DigestInterval for stores in this system
-	demandRetry time.Duration // default DemandRetry for stores in this system
+	ctlEps      []transport.Endpoint // control listeners (ServeControl)
+	digest      time.Duration        // default DigestInterval for stores in this system
+	demandRetry time.Duration        // default DemandRetry for stores in this system
 	nextEP      int
 	closed      bool
 }
@@ -216,6 +222,21 @@ type SystemOption func(*System)
 // simulated network. The system takes ownership: System.Close closes the
 // fabric.
 func WithFabric(f Fabric) SystemOption { return func(s *System) { s.fabric = f } }
+
+// WithResolver resolves objects, identifiers, and write-sequence floors
+// through r instead of the in-process location service. The system takes
+// ownership: System.Close closes the resolver.
+func WithResolver(r Resolver) SystemOption { return func(s *System) { s.res = r } }
+
+// WithNameServer resolves through the networked name service at the given
+// addresses (tried in order) over this system's fabric. Publications and
+// replicas register themselves there, client and store identifiers are
+// leased from it (globally unique across daemons), and objects published by
+// other processes are opened by name alone — no AttachObject sem/strat
+// mirroring. See NewNameServer and cmd/globens for running the service.
+func WithNameServer(addrs ...string) SystemOption {
+	return func(s *System) { s.nsAddrs = addrs }
+}
 
 // WithDemandRetry tunes the unanswered-demand re-request delay for every
 // store this system creates (default 50ms; negative disables retries). Keep
@@ -253,8 +274,25 @@ func NewSystem(opts ...SystemOption) *System {
 	if s.fabric == nil {
 		s.fabric = NewMemFabric()
 	}
+	if s.res == nil {
+		if len(s.nsAddrs) > 0 {
+			s.res = nsResolver{nameserv.NewClient(nameserv.ClientConfig{
+				Fabric: s.fabric,
+				// Unique per System: several Systems may share one fabric
+				// (memnet simulations), and endpoint names must not collide.
+				Name:    fmt.Sprintf("nsc/%d", nextResolverEP.Add(1)),
+				Servers: s.nsAddrs,
+			})}
+		} else {
+			s.res = localResolver{ns: s.ns}
+		}
+	}
 	return s
 }
+
+// nextResolverEP disambiguates name-service client endpoint names across
+// Systems sharing one fabric.
+var nextResolverEP atomic.Uint64
 
 // NewSystemWithNetwork creates a simulated deployment with memnet options
 // (seed, default link profile). Shorthand for
@@ -272,16 +310,37 @@ func (s *System) Network() *memnet.Network {
 	return nil
 }
 
-// Naming exposes the location service.
+// Naming exposes the in-process location service (the default resolver's
+// backing store). Systems resolving through a networked name server keep
+// this service empty; use ResolveName for the deployment-wide view.
 func (s *System) Naming() *naming.Service { return s.ns }
+
+// Resolver exposes the naming seam the system resolves through.
+func (s *System) Resolver() Resolver { return s.res }
+
+// ResolveName returns the object's name record as the system's resolver
+// sees it (local registrations, or the networked directory under
+// WithNameServer).
+func (s *System) ResolveName(object ObjectID) (NameRecord, error) {
+	return s.res.Resolve(object)
+}
 
 // StoreOption configures store creation.
 type StoreOption func(*storeCfg)
 
 type storeCfg struct {
 	id        ids.StoreID
+	listen    string
 	digest    time.Duration
 	digestSet bool
+}
+
+// WithListenAddr pins the store's transport address independently of its
+// name. By default the name doubles as the listen hint (a host:port name
+// pins the address on TCP fabrics); manifest-driven daemons give stores
+// friendly names and pin the address here.
+func WithListenAddr(addr string) StoreOption {
+	return func(c *storeCfg) { c.listen = addr }
 }
 
 // WithStoreID pins the store's identifier instead of allocating one from
@@ -304,12 +363,15 @@ func (s *System) NewServer(name string, opts ...StoreOption) (*Store, error) {
 	return s.newStore(name, replication.RolePermanent, nil, opts)
 }
 
-// NewMirror creates an object-initiated store below parent.
+// NewMirror creates an object-initiated store below parent. A nil parent
+// is allowed for stores whose replicas name their parents individually
+// (ReplicateFrom, manifest-driven daemons).
 func (s *System) NewMirror(name string, parent *Store, opts ...StoreOption) (*Store, error) {
 	return s.newStore(name, replication.RoleObjectInitiated, parent, opts)
 }
 
-// NewCache creates a client-initiated store below parent.
+// NewCache creates a client-initiated store below parent. A nil parent is
+// allowed as for NewMirror.
 func (s *System) NewCache(name string, parent *Store, opts ...StoreOption) (*Store, error) {
 	return s.newStore(name, replication.RoleClientInitiated, parent, opts)
 }
@@ -327,21 +389,34 @@ func (s *System) newStore(name string, role replication.Role, parent *Store, opt
 	if _, dup := s.stores[name]; dup {
 		return nil, fmt.Errorf("webobj: store %q already exists", name)
 	}
-	ep, err := s.fabric.Endpoint("store/" + name)
+	hint := name
+	if cfg.listen != "" {
+		hint = cfg.listen
+	}
+	ep, err := s.fabric.Endpoint("store/" + hint)
 	if err != nil {
 		return nil, err
 	}
 	id := cfg.id
 	if id == 0 {
-		id = s.ns.NextStore()
+		// Allocated through the resolver: in-process deployments get the
+		// local counter, name-served deployments lease a globally unique
+		// range so no two daemons can mint the same store identity.
+		id, err = s.res.NextStore()
+		if err != nil {
+			_ = ep.Close()
+			return nil, fmt.Errorf("webobj: store %q: allocate ID: %w", name, err)
+		}
 	} else {
-		// Keep pinned and auto-allocated IDs disjoint within this system:
+		// Keep pinned and auto-allocated IDs disjoint within this deployment:
 		// duplicate store identities corrupt version-vector accounting.
-		if err := s.ns.ReserveStore(id); err != nil {
+		if err := s.res.ReserveStore(id); err != nil {
+			_ = ep.Close()
 			return nil, fmt.Errorf("webobj: store %q: %w", name, err)
 		}
 		for _, other := range s.stores {
 			if other.st != nil && other.st.ID() == id {
+				_ = ep.Close()
 				return nil, fmt.Errorf("webobj: store ID %d already used by %q", id, other.name)
 			}
 		}
@@ -405,11 +480,38 @@ func (s *System) Publish(server *Store, object ObjectID, sem Semantics, strat St
 	}); err != nil {
 		return err
 	}
-	s.ns.Register(object, naming.Entry{Addr: server.st.Addr(), Store: server.st.ID(), Role: server.role})
 	s.mu.Lock()
 	s.objects[object] = objectInfo{sem: sem, strat: strat}
 	s.mu.Unlock()
+	// The record carries the object's semantics and model, so other
+	// processes bind and replicate through the resolver without any manual
+	// configuration.
+	meta := NameMeta{Sem: sem.name, Strat: strat, HasStrat: true, Models: modelNames(session)}
+	if err := s.res.Register(object, naming.Entry{Addr: server.st.Addr(), Store: server.st.ID(), Role: server.role}, meta); err != nil {
+		return fmt.Errorf("webobj: publish %q: register with name service: %w", object, err)
+	}
 	return nil
+}
+
+// modelNames renders client models as their record short names.
+func modelNames(models []ClientModel) []string {
+	if len(models) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(models))
+	for _, m := range models {
+		switch m {
+		case ReadYourWrites:
+			out = append(out, "ryw")
+		case MonotonicReads:
+			out = append(out, "mr")
+		case MonotonicWrites:
+			out = append(out, "mw")
+		case WritesFollowReads:
+			out = append(out, "wfr")
+		}
+	}
+	return out
 }
 
 // AttachObject declares an object that is published in another process at
@@ -417,6 +519,11 @@ func (s *System) Publish(server *Store, object ObjectID, sem Semantics, strat St
 // the remote contact point with the local location service and records the
 // semantics and strategy, after which local stores can Replicate the object
 // from the attached store and clients can Open it.
+//
+// Under WithNameServer this manual mirroring is unnecessary: Replicate and
+// the typed Open calls fetch the published record (semantics, strategy,
+// models) from the name service, and AttachObject is only useful to
+// override it locally.
 func (s *System) AttachObject(at *Store, object ObjectID, sem Semantics, strat Strategy) error {
 	if !sem.valid() {
 		return errors.New("webobj: zero Semantics; use WebDoc(), KV(), or AppLog()")
@@ -433,6 +540,8 @@ func (s *System) AttachObject(at *Store, object ObjectID, sem Semantics, strat S
 	if at.st != nil {
 		id = at.st.ID()
 	}
+	// Attach declarations stay local: the publisher's own registration is
+	// the authoritative record in a name-served deployment.
 	s.ns.Register(object, naming.Entry{Addr: at.Addr(), Store: id, Role: at.role})
 	return nil
 }
@@ -442,9 +551,6 @@ func (s *System) AttachObject(at *Store, object ObjectID, sem Semantics, strat S
 // another process. The session models declare which client-based guarantees
 // this replica must be able to enforce.
 func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) error {
-	if at.Remote() {
-		return fmt.Errorf("webobj: cannot install replicas at %q, it is in another process", at.name)
-	}
 	s.mu.Lock()
 	parentName, ok := s.parents[at.name]
 	var parent *Store
@@ -455,8 +561,24 @@ func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) e
 	if parent == nil {
 		return fmt.Errorf("webobj: store %q has no parent to replicate from", at.name)
 	}
+	return s.ReplicateFrom(at, parent, object, session...)
+}
+
+// ReplicateFrom installs a replica like Replicate but subscribing to an
+// explicit parent store, independent of the store's creation-time parent.
+// Multi-object daemons use it when different objects hosted by one store
+// have different publishers (each object's record names its own permanent
+// store).
+func (s *System) ReplicateFrom(at, parent *Store, object ObjectID, session ...ClientModel) error {
+	if at.Remote() {
+		return fmt.Errorf("webobj: cannot install replicas at %q, it is in another process", at.name)
+	}
+	if parent == nil {
+		return fmt.Errorf("webobj: store %q needs a parent to replicate from", at.name)
+	}
 	// The replica adopts the object's published semantics and strategy,
-	// recorded by Publish or AttachObject.
+	// recorded by Publish or AttachObject — or fetched from the name
+	// service when neither ran in this process.
 	info, err := s.publishedInfo(object)
 	if err != nil {
 		return err
@@ -467,7 +589,9 @@ func (s *System) Replicate(at *Store, object ObjectID, session ...ClientModel) e
 	}); err != nil {
 		return err
 	}
-	s.ns.Register(object, naming.Entry{Addr: at.st.Addr(), Store: at.st.ID(), Role: at.role})
+	if err := s.res.Register(object, naming.Entry{Addr: at.st.Addr(), Store: at.st.ID(), Role: at.role}, NameMeta{}); err != nil {
+		return fmt.Errorf("webobj: replicate %q: register with name service: %w", object, err)
+	}
 	return nil
 }
 
@@ -492,12 +616,41 @@ func (s *System) Peer(a, b *Store, object ObjectID) error {
 
 func (s *System) publishedInfo(object ObjectID) (objectInfo, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	info, ok := s.objects[object]
-	if !ok {
-		return objectInfo{}, fmt.Errorf("webobj: object %q not published or attached", object)
+	s.mu.Unlock()
+	if ok {
+		return info, nil
 	}
+	// Unknown locally: the name record carries the published semantics and
+	// strategy, so a replica can be installed with zero manual mirroring.
+	rec, err := s.res.Resolve(object)
+	if err != nil {
+		return objectInfo{}, fmt.Errorf("webobj: object %q not published, attached, or name-served (%v)", object, err)
+	}
+	info, err = infoFromRecord(object, rec)
+	if err != nil {
+		return objectInfo{}, err
+	}
+	s.mu.Lock()
+	if cached, ok := s.objects[object]; ok {
+		info = cached // a concurrent Publish/Attach won the race; keep it
+	} else {
+		s.objects[object] = info
+	}
+	s.mu.Unlock()
 	return info, nil
+}
+
+// infoFromRecord converts a fetched name record into the local object info.
+func infoFromRecord(object ObjectID, rec NameRecord) (objectInfo, error) {
+	if rec.Meta.Sem == "" || !rec.Meta.HasStrat {
+		return objectInfo{}, fmt.Errorf("webobj: name record for %q carries no semantics/strategy (published without a name server?)", object)
+	}
+	sem, err := SemanticsByName(rec.Meta.Sem)
+	if err != nil {
+		return objectInfo{}, fmt.Errorf("webobj: name record for %q: %w", object, err)
+	}
+	return objectInfo{sem: sem, strat: rec.Meta.Strat}, nil
 }
 
 // OpenOption configures the typed Open calls.
@@ -582,39 +735,71 @@ func (s *System) open(object ObjectID, sem Semantics, opts []OpenOption) (*bindi
 		o(&cfg)
 	}
 	// Fail fast locally when the object is known under another semantics
-	// type; the bind itself re-checks at the store, which is what protects
-	// purely remote opens.
+	// type; for objects only the name service knows, the fetched record's
+	// semantics name plays the same role. The bind itself re-checks at the
+	// store (the wire Sem field), which is what protects stale records —
+	// and which is why an At()-pinned open skips the resolve entirely: it
+	// needs nothing from the name service, and must not stall on one that
+	// is unreachable.
+	var rec *NameRecord
 	s.mu.Lock()
-	if info, ok := s.objects[object]; ok && info.sem.name != sem.name {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("webobj: object %q is %s, not %s", object, info.sem.name, sem.name)
-	}
-	s.nextEP++
-	epName := fmt.Sprintf("client/%d", s.nextEP)
+	info, known := s.objects[object]
 	s.mu.Unlock()
+	if known {
+		if info.sem.name != sem.name {
+			return nil, fmt.Errorf("webobj: object %q is %s, not %s", object, info.sem.name, sem.name)
+		}
+	} else if cfg.at == nil {
+		if r, err := s.res.Resolve(object); err == nil {
+			rec = &r
+			if r.Meta.Sem != "" && r.Meta.Sem != sem.name {
+				return nil, fmt.Errorf("webobj: object %q is %s, not %s", object, r.Meta.Sem, sem.name)
+			}
+		}
+	}
 
 	var addr string
-	if cfg.at != nil {
+	switch {
+	case cfg.at != nil:
 		addr = cfg.at.Addr()
-	} else {
-		e, ok := s.ns.Pick(object)
+	case rec != nil:
+		e, ok := naming.PickEntry(rec.Entries)
+		if !ok {
+			return nil, fmt.Errorf("webobj: object %q has no registered replicas", object)
+		}
+		addr = e.Addr
+	default:
+		e, ok := s.res.Pick(object)
+		if !ok {
+			// Objects attached locally while resolving through a name
+			// server are still reachable through the in-process service.
+			e, ok = s.ns.Pick(object)
+		}
 		if !ok {
 			return nil, fmt.Errorf("webobj: object %q not registered", object)
 		}
 		addr = e.Addr
 	}
+
+	s.mu.Lock()
+	s.nextEP++
+	epName := fmt.Sprintf("client/%d", s.nextEP)
+	s.mu.Unlock()
 	ep, err := s.fabric.Endpoint(epName)
 	if err != nil {
 		return nil, err
 	}
 	cid := cfg.client
 	if cid == 0 {
-		cid = s.ns.NextClient()
-	} else if err := s.ns.ReserveClient(cid); err != nil {
+		if cid, err = s.res.NextClient(); err != nil {
+			_ = ep.Close()
+			return nil, fmt.Errorf("webobj: allocate client ID: %w", err)
+		}
+	} else if err := s.res.ReserveClient(cid); err != nil {
 		_ = ep.Close()
 		return nil, fmt.Errorf("webobj: %w (pick an ID no auto-allocated client holds)", err)
 	}
-	p, err := core.Bind(core.BindConfig{
+	bindCfg := core.BindConfig{
 		Object:    object,
 		Endpoint:  ep,
 		StoreAddr: addr,
@@ -623,16 +808,77 @@ func (s *System) open(object ObjectID, sem Semantics, opts []OpenOption) (*bindi
 		Prototype: sem.factory(),
 		Semantics: sem.name,
 		Timeout:   cfg.timeout,
-	})
+	}
+	p, err := core.Bind(bindCfg)
+	if err != nil && cfg.at == nil {
+		// The resolved contact point failed (replica died, daemon moved).
+		// Invalidate the cached record, re-resolve, and retry once at a
+		// different entry before giving up.
+		s.res.Invalidate(object)
+		if r2, rerr := s.res.Resolve(object); rerr == nil {
+			if pick, ok := naming.PickEntry(filterAddr(r2.Entries, addr)); ok {
+				bindCfg.StoreAddr = pick.Addr
+				p, err = core.Bind(bindCfg)
+			}
+		}
+	}
 	if err != nil {
 		_ = ep.Close()
 		return nil, err
 	}
-	return &binding{proxy: p, ep: ep}, nil
+	b := &binding{proxy: p, ep: ep}
+	if cfg.client != 0 {
+		// A pinned identity is a resumable one: seed the write counter from
+		// the deployment-wide floor too — the bound store's applied vector
+		// (seeded inside Bind) is not enough when that replica lags the
+		// client's previous writes — and report back on Close so the next
+		// session resumes past this one.
+		if floor := s.res.ClientSeqFloor(cid); floor > 0 {
+			p.Session().SeedSeq(floor)
+		}
+		res := s.res
+		b.closeHook = func() { res.ReportClientSeq(cid, p.Session().Seq()) }
+	}
+	return b, nil
 }
 
-// Close tears down the whole system: stores first, then the fabric (which
-// closes any endpoints still open, including attached clients').
+// filterAddr returns entries minus the one at addr.
+func filterAddr(entries []NameEntry, addr string) []NameEntry {
+	out := make([]NameEntry, 0, len(entries))
+	for _, e := range entries {
+		if e.Addr != addr {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LookupStore returns the store created or attached under name in this
+// system (daemon control handlers address stores by name).
+func (s *System) LookupStore(name string) (*Store, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stores[name]
+	return st, ok
+}
+
+// Drop removes a hosted replica at runtime: the store unsubscribes from its
+// parent, the replica closes, and its contact point is deregistered from
+// the resolver. Clients bound to it start failing and re-resolve to the
+// remaining replicas.
+func (s *System) Drop(at *Store, object ObjectID) error {
+	if at.Remote() {
+		return fmt.Errorf("webobj: cannot drop replicas at %q, it is in another process", at.name)
+	}
+	if err := at.st.Unhost(ids.ObjectID(object)); err != nil {
+		return err
+	}
+	return s.res.Deregister(object, at.Addr())
+}
+
+// Close tears down the whole system: stores first, then the resolver and
+// control listeners, then the fabric (which closes any endpoints still
+// open, including attached clients').
 func (s *System) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -644,11 +890,17 @@ func (s *System) Close() error {
 	for _, st := range s.stores {
 		stores = append(stores, st)
 	}
+	ctl := s.ctlEps
+	s.ctlEps = nil
 	s.mu.Unlock()
 	for _, st := range stores {
 		if st.st != nil {
 			_ = st.st.Close()
 		}
+	}
+	_ = s.res.Close()
+	for _, ep := range ctl {
+		_ = ep.Close()
 	}
 	return s.fabric.Close()
 }
