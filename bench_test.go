@@ -1219,3 +1219,124 @@ func BenchmarkName_DirectorySyncIdle(b *testing.B) {
 	b.ReportMetric(float64(s.ByKind[msg.KindNameDigest])/secs, "digests/sec")
 	b.ReportMetric(float64(s.ByKind[msg.KindNameSync])/secs, "syncs/sec")
 }
+
+// --- durable stores (WAL + recovery) ------------------------------------------
+
+// BenchmarkDurable_Put prices the write-ahead log: one full public-API Put
+// through the identical memnet deployment with durability off (the memory
+// baseline every earlier BENCH tracked as the e2e number), WAL enabled at
+// each fsync policy. fsync=off is the pure serialization overhead (append to
+// the page cache before ack), fsync=interval adds the background flusher,
+// fsync=always pays one fdatasync per acknowledged write — the policy under
+// which kill -9 cannot lose an acked write, and the cost the README's
+// deployment section quotes.
+func BenchmarkDurable_Put(b *testing.B) {
+	cases := []struct {
+		name    string
+		durable bool
+		fsync   webobj.FsyncPolicy
+	}{
+		{"durability=off", false, webobj.FsyncOff},
+		{"fsync=off", true, webobj.FsyncOff},
+		{"fsync=interval", true, webobj.FsyncInterval},
+		{"fsync=always", true, webobj.FsyncAlways},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := []webobj.SystemOption{webobj.WithFabric(webobj.NewMemFabric(memnet.WithSeed(1)))}
+			if tc.durable {
+				opts = append(opts,
+					webobj.WithDataDir(b.TempDir()),
+					webobj.WithDurability(webobj.Durability{Fsync: tc.fsync}))
+			}
+			sys := webobj.NewSystem(opts...)
+			defer sys.Close()
+			server, err := sys.NewServer("www", webobj.WithStoreID(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			const obj = webobj.ObjectID("bench-durable")
+			if err := sys.Publish(server, obj, webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
+				b.Fatal(err)
+			}
+			doc, err := sys.Open(obj, webobj.At(server))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer doc.Close()
+			content := []byte("<h1>durable bench</h1>")
+			if err := doc.Put("index.html", content, "text/html"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := doc.Put("index.html", content, "text/html"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDurable_Recovery measures restart recovery: a durable store's
+// WAL is seeded with a fixed update tail once, then each iteration opens a
+// fresh system over the same data dir and times Publish — which replays
+// snapshot + WAL before the object serves. This is the downtime a crashed
+// daemon adds to its restart, the second number the README's deployment
+// section quotes.
+func BenchmarkDurable_Recovery(b *testing.B) {
+	const replayed = 512 // WAL update records replayed per recovery
+	dir := b.TempDir()
+	seed := webobj.NewSystem(
+		webobj.WithFabric(webobj.NewMemFabric(memnet.WithSeed(1))),
+		webobj.WithDataDir(dir),
+		// SnapshotEvery > the seeded tail keeps compaction out of the way:
+		// every iteration must replay all `replayed` records, not a snapshot.
+		webobj.WithDurability(webobj.Durability{Fsync: webobj.FsyncOff, SnapshotEvery: 4 * replayed}),
+	)
+	server, err := seed.NewServer("www", webobj.WithStoreID(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const obj = webobj.ObjectID("bench-recovery")
+	if err := seed.Publish(server, obj, webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
+		b.Fatal(err)
+	}
+	doc, err := seed.Open(obj, webobj.At(server))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < replayed; i++ {
+		if err := doc.Append("log.html", []byte("x;")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	doc.Close()
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := webobj.NewSystem(
+			webobj.WithFabric(webobj.NewMemFabric(memnet.WithSeed(1))),
+			webobj.WithDataDir(dir),
+			webobj.WithDurability(webobj.Durability{Fsync: webobj.FsyncOff, SnapshotEvery: 4 * replayed}),
+		)
+		sv, err := sys.NewServer("www", webobj.WithStoreID(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Publish(sv, obj, webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := sys.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(replayed, "ups_replay")
+}

@@ -24,13 +24,17 @@
 //	globectl -nameserver 127.0.0.1:7100 -object conf-page resolve
 //
 // The ctl subcommands drive a daemon's control address to host or drop
-// replicas at runtime:
+// replicas at runtime, or to inspect one replica's counters and durability
+// state (WAL size, last snapshot, recovery status):
 //
 //	globectl -ctl 127.0.0.1:7009 -object conf-page -session ryw ctl host
 //	globectl -ctl 127.0.0.1:7009 -object conf-page ctl drop
+//	globectl -ctl 127.0.0.1:7009 -object conf-page ctl stats
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -74,7 +78,7 @@ func run() error {
 			"  kv:     get|put|delete|keys\n" +
 			"  applog: append|len|entry|suffix\n" +
 			"  naming: resolve\n" +
-			"  daemon: ctl host | ctl drop")
+			"  daemon: ctl host | ctl drop | ctl stats")
 	}
 
 	models, err := webobj.ClientModelsByNames(*session)
@@ -106,7 +110,7 @@ func run() error {
 		return runResolve(sys, obj)
 	case "ctl":
 		if len(args) < 2 {
-			return fmt.Errorf("ctl needs a verb: host | drop")
+			return fmt.Errorf("ctl needs a verb: host | drop | stats")
 		}
 		if *ctlAddr == "" {
 			return fmt.Errorf("ctl subcommands need -ctl <daemon control address>")
@@ -129,6 +133,18 @@ func run() error {
 				req.Semantics = *semName
 				req.Strategy = *stratSpec
 			}
+		}
+		if args[1] == "stats" {
+			payload, err := ctl.CallPayload(req)
+			if err != nil {
+				return err
+			}
+			var pretty bytes.Buffer
+			if err := json.Indent(&pretty, payload, "", "  "); err != nil {
+				return err
+			}
+			fmt.Println(pretty.String())
+			return nil
 		}
 		if err := ctl.Call(req); err != nil {
 			return err

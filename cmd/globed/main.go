@@ -63,6 +63,9 @@ type manifest struct {
 	Digest      string      `json:"digest,omitempty"`
 	DemandRetry string      `json:"demand_retry,omitempty"`
 	MaxFrame    int         `json:"max_frame,omitempty"`
+	DataDir     string      `json:"data_dir,omitempty"`
+	Fsync       string      `json:"fsync,omitempty"`          // off | interval | always
+	FsyncEvery  string      `json:"fsync_interval,omitempty"` // flush cadence under "interval"
 	Stores      []storeSpec `json:"stores"`
 }
 
@@ -107,6 +110,9 @@ func run() error {
 		digest       = flag.Duration("digest", 0, "anti-entropy digest heartbeat interval (0 disables)")
 		demRetry     = flag.Duration("demand-retry", 0, "unanswered-demand re-request delay (0 = 50ms default, negative disables)")
 		maxFrame     = flag.Int("max-frame", 0, "per-peer inbound frame budget in bytes (0 = 16MiB cap); reject larger frames before allocation")
+		dataDir      = flag.String("data-dir", "", "directory for permanent stores' write-ahead logs; empty = memory-only (overrides the manifest's)")
+		fsync        = flag.String("fsync", "", "WAL flush policy: off | interval | always (overrides the manifest's)")
+		fsyncEvery   = flag.Duration("fsync-interval", 0, "flush cadence under -fsync interval (default 100ms)")
 	)
 	flag.Parse()
 
@@ -149,6 +155,12 @@ func run() error {
 	if *maxFrame != 0 {
 		m.MaxFrame = *maxFrame
 	}
+	if *dataDir != "" {
+		m.DataDir = *dataDir
+	}
+	if *fsync != "" {
+		m.Fsync = *fsync
+	}
 	digestIv, err := durationField(m.Digest, *digest)
 	if err != nil {
 		return fmt.Errorf("digest: %w", err)
@@ -165,6 +177,19 @@ func run() error {
 		webobj.WithFabric(webobj.NewTCPFabric("", webobj.WithMaxInboundFrame(m.MaxFrame))),
 		webobj.WithDigestInterval(digestIv),
 		webobj.WithDemandRetry(retryIv),
+	}
+	if m.DataDir != "" {
+		policy, err := webobj.ParseFsyncPolicy(m.Fsync)
+		if err != nil {
+			return err
+		}
+		syncIv, err := durationField(m.FsyncEvery, *fsyncEvery)
+		if err != nil {
+			return fmt.Errorf("fsync_interval: %w", err)
+		}
+		sysOpts = append(sysOpts,
+			webobj.WithDataDir(m.DataDir),
+			webobj.WithDurability(webobj.Durability{Fsync: policy, SyncInterval: syncIv}))
 	}
 	if m.NameServer != "" {
 		sysOpts = append(sysOpts, webobj.WithNameServer(strings.Split(m.NameServer, ",")...))
@@ -203,6 +228,13 @@ func run() error {
 	}
 	if m.NameServer != "" {
 		log.Printf("globed: registered with name server %s", m.NameServer)
+	}
+	if m.DataDir != "" {
+		policy := m.Fsync
+		if policy == "" {
+			policy = "off"
+		}
+		log.Printf("globed: durable permanent stores under %s (fsync=%s)", m.DataDir, policy)
 	}
 	if digestIv > 0 {
 		log.Printf("globed: digest heartbeats every %v (jittered)", digestIv)

@@ -226,4 +226,40 @@
 // tcpnet, demonstrable stall with heartbeats off), and tcpnet gained
 // Pause/Resume/AbortConns fault hooks plus a one-shot redial retry so the
 // first frame after a reconnect is not burned on a stale connection.
+//
+// # Durable stores: WAL, snapshot compaction, crash recovery
+//
+// A permanent store given a data directory (store Config.DataDir;
+// webobj.WithDataDir + WithDurability; globed -data-dir/-fsync) makes every
+// hosted object durable. The write-ahead log (internal/wal) IS the stamped
+// update log: before a write is acknowledged, its stamped update record is
+// appended, then its admission-watermark record — strictly in that order.
+// The order is load-bearing: a crash between the two leaves an update whose
+// admission is re-derived on replay (every durable update implies its own
+// admission), whereas the reverse order could ack a retry whose content was
+// lost and permanently stall that client's stream under the ordered models.
+// Every record is CRC-framed; recovery truncates the log at the first torn
+// record (counted in Stats.WALTornTail) rather than refusing to start.
+// Each SnapshotEvery records the log is compacted: full semantics state,
+// applied vector, admission watermarks, next global sequence, and the
+// children set are written to a temp file, fsynced, renamed over the old
+// snapshot, and the WAL truncated — crash-safe at every step because
+// replaying an already-snapshotted tail is absorbed by engine dedup.
+//
+// Restart replays snapshot + WAL, then runs recover-then-serve: if the log
+// recorded subscribed children, the store demands their update tails and
+// answers binds, reads, and writes with StatusRetry until every child
+// answers or RecoveryGrace expires — closing the fsync-policy loss window
+// from whichever replicas outlived the crash before accepting new work.
+// The fsync policy (off / interval / always) trades ack latency against
+// the crash-loss window; only "always" makes kill -9 lossless for
+// acknowledged writes, and at-most-once admission plus the replicated
+// write-sequence floor keep reused client identities exact across the
+// restart. The whole cycle is proven over real TCP by the kill -9 chaos
+// harness (internal/chaos RunCrash: crash the durable store mid-stream,
+// restart from disk on the same address, assert zero acked-write loss,
+// convergence, all four session guarantees, and the reused-identity
+// floor) and by scripts/smoke_e2e.sh part 3 at the daemon level; the
+// control RPC ("globectl ctl stats") exposes WAL size, snapshot vector,
+// recovery state, and replay counters at runtime.
 package repro

@@ -349,6 +349,10 @@ func baseStrategy(cfg Config) strategy.Strategy {
 type opCounts struct {
 	acked, retries, readsOK, readsFailed atomic.Int64
 	abort                                *atomic.Bool
+	// maxAttempts overrides appendToken's retry budget (0 = 40, sized for
+	// transient frame loss; the crash harness raises it because a store
+	// restart is a much longer outage than a dropped frame).
+	maxAttempts int
 }
 
 // appendToken appends one token, retrying on timeout. A retry reuses the
@@ -358,7 +362,11 @@ type opCounts struct {
 // store link before the permanent store accepted it.
 func appendToken(p *core.Proxy, page string, tok token, counts *opCounts, rec *recorder) bool {
 	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte(tok.String())})
-	for attempt := 0; attempt < 40 && !counts.abort.Load(); attempt++ {
+	budget := counts.maxAttempts
+	if budget == 0 {
+		budget = 40
+	}
+	for attempt := 0; attempt < budget && !counts.abort.Load(); attempt++ {
 		_, err := p.Invoke(msg.Invocation{Method: webdoc.MethodAppendPage, Page: page, Args: args})
 		if err == nil {
 			counts.acked.Add(1)
@@ -368,7 +376,7 @@ func appendToken(p *core.Proxy, page string, tok token, counts *opCounts, rec *r
 		time.Sleep(5 * time.Millisecond)
 	}
 	if !counts.abort.Load() {
-		rec.violatef("write %v to %s never acked after 40 attempts", tok, page)
+		rec.violatef("write %v to %s never acked after %d attempts", tok, page, budget)
 	}
 	return false
 }

@@ -1,0 +1,373 @@
+package replication
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/wal"
+)
+
+// This file is the durability side of the replication object: WAL append
+// hooks on the admission/ordering path, snapshot compaction, and
+// crash-restart recovery with the recover-then-serve gate (the pattern
+// nameserv peers proved: replay local state, anti-entropy the tail from
+// the stores that outlived the crash, answer StatusRetry meanwhile).
+
+// DurabilityInfo is a thread-unsafe snapshot of the durable-store state,
+// exported through store accessors and the control RPC.
+type DurabilityInfo struct {
+	// Durable reports whether this replica has a WAL at all.
+	Durable bool `json:"durable"`
+	// WALBytes / WALRecords measure the log tail since the last snapshot.
+	WALBytes   int64  `json:"wal_bytes"`
+	WALRecords uint64 `json:"wal_records"`
+	// LastSnapshot is the applied vector at the last compaction point (nil
+	// before the first snapshot).
+	LastSnapshot ids.VersionVec `json:"last_snapshot,omitempty"`
+	// Recovering reports whether the recover-then-serve gate is closed.
+	Recovering bool `json:"recovering"`
+	// RecoveryNanos is how long the last restart took from replay start to
+	// gate open (0 if never recovered).
+	RecoveryNanos uint64 `json:"recovery_nanos"`
+	// TornTail counts corrupt WAL tails truncated on recovery.
+	TornTail uint64 `json:"torn_tail"`
+}
+
+// Durability reports the durable-store state (event-loop only; stores wrap
+// it in a posted accessor).
+func (o *Object) Durability() DurabilityInfo {
+	info := DurabilityInfo{
+		Durable:       o.wal != nil,
+		Recovering:    o.recovering,
+		RecoveryNanos: o.stats.RecoveryNanos,
+		TornTail:      o.stats.WALTornTail,
+	}
+	if o.wal != nil {
+		info.WALBytes = o.wal.Size()
+		info.WALRecords = o.wal.Appends()
+	}
+	if o.lastSnapVec != nil {
+		info.LastSnapshot = o.lastSnapVec.Clone()
+	}
+	return info
+}
+
+// Recovering reports whether the recover-then-serve gate is still closed.
+func (o *Object) Recovering() bool { return o.recovering }
+
+// --- append hooks ------------------------------------------------------------
+
+// submitLogged is engine.Submit for durable replicas: the stamped update is
+// appended to the WAL before it meets the engine, because the write ack goes
+// out even when the engine only buffers the update — logging at apply time
+// would lose acknowledged-but-buffered writes across a crash. Updates the
+// engine already covers are not re-logged (the engines deduplicate them
+// anyway), which keeps demand replays and link duplicates out of the log.
+func (o *Object) submitLogged(u *coherence.Update) []*coherence.Update {
+	if o.wal != nil && !o.walReplaying && !o.engine.Covers(u.Write) {
+		if err := o.wal.AppendUpdate(u); err == nil {
+			o.walAfterAppend()
+		}
+	}
+	return o.engine.Submit(u)
+}
+
+// walAppendAdmit logs one admission decision (watermark/holes transition),
+// so a replayed request that was admitted-but-unacked before the crash is
+// recognised as a replay after it. Ordering invariant: callers append the
+// admission AFTER the stamped update record it admitted. A crash between
+// the two then leaves update-without-admit — recoverable, because recovery
+// seeds the watermark from update records too — never admit-without-update,
+// which would make a restarted store ack a retry whose content it lost and
+// stall the client's stream under the ordered models.
+func (o *Object) walAppendAdmit(c ids.ClientID, seq uint64) {
+	if o.wal == nil || o.walReplaying {
+		return
+	}
+	if err := o.wal.AppendAdmit(c, seq); err == nil {
+		o.walAfterAppend()
+	}
+}
+
+// walAppendChild logs a children-set change, so a restarted store knows whom
+// to anti-entropy from (and push to) before any new subscribe arrives.
+func (o *Object) walAppendChild(addr string, remove bool) {
+	if o.wal == nil || o.walReplaying {
+		return
+	}
+	if err := o.wal.AppendChild(addr, remove); err == nil {
+		o.walAfterAppend()
+	}
+}
+
+// walAfterAppend is the common post-append accounting: stats and the
+// interval-fsync timer.
+func (o *Object) walAfterAppend() {
+	o.stats.WALAppends++
+	if o.walPolicy == wal.SyncInterval && !o.walSyncArmed && o.walSyncInterval > 0 {
+		o.walSyncArmed = true
+		o.walSyncTimer = o.env.AfterFunc(o.walSyncInterval, func() {
+			o.walSyncArmed = false
+			if o.closed || o.wal == nil {
+				return
+			}
+			_ = o.wal.Sync()
+		})
+	}
+}
+
+// walBarrier makes every appended record stable before an ack leaves, under
+// the always policy. Called on the ack path; a no-op otherwise.
+func (o *Object) walBarrier() {
+	if o.wal != nil && o.walPolicy == wal.SyncAlways {
+		_ = o.wal.Sync()
+	}
+}
+
+// --- snapshot compaction -----------------------------------------------------
+
+// maybeCompact snapshots when the log tail has grown past the threshold and
+// nothing is buffered (a buffered update's only durable copy is the log, so
+// truncating under it would lose it).
+func (o *Object) maybeCompact() {
+	if o.wal == nil || o.walReplaying || o.snapshotEvery <= 0 {
+		return
+	}
+	if o.wal.Appends() < uint64(o.snapshotEvery) || o.engine.Pending() > 0 {
+		return
+	}
+	_ = o.compact()
+}
+
+// Compact forces a snapshot compaction now (tests, control surfaces).
+func (o *Object) Compact() error {
+	if o.wal == nil {
+		return errors.New("replication: replica is not durable")
+	}
+	if o.engine.Pending() > 0 {
+		return errors.New("replication: updates still buffered; their only durable copy is the log")
+	}
+	return o.compact()
+}
+
+func (o *Object) compact() error {
+	state, err := o.env.Snapshot()
+	if err != nil {
+		return err
+	}
+	snap := &wal.Snapshot{
+		State:      state,
+		Applied:    o.applied(),
+		NextGlobal: o.nextGlobal,
+		Lamport:    o.lamport.Now(),
+		Children:   o.Children(),
+	}
+	if g := o.engine.Global(); g > snap.NextGlobal {
+		snap.NextGlobal = g
+	}
+	for c, rec := range o.stamped {
+		a := wal.ClientAdmission{Client: c, Max: rec.max}
+		for h := range rec.holes {
+			a.Holes = append(a.Holes, h)
+		}
+		snap.Stamped = append(snap.Stamped, a)
+	}
+	if err := o.wal.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	o.lastSnapVec = snap.Applied.Clone()
+	o.stats.WALSnapshots++
+	return nil
+}
+
+// --- recovery ----------------------------------------------------------------
+
+// recover replays snapshot + WAL tail through the normal machinery (New
+// calls it on the owning event loop, before any message is dispatched):
+// the snapshot seeds semantics state, the engine, the sequencer, the Lamport
+// clock, the admission map, and the children set; the log tail then re-runs
+// through the engine exactly as live traffic would, skipping semantics
+// re-apply for writes whose content the snapshot already contains (the
+// reapplyBeyond rule). If children outlived the crash, the gate closes until
+// they answer one anti-entropy round or the grace period expires.
+func (o *Object) recover(rec *wal.Recovery) {
+	start := o.env.Now()
+	o.walReplaying = true
+	var snapVec msg.Vec
+	if s := rec.Snapshot; s != nil {
+		if len(s.State) > 0 {
+			_ = o.env.ApplyFull(s.State)
+		}
+		o.engine.Seed(s.Applied, s.NextGlobal)
+		o.fetchVec.Merge(s.Applied)
+		snapVec = msg.VecFrom(s.Applied)
+		o.lastSnapVec = s.Applied.Clone()
+		o.lamport.Witness(s.Lamport)
+		if s.NextGlobal > o.nextGlobal {
+			o.nextGlobal = s.NextGlobal
+		}
+		for _, a := range s.Stamped {
+			sr := &stampedSeqs{max: a.Max}
+			for _, h := range a.Holes {
+				if sr.holes == nil {
+					sr.holes = make(map[uint64]bool, len(a.Holes))
+				}
+				sr.holes[h] = true
+			}
+			o.stamped[a.Client] = sr
+		}
+		for _, c := range s.Children {
+			o.children[c] = true
+		}
+	}
+	for _, r := range rec.Records {
+		switch {
+		case r.Update != nil:
+			u := r.Update
+			// Every durable update implies its own admission (the separate
+			// admit record may have missed the crash), so the watermark
+			// classifies post-restart retries of it as replays.
+			o.admitSeq(u.Write.Client, u.Write.Seq)
+			o.lamport.Witness(u.Stamp.Time)
+			if u.GlobalSeq >= o.nextGlobal {
+				o.nextGlobal = u.GlobalSeq + 1
+			}
+			for _, ru := range o.engine.Submit(u) {
+				if !snapVec.CoversWrite(ru.Write) {
+					if err := o.env.ApplyOp(ru); err != nil {
+						o.stats.ReadsFailed++
+					}
+				}
+				o.stats.UpdatesApplied++
+				o.appendLog(ru)
+			}
+			o.stats.WALReplayed++
+		case r.Admit != nil:
+			// Re-run the original admission so the watermark/holes state —
+			// including the not-yet-logged-as-update case (crash between
+			// admission and submit) — matches the pre-crash store.
+			o.admitSeq(r.Admit.Client, r.Admit.Seq)
+		case r.Child != nil:
+			if r.Child.Remove {
+				delete(o.children, r.Child.Addr)
+			} else {
+				o.children[r.Child.Addr] = true
+			}
+		}
+	}
+	// A sequencer seeded only from replay must still clear the engine's own
+	// high-water mark (sequential model: buffered updates count too).
+	if g := o.engine.Global(); g > o.nextGlobal {
+		o.nextGlobal = g
+	}
+	o.stats.WALTornTail += rec.TornTail
+	o.markDigestStale()
+	o.walReplaying = false
+	o.recoverStart = start
+	o.stats.RecoveryNanos = uint64(o.env.Now().Sub(start))
+	if len(o.children) == 0 {
+		return // nobody outlived us who could know more; serve immediately
+	}
+	// Recover-then-serve: disk holds everything acknowledged (fsync policy
+	// permitting), but the children may have seen writes we acked and lost
+	// (fsync off/interval) or state we disseminated right before the crash.
+	// Demand the tail from every known child behind a StatusRetry gate.
+	o.recovering = true
+	o.recoverPending = make(map[string]bool, len(o.children))
+	for c := range o.children {
+		o.recoverPending[c] = true
+	}
+	o.sendRecoveryDemands()
+	o.armRecoveryRetry()
+	grace := o.recoveryGrace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	o.recoverGraceTimer = o.env.AfterFunc(grace, func() {
+		// Children unreachable (maybe they crashed too): serve what disk
+		// had rather than blocking forever.
+		o.finishRecovery()
+	})
+}
+
+// sendRecoveryDemands asks every still-pending child for updates beyond our
+// recovered applied vector, through the ordinary demand path.
+func (o *Object) sendRecoveryDemands() {
+	for c := range o.recoverPending {
+		o.stats.DemandsSent++
+		o.send(c, &msg.Message{
+			Kind:  msg.KindDemandUpdate,
+			From:  o.addr,
+			Store: o.self,
+			VVec:  o.appliedVec(),
+		})
+	}
+}
+
+// armRecoveryRetry re-demands from unanswered children on the demand-retry
+// cadence, bounded like any demand cycle.
+func (o *Object) armRecoveryRetry() {
+	if o.closed || !o.recovering {
+		return
+	}
+	d := o.demandRetry
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	o.recoverRetryTimer = o.env.AfterFunc(d, func() {
+		if o.closed || !o.recovering {
+			return
+		}
+		o.recoverRetries++
+		if o.recoverRetries > maxDemandRetries {
+			o.finishRecovery()
+			return
+		}
+		o.sendRecoveryDemands()
+		o.armRecoveryRetry()
+	})
+}
+
+// gateRecovering intercepts traffic while the gate is closed: client reads
+// and writes bounce with StatusRetry (their proxies retry), and a coherence
+// response from a pending child marks it answered — the last one opens the
+// gate. It reports whether the message was fully consumed.
+func (o *Object) gateRecovering(m *msg.Message) bool {
+	switch m.Kind {
+	case msg.KindReadRequest, msg.KindWriteRequest:
+		o.replyErr(m, msg.StatusRetry, "store recovering from restart")
+		return true
+	case msg.KindUpdate, msg.KindUpdateBatch, msg.KindUpdateAck, msg.KindStateReply:
+		if o.recoverPending[m.From] {
+			delete(o.recoverPending, m.From)
+			if len(o.recoverPending) == 0 {
+				// Single-threaded: the answer itself is processed right
+				// after this returns, before any other message can slip
+				// through the opened gate.
+				o.finishRecovery()
+			}
+		}
+	}
+	return false
+}
+
+// finishRecovery opens the gate and stamps the recovery duration.
+func (o *Object) finishRecovery() {
+	if !o.recovering {
+		return
+	}
+	o.recovering = false
+	o.recoverPending = nil
+	if o.recoverGraceTimer != nil {
+		o.recoverGraceTimer.Stop()
+	}
+	if o.recoverRetryTimer != nil {
+		o.recoverRetryTimer.Stop()
+	}
+	o.stats.RecoveryNanos = uint64(o.env.Now().Sub(o.recoverStart))
+	o.markDigestStale()
+	o.reconsiderParked()
+}

@@ -18,6 +18,9 @@ func (o *Object) Handle(m *msg.Message) {
 	if o.closed {
 		return
 	}
+	if o.recovering && o.gateRecovering(m) {
+		return
+	}
 	switch m.Kind {
 	case msg.KindReadRequest:
 		o.onRead(m)
@@ -251,6 +254,7 @@ func (o *Object) serveOrFetchParked(p *parkedRead) {
 func (o *Object) onWrite(m *msg.Message) {
 	if o.role != RolePermanent {
 		if o.strat.Model == coherence.Eventual {
+			freshAdmission := false
 			if m.Stamp.Zero() {
 				if o.replayedUnstamped(m) {
 					// Already stamped here once; a second stamp would win
@@ -274,12 +278,16 @@ func (o *Object) onWrite(m *msg.Message) {
 					o.ackWrite(m)
 					return
 				}
+				freshAdmission = true
 				m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
 			} else {
 				o.lamport.Witness(m.Stamp.Time)
 			}
 			u := updateFromMsg(m)
-			o.applyReleased(o.engine.Submit(u))
+			o.applyReleased(o.submitLogged(u))
+			if freshAdmission {
+				o.walAppendAdmit(m.Write.Client, m.Write.Seq)
+			}
 			// Ack immediately: eventual coherence promises no more.
 			o.ackWrite(m)
 			// Continue propagation towards the permanent store.
@@ -327,11 +335,13 @@ func (o *Object) onWrite(m *msg.Message) {
 	// write that was merely overtaken in flight — the engines' own applied
 	// vectors cannot, since the sequential, FIFO, and eventual ones all
 	// jump per-client gaps.
+	freshAdmission := false
 	if m.Stamp.Zero() {
 		if o.replayedUnstamped(m) {
 			o.ackWrite(m)
 			return
 		}
+		freshAdmission = true
 		m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
 	} else {
 		o.lamport.Witness(m.Stamp.Time)
@@ -342,7 +352,13 @@ func (o *Object) onWrite(m *msg.Message) {
 		o.nextGlobal++
 	}
 	o.stats.WritesAccepted++
-	released := o.engine.Submit(u)
+	released := o.submitLogged(u)
+	if freshAdmission {
+		// The admission record lands AFTER its update record (see
+		// walAppendAdmit): a crash between the two appends leaves the
+		// update durable, and recovery seeds the watermark from it.
+		o.walAppendAdmit(m.Write.Client, m.Write.Seq)
+	}
 	if len(released) == 0 && o.engine.Pending() > 0 {
 		o.stats.UpdatesBuffered++
 	}
@@ -353,8 +369,11 @@ func (o *Object) onWrite(m *msg.Message) {
 	o.reconsiderParked()
 }
 
-// ackWrite sends the OK write reply for m.
+// ackWrite sends the OK write reply for m. On a durable replica under the
+// always policy, everything logged for this write reaches disk first: an
+// acknowledged write survives even kill -9 between ack and the next flush.
 func (o *Object) ackWrite(m *msg.Message) {
+	o.walBarrier()
 	r := m.Reply(msg.KindWriteReply)
 	r.From = o.addr
 	r.Store = o.self
@@ -393,8 +412,17 @@ const maxStampedClients = 4096
 // ack-loss retry) that must not be stamped again; a recorded hole is a
 // genuinely new write that was merely overtaken in flight. Forwarded
 // store-to-store traffic is already stamped and never reaches this check.
+// Fresh admissions are WAL-logged on durable replicas — by the CALLER,
+// after the stamped update record — so the same distinction survives a
+// restart (recovery replays both through admitSeq).
 func (o *Object) replayedUnstamped(m *msg.Message) bool {
-	c, seq := m.Write.Client, m.Write.Seq
+	return o.admitSeq(m.Write.Client, m.Write.Seq)
+}
+
+// admitSeq is the watermark/holes state machine behind replayedUnstamped,
+// shared with WAL recovery (which must re-run admissions without re-logging
+// them).
+func (o *Object) admitSeq(c ids.ClientID, seq uint64) bool {
 	u := o.stamped[c]
 	if u == nil {
 		if len(o.stamped) >= maxStampedClients {
@@ -506,6 +534,7 @@ func (o *Object) applyReleased(released []*coherence.Update) {
 	if len(released) > 0 {
 		o.reconsiderParked()
 	}
+	o.maybeCompact()
 }
 
 // reapplyBeyond re-applies logged updates the snapshot vector does not
@@ -836,7 +865,7 @@ func (o *Object) onUpdateBatch(m *msg.Message) {
 // submitOp runs one operation update through the ordering engine and applies
 // whatever it releases.
 func (o *Object) submitOp(u *coherence.Update) {
-	released := o.engine.Submit(u)
+	released := o.submitLogged(u)
 	if len(released) == 0 && o.engine.Pending() > 0 {
 		o.stats.UpdatesBuffered++
 		// A gap was detected. Under object-outdate = demand the store
@@ -1197,7 +1226,13 @@ func (o *Object) onSubscribe(m *msg.Message) {
 	// The child address is retained for the replica's lifetime; clone it so
 	// a zero-copy decoded string does not pin its transport frame (tcpnet
 	// handoff chunks, memnet wire buffers) for that long.
-	o.children[strings.Clone(m.From)] = true
+	if child := strings.Clone(m.From); !o.children[child] {
+		o.children[child] = true
+		// Durable stores log the children set: a restarted permanent store
+		// anti-entropies the tail from exactly these addresses before
+		// serving (see recover).
+		o.walAppendChild(child, false)
+	}
 	snap, err := o.env.Snapshot()
 	if err != nil {
 		return
@@ -1243,7 +1278,10 @@ func (o *Object) onSubscribeAck(m *msg.Message) {
 // onUnsubscribe removes a departing child from the children set (the
 // drop-replica control path); further dissemination skips it.
 func (o *Object) onUnsubscribe(m *msg.Message) {
-	delete(o.children, m.From)
+	if o.children[m.From] {
+		delete(o.children, m.From)
+		o.walAppendChild(m.From, true)
+	}
 }
 
 // SubscribeToParent initiates the child->parent subscription and arms the

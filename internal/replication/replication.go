@@ -24,6 +24,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/strategy"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 )
 
 // Role is the store class hosting this replication object (Figure 2).
@@ -106,6 +107,11 @@ type Stats struct {
 	DigestsRecv     uint64 // heartbeat digests received
 	DigestDemands   uint64 // demands triggered by a heartbeat gap
 	SubscribesSent  uint64 // subscribe frames sent (1 + retries + re-subscribes)
+	WALAppends      uint64 // records appended to the write-ahead log
+	WALSnapshots    uint64 // snapshot compactions written
+	WALReplayed     uint64 // update records replayed from disk on recovery
+	WALTornTail     uint64 // corrupt WAL tails truncated on recovery
+	RecoveryNanos   uint64 // last restart: replay start to serve gate open
 }
 
 // parkedRead is a read waiting for coherence (requirement vector), state
@@ -250,6 +256,26 @@ type Object struct {
 	demandEpoch      uint64
 	demandRetries    int
 
+	// Durability (permanent stores with a data dir; see durable.go). wal
+	// is nil on memory-only replicas and every hook is a no-op.
+	wal             *wal.Log
+	walPolicy       wal.Policy
+	walSyncInterval time.Duration
+	walSyncArmed    bool
+	walSyncTimer    clock.Timer
+	walReplaying    bool
+	snapshotEvery   int
+	lastSnapVec     ids.VersionVec
+
+	// Recover-then-serve gate state (see recover/gateRecovering).
+	recovering        bool
+	recoverPending    map[string]bool
+	recoverStart      time.Time
+	recoverRetries    int
+	recoveryGrace     time.Duration
+	recoverGraceTimer clock.Timer
+	recoverRetryTimer clock.Timer
+
 	parked      []*parkedRead
 	readTimeout time.Duration
 	// revalEpoch counts coherence responses received from the parent
@@ -287,6 +313,26 @@ type Config struct {
 	// Zero or negative disables heartbeats (the default — benchmarks and
 	// lossless deployments pay nothing).
 	DigestInterval time.Duration
+
+	// WAL, when set, makes the replica durable: stamped updates, admission
+	// decisions, and children changes are logged before acks, and snapshot
+	// compaction runs every SnapshotEvery records. The object owns the log
+	// from here on (Close closes it).
+	WAL *wal.Log
+	// Recovered is the state wal.Open reconstructed from disk; New replays
+	// it before the replica sees any traffic.
+	Recovered *wal.Recovery
+	// WALSync is the fsync policy (default wal.SyncOff).
+	WALSync wal.Policy
+	// WALSyncInterval is the flush cadence under wal.SyncInterval
+	// (default 100ms).
+	WALSyncInterval time.Duration
+	// SnapshotEvery is the WAL record count that triggers compaction
+	// (default 1024).
+	SnapshotEvery int
+	// RecoveryGrace bounds the recover-then-serve gate when recovered
+	// children never answer the anti-entropy demands (default 2s).
+	RecoveryGrace time.Duration
 }
 
 // New builds the replication object, choosing the ordering engine from the
@@ -361,6 +407,22 @@ func New(cfg Config) (*Object, error) {
 		o.digestRNG = rand.New(rand.NewSource(int64(h.Sum64()) ^ int64(cfg.Self)<<32))
 		o.digestStale = true
 	}
+	if cfg.WAL != nil {
+		o.wal = cfg.WAL
+		o.walPolicy = cfg.WALSync
+		o.walSyncInterval = cfg.WALSyncInterval
+		if o.walSyncInterval <= 0 {
+			o.walSyncInterval = 100 * time.Millisecond
+		}
+		o.snapshotEvery = cfg.SnapshotEvery
+		if o.snapshotEvery == 0 {
+			o.snapshotEvery = 1024
+		}
+		o.recoveryGrace = cfg.RecoveryGrace
+		if cfg.Recovered != nil {
+			o.recover(cfg.Recovered)
+		}
+	}
 	return o, nil
 }
 
@@ -405,6 +467,19 @@ func (o *Object) Close() {
 	}
 	if o.demandRetryTimer != nil {
 		o.demandRetryTimer.Stop()
+	}
+	if o.walSyncTimer != nil {
+		o.walSyncTimer.Stop()
+	}
+	if o.recoverGraceTimer != nil {
+		o.recoverGraceTimer.Stop()
+	}
+	if o.recoverRetryTimer != nil {
+		o.recoverRetryTimer.Stop()
+	}
+	if o.wal != nil {
+		_ = o.wal.Close()
+		o.wal = nil
 	}
 	for _, p := range o.parked {
 		o.replyErr(p.m, msg.StatusRetry, "store closing")

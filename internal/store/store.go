@@ -14,6 +14,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"net/url"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/semantics"
 	"repro/internal/strategy"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // ErrClosed reports an operation on a closed store.
@@ -51,6 +54,26 @@ type Config struct {
 	// behind silent tail-loss or a healed partition demands the gap instead
 	// of waiting for new traffic. Zero disables heartbeats (the default).
 	DigestInterval time.Duration
+	// DataDir, when set on a permanent store, makes every hosted replica
+	// durable: a per-object write-ahead log + snapshot under
+	// <DataDir>/store-<ID>/<object>/, replayed on restart. Ignored on
+	// mirror/cache roles (their state is reconstructible from the parent).
+	DataDir string
+	// Durability tunes the WAL when DataDir is set.
+	Durability Durability
+}
+
+// Durability tunes a durable store's write-ahead log.
+type Durability struct {
+	// Fsync is the flush policy (wal.SyncOff / SyncInterval / SyncAlways).
+	Fsync wal.Policy
+	// SyncInterval is the flush cadence under SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	// SnapshotEvery is the WAL record count between snapshot compactions
+	// (default 1024; negative disables compaction).
+	SnapshotEvery int
+	// RecoveryGrace bounds the restart anti-entropy gate (default 2s).
+	RecoveryGrace time.Duration
 }
 
 // replica is one hosted local object.
@@ -130,7 +153,7 @@ func (s *Store) Host(hc HostConfig) error {
 			return
 		}
 		env := &replicaEnv{store: s, ctrl: ctrl}
-		ro, err := replication.New(replication.Config{
+		rc := replication.Config{
 			Env:            env,
 			Object:         hc.Object,
 			Self:           s.cfg.ID,
@@ -142,8 +165,26 @@ func (s *Store) Host(hc HostConfig) error {
 			ReadTimeout:    s.cfg.ReadTimeout,
 			DemandRetry:    s.cfg.DemandRetry,
 			DigestInterval: s.cfg.DigestInterval,
-		})
+		}
+		if s.cfg.DataDir != "" && s.cfg.Role == replication.RolePermanent {
+			wlog, recovered, err := wal.Open(s.walDir(hc.Object))
+			if err != nil {
+				errCh <- fmt.Errorf("store %d: opening wal for %q: %w", s.cfg.ID, hc.Object, err)
+				return
+			}
+			d := s.cfg.Durability
+			rc.WAL = wlog
+			rc.Recovered = recovered
+			rc.WALSync = d.Fsync
+			rc.WALSyncInterval = d.SyncInterval
+			rc.SnapshotEvery = d.SnapshotEvery
+			rc.RecoveryGrace = d.RecoveryGrace
+		}
+		ro, err := replication.New(rc)
 		if err != nil {
+			if rc.WAL != nil {
+				_ = rc.WAL.Close()
+			}
 			errCh <- err
 			return
 		}
@@ -157,6 +198,13 @@ func (s *Store) Host(hc HostConfig) error {
 		return ErrClosed
 	}
 	return <-errCh
+}
+
+// walDir is the durable directory for one replica:
+// <DataDir>/store-<ID>/<escaped object>.
+func (s *Store) walDir(object ids.ObjectID) string {
+	return filepath.Join(s.cfg.DataDir,
+		fmt.Sprintf("store-%d", s.cfg.ID), url.PathEscape(string(object)))
 }
 
 // Unhost removes a hosted replica at runtime: it unsubscribes from the
@@ -259,6 +307,59 @@ func (s *Store) Close() error {
 	return nil
 }
 
+// Crash stops the event loop abruptly WITHOUT closing replicas: timers are
+// abandoned, WALs are neither flushed nor closed — the in-process analogue
+// of kill -9 for crash-recovery tests. The endpoint (owned by the caller)
+// should be torn down around it.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+}
+
+// Compact forces a snapshot compaction of a durable replica (tests, control
+// surfaces).
+func (s *Store) Compact(object ids.ObjectID) error {
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		errCh <- r.repl.Compact()
+	})
+	if !posted {
+		return ErrClosed
+	}
+	return <-errCh
+}
+
+// Durability reports the durable-store state of a hosted replica.
+func (s *Store) Durability(object ids.ObjectID) (replication.DurabilityInfo, error) {
+	var out replication.DurabilityInfo
+	errCh := make(chan error, 1)
+	posted := s.post(func() {
+		r, ok := s.replicas[object]
+		if !ok {
+			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
+			return
+		}
+		out = r.repl.Durability()
+		errCh <- nil
+	})
+	if !posted {
+		return out, ErrClosed
+	}
+	return out, <-errCh
+}
+
 // post schedules f on the event loop; reports false if the store is closed.
 func (s *Store) post(f func()) bool {
 	select {
@@ -324,6 +425,12 @@ func (s *Store) onBind(m *msg.Message) {
 	case !ok:
 		r.Status = msg.StatusNotFound
 		r.Err = string(m.Object) + " not hosted"
+	case rep.repl.Recovering():
+		// Recover-then-serve: no new binds until the restarted replica has
+		// anti-entropied the tail from its children (clients back off and
+		// retry, like any StatusRetry).
+		r.Status = msg.StatusRetry
+		r.Err = "store recovering from restart"
 	case m.Sem != "" && rep.sem != "" && m.Sem != rep.sem:
 		r.Status = msg.StatusError
 		r.Err = fmt.Sprintf("semantics mismatch: object %q is %s, client bound a %s handle",

@@ -1,0 +1,269 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+)
+
+func mkUpdate(c ids.ClientID, seq uint64) *coherence.Update {
+	return &coherence.Update{
+		Write:     ids.WiD{Client: c, Seq: seq},
+		GlobalSeq: seq,
+		Stamp:     vclock.Stamp{Time: seq * 10, Client: c},
+		Deps:      vclock.VC{c: seq},
+		Inv:       msg.Invocation{Method: 4, Page: "p", Args: []byte("x")},
+		WallNanos: 42,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.TornTail != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	if err := l.AppendAdmit(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendUpdate(mkUpdate(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendChild("store/1.2.3.4:99", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendChild("store/1.2.3.4:99", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Appends(); got != 4 {
+		t.Fatalf("Appends = %d, want 4", got)
+	}
+	if l.Size() <= 0 {
+		t.Fatal("Size not tracked")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec2.TornTail != 0 {
+		t.Fatalf("TornTail = %d on clean log", rec2.TornTail)
+	}
+	if len(rec2.Records) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(rec2.Records))
+	}
+	if a := rec2.Records[0].Admit; a == nil || a.Client != 3 || a.Seq != 1 {
+		t.Fatalf("record 0 = %+v, want admit c3#1", rec2.Records[0])
+	}
+	u := rec2.Records[1].Update
+	if u == nil {
+		t.Fatalf("record 1 = %+v, want update", rec2.Records[1])
+	}
+	want := mkUpdate(3, 1)
+	if u.Write != want.Write || u.GlobalSeq != want.GlobalSeq || u.Stamp != want.Stamp ||
+		u.Inv.Page != want.Inv.Page || string(u.Inv.Args) != string(want.Inv.Args) ||
+		u.Deps[3] != 1 || u.WallNanos != 42 {
+		t.Fatalf("update round-trip mismatch: %+v", u)
+	}
+	if c := rec2.Records[2].Child; c == nil || c.Addr != "store/1.2.3.4:99" || c.Remove {
+		t.Fatalf("record 2 = %+v", rec2.Records[2])
+	}
+	if c := rec2.Records[3].Child; c == nil || !c.Remove {
+		t.Fatalf("record 3 = %+v", rec2.Records[3])
+	}
+}
+
+// A crash mid-append leaves a torn tail: recovery must keep the valid
+// prefix, truncate the tear, and count it.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.AppendUpdate(mkUpdate(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last record in half.
+	torn := data[:len(data)-len(data)/6]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornTail != 1 {
+		t.Fatalf("TornTail = %d, want 1", rec.TornTail)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(rec.Records))
+	}
+	// The log must be appendable again and recover cleanly afterwards.
+	if err := l2.AppendUpdate(mkUpdate(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.TornTail != 0 || len(rec3.Records) != 3 {
+		t.Fatalf("after repair: torn=%d records=%d, want 0/3", rec3.TornTail, len(rec3.Records))
+	}
+}
+
+// A flipped byte mid-log fails that record's CRC; everything from it on is
+// dropped (we cannot trust record framing past a corrupt length/payload).
+func TestFlippedByteTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.AppendAdmit(7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(data) / 3
+	data[recLen+7] ^= 0xff // inside the second record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornTail != 1 || len(rec.Records) != 1 {
+		t.Fatalf("torn=%d records=%d, want 1/1", rec.TornTail, len(rec.Records))
+	}
+	if a := rec.Records[0].Admit; a == nil || a.Seq != 1 {
+		t.Fatalf("surviving record = %+v", rec.Records[0])
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := l.AppendUpdate(mkUpdate(2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := &Snapshot{
+		State:      []byte("full-state"),
+		Applied:    ids.VersionVec{2: 5},
+		NextGlobal: 6,
+		Lamport:    50,
+		Stamped:    []ClientAdmission{{Client: 2, Max: 5, Holes: []uint64{3}}},
+		Children:   []string{"store/kid:1"},
+	}
+	if err := l.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appends() != 0 || l.Size() != 0 {
+		t.Fatalf("log not reset after snapshot: appends=%d size=%d", l.Appends(), l.Size())
+	}
+	// Tail past the snapshot.
+	if err := l.AppendUpdate(mkUpdate(2, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot
+	if s == nil {
+		t.Fatal("snapshot not recovered")
+	}
+	if string(s.State) != "full-state" || s.Applied[2] != 5 || s.NextGlobal != 6 || s.Lamport != 50 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	if len(s.Stamped) != 1 || s.Stamped[0].Max != 5 || len(s.Stamped[0].Holes) != 1 {
+		t.Fatalf("admission state mismatch: %+v", s.Stamped)
+	}
+	if len(s.Children) != 1 || s.Children[0] != "store/kid:1" {
+		t.Fatalf("children mismatch: %+v", s.Children)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Update == nil || rec.Records[0].Update.Write.Seq != 6 {
+		t.Fatalf("tail mismatch: %+v", rec.Records)
+	}
+}
+
+// A corrupt snapshot file must not fail recovery: it counts as torn and the
+// log alone recovers.
+func TestCorruptSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(&Snapshot{State: []byte("s"), Applied: ids.VersionVec{1: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAdmit(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "snapshot")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil {
+		t.Fatal("corrupt snapshot was believed")
+	}
+	if rec.TornTail != 1 || len(rec.Records) != 1 {
+		t.Fatalf("torn=%d records=%d, want 1/1", rec.TornTail, len(rec.Records))
+	}
+}

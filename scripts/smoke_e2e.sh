@@ -9,6 +9,11 @@
 # daemons. globectl reaches every object purely through name resolution (no
 # -store), the resolve subcommand prints the record, and a replica added at
 # runtime through the control RPC becomes resolvable and serves reads.
+#
+# Part 3 (durability): a durable daemon (-data-dir, -fsync always) is
+# SIGKILLed in the middle of a globectl append stream and restarted from
+# disk; every append that was acknowledged before the kill must still be
+# readable, and ctl stats must report the recovery.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -162,4 +167,72 @@ if [ "$GOTKV" != "TAOCP" ]; then
     exit 1
 fi
 
-echo "smoke_e2e: OK (legacy pair + name-server topology: globens at $NS, multi-object daemons, runtime replica via control RPC)"
+echo "smoke_e2e: part 2 OK (globens at $NS, multi-object daemons, runtime replica via control RPC)"
+
+# ---- Part 3: durability — SIGKILL mid-append-stream, restart from disk -------
+PORT_E="${PORT_E:-7415}"
+PORT_ECTL="${PORT_ECTL:-7416}"
+DATA="$BIN/data"
+DUR=dur-doc
+
+start_durable() {
+    "$BIN/globed" -listen "127.0.0.1:$PORT_E" -control "127.0.0.1:$PORT_ECTL" \
+        -object $DUR -role permanent -strategy conference -id 9 \
+        -data-dir "$DATA" -fsync always &
+    DUR_PID=$!
+    wait_port "$PORT_E"
+}
+start_durable
+
+# Warm-up: a synchronously acked prefix (every ack is fsynced before it is
+# sent, so all of these must survive the kill).
+for i in $(seq 1 10); do
+    "$BIN/globectl" -store "127.0.0.1:$PORT_E" -object $DUR -client 301 \
+        append log.html "L$i;" >/dev/null
+done
+
+# Mid-stream kill: a background writer keeps appending (same pinned client,
+# so each invocation resumes the identity's write sequence from the bind
+# reply) and records exactly which appends were acknowledged; the daemon is
+# SIGKILLed under it.
+: > "$BIN/acked.txt"
+(
+    for i in $(seq 11 200); do
+        if "$BIN/globectl" -store "127.0.0.1:$PORT_E" -object $DUR -client 301 \
+            append log.html "L$i;" >/dev/null 2>&1; then
+            echo "$i" >> "$BIN/acked.txt"
+        else
+            exit 0 # daemon is gone — the stream ends mid-flight
+        fi
+    done
+) &
+WRITER=$!
+sleep 0.7
+kill -9 "$DUR_PID"
+wait "$WRITER" 2>/dev/null || true
+
+# Restart from disk alone and read the page back.
+start_durable
+GOT3=""
+for _ in $(seq 1 50); do
+    GOT3="$("$BIN/globectl" -store "127.0.0.1:$PORT_E" -object $DUR -client 302 \
+        get log.html 2>/dev/null || true)"
+    [ -n "$GOT3" ] && break
+    sleep 0.1
+done
+for i in $(seq 1 10) $(cat "$BIN/acked.txt"); do
+    if ! printf '%s' "$GOT3" | grep -q "L$i;"; then
+        echo "smoke_e2e: FAIL: acked append L$i; lost across SIGKILL (content $(printf %q "$GOT3"))" >&2
+        exit 1
+    fi
+done
+
+# The control RPC reports the durable state and the replay that just ran.
+STATS="$("$BIN/globectl" -ctl "127.0.0.1:$PORT_ECTL" -object $DUR ctl stats)"
+echo "$STATS" | grep -q '"durable": true'
+echo "$STATS" | grep -Eq '"WALReplayed": [1-9]'
+
+N_ACKED=$(wc -l < "$BIN/acked.txt")
+echo "smoke_e2e: part 3 OK (SIGKILL after $((10 + N_ACKED)) acked appends; all survived restart)"
+
+echo "smoke_e2e: OK (legacy pair + name-server topology + SIGKILL durability)"

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/replication"
 	"repro/internal/strategy"
@@ -16,7 +17,7 @@ import (
 // runtime in a running System (typically a globed daemon). It travels
 // JSON-encoded in a KindCtrlRequest frame.
 type ControlRequest struct {
-	// Op is "host" or "drop".
+	// Op is "host", "drop", or "stats".
 	Op string `json:"op"`
 	// Store names the daemon store to act on ("" = the daemon's only
 	// store; an error if it has several).
@@ -79,9 +80,12 @@ func (s *System) ServeControl(hint string) (string, error) {
 			}
 			r := m.Reply(msg.KindCtrlReply)
 			r.From = ep.Addr()
-			if err := s.handleControl(m.Payload); err != nil {
+			out, err := s.handleControl(m.Payload)
+			if err != nil {
 				r.Status = msg.StatusError
 				r.Err = err.Error()
+			} else {
+				r.Payload = out
 			}
 			_ = ep.Send(m.From, r)
 		}
@@ -89,47 +93,86 @@ func (s *System) ServeControl(hint string) (string, error) {
 	return ep.Addr(), nil
 }
 
-// handleControl executes one control command against this system.
-func (s *System) handleControl(payload []byte) error {
+// ControlStats is the payload of a "stats" control reply: one replica's
+// replication counters, durability state, and applied version vector.
+type ControlStats struct {
+	Store      string                     `json:"store"`
+	Object     string                     `json:"object"`
+	Stats      replication.Stats          `json:"stats"`
+	Durability replication.DurabilityInfo `json:"durability"`
+	Applied    ids.VersionVec             `json:"applied,omitempty"`
+}
+
+// handleControl executes one control command against this system. The
+// returned payload is op-specific (nil for host/drop, JSON for stats).
+func (s *System) handleControl(payload []byte) ([]byte, error) {
 	var req ControlRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
-		return fmt.Errorf("bad control payload: %w", err)
+		return nil, fmt.Errorf("bad control payload: %w", err)
 	}
 	if req.Object == "" {
-		return errors.New("control request needs an object")
+		return nil, errors.New("control request needs an object")
 	}
 	st, err := s.controlStore(req.Store)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	obj := ObjectID(req.Object)
 	switch req.Op {
 	case "drop":
-		return s.Drop(st, obj)
+		return nil, s.Drop(st, obj)
+	case "stats":
+		return s.controlStats(st, obj)
 	case "host":
 		models, err := ClientModelsByNames(req.Session)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if req.Publish {
 			sem, err := SemanticsByName(req.Semantics)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			strat, err := StrategyBySpec(req.Strategy)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			return s.Publish(st, obj, sem, strat, models...)
+			return nil, s.Publish(st, obj, sem, strat, models...)
 		}
 		parent, err := s.controlParent(st, obj, req.Parent)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return s.ReplicateFrom(st, parent, obj, models...)
+		return nil, s.ReplicateFrom(st, parent, obj, models...)
 	default:
-		return fmt.Errorf("unknown control op %q (want host|drop)", req.Op)
+		return nil, fmt.Errorf("unknown control op %q (want host|drop|stats)", req.Op)
 	}
+}
+
+// controlStats answers the "stats" op for one hosted replica.
+func (s *System) controlStats(st *Store, obj ObjectID) ([]byte, error) {
+	if st.Remote() {
+		return nil, fmt.Errorf("store %q is attached, not hosted here", st.name)
+	}
+	stats, err := st.st.Stats(obj)
+	if err != nil {
+		return nil, err
+	}
+	dur, err := st.st.Durability(obj)
+	if err != nil {
+		return nil, err
+	}
+	applied, err := st.st.Applied(obj)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(ControlStats{
+		Store:      st.name,
+		Object:     string(obj),
+		Stats:      stats,
+		Durability: dur,
+		Applied:    applied,
+	})
 }
 
 // controlStore resolves the target store of a control request.
@@ -230,21 +273,42 @@ func NewControl(f Fabric, addr string) (*ControlClient, error) {
 
 // Call executes one control request and returns the daemon's verdict.
 func (c *ControlClient) Call(req ControlRequest) error {
+	_, err := c.CallPayload(req)
+	return err
+}
+
+// CallPayload executes one control request and returns the reply payload
+// (ops like "stats" answer with JSON; host/drop answer empty).
+func (c *ControlClient) CallPayload(req ControlRequest) ([]byte, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	r, err := c.demux.Call(c.addr, &msg.Message{
 		Kind:    msg.KindCtrlRequest,
 		Payload: payload,
 	}, c.timeout)
 	if err != nil {
-		return fmt.Errorf("webobj: control call to %s: %w", c.addr, err)
+		return nil, fmt.Errorf("webobj: control call to %s: %w", c.addr, err)
 	}
 	if r.Status != msg.StatusOK {
-		return fmt.Errorf("webobj: control %s %q: %s", req.Op, req.Object, r.Err)
+		return nil, fmt.Errorf("webobj: control %s %q: %s", req.Op, req.Object, r.Err)
 	}
-	return nil
+	return r.Payload, nil
+}
+
+// Stats fetches one replica's counters, durability state, and applied
+// vector from a daemon.
+func (c *ControlClient) Stats(storeName, object string) (ControlStats, error) {
+	var out ControlStats
+	payload, err := c.CallPayload(ControlRequest{Op: "stats", Store: storeName, Object: object})
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return out, fmt.Errorf("webobj: bad stats payload from %s: %w", c.addr, err)
+	}
+	return out, nil
 }
 
 // Close releases the control client and its endpoint.

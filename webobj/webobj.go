@@ -58,6 +58,7 @@ import (
 	"repro/internal/strategy"
 	"repro/internal/transport"
 	"repro/internal/transport/memnet"
+	"repro/internal/wal"
 )
 
 // ObjectID names a distributed Web object.
@@ -211,6 +212,8 @@ type System struct {
 	ctlEps      []transport.Endpoint // control listeners (ServeControl)
 	digest      time.Duration        // default DigestInterval for stores in this system
 	demandRetry time.Duration        // default DemandRetry for stores in this system
+	dataDir     string               // WAL root for permanent stores (WithDataDir)
+	durability  Durability           // WAL tuning (WithDurability)
 	nextEP      int
 	closed      bool
 }
@@ -244,6 +247,84 @@ func WithNameServer(addrs ...string) SystemOption {
 // or reply was lost, the heartbeat exposes gaps nobody knows about.
 func WithDemandRetry(d time.Duration) SystemOption {
 	return func(s *System) { s.demandRetry = d }
+}
+
+// FsyncPolicy selects when a durable store's write-ahead log reaches stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncOff leaves flushing to the OS page cache: fastest, but writes
+	// acknowledged since the last snapshot/close can be lost to a machine
+	// (not process) crash.
+	FsyncOff FsyncPolicy = iota
+	// FsyncInterval flushes on a timer (default 100ms): bounds loss to one
+	// interval of acknowledged writes.
+	FsyncInterval
+	// FsyncAlways flushes before every write acknowledgement: zero
+	// acknowledged-write loss even under kill -9, at one fsync per write.
+	FsyncAlways
+)
+
+// Durability tunes the write-ahead log of durable stores (WithDataDir).
+// The zero value means FsyncOff, 100ms interval, snapshot every 1024
+// records, 2s recovery grace.
+type Durability struct {
+	// Fsync is the log flush policy.
+	Fsync FsyncPolicy
+	// SyncInterval is the flush cadence under FsyncInterval.
+	SyncInterval time.Duration
+	// SnapshotEvery is the log record count between snapshot compactions
+	// (negative disables compaction).
+	SnapshotEvery int
+	// RecoveryGrace bounds how long a restarted store waits for its
+	// children's anti-entropy answers before serving anyway.
+	RecoveryGrace time.Duration
+}
+
+// WithDataDir makes every permanent store this system creates durable: each
+// hosted object keeps a write-ahead log and periodic snapshot under
+// <dir>/store-<ID>/<object>/, and a restarted daemon recovers state from
+// disk, anti-entropies the tail from surviving replicas, then serves.
+// Mirror and cache stores ignore it (their state is reconstructible from
+// the parent).
+func WithDataDir(dir string) SystemOption {
+	return func(s *System) { s.dataDir = dir }
+}
+
+// WithDurability tunes the WAL of stores made durable by WithDataDir.
+func WithDurability(d Durability) SystemOption {
+	return func(s *System) { s.durability = d }
+}
+
+// storeDurability maps the public tuning onto the store layer's knobs.
+func (s *System) storeDurability() store.Durability {
+	d := store.Durability{
+		SyncInterval:  s.durability.SyncInterval,
+		SnapshotEvery: s.durability.SnapshotEvery,
+		RecoveryGrace: s.durability.RecoveryGrace,
+	}
+	switch s.durability.Fsync {
+	case FsyncInterval:
+		d.Fsync = wal.SyncInterval
+	case FsyncAlways:
+		d.Fsync = wal.SyncAlways
+	}
+	return d
+}
+
+// ParseFsyncPolicy resolves a flag/manifest fsync value: "off", "interval",
+// or "always".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "off":
+		return FsyncOff, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	}
+	return FsyncOff, fmt.Errorf("webobj: unknown fsync policy %q (want off|interval|always)", s)
 }
 
 // WithDigestInterval turns on anti-entropy digest heartbeats for every store
@@ -431,6 +512,8 @@ func (s *System) newStore(name string, role replication.Role, parent *Store, opt
 		Endpoint:       ep,
 		DemandRetry:    s.demandRetry,
 		DigestInterval: digest,
+		DataDir:        s.dataDir,
+		Durability:     s.storeDurability(),
 	})
 	h := &Store{name: name, st: st, role: role}
 	s.stores[name] = h
