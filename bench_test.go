@@ -9,6 +9,7 @@ package repro_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -1275,6 +1276,74 @@ func BenchmarkDurable_Put(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkDurable_PutConcurrent prices the fsync=always policy under
+// concurrent writers — the case group commit exists for. The sequential
+// benchmark above pays one fdatasync per write by construction; here W
+// clients write in parallel against one durable store, the store's event
+// loop drains their writes in batches, and a single deferred barrier
+// covers every ack in the batch. The per-write cost should fall well below
+// the sequential fsync=always number as W grows; the groupCommits/op
+// metric reports how many barriers actually covered more than one ack.
+func BenchmarkDurable_PutConcurrent(b *testing.B) {
+	for _, writers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			sys := webobj.NewSystem(
+				webobj.WithFabric(webobj.NewMemFabric(memnet.WithSeed(1))),
+				webobj.WithDataDir(b.TempDir()),
+				webobj.WithDurability(webobj.Durability{Fsync: webobj.FsyncAlways}),
+			)
+			defer sys.Close()
+			server, err := sys.NewServer("www", webobj.WithStoreID(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			const obj = webobj.ObjectID("bench-durable-mw")
+			// Forum: the multi-writer Table 1 strategy (causal, immediate
+			// push) — the conference page is single-writer by design.
+			if err := sys.Publish(server, obj, webobj.WebDoc(), webobj.StrategyPresets()["forum"]); err != nil {
+				b.Fatal(err)
+			}
+			docs := make([]*webobj.Document, writers)
+			for w := range docs {
+				doc, err := sys.Open(obj, webobj.At(server), webobj.AsClient(uint32(5000+w)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer doc.Close()
+				docs[w] = doc
+			}
+			content := []byte("<h1>durable bench</h1>")
+			before, err := server.Stats(obj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(doc *webobj.Document, page string) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if err := doc.Put(page, content, "text/html"); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(docs[w], fmt.Sprintf("pg-%d.html", w))
+			}
+			wg.Wait()
+			b.StopTimer()
+			after, err := server.Stats(obj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(after.GroupCommits-before.GroupCommits)/float64(b.N), "groupCommits/op")
 		})
 	}
 }

@@ -58,15 +58,22 @@ import (
 
 // manifest mirrors the deployment JSON.
 type manifest struct {
-	NameServer  string      `json:"nameserver,omitempty"`
-	Control     string      `json:"control,omitempty"`
-	Digest      string      `json:"digest,omitempty"`
-	DemandRetry string      `json:"demand_retry,omitempty"`
-	MaxFrame    int         `json:"max_frame,omitempty"`
-	DataDir     string      `json:"data_dir,omitempty"`
-	Fsync       string      `json:"fsync,omitempty"`          // off | interval | always
-	FsyncEvery  string      `json:"fsync_interval,omitempty"` // flush cadence under "interval"
-	Stores      []storeSpec `json:"stores"`
+	NameServer  string `json:"nameserver,omitempty"`
+	Control     string `json:"control,omitempty"`
+	Digest      string `json:"digest,omitempty"`
+	DemandRetry string `json:"demand_retry,omitempty"`
+	MaxFrame    int    `json:"max_frame,omitempty"`
+	DataDir     string `json:"data_dir,omitempty"`
+	Fsync       string `json:"fsync,omitempty"`          // off | interval | always
+	FsyncEvery  string `json:"fsync_interval,omitempty"` // flush cadence under "interval"
+	// ReparentAfter turns on replica self-healing: a replica missing this
+	// many consecutive digest heartbeats from its parent re-resolves and
+	// re-subscribes at another live replica. Requires a digest interval.
+	ReparentAfter int `json:"reparent_after,omitempty"`
+	// LeaseRenew is the contact-lease heartbeat period; set it to at most
+	// a third of the name server's -lease-ttl.
+	LeaseRenew string      `json:"lease_renew,omitempty"`
+	Stores     []storeSpec `json:"stores"`
 }
 
 type storeSpec struct {
@@ -113,6 +120,8 @@ func run() error {
 		dataDir      = flag.String("data-dir", "", "directory for permanent stores' write-ahead logs; empty = memory-only (overrides the manifest's)")
 		fsync        = flag.String("fsync", "", "WAL flush policy: off | interval | always (overrides the manifest's)")
 		fsyncEvery   = flag.Duration("fsync-interval", 0, "flush cadence under -fsync interval (default 100ms)")
+		reparent     = flag.Int("reparent-after", 0, "re-parent a replica after this many consecutive missed parent digests (0 disables; needs -digest)")
+		leaseRenew   = flag.Duration("lease-renew", 0, "contact-lease heartbeat period (set to ≤ a third of the name server's -lease-ttl; 0 disables)")
 	)
 	flag.Parse()
 
@@ -169,6 +178,16 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("demand_retry: %w", err)
 	}
+	if *reparent != 0 {
+		m.ReparentAfter = *reparent
+	}
+	renewIv, err := durationField(m.LeaseRenew, *leaseRenew)
+	if err != nil {
+		return fmt.Errorf("lease_renew: %w", err)
+	}
+	if m.ReparentAfter > 0 && digestIv <= 0 {
+		return fmt.Errorf("reparent_after needs a digest interval (the heartbeat is the liveness signal)")
+	}
 	if len(m.Stores) == 0 {
 		return fmt.Errorf("manifest defines no stores")
 	}
@@ -177,6 +196,12 @@ func run() error {
 		webobj.WithFabric(webobj.NewTCPFabric("", webobj.WithMaxInboundFrame(m.MaxFrame))),
 		webobj.WithDigestInterval(digestIv),
 		webobj.WithDemandRetry(retryIv),
+	}
+	if m.ReparentAfter > 0 {
+		sysOpts = append(sysOpts, webobj.WithReparenting(m.ReparentAfter))
+	}
+	if renewIv > 0 {
+		sysOpts = append(sysOpts, webobj.WithLeaseRenewal(renewIv))
 	}
 	if m.DataDir != "" {
 		policy, err := webobj.ParseFsyncPolicy(m.Fsync)
@@ -238,6 +263,12 @@ func run() error {
 	}
 	if digestIv > 0 {
 		log.Printf("globed: digest heartbeats every %v (jittered)", digestIv)
+	}
+	if m.ReparentAfter > 0 {
+		log.Printf("globed: replicas re-parent after %d missed parent digests", m.ReparentAfter)
+	}
+	if renewIv > 0 {
+		log.Printf("globed: renewing contact leases every %v", renewIv)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -44,6 +44,7 @@ func run() error {
 		index  = flag.Int("index", 1, "this server's 1-based index in the peer group (lease striping)")
 		total  = flag.Int("total", 1, "total servers in the peer group")
 		sync   = flag.Duration("sync", 500*time.Millisecond, "peer directory-sync (digest) interval")
+		lease  = flag.Duration("lease-ttl", 0, "contact-point lease TTL: registrations from daemons that stop heartbeating expire out of resolution after this long (0 disables)")
 	)
 	flag.Parse()
 	var peerList []string
@@ -60,6 +61,7 @@ func run() error {
 		Index:        *index,
 		Total:        *total,
 		SyncInterval: *sync,
+		LeaseTTL:     *lease,
 	})
 	if err != nil {
 		return err

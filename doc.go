@@ -262,4 +262,46 @@
 // floor) and by scripts/smoke_e2e.sh part 3 at the daemon level; the
 // control RPC ("globectl ctl stats") exposes WAL size, snapshot vector,
 // recovery state, and replay counters at runtime.
+//
+// # Self-healing: contact leases, re-parenting, client failover
+//
+// Crash recovery handles the store that comes back; three mechanisms, one
+// per layer, handle the one that never does.
+//
+// At the naming layer, registrations become renewable leases when the name
+// server runs with a TTL (nameserv Config.LeaseTTL; globens -lease-ttl).
+// Daemons heartbeat their contact points (webobj.WithLeaseRenewal; globed
+// -lease-renew, at most a third of the TTL) through a sub-operation of the
+// KindNameLease frame; a silent entry is expired into the same tombstone a
+// deregistration produces and replicates to naming peers through the
+// ordinary two-part-stamp anti-entropy, so a dead contact point drops out
+// of resolution everywhere within one lease period. A renewal answering
+// zero entries tells the daemon its record lapsed while it was silent (GC
+// pause, partition); the System replays its registrations automatically.
+//
+// At the replica layer, a store whose parent falls permanently silent
+// re-parents (replication Config.ResolveParent + ReparentAfter;
+// webobj.WithReparenting; globed -reparent-after). The digest heartbeat
+// doubles as the parent failure detector: a replica that sees
+// ReparentAfter consecutive silent watch periods (1.5x the digest
+// interval each) — or exhausts its subscribe retries — re-resolves the
+// object through the Resolver seam, picks a live candidate at a strictly
+// closer-to-the-root layer (which makes adoption cycle-free by
+// construction), runs the ordinary subscribe handshake there, and lets
+// the existing snapshot-install + demand path anti-entropy the gap.
+// Completed repairs and missed watch periods surface as
+// Stats.ReparentsDone and Stats.ParentMissedDigests via the control RPC.
+//
+// At the binding layer, typed-handle invocations and Open retry with
+// jittered exponential backoff (webobj.WithFailover) bounded by attempts
+// and a deadline: StatusRetry answers (a recovering store) retry in
+// place, transport errors and vanished replicas trigger invalidate,
+// re-resolve, and rebind at the next live contact point, and application
+// errors never retry. Handles pinned with At() retry in place but never
+// migrate. The composed behaviour is proven by the mirror-kill chaos
+// schedule (internal/chaos RunReparent: kill the mirror permanently
+// mid-stream, assert its cache child re-parents onto the permanent store,
+// zero acked-write loss, convergence, all four session guarantees, and a
+// negative control that demonstrably stalls with re-parenting off) and by
+// scripts/smoke_e2e.sh part 4 over real TCP processes.
 package repro

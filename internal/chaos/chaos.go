@@ -513,6 +513,9 @@ func convergedState(stores map[string]*store.Store, obj ids.ObjectID, model cohe
 		ref[page] = c
 	}
 	for _, addr := range storeAddrs[1:] {
+		if _, alive := stores[addr]; !alive {
+			continue // permanently killed mid-run (the re-parent schedule)
+		}
 		for _, page := range pages {
 			c, err := localPage(stores[addr], obj, page)
 			if err != nil {
@@ -536,6 +539,9 @@ func convergedState(stores map[string]*store.Store, obj ids.ObjectID, model cohe
 		return err.Error()
 	}
 	for _, addr := range storeAddrs[1:] {
+		if _, alive := stores[addr]; !alive {
+			continue
+		}
 		v, err := stores[addr].Applied(obj)
 		if err != nil {
 			return err.Error()

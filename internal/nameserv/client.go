@@ -66,6 +66,10 @@ type Client struct {
 	stores  idLease
 	srvIdx  int // last server that answered; calls start here
 	closed  bool
+
+	// Liveness counters (see RenewContact / Stats).
+	renewalsSent uint64
+	lastExpired  uint64
 }
 
 // NewClient creates a name-service client. The endpoint is created on
@@ -273,6 +277,44 @@ func (c *Client) Pick(obj ids.ObjectID) (naming.Entry, bool) {
 		return naming.Entry{}, false
 	}
 	return naming.PickEntry(rec.Entries)
+}
+
+// RenewContact heartbeats every registration of one contact point: the name
+// service re-stamps each live entry at addr, resetting its lease TTL. It
+// returns how many entries the server renewed — zero means the lease
+// already expired (or nothing was ever registered) and the caller should
+// re-register its contact points.
+func (c *Client) RenewContact(addr string) (uint64, error) {
+	r, err := c.call(&msg.Message{
+		Kind:  msg.KindNameLease,
+		Pages: []string{addr},
+		Inv:   msg.Invocation{Method: opRenewContact},
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.renewalsSent++
+	c.lastExpired = r.GlobalSeq // the server's lifetime expired-entry count
+	c.mu.Unlock()
+	return r.Write.Seq, nil
+}
+
+// ClientStats are the client-side liveness counters, surfaced through the
+// daemons' control stats RPC.
+type ClientStats struct {
+	// LeaseRenewalsSent counts successful RenewContact round trips.
+	LeaseRenewalsSent uint64 `json:"lease_renewals_sent"`
+	// RecordsExpired is the answering server's lifetime expired-entry count
+	// as of the last renewal reply.
+	RecordsExpired uint64 `json:"records_expired"`
+}
+
+// Stats returns the liveness counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ClientStats{LeaseRenewalsSent: c.renewalsSent, RecordsExpired: c.lastExpired}
 }
 
 // lease refills one identifier lease via the given lease op.

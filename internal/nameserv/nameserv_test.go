@@ -477,3 +477,120 @@ func TestSnapshotDuringCloseDoesNotHang(t *testing.T) {
 		t.Fatalf("snapshot call hung across Close")
 	}
 }
+
+// TestLeaseExpiryRetiresSilentContact is the contact-point liveness
+// contract: with a LeaseTTL configured, a registration that stops renewing
+// disappears from resolution within roughly one lease period, while a
+// renewed one stays; a renewal for an already-expired contact reports zero
+// so the daemon knows to re-register.
+func TestLeaseExpiryRetiresSilentContact(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	ttl := 200 * time.Millisecond
+	srv, err := NewServer(Config{Fabric: net, Name: "ns", SyncInterval: -1, LeaseTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := newClientT(t, net, "c1", srv.Addr())
+
+	if err := cl.Register("doc", naming.Entry{Addr: "live", Store: 1, Role: replication.RolePermanent}, naming.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register("doc", naming.Entry{Addr: "dead", Store: 2, Role: replication.RoleObjectInitiated}, naming.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	// The live daemon heartbeats well inside the TTL; the dead one is silent.
+	stop := time.Now().Add(4 * ttl)
+	for time.Now().Before(stop) {
+		n, err := cl.RenewContact("live")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("renewed %d entries at live, want 1", n)
+		}
+		time.Sleep(ttl / 4)
+	}
+	rec, err := cl.Resolve("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) != 1 || rec.Entries[0].Addr != "live" {
+		t.Fatalf("after expiry: %+v, want only the renewed contact", rec.Entries)
+	}
+	if got := srv.ExpiredSnapshot(); got < 1 {
+		t.Fatalf("ExpiredSnapshot = %d, want >= 1", got)
+	}
+	// A heartbeat from the expired contact renews nothing: the daemon must
+	// re-register.
+	if n, err := cl.RenewContact("dead"); err != nil || n != 0 {
+		t.Fatalf("renew of expired contact: n=%d err=%v, want 0, nil", n, err)
+	}
+	st := cl.Stats()
+	if st.LeaseRenewalsSent == 0 || st.RecordsExpired < 1 {
+		t.Fatalf("client liveness stats: %+v", st)
+	}
+	// Re-registration resurrects the contact point (fresh lease).
+	if err := cl.Register("doc", naming.Entry{Addr: "dead", Store: 2, Role: replication.RoleObjectInitiated}, naming.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Invalidate("doc")
+	rec, err = cl.Resolve("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) != 2 {
+		t.Fatalf("re-registration after expiry: %+v", rec.Entries)
+	}
+}
+
+// TestLeaseExpiryReplicatesToPeers: an expiry tombstone originated by one
+// naming peer must retire the entry at the other, exactly like an explicit
+// deregistration.
+func TestLeaseExpiryReplicatesToPeers(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	ttl := 200 * time.Millisecond
+	mk := func(name string, idx int, peer string) *Server {
+		s, err := NewServer(Config{
+			Fabric: net, Name: name, Index: idx, Total: 2,
+			Peers: []string{peer}, SyncInterval: 20 * time.Millisecond, LeaseTTL: ttl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		return s
+	}
+	s1 := mk("ns1", 1, "ns2")
+	s2 := mk("ns2", 2, "ns1")
+	c1 := newClientT(t, net, "c1", s1.Addr())
+
+	if err := c1.Register("doc", naming.Entry{Addr: "ghost", Store: 3, Role: replication.RoleObjectInitiated}, naming.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the entry to reach s2, then for expiry to retire it there.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r2, ok := s2.RecordSnapshot("doc")
+		if ok && len(r2.Entries) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("entry never replicated: %+v", r2)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for {
+		_, ok1 := s1.RecordSnapshot("doc")
+		_, ok2 := s2.RecordSnapshot("doc")
+		if !ok1 && !ok2 {
+			break // both servers retired the silent contact
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expiry did not retire the entry everywhere")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -42,14 +42,24 @@ type Config struct {
 	SyncInterval time.Duration
 	// LeaseSpan is the number of identifiers per lease (default 64).
 	LeaseSpan uint64
-	Clock     clock.Clock
+	// LeaseTTL makes registrations renewable leases: a contact point whose
+	// entries are not renewed (opRenewContact) within the TTL is expired —
+	// tombstoned exactly like a deregistration and replicated to peers, so
+	// resolution stops returning dead replicas within one lease period.
+	// Zero disables expiry (the default; registrations live forever).
+	LeaseTTL time.Duration
+	Clock    clock.Clock
 }
 
-// entryState is one contact point with its replication stamp.
+// entryState is one contact point with its replication stamp. seen is the
+// local wall time the entry was last applied or renewed: every server runs
+// its own expiry clock against it, and renewals replicate as re-stamped
+// entry items that refresh seen wherever they apply.
 type entryState struct {
 	e     naming.Entry
 	dead  bool
 	stamp Stamp
+	seen  time.Time
 }
 
 // objState is the directory's record of one object.
@@ -123,6 +133,12 @@ type Server struct {
 	syncArmed bool
 	syncTimer clock.Timer
 	syncRNG   *rand.Rand
+
+	// Lease liveness (LeaseTTL > 0): the expiry sweep timer and the
+	// lifetime count of entries this server tombstoned for silence.
+	expireArmed    bool
+	expireTimer    clock.Timer
+	recordsExpired uint64
 }
 
 // NewServer creates and starts a name server on its own endpoint.
@@ -176,6 +192,9 @@ func NewServer(cfg Config) (*Server, error) {
 	s.ready = !peered
 	s.wg.Add(1)
 	go s.loop()
+	if cfg.LeaseTTL > 0 {
+		s.post(func() { s.armExpire() })
+	}
 	if peered {
 		s.post(func() {
 			s.armSync()
@@ -240,6 +259,9 @@ func (s *Server) loop() {
 		case <-s.done:
 			if s.syncTimer != nil {
 				s.syncTimer.Stop()
+			}
+			if s.expireTimer != nil {
+				s.expireTimer.Stop()
 			}
 			return
 		case f := <-s.events:
@@ -368,7 +390,10 @@ func (s *Server) applyItem(it *Item) bool {
 		if cur != nil && !cur.stamp.Less(it.Stamp) {
 			return false
 		}
-		o.entries[it.Entry.Addr] = &entryState{e: it.Entry, dead: it.Dead, stamp: it.Stamp}
+		o.entries[it.Entry.Addr] = &entryState{
+			e: it.Entry, dead: it.Dead, stamp: it.Stamp,
+			seen: s.cfg.Clock.Now(),
+		}
 		o.version++
 		return true
 	case itemMeta:
@@ -584,11 +609,108 @@ func (s *Server) onLease(m *msg.Message) {
 		if f := s.floors[m.Client]; f != nil {
 			r.Write.Seq = f.seq
 		}
+	case opRenewContact:
+		if len(m.Pages) == 0 || m.Pages[0] == "" {
+			s.replyErr(m, msg.StatusError, "renew needs an address")
+			return
+		}
+		r.Write.Seq = s.renewContact(m.Pages[0])
+		r.GlobalSeq = s.recordsExpired
 	default:
 		s.replyErr(m, msg.StatusError, fmt.Sprintf("unknown lease op %d", m.Inv.Method))
 		return
 	}
 	_ = s.ep.Send(m.From, r)
+}
+
+// --- lease liveness ----------------------------------------------------------
+
+// renewContact re-stamps every live entry registered at addr (any object),
+// refreshing its lease in one frame per daemon heartbeat. The fresh stamps
+// replicate to peers like any edit, so their expiry clocks reset too. It
+// returns the renewed-entry count: zero tells the caller its registrations
+// were already expired (or never made) and it must re-register.
+func (s *Server) renewContact(addr string) uint64 {
+	var renewed uint64
+	var items []Item
+	for obj, o := range s.dir {
+		es := o.entries[addr]
+		if es == nil || es.dead {
+			continue
+		}
+		it := Item{Kind: itemEntry, Object: obj, Entry: es.e, Stamp: s.stamp()}
+		s.applyItem(&it) // fresh stamp always wins: refreshes stamp and seen
+		items = append(items, it)
+		renewed++
+	}
+	s.pushPeers(items)
+	return renewed
+}
+
+// armExpire schedules the next expiry sweep at a quarter TTL (jittered), so
+// a silent contact point disappears from resolution within roughly one TTL
+// and a fleet of servers does not sweep in lockstep.
+func (s *Server) armExpire() {
+	if s.expireArmed || s.cfg.LeaseTTL <= 0 {
+		return
+	}
+	s.expireArmed = true
+	d := s.cfg.LeaseTTL / 4
+	if quarter := int64(d / 4); quarter > 0 {
+		d += time.Duration(s.syncRNG.Int63n(quarter))
+	}
+	s.expireTimer = s.cfg.Clock.AfterFunc(d, func() {
+		s.post(func() {
+			s.expireArmed = false
+			if s.ready {
+				s.sweepExpired()
+			}
+			s.armExpire()
+		})
+	})
+}
+
+// sweepExpired tombstones every live entry whose lease ran out, exactly as a
+// deregistration would: a stamped dead item, applied locally and replicated
+// through the ordinary push/anti-entropy channel so peers retire their copy
+// too. A renewal racing the sweep self-heals by LWW — whichever stamp is
+// newer wins everywhere, and the daemon's next heartbeat re-registers.
+func (s *Server) sweepExpired() {
+	now := s.cfg.Clock.Now()
+	var items []Item
+	for obj, o := range s.dir {
+		for addr, es := range o.entries {
+			if es.dead || now.Sub(es.seen) < s.cfg.LeaseTTL {
+				continue
+			}
+			it := Item{Kind: itemEntry, Object: obj, Dead: true, Stamp: s.stamp()}
+			it.Entry = es.e
+			it.Entry.Addr = addr
+			s.applyItem(&it)
+			items = append(items, it)
+			s.recordsExpired++
+		}
+	}
+	s.pushPeers(items)
+}
+
+// ExpiredSnapshot returns how many entries this server has expired (tests,
+// status surfaces).
+func (s *Server) ExpiredSnapshot() uint64 {
+	var out uint64
+	ch := make(chan struct{})
+	if !s.post(func() {
+		out = s.recordsExpired
+		close(ch)
+	}) {
+		return 0
+	}
+	select {
+	case <-ch:
+	case <-s.stopped:
+		return 0
+	}
+	return out
 }
 
 // --- peer anti-entropy -------------------------------------------------------

@@ -39,6 +39,13 @@ const (
 	opReserveStore
 	opReportFloor
 	opQueryFloor
+	// opRenewContact re-stamps every live entry of one contact point (the
+	// daemon's liveness heartbeat): registrations are renewable leases, and
+	// a server configured with a LeaseTTL expires entries whose renewals
+	// stop. Carried in Pages[0]; the reply returns the renewed-entry count
+	// in Write.Seq and the server's lifetime expired-record count in
+	// GlobalSeq. No new message kind, so no wire version bump.
+	opRenewContact
 )
 
 // Item kinds on the sync wire.

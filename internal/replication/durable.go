@@ -127,6 +127,51 @@ func (o *Object) walBarrier() {
 	}
 }
 
+// --- group commit ------------------------------------------------------------
+
+// pendingAck is a write reply parked for the batch barrier.
+type pendingAck struct {
+	to string
+	r  *msg.Message
+}
+
+// SetGroupCommit switches the replica between the synchronous barrier (the
+// default: every ack fsyncs on its own, as direct Handle callers expect) and
+// batch mode, where acks park until the owning store's event loop calls
+// FlushAcks after draining its queue. The loop plays the tcpnet writev
+// leader: it flushes the whole queue with one fdatasync, so N concurrent
+// writers admitted in one drain pay one disk barrier instead of N.
+func (o *Object) SetGroupCommit(on bool) {
+	if !on {
+		o.FlushAcks()
+	}
+	o.groupCommit = on
+}
+
+// deferBarrier reports whether acks should park for a batched barrier
+// instead of syncing inline. Only the always policy has a barrier to
+// coalesce; other policies keep their (cheaper) inline path.
+func (o *Object) deferBarrier() bool {
+	return o.groupCommit && o.wal != nil && o.walPolicy == wal.SyncAlways
+}
+
+// FlushAcks syncs the log once and releases every parked write ack — the
+// group commit. Safe to call unconditionally; a no-op when nothing parked.
+func (o *Object) FlushAcks() {
+	if len(o.ackPending) == 0 {
+		return
+	}
+	o.walBarrier()
+	if len(o.ackPending) > 1 {
+		o.stats.GroupCommits++
+	}
+	pend := o.ackPending
+	o.ackPending = nil
+	for i := range pend {
+		o.send(pend[i].to, pend[i].r)
+	}
+}
+
 // --- snapshot compaction -----------------------------------------------------
 
 // maybeCompact snapshots when the log tail has grown past the threshold and

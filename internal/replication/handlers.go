@@ -21,6 +21,9 @@ func (o *Object) Handle(m *msg.Message) {
 	if o.recovering && o.gateRecovering(m) {
 		return
 	}
+	if o.parent != "" && m.From == o.parent {
+		o.noteParentTraffic()
+	}
 	switch m.Kind {
 	case msg.KindReadRequest:
 		o.onRead(m)
@@ -372,11 +375,18 @@ func (o *Object) onWrite(m *msg.Message) {
 // ackWrite sends the OK write reply for m. On a durable replica under the
 // always policy, everything logged for this write reaches disk first: an
 // acknowledged write survives even kill -9 between ack and the next flush.
+// With group commit enabled the ack parks instead and FlushAcks pays one
+// barrier for the whole drained batch (durability unchanged: the ack still
+// never leaves before its records are stable).
 func (o *Object) ackWrite(m *msg.Message) {
-	o.walBarrier()
 	r := m.Reply(msg.KindWriteReply)
 	r.From = o.addr
 	r.Store = o.self
+	if o.deferBarrier() {
+		o.ackPending = append(o.ackPending, pendingAck{to: m.From, r: r})
+		return
+	}
+	o.walBarrier()
 	o.send(m.From, r)
 }
 
@@ -1258,6 +1268,11 @@ func (o *Object) onSubscribe(m *msg.Message) {
 func (o *Object) onSubscribeAck(m *msg.Message) {
 	o.subAcked = true
 	o.revalEpoch++
+	if o.reparenting {
+		o.reparenting = false
+		o.stats.ReparentsDone++
+	}
+	o.armParentWatch()
 	if m.VVec.Len() > 0 && m.VVec.CoveredBy(o.applied()) {
 		o.reconsiderParked()
 		return
@@ -1293,6 +1308,7 @@ func (o *Object) SubscribeToParent() {
 	}
 	o.subWanted = true
 	o.sendSubscribe()
+	o.armParentWatch()
 	if o.strat.Initiative == strategy.Pull && o.strat.PullInterval > 0 {
 		o.armPoll()
 	}
@@ -1317,9 +1333,11 @@ func (o *Object) UnsubscribeFromParent() {
 	o.send(o.parent, u)
 }
 
-// maxSubscribeRetries bounds subscribe re-sends, so a dead parent is not
-// dialled forever; once a digest from the parent is heard, re-subscription
-// restarts the cycle (digest-triggered re-subscribe).
+// maxSubscribeRetries bounds one subscribe cycle, so a dead parent is not
+// dialled forever. Exhausting the budget is no longer terminal: the replica
+// re-parents to another live replica when the resolver offers one, or cools
+// down and re-dials the same parent later (see reparent.go). A digest from
+// the parent heard meanwhile also restarts the cycle immediately.
 const maxSubscribeRetries = 32
 
 // sendSubscribe transmits one subscribe frame and arms the retry timer: a
@@ -1347,6 +1365,7 @@ func (o *Object) armSubscribeRetry() {
 		return
 	}
 	if o.subRetries >= maxSubscribeRetries {
+		o.reparent(true)
 		return
 	}
 	o.subArmed = true

@@ -88,30 +88,33 @@ type Env interface {
 
 // Stats counts protocol events for the experiment harness.
 type Stats struct {
-	ReadsServed     uint64 // reads answered from local state
-	ReadsParked     uint64 // reads that had to wait or trigger a fetch
-	ReadsFailed     uint64 // reads answered with an error status
-	WritesAccepted  uint64 // write requests accepted (permanent store)
-	WritesForwarded uint64 // write requests passed towards the permanent store
-	WritesRejected  uint64 // write-set violations
-	UpdatesApplied  uint64 // ordered updates applied to semantics
-	UpdatesBuffered uint64 // updates buffered by the ordering engine
-	DemandsSent     uint64 // demand-update / state requests issued
-	Invalidations   uint64 // pages invalidated locally
-	LazyFlushes     uint64 // aggregated dissemination rounds
-	ReqViolations   uint64 // reads whose session requirement was not met locally
-	GossipRounds    uint64 // anti-entropy digests sent to peers
-	BatchesSent     uint64 // KindUpdateBatch frames shipped
-	BatchedUpdates  uint64 // updates carried inside batch frames
-	DigestsSent     uint64 // heartbeat digests sent to children
-	DigestsRecv     uint64 // heartbeat digests received
-	DigestDemands   uint64 // demands triggered by a heartbeat gap
-	SubscribesSent  uint64 // subscribe frames sent (1 + retries + re-subscribes)
-	WALAppends      uint64 // records appended to the write-ahead log
-	WALSnapshots    uint64 // snapshot compactions written
-	WALReplayed     uint64 // update records replayed from disk on recovery
-	WALTornTail     uint64 // corrupt WAL tails truncated on recovery
-	RecoveryNanos   uint64 // last restart: replay start to serve gate open
+	ReadsServed         uint64 // reads answered from local state
+	ReadsParked         uint64 // reads that had to wait or trigger a fetch
+	ReadsFailed         uint64 // reads answered with an error status
+	WritesAccepted      uint64 // write requests accepted (permanent store)
+	WritesForwarded     uint64 // write requests passed towards the permanent store
+	WritesRejected      uint64 // write-set violations
+	UpdatesApplied      uint64 // ordered updates applied to semantics
+	UpdatesBuffered     uint64 // updates buffered by the ordering engine
+	DemandsSent         uint64 // demand-update / state requests issued
+	Invalidations       uint64 // pages invalidated locally
+	LazyFlushes         uint64 // aggregated dissemination rounds
+	ReqViolations       uint64 // reads whose session requirement was not met locally
+	GossipRounds        uint64 // anti-entropy digests sent to peers
+	BatchesSent         uint64 // KindUpdateBatch frames shipped
+	BatchedUpdates      uint64 // updates carried inside batch frames
+	DigestsSent         uint64 // heartbeat digests sent to children
+	DigestsRecv         uint64 // heartbeat digests received
+	DigestDemands       uint64 // demands triggered by a heartbeat gap
+	SubscribesSent      uint64 // subscribe frames sent (1 + retries + re-subscribes)
+	ReparentsDone       uint64 // completed re-parent handshakes (new parent acked)
+	ParentMissedDigests uint64 // watch periods that saw no parent traffic
+	GroupCommits        uint64 // fsync barriers that covered more than one ack
+	WALAppends          uint64 // records appended to the write-ahead log
+	WALSnapshots        uint64 // snapshot compactions written
+	WALReplayed         uint64 // update records replayed from disk on recovery
+	WALTornTail         uint64 // corrupt WAL tails truncated on recovery
+	RecoveryNanos       uint64 // last restart: replay start to serve gate open
 }
 
 // parkedRead is a read waiting for coherence (requirement vector), state
@@ -206,6 +209,21 @@ type Object struct {
 	subArmed   bool
 	subTimer   clock.Timer
 
+	// Self-healing (see reparent.go): when the parent stops answering —
+	// subscribe retries exhausted, or reparentAfter consecutive digest
+	// periods with no parent traffic — the child re-resolves the object
+	// through resolveParent, adopts a live replica closer to the root, and
+	// re-runs the subscribe handshake there.
+	resolveParent    func() []ParentCandidate
+	reparentAfter    int
+	parentHeard      bool // parent traffic since the last watch tick
+	parentSilent     int  // consecutive silent watch periods
+	parentWatchArmed bool
+	parentWatchTimer clock.Timer
+	reparentArmed    bool // same-parent-later cooldown in flight
+	reparentTimer    clock.Timer
+	reparenting      bool // a re-parent handshake awaits its ack
+
 	// Anti-entropy gossip peers (eventual model, sibling mirrors).
 	peers       map[string]bool
 	gossipArmed bool
@@ -255,6 +273,13 @@ type Object struct {
 	demandRetryTimer clock.Timer
 	demandEpoch      uint64
 	demandRetries    int
+
+	// Group commit (see durable.go): when the owning store enables batch
+	// mode, acks under the always policy park in ackPending and the loop
+	// releases them with FlushAcks — one fsync per drained batch, the same
+	// leader-flushes-the-whole-queue shape tcpnet uses for writev.
+	groupCommit bool
+	ackPending  []pendingAck
 
 	// Durability (permanent stores with a data dir; see durable.go). wal
 	// is nil on memory-only replicas and every hook is a no-op.
@@ -313,6 +338,18 @@ type Config struct {
 	// Zero or negative disables heartbeats (the default — benchmarks and
 	// lossless deployments pay nothing).
 	DigestInterval time.Duration
+	// ResolveParent, when set, lets the replica pick a replacement parent
+	// after declaring the configured one dead: it returns the object's
+	// currently resolvable replicas (typically from the name service). It
+	// is called on the owning event loop and must not block. Without it the
+	// replica still recovers from retry exhaustion, but only by re-dialling
+	// the same parent after a cooldown.
+	ResolveParent func() []ParentCandidate
+	// ReparentAfter declares the parent dead after this many consecutive
+	// digest periods with no parent traffic (requires DigestInterval > 0).
+	// Zero disables the liveness watch (the default); subscribe-retry
+	// exhaustion still triggers re-parenting regardless.
+	ReparentAfter int
 
 	// WAL, when set, makes the replica durable: stamped updates, admission
 	// decisions, and children changes are logged before acks, and snapshot
@@ -333,6 +370,14 @@ type Config struct {
 	// RecoveryGrace bounds the recover-then-serve gate when recovered
 	// children never answer the anti-entropy demands (default 2s).
 	RecoveryGrace time.Duration
+}
+
+// ParentCandidate is one live replica of the object as reported by the
+// resolver seam — a potential parent for re-subscription. It is declared
+// here (not in the naming layer) because naming already imports replication.
+type ParentCandidate struct {
+	Addr string
+	Role Role
 }
 
 // New builds the replication object, choosing the ordering engine from the
@@ -387,6 +432,8 @@ func New(cfg Config) (*Object, error) {
 	if o.logLimit <= 0 {
 		o.logLimit = 4096
 	}
+	o.resolveParent = cfg.ResolveParent
+	o.reparentAfter = cfg.ReparentAfter
 	o.demandRetry = cfg.DemandRetry
 	if o.demandRetry == 0 {
 		o.demandRetry = 50 * time.Millisecond
@@ -447,8 +494,10 @@ func (o *Object) Children() []string {
 	return out
 }
 
-// Close cancels timers and fails parked reads.
+// Close cancels timers and fails parked reads. Acks parked for a group
+// commit are flushed first, so their writes' durability promise holds.
 func (o *Object) Close() {
+	o.FlushAcks()
 	o.closed = true
 	if o.lazyTimer != nil {
 		o.lazyTimer.Stop()
@@ -476,6 +525,12 @@ func (o *Object) Close() {
 	}
 	if o.recoverRetryTimer != nil {
 		o.recoverRetryTimer.Stop()
+	}
+	if o.parentWatchTimer != nil {
+		o.parentWatchTimer.Stop()
+	}
+	if o.reparentTimer != nil {
+		o.reparentTimer.Stop()
 	}
 	if o.wal != nil {
 		_ = o.wal.Close()

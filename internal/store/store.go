@@ -54,6 +54,18 @@ type Config struct {
 	// behind silent tail-loss or a healed partition demands the gap instead
 	// of waiting for new traffic. Zero disables heartbeats (the default).
 	DigestInterval time.Duration
+	// ResolveParent, when set, gives every hosted replica the resolver seam
+	// for self-healing: on parent death (subscribe-retry exhaustion, or
+	// ReparentAfter silent digest periods) the replica calls it to list the
+	// object's live replicas and re-subscribes at one closer to the root.
+	// Called on the store's event loop during a re-parent pick (a rare
+	// event); a slow resolver stalls the store for the duration, so keep
+	// lookups bounded by a call timeout.
+	ResolveParent func(object ids.ObjectID) []replication.ParentCandidate
+	// ReparentAfter is the consecutive silent digest periods after which a
+	// replica declares its parent dead (0 disables the liveness watch;
+	// requires DigestInterval).
+	ReparentAfter int
 	// DataDir, when set on a permanent store, makes every hosted replica
 	// durable: a per-object write-ahead log + snapshot under
 	// <DataDir>/store-<ID>/<object>/, replayed on restart. Ignored on
@@ -165,6 +177,12 @@ func (s *Store) Host(hc HostConfig) error {
 			ReadTimeout:    s.cfg.ReadTimeout,
 			DemandRetry:    s.cfg.DemandRetry,
 			DigestInterval: s.cfg.DigestInterval,
+			ReparentAfter:  s.cfg.ReparentAfter,
+		}
+		if resolve := s.cfg.ResolveParent; resolve != nil {
+			rc.ResolveParent = func() []replication.ParentCandidate {
+				return resolve(hc.Object)
+			}
 		}
 		if s.cfg.DataDir != "" && s.cfg.Role == replication.RolePermanent {
 			wlog, recovered, err := wal.Open(s.walDir(hc.Object))
@@ -187,6 +205,12 @@ func (s *Store) Host(hc HostConfig) error {
 			}
 			errCh <- err
 			return
+		}
+		if rc.WAL != nil {
+			// The event loop drains messages in batches and flushes parked
+			// acks once per batch (see loop): one fsync covers every write
+			// the batch admitted — the group commit.
+			ro.SetGroupCommit(true)
 		}
 		s.replicas[hc.Object] = &replica{ctrl: ctrl, repl: ro, sem: hc.SemName}
 		if hc.Subscribe {
@@ -375,7 +399,16 @@ func (s *Store) post(f func()) bool {
 	}
 }
 
-// loop is the store's single event goroutine.
+// maxDrainBatch bounds how many immediately-available messages one loop
+// iteration dispatches before flushing acks, so a hot link cannot starve
+// posted events or shutdown — and so the group-commit batch stays bounded.
+const maxDrainBatch = 128
+
+// loop is the store's single event goroutine. Incoming messages are drained
+// in bounded batches; after each batch the loop releases the write acks the
+// batch parked (replication.FlushAcks), so N writes admitted in one drain
+// share one fsync barrier — the loop plays the tcpnet writev leader, the
+// queue is the batch.
 func (s *Store) loop() {
 	defer s.wg.Done()
 	recv := s.cfg.Endpoint.Recv()
@@ -385,12 +418,38 @@ func (s *Store) loop() {
 			return
 		case f := <-s.events:
 			f()
+			s.flushAcks()
 		case m, ok := <-recv:
 			if !ok {
 				return
 			}
 			s.dispatch(m)
+			s.drain(recv)
+			s.flushAcks()
 		}
+	}
+}
+
+// drain dispatches messages already queued behind the one just handled.
+func (s *Store) drain(recv <-chan *msg.Message) {
+	for i := 0; i < maxDrainBatch; i++ {
+		select {
+		case m, ok := <-recv:
+			if !ok {
+				return
+			}
+			s.dispatch(m)
+		default:
+			return
+		}
+	}
+}
+
+// flushAcks runs the per-batch group commit on every hosted replica (a
+// no-op on replicas with nothing parked).
+func (s *Store) flushAcks() {
+	for _, r := range s.replicas {
+		r.repl.FlushAcks()
 	}
 }
 

@@ -14,6 +14,12 @@
 # SIGKILLed in the middle of a globectl append stream and restarted from
 # disk; every append that was acknowledged before the kill must still be
 # readable, and ctl stats must report the recovery.
+#
+# Part 4 (self-healing): a three-daemon tree (permanent ← mirror ← cache)
+# behind a leasing name server. The mirror is SIGKILLed and never restarted:
+# the cache must re-parent onto the permanent store (ctl stats ReparentsDone),
+# the dead contact must drop out of resolution within one lease TTL, and
+# writes through resolution must keep working against the healed tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -235,4 +241,109 @@ echo "$STATS" | grep -Eq '"WALReplayed": [1-9]'
 N_ACKED=$(wc -l < "$BIN/acked.txt")
 echo "smoke_e2e: part 3 OK (SIGKILL after $((10 + N_ACKED)) acked appends; all survived restart)"
 
-echo "smoke_e2e: OK (legacy pair + name-server topology + SIGKILL durability)"
+# ---- Part 4: self-healing — SIGKILL the mirror, cache re-parents -------------
+PORT_NS2="${PORT_NS2:-7420}"
+PORT_P="${PORT_P:-7421}"
+PORT_M="${PORT_M:-7422}"
+PORT_K="${PORT_K:-7423}"
+PORT_KCTL="${PORT_KCTL:-7424}"
+NS2="127.0.0.1:$PORT_NS2"
+HEAL=heal-doc
+TTL=2s
+
+"$BIN/globens" -listen "$NS2" -lease-ttl "$TTL" &
+wait_port "$PORT_NS2"
+
+# The tree: permanent publishes; the mirror replicates from the record; the
+# cache is explicitly parented UNDER the mirror so the kill orphans it. All
+# three heartbeat their contact leases; only the cache re-parents.
+"$BIN/globed" -listen "127.0.0.1:$PORT_P" -nameserver "$NS2" -object $HEAL \
+    -role permanent -strategy conference -session ryw -digest 100ms -lease-renew 500ms &
+wait_port "$PORT_P"
+"$BIN/globed" -listen "127.0.0.1:$PORT_M" -nameserver "$NS2" -object $HEAL \
+    -role mirror -session ryw -digest 100ms -lease-renew 500ms &
+MIR_PID=$!
+wait_port "$PORT_M"
+"$BIN/globed" -listen "127.0.0.1:$PORT_K" -control "127.0.0.1:$PORT_KCTL" \
+    -nameserver "$NS2" -object $HEAL -role cache -parent "127.0.0.1:$PORT_M" \
+    -strategy conference -session ryw -digest 100ms -reparent-after 3 -lease-renew 500ms &
+wait_port "$PORT_K"
+wait_port "$PORT_KCTL"
+
+# Sanity before the kill: a put through resolution replicates down the tree.
+WANT4='<h1>before the kill</h1>'
+"$BIN/globectl" -nameserver "$NS2" -object $HEAL -client 401 -session ryw \
+    put index.html "$WANT4"
+GOT4=""
+for _ in $(seq 1 50); do
+    GOT4="$("$BIN/globectl" -store "127.0.0.1:$PORT_K" -object $HEAL -client 402 \
+        get index.html 2>/dev/null || true)"
+    [ "$GOT4" = "$WANT4" ] && break
+    sleep 0.1
+done
+if [ "$GOT4" != "$WANT4" ]; then
+    echo "smoke_e2e: FAIL: pre-kill cache read $(printf %q "$GOT4"), want $(printf %q "$WANT4")" >&2
+    exit 1
+fi
+
+kill -9 "$MIR_PID"
+
+# The orphaned cache must notice the silence and re-parent (3 missed 100ms
+# digests, then the re-subscribe handshake at the permanent store).
+REPARENTED=0
+for _ in $(seq 1 100); do
+    if "$BIN/globectl" -ctl "127.0.0.1:$PORT_KCTL" -object $HEAL ctl stats 2>/dev/null \
+        | grep -Eq '"ReparentsDone": [1-9]'; then
+        REPARENTED=1; break
+    fi
+    sleep 0.1
+done
+if [ "$REPARENTED" != 1 ]; then
+    echo "smoke_e2e: FAIL: cache never re-parented after the mirror SIGKILL" >&2
+    exit 1
+fi
+
+# The dead mirror must expire out of resolution within one lease TTL (plus
+# sweep jitter): poll for twice the TTL, then assert it is gone. A record
+# is only trusted when it still lists the (live) permanent store — an empty
+# or failed resolve must not read as "expired".
+GONE=0
+for _ in $(seq 1 40); do
+    REC="$("$BIN/globectl" -nameserver "$NS2" -object $HEAL resolve 2>/dev/null || true)"
+    if echo "$REC" | grep -q "127.0.0.1:$PORT_P" \
+        && ! echo "$REC" | grep -q "127.0.0.1:$PORT_M"; then
+        GONE=1; break
+    fi
+    sleep 0.1
+done
+if [ "$GONE" != 1 ]; then
+    echo "smoke_e2e: FAIL: dead mirror still resolvable after 2x lease TTL" >&2
+    "$BIN/globectl" -nameserver "$NS2" -object $HEAL resolve >&2 || true
+    exit 1
+fi
+
+# The healed tree keeps serving: a fresh put through resolution (which now
+# picks the cache, forwarding up its NEW parent) must be readable everywhere.
+# Same client identity — the conference strategy is single-writer.
+WANT5='<h1>after the heal</h1>'
+"$BIN/globectl" -nameserver "$NS2" -object $HEAL -client 401 -session ryw \
+    put healed.html "$WANT5"
+GOT5=""
+for _ in $(seq 1 50); do
+    GOT5="$("$BIN/globectl" -store "127.0.0.1:$PORT_P" -object $HEAL -client 404 \
+        get healed.html 2>/dev/null || true)"
+    [ "$GOT5" = "$WANT5" ] && break
+    sleep 0.1
+done
+if [ "$GOT5" != "$WANT5" ]; then
+    echo "smoke_e2e: FAIL: post-heal read at the permanent store $(printf %q "$GOT5"), want $(printf %q "$WANT5")" >&2
+    exit 1
+fi
+
+# The daemon's naming counters prove the lease heartbeat actually ran.
+"$BIN/globectl" -ctl "127.0.0.1:$PORT_KCTL" -object $HEAL ctl stats \
+    | grep -Eq '"lease_renewals_sent": [1-9]'
+
+echo "smoke_e2e: part 4 OK (mirror SIGKILLed; cache re-parented, lease expired, writes kept flowing)"
+
+echo "smoke_e2e: OK (legacy pair + name-server topology + SIGKILL durability + self-healing tree)"

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/nameserv"
 	"repro/internal/replication"
 	"repro/internal/strategy"
 	"repro/internal/transport"
@@ -94,13 +95,20 @@ func (s *System) ServeControl(hint string) (string, error) {
 }
 
 // ControlStats is the payload of a "stats" control reply: one replica's
-// replication counters, durability state, and applied version vector.
+// replication counters (including re-parenting: ReparentsDone,
+// ParentMissedDigests), durability state, applied version vector, and —
+// when the daemon resolves through a networked name service — its lease
+// liveness counters.
 type ControlStats struct {
 	Store      string                     `json:"store"`
 	Object     string                     `json:"object"`
 	Stats      replication.Stats          `json:"stats"`
 	Durability replication.DurabilityInfo `json:"durability"`
 	Applied    ids.VersionVec             `json:"applied,omitempty"`
+	// Naming carries the daemon's name-service client counters
+	// (lease renewals sent, directory records expired); nil when the
+	// daemon resolves in-process.
+	Naming *nameserv.ClientStats `json:"naming,omitempty"`
 }
 
 // handleControl executes one control command against this system. The
@@ -166,13 +174,18 @@ func (s *System) controlStats(st *Store, obj ObjectID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(ControlStats{
+	out := ControlStats{
 		Store:      st.name,
 		Object:     string(obj),
 		Stats:      stats,
 		Durability: dur,
 		Applied:    applied,
-	})
+	}
+	if ns, ok := s.res.(nsResolver); ok {
+		cs := ns.Stats()
+		out.Naming = &cs
+	}
+	return json.Marshal(out)
 }
 
 // controlStore resolves the target store of a control request.

@@ -21,6 +21,14 @@ type binding struct {
 	proxy *core.Proxy
 	ep    transport.Endpoint
 	once  sync.Once
+	// sys/object/failover drive the retry-and-rebind loop in invoke
+	// (failover.go); a nil sys falls back to single-shot calls. pinned
+	// marks an At()-bound handle, which retries in place but never
+	// migrates to another replica.
+	sys      *System
+	object   ObjectID
+	failover FailoverConfig
+	pinned   bool
 	// closeHook runs once on Close, before teardown; pinned-client
 	// bindings use it to report the session's write-sequence floor to the
 	// resolver so a future session reusing the identity resumes past it.
@@ -56,7 +64,7 @@ type Document struct {
 
 // Get retrieves a page.
 func (d *Document) Get(page string) (*Page, error) {
-	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodGetPage, Page: page})
+	out, err := d.invoke(msg.Invocation{Method: webdoc.MethodGetPage, Page: page})
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +73,7 @@ func (d *Document) Get(page string) (*Page, error) {
 
 // Stat retrieves page metadata without content.
 func (d *Document) Stat(page string) (*Page, error) {
-	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodStatPage, Page: page})
+	out, err := d.invoke(msg.Invocation{Method: webdoc.MethodStatPage, Page: page})
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +85,7 @@ func (d *Document) Put(page string, content []byte, contentType string) error {
 	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
 		Content: content, ContentType: contentType, ModifiedNanos: time.Now().UnixNano(),
 	})
-	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodPutPage, Page: page, Args: args})
+	_, err := d.invoke(msg.Invocation{Method: webdoc.MethodPutPage, Page: page, Args: args})
 	return err
 }
 
@@ -86,19 +94,19 @@ func (d *Document) Append(page string, content []byte) error {
 	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{
 		Content: content, ModifiedNanos: time.Now().UnixNano(),
 	})
-	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodAppendPage, Page: page, Args: args})
+	_, err := d.invoke(msg.Invocation{Method: webdoc.MethodAppendPage, Page: page, Args: args})
 	return err
 }
 
 // Delete removes a page.
 func (d *Document) Delete(page string) error {
-	_, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodDeletePage, Page: page})
+	_, err := d.invoke(msg.Invocation{Method: webdoc.MethodDeletePage, Page: page})
 	return err
 }
 
 // Pages lists page names.
 func (d *Document) Pages() ([]string, error) {
-	out, err := d.proxy.Invoke(msg.Invocation{Method: webdoc.MethodListPages})
+	out, err := d.invoke(msg.Invocation{Method: webdoc.MethodListPages})
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +121,7 @@ type Map struct {
 
 // Get returns the value stored under key.
 func (m *Map) Get(key string) ([]byte, error) {
-	out, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodGet, Page: key})
+	out, err := m.invoke(msg.Invocation{Method: kvstore.MethodGet, Page: key})
 	// Copied before return: the reply payload may alias a shared transport
 	// buffer, which a caller retaining the value would otherwise pin. The
 	// other read methods decode into fresh memory already.
@@ -122,19 +130,19 @@ func (m *Map) Get(key string) ([]byte, error) {
 
 // Put stores value under key.
 func (m *Map) Put(key string, value []byte) error {
-	_, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodPut, Page: key, Args: value})
+	_, err := m.invoke(msg.Invocation{Method: kvstore.MethodPut, Page: key, Args: value})
 	return err
 }
 
 // Delete removes key.
 func (m *Map) Delete(key string) error {
-	_, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodDelete, Page: key})
+	_, err := m.invoke(msg.Invocation{Method: kvstore.MethodDelete, Page: key})
 	return err
 }
 
 // Keys lists the sorted key set.
 func (m *Map) Keys() ([]string, error) {
-	out, err := m.proxy.Invoke(msg.Invocation{Method: kvstore.MethodKeys})
+	out, err := m.invoke(msg.Invocation{Method: kvstore.MethodKeys})
 	if err != nil {
 		return nil, err
 	}
@@ -149,13 +157,13 @@ type Log struct {
 
 // Append adds an entry to the log.
 func (l *Log) Append(payload []byte) error {
-	_, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodAppend, Args: payload})
+	_, err := l.invoke(msg.Invocation{Method: applog.MethodAppend, Args: payload})
 	return err
 }
 
 // Len returns the number of entries.
 func (l *Log) Len() (int, error) {
-	out, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodLen})
+	out, err := l.invoke(msg.Invocation{Method: applog.MethodLen})
 	if err != nil {
 		return 0, err
 	}
@@ -164,14 +172,14 @@ func (l *Log) Len() (int, error) {
 
 // Entry returns the i-th entry.
 func (l *Log) Entry(i int) ([]byte, error) {
-	out, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodEntry, Args: applog.EncodeIndex(i)})
+	out, err := l.invoke(msg.Invocation{Method: applog.MethodEntry, Args: applog.EncodeIndex(i)})
 	// Copied before return; see Map.Get.
 	return append([]byte(nil), out...), err
 }
 
 // Suffix returns all entries from index i on.
 func (l *Log) Suffix(i int) ([][]byte, error) {
-	out, err := l.proxy.Invoke(msg.Invocation{Method: applog.MethodSuffix, Args: applog.EncodeIndex(i)})
+	out, err := l.invoke(msg.Invocation{Method: applog.MethodSuffix, Args: applog.EncodeIndex(i)})
 	if err != nil {
 		return nil, err
 	}

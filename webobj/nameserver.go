@@ -21,6 +21,11 @@ type NameServerConfig struct {
 	Index, Total int
 	// SyncInterval is the peer digest period (default 500ms).
 	SyncInterval time.Duration
+	// LeaseTTL turns registrations into renewable liveness leases: a
+	// contact point whose daemon stops heartbeating (System option
+	// WithLeaseRenewal) is expired out of resolution after this long.
+	// Zero disables expiry (registrations live until deregistered).
+	LeaseTTL time.Duration
 }
 
 // NameServer is a running naming/location service instance. Deployments
@@ -48,6 +53,7 @@ func NewNameServer(f Fabric, cfg NameServerConfig) (*NameServer, error) {
 		Total:        cfg.Total,
 		Peers:        cfg.Peers,
 		SyncInterval: cfg.SyncInterval,
+		LeaseTTL:     cfg.LeaseTTL,
 	})
 	if err != nil {
 		return nil, err

@@ -50,6 +50,12 @@ type Resolver interface {
 	Invalidate(object ObjectID)
 	// Pick returns the deterministic default contact point.
 	Pick(object ObjectID) (NameEntry, bool)
+	// RenewContact refreshes the liveness lease on every record entry
+	// registered at addr, returning how many entries were renewed. A
+	// successful call renewing zero entries means the directory already
+	// expired this contact point: the caller must re-register. Resolvers
+	// without leases renew trivially.
+	RenewContact(addr string) (uint64, error)
 
 	// NextClient / NextStore allocate deployment-unique identifiers.
 	NextClient() (ClientID, error)
@@ -101,6 +107,10 @@ func (l localResolver) Resolve(object ObjectID) (NameRecord, error) {
 func (l localResolver) Invalidate(ObjectID) {}
 
 func (l localResolver) Pick(object ObjectID) (NameEntry, bool) { return l.ns.Pick(object) }
+
+// RenewContact is trivial locally: in-process registrations have no lease
+// to expire, so the contact point is reported alive (non-zero) forever.
+func (l localResolver) RenewContact(string) (uint64, error) { return 1, nil }
 
 func (l localResolver) NextClient() (ClientID, error) { return l.ns.NextClient(), nil }
 func (l localResolver) NextStore() (StoreID, error)   { return l.ns.NextStore(), nil }

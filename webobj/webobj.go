@@ -209,13 +209,28 @@ type System struct {
 	stores      map[string]*Store
 	parents     map[string]string // store name -> parent store name
 	objects     map[ObjectID]objectInfo
-	ctlEps      []transport.Endpoint // control listeners (ServeControl)
-	digest      time.Duration        // default DigestInterval for stores in this system
-	demandRetry time.Duration        // default DemandRetry for stores in this system
-	dataDir     string               // WAL root for permanent stores (WithDataDir)
-	durability  Durability           // WAL tuning (WithDurability)
+	ctlEps      []transport.Endpoint   // control listeners (ServeControl)
+	digest      time.Duration          // default DigestInterval for stores in this system
+	demandRetry time.Duration          // default DemandRetry for stores in this system
+	dataDir     string                 // WAL root for permanent stores (WithDataDir)
+	durability  Durability             // WAL tuning (WithDurability)
+	reparent    int                    // ReparentAfter for stores (WithReparenting)
+	failover    FailoverConfig         // client retry tuning (WithFailover)
+	leaseRenew  time.Duration          // contact-lease heartbeat period (WithLeaseRenewal)
+	regs        map[string][]regRecord // addr -> registrations, replayed when a lease lapses
+	renewDone   chan struct{}
+	renewWG     sync.WaitGroup
 	nextEP      int
 	closed      bool
+}
+
+// regRecord is one registration this system made, kept so the lease
+// heartbeat can re-register a contact point the directory expired (e.g.
+// after a long pause that outlived the lease TTL).
+type regRecord struct {
+	object ObjectID
+	entry  NameEntry
+	meta   NameMeta
 }
 
 // SystemOption configures NewSystem.
@@ -327,6 +342,28 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return FsyncOff, fmt.Errorf("webobj: unknown fsync policy %q (want off|interval|always)", s)
 }
 
+// WithReparenting turns on the store-level liveness watch for every replica
+// this system creates: a child that misses `after` consecutive expected
+// digest heartbeats from its parent — or exhausts its subscribe retry
+// budget — declares the parent dead, re-resolves the object, and
+// re-subscribes at the live replica closest to the root (never itself or
+// its own subtree). Requires WithDigestInterval: the heartbeat is the
+// liveness signal. Choose `after` ≥ 2 so one jittered or lost heartbeat
+// does not trigger a spurious re-parent.
+func WithReparenting(after int) SystemOption {
+	return func(s *System) { s.reparent = after }
+}
+
+// WithLeaseRenewal starts a background heartbeat that renews this system's
+// contact-point leases at the name service every d (choose d ≤ a third of
+// the server's lease TTL). If a renewal reports the directory already
+// expired a contact point, its registrations are replayed. Without this
+// option a daemon's registrations silently age out of a lease-enabled
+// directory.
+func WithLeaseRenewal(d time.Duration) SystemOption {
+	return func(s *System) { s.leaseRenew = d }
+}
+
 // WithDigestInterval turns on anti-entropy digest heartbeats for every store
 // this system creates: each interval (jittered per store) a store sends its
 // subscribed children a compact applied-vector digest, and a child that
@@ -348,10 +385,12 @@ func NewSystem(opts ...SystemOption) *System {
 		stores:  make(map[string]*Store),
 		parents: make(map[string]string),
 		objects: make(map[ObjectID]objectInfo),
+		regs:    make(map[string][]regRecord),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.failover = s.failover.withDefaults()
 	if s.fabric == nil {
 		s.fabric = NewMemFabric()
 	}
@@ -368,7 +407,71 @@ func NewSystem(opts ...SystemOption) *System {
 			s.res = localResolver{ns: s.ns}
 		}
 	}
+	if s.leaseRenew > 0 {
+		s.renewDone = make(chan struct{})
+		s.renewWG.Add(1)
+		go s.renewLoop()
+	}
 	return s
+}
+
+// renewLoop heartbeats the liveness lease of every local store's contact
+// points and replays registrations the directory expired meanwhile.
+func (s *System) renewLoop() {
+	defer s.renewWG.Done()
+	t := time.NewTicker(s.leaseRenew)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.renewDone:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		addrs := make(map[string][]regRecord, len(s.regs))
+		for addr, regs := range s.regs {
+			addrs[addr] = append([]regRecord(nil), regs...)
+		}
+		s.mu.Unlock()
+		for addr, regs := range addrs {
+			n, err := s.res.RenewContact(addr)
+			if err != nil || n > 0 {
+				continue // unreachable directory: next tick retries
+			}
+			// The lease lapsed (e.g. the process was paused past the TTL):
+			// the tombstoned entries must be registered afresh.
+			for _, r := range regs {
+				_ = s.res.Register(r.object, r.entry, r.meta)
+			}
+		}
+	}
+}
+
+// noteRegistration remembers a registration for lease-lapse replay.
+func (s *System) noteRegistration(object ObjectID, e NameEntry, meta NameMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regs := s.regs[e.Addr]
+	for i, r := range regs {
+		if r.object == object {
+			regs[i] = regRecord{object: object, entry: e, meta: meta}
+			return
+		}
+	}
+	s.regs[e.Addr] = append(regs, regRecord{object: object, entry: e, meta: meta})
+}
+
+// dropRegistration forgets one (addr, object) registration.
+func (s *System) dropRegistration(object ObjectID, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regs := s.regs[addr]
+	for i, r := range regs {
+		if r.object == object {
+			s.regs[addr] = append(regs[:i], regs[i+1:]...)
+			return
+		}
+	}
 }
 
 // nextResolverEP disambiguates name-service client endpoint names across
@@ -512,6 +615,8 @@ func (s *System) newStore(name string, role replication.Role, parent *Store, opt
 		Endpoint:       ep,
 		DemandRetry:    s.demandRetry,
 		DigestInterval: digest,
+		ReparentAfter:  s.reparent,
+		ResolveParent:  s.parentCandidates,
 		DataDir:        s.dataDir,
 		Durability:     s.storeDurability(),
 	})
@@ -521,6 +626,24 @@ func (s *System) newStore(name string, role replication.Role, parent *Store, opt
 		s.parents[name] = parent.name
 	}
 	return h, nil
+}
+
+// parentCandidates is the store layer's re-parenting seam: the object's
+// current contact points as the resolver sees them, freshly fetched (the
+// cached record may still list the parent being replaced). It runs on the
+// store's event loop during a re-parent pick — a rare event — so the
+// resolver round-trip's bounded stall is acceptable there.
+func (s *System) parentCandidates(object ids.ObjectID) []replication.ParentCandidate {
+	s.res.Invalidate(object)
+	rec, err := s.res.Resolve(object)
+	if err != nil {
+		return nil
+	}
+	out := make([]replication.ParentCandidate, 0, len(rec.Entries))
+	for _, e := range rec.Entries {
+		out = append(out, replication.ParentCandidate{Addr: e.Addr, Role: e.Role})
+	}
+	return out
 }
 
 // AttachServer registers a permanent store running in another process at
@@ -570,9 +693,11 @@ func (s *System) Publish(server *Store, object ObjectID, sem Semantics, strat St
 	// processes bind and replicate through the resolver without any manual
 	// configuration.
 	meta := NameMeta{Sem: sem.name, Strat: strat, HasStrat: true, Models: modelNames(session)}
-	if err := s.res.Register(object, naming.Entry{Addr: server.st.Addr(), Store: server.st.ID(), Role: server.role}, meta); err != nil {
+	entry := naming.Entry{Addr: server.st.Addr(), Store: server.st.ID(), Role: server.role}
+	if err := s.res.Register(object, entry, meta); err != nil {
 		return fmt.Errorf("webobj: publish %q: register with name service: %w", object, err)
 	}
+	s.noteRegistration(object, entry, meta)
 	return nil
 }
 
@@ -672,9 +797,11 @@ func (s *System) ReplicateFrom(at, parent *Store, object ObjectID, session ...Cl
 	}); err != nil {
 		return err
 	}
-	if err := s.res.Register(object, naming.Entry{Addr: at.st.Addr(), Store: at.st.ID(), Role: at.role}, NameMeta{}); err != nil {
+	entry := naming.Entry{Addr: at.st.Addr(), Store: at.st.ID(), Role: at.role}
+	if err := s.res.Register(object, entry, NameMeta{}); err != nil {
 		return fmt.Errorf("webobj: replicate %q: register with name service: %w", object, err)
 	}
+	s.noteRegistration(object, entry, NameMeta{})
 	return nil
 }
 
@@ -892,24 +1019,38 @@ func (s *System) open(object ObjectID, sem Semantics, opts []OpenOption) (*bindi
 		Semantics: sem.name,
 		Timeout:   cfg.timeout,
 	}
+	// Bind under the failover loop: a recovering store's StatusRetry is
+	// waited out in place, a dead contact point is re-resolved around
+	// (replica died, daemon moved) with jittered backoff, and terminal
+	// errors (semantics mismatch, bad request) fail immediately. An
+	// At()-pinned bind retries in place but never migrates.
 	p, err := core.Bind(bindCfg)
-	if err != nil && cfg.at == nil {
-		// The resolved contact point failed (replica died, daemon moved).
-		// Invalidate the cached record, re-resolve, and retry once at a
-		// different entry before giving up.
-		s.res.Invalidate(object)
-		if r2, rerr := s.res.Resolve(object); rerr == nil {
-			if pick, ok := naming.PickEntry(filterAddr(r2.Entries, addr)); ok {
-				bindCfg.StoreAddr = pick.Addr
-				p, err = core.Bind(bindCfg)
+	if err != nil {
+		bo := newBackoff(s.failover)
+		for err != nil {
+			v := classifyFailure(err)
+			if v == verdictTerminal || !bo.next() {
+				break
 			}
+			if v == verdictRetryElsewhere && cfg.at == nil {
+				s.res.Invalidate(object)
+				if r2, rerr := s.res.Resolve(object); rerr == nil {
+					if pick, ok := naming.PickEntry(filterAddr(r2.Entries, bindCfg.StoreAddr)); ok {
+						bindCfg.StoreAddr = pick.Addr
+					}
+				}
+			}
+			p, err = core.Bind(bindCfg)
 		}
 	}
 	if err != nil {
 		_ = ep.Close()
 		return nil, err
 	}
-	b := &binding{proxy: p, ep: ep}
+	b := &binding{
+		proxy: p, ep: ep,
+		sys: s, object: object, failover: s.failover, pinned: cfg.at != nil,
+	}
 	if cfg.client != 0 {
 		// A pinned identity is a resumable one: seed the write counter from
 		// the deployment-wide floor too — the bound store's applied vector
@@ -956,6 +1097,7 @@ func (s *System) Drop(at *Store, object ObjectID) error {
 	if err := at.st.Unhost(ids.ObjectID(object)); err != nil {
 		return err
 	}
+	s.dropRegistration(object, at.Addr())
 	return s.res.Deregister(object, at.Addr())
 }
 
@@ -976,6 +1118,10 @@ func (s *System) Close() error {
 	ctl := s.ctlEps
 	s.ctlEps = nil
 	s.mu.Unlock()
+	if s.renewDone != nil {
+		close(s.renewDone)
+		s.renewWG.Wait()
+	}
 	for _, st := range stores {
 		if st.st != nil {
 			_ = st.st.Close()
