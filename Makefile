@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make check` locally means a green
+# pipeline.
+
+GO ?= go
+
+.PHONY: build test race lint fix check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The chaos schedules run for minutes; the race gate covers everything else
+# (same exclusion CI uses).
+race:
+	$(GO) test -race -skip 'Chaos' ./...
+
+lint:
+	./scripts/lint.sh
+
+# Apply the mechanical fixes (clockdet clock rewrites, aliasretain clone
+# insertion), then show what is left for a human.
+fix:
+	$(GO) run ./cmd/globelint -fix ./...
+
+check: build test lint

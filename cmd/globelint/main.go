@@ -1,0 +1,176 @@
+// Command globelint is the repository's domain lint driver: a multichecker
+// over the internal/lint analyzers that prove the invariants prose alone
+// cannot — zero-copy decode aliasing, event-loop discipline, wire-constant
+// symmetry, clock determinism, and WAL crash ordering. CI runs it as a
+// blocking job; `make lint` runs the same thing locally.
+//
+// Usage:
+//
+//	globelint [flags] [packages]
+//
+// Packages default to ./... resolved from the module root. Flags:
+//
+//	-fix    apply suggested fixes in place (clockdet clock rewrites,
+//	        aliasretain strings.Clone insertion), then re-report what
+//	        remains
+//	-only   comma-separated analyzer names to run (default: all)
+//	-skip   comma-separated analyzer names to skip
+//	-list   print the registered analyzers and exit
+//
+// Exit status is 1 when findings remain, 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/lint/aliasretain"
+	"repro/internal/lint/clockdet"
+	"repro/internal/lint/lintkit"
+	"repro/internal/lint/looponly"
+	"repro/internal/lint/walorder"
+	"repro/internal/lint/wiresym"
+)
+
+// analyzers is the registry, in reporting order.
+var analyzers = []*lintkit.Analyzer{
+	aliasretain.Analyzer,
+	clockdet.Analyzer,
+	looponly.Analyzer,
+	walorder.Analyzer,
+	wiresym.Analyzer,
+}
+
+func main() {
+	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	only := flag.String("only", "", "comma-separated analyzers to run")
+	skip := flag.String("skip", "", "comma-separated analyzers to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "globelint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := lintkit.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "globelint:", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := lintkit.Load(fset, root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "globelint:", err)
+		os.Exit(2)
+	}
+
+	diags, err := lintkit.RunAnalyzers(fset, pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "globelint:", err)
+		os.Exit(2)
+	}
+
+	if *fix {
+		remaining, err := applyFixes(fset, pkgs, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "globelint:", err)
+			os.Exit(2)
+		}
+		diags = remaining
+	}
+
+	for _, d := range diags {
+		fmt.Println(lintkit.FormatDiagnostic(fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "globelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only, skip string) ([]*lintkit.Analyzer, error) {
+	byName := map[string]*lintkit.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	want := map[string]bool{}
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
+			name = strings.TrimSpace(name)
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			want[name] = true
+		}
+	} else {
+		for name := range byName {
+			want[name] = true
+		}
+	}
+	if skip != "" {
+		for _, name := range strings.Split(skip, ",") {
+			name = strings.TrimSpace(name)
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			delete(want, name)
+		}
+	}
+	var out []*lintkit.Analyzer
+	for _, a := range analyzers {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// applyFixes rewrites files carrying suggested fixes and returns the
+// findings that had none (they still need a human).
+func applyFixes(fset *token.FileSet, pkgs []*lintkit.Package, diags []lintkit.Diagnostic) ([]lintkit.Diagnostic, error) {
+	src := map[string][]byte{}
+	for _, p := range pkgs {
+		for name, content := range p.Src {
+			src[name] = content
+		}
+	}
+	var fixable, remaining []lintkit.Diagnostic
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			fixable = append(fixable, d)
+		} else {
+			remaining = append(remaining, d)
+		}
+	}
+	if len(fixable) == 0 {
+		return remaining, nil
+	}
+	fixed, err := lintkit.ApplyFixes(fset, src, fixable)
+	if err != nil {
+		return nil, err
+	}
+	for name, content := range fixed {
+		if err := os.WriteFile(name, content, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Printf("globelint: fixed %s\n", name)
+	}
+	return remaining, nil
+}

@@ -1,0 +1,40 @@
+// Package aliased is the aliasretain want fixture: every retention shape
+// the analyzer knows, against real msg types.
+//
+//globelint:aliased-input
+package aliased
+
+import (
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+var lastErr string
+
+type replica struct {
+	last   string
+	buf    []byte
+	byObj  map[ids.ObjectID][]byte
+	pages  []string
+	notify func() string
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (r *replica) onMessage(m *msg.Message) {
+	r.last = m.Err // want `m.Err retained in long-lived state on r`
+	lastErr = m.Err // want `m.Err retained in package-level state`
+	r.buf = m.Payload // want `m.Payload retained in long-lived state on r`
+	r.byObj[m.Object] = cloneBytes(m.Payload) // want `m.Object retained in long-lived state on r`
+	r.pages = append(r.pages, m.Pages...) // want `m.Pages retained in long-lived state on r`
+	p := m.Inv.Page
+	r.last = p // want `p retained in long-lived state on r`
+	k := ids.ObjectID(m.Err)
+	r.byObj[k] = nil // want `k retained in long-lived state on r`
+	s := m.Object
+	r.notify = func() string { return string(s) } // want `closure captures s`
+}

@@ -1,0 +1,47 @@
+// Package clean is the aliasretain clean golden case: every sanctioned
+// clone idiom, local-only use, and a reviewed suppression.
+//
+//globelint:aliased-input
+package clean
+
+import (
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+type replica struct {
+	last  string
+	buf   []byte
+	byObj map[ids.ObjectID][]byte
+	pages []string
+}
+
+func cloneInv(inv msg.Invocation) msg.Invocation {
+	inv.Page = strings.Clone(inv.Page)
+	inv.Args = append([]byte(nil), inv.Args...)
+	return inv
+}
+
+func (r *replica) onMessage(m *msg.Message) {
+	r.last = strings.Clone(m.Err)
+	r.buf = append([]byte(nil), m.Payload...)
+	r.buf = append(r.buf, m.Payload...)
+	r.last = string(m.Payload)
+	key := ids.ObjectID(strings.Clone(string(m.Object)))
+	r.byObj[key] = append([]byte(nil), m.Payload...)
+	inv := cloneInv(m.Inv)
+	r.last = inv.Page
+	for _, pg := range m.Pages {
+		r.pages = append(r.pages, strings.Clone(pg))
+	}
+	n := len(m.Payload)
+	local := m.Err // aliased locals are fine; only retention needs a clone
+	if local != "" && n > 0 {
+		return
+	}
+	// Parked-read pattern: retention reviewed as bounded by the exchange.
+	//globelint:ignore aliasretain parked read released before the frame is reused
+	r.last = m.Err
+}

@@ -1,0 +1,14 @@
+// Package unmarked retains aliased fields freely: without the
+// //globelint:aliased-input marker the analyzer does not apply (the package
+// is assumed to receive messages already deep-decoded).
+package unmarked
+
+import "repro/internal/msg"
+
+type sink struct {
+	last string
+}
+
+func (s *sink) onMessage(m *msg.Message) {
+	s.last = m.Err
+}

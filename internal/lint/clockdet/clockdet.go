@@ -1,0 +1,160 @@
+// Package clockdet enforces the determinism invariant introduced by the
+// simulation substrate (PR 2) and made load-bearing by the chaos and crash
+// harnesses (PRs 4 and 6): packages marked //globelint:deterministic — the
+// replication protocol, the stores, the ordering engines, the simulated
+// network, the naming core, the WAL — must take time from the injected
+// repro/internal/clock seam and randomness from an explicitly seeded
+// source, never from the process wall clock or the global rand source.
+// A single time.Now on a protocol path silently detaches the fake-clock
+// tests and the seeded fault schedules from the code they claim to cover.
+//
+// Forbidden in marked packages: time.Now, time.Sleep, time.After,
+// time.Tick, time.AfterFunc, time.NewTimer, time.NewTicker, time.Since,
+// time.Until, and every math/rand (and math/rand/v2) top-level function
+// that draws from the global source (rand.Intn, rand.Float64, rand.Perm,
+// rand.Shuffle, ...). Explicit sources remain allowed: rand.New,
+// rand.NewSource, and methods on a *rand.Rand value.
+//
+// The fix (globelint -fix) is mechanical where an injection point already
+// exists: inside a method whose receiver struct carries a
+// repro/internal/clock.Clock field, time.Now()/time.After(d)/time.AfterFunc
+// rewrite to that field's method.
+package clockdet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/lintkit"
+)
+
+// forbiddenTime is the wall-clock surface of package time.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "Tick": true,
+	"AfterFunc": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// forbiddenRand is the global-source surface of math/rand and math/rand/v2.
+var forbiddenRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"IntN": true, "UintN": true, "Uint": true, "N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// clockFixable maps forbidden time functions to the clock.Clock method that
+// replaces them when the receiver has a Clock field.
+var clockFixable = map[string]string{
+	"Now": "Now", "After": "After", "AfterFunc": "AfterFunc",
+}
+
+// Analyzer is the clockdet pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "clockdet",
+	Doc: "forbids wall-clock (time.Now/Sleep/After/...) and global-source math/rand calls " +
+		"in //globelint:deterministic packages; inject repro/internal/clock instead",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !pass.HasPackageDirective("deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(pass, call, fd)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCall reports a call whose callee is a forbidden package-level
+// function of time or math/rand.
+func checkCall(pass *lintkit.Pass, call *ast.CallExpr, enclosing *ast.FuncDecl) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return
+	}
+	path := pkgName.Imported().Path()
+	name := sel.Sel.Name
+	switch {
+	case path == "time" && forbiddenTime[name]:
+		d := lintkit.Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf("time.%s in deterministic package %s: take time from the injected clock.Clock seam "+
+				"(Env.Now/AfterFunc or a clock field), or the fake-clock tests and seeded chaos schedules no longer cover this path",
+				name, pass.Pkg.Path()),
+		}
+		if method, ok := clockFixable[name]; ok {
+			if expr := clockFieldExpr(pass, enclosing); expr != "" {
+				d.Fixes = append(d.Fixes, lintkit.SuggestedFix{
+					Message: fmt.Sprintf("call %s.%s instead of time.%s", expr, method, name),
+					Edits: []lintkit.TextEdit{{
+						Pos: sel.Pos(), End: sel.End(), NewText: expr + "." + method,
+					}},
+				})
+			}
+		}
+		pass.Report(d)
+	case (path == "math/rand" || path == "math/rand/v2") && forbiddenRand[name]:
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the global source in deterministic package %s: use an explicitly seeded rand.New(rand.NewSource(...)) so fault schedules replay",
+			name, pass.Pkg.Path())
+	}
+}
+
+// clockFieldExpr returns "<recv>.<field>" if the enclosing method's receiver
+// struct has a field whose type is repro/internal/clock.Clock, or "" when no
+// mechanical rewrite target exists.
+func clockFieldExpr(pass *lintkit.Pass, fd *ast.FuncDecl) string {
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		return ""
+	}
+	obj := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return ""
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		named, ok := f.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		o := named.Obj()
+		if o.Name() == "Clock" && o.Pkg() != nil && o.Pkg().Path() == "repro/internal/clock" {
+			return recvName + "." + f.Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,33 @@
+package clockdet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/lintkit"
+)
+
+func TestDeterministicPackageViolations(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/det")
+}
+
+func TestUnmarkedPackageIsClean(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/clean")
+}
+
+// TestFixRewritesToClockField proves the mechanical -fix: inside a method
+// whose receiver carries a clock.Clock field, time.Now rewrites to the
+// injected seam.
+func TestFixRewritesToClockField(t *testing.T) {
+	fixed := lintkit.GoldenFixes(t, Analyzer, "testdata/src/det", "det.go")
+	if !strings.Contains(fixed, "e.at = e.clk.Now()") {
+		t.Fatalf("fix did not rewrite time.Now to e.clk.Now; got:\n%s", fixed)
+	}
+	if !strings.Contains(fixed, "e.clk.After(time.Second)") {
+		t.Fatalf("fix did not rewrite time.After to e.clk.After; got:\n%s", fixed)
+	}
+	// Functions without a clock seam get the diagnostic but no rewrite.
+	if strings.Contains(fixed, "clk.Since") {
+		t.Fatalf("fix invented a rewrite for time.Since; got:\n%s", fixed)
+	}
+}

@@ -1,0 +1,15 @@
+// Package clean is the clockdet clean golden case: the same wall-clock
+// calls are fine in a package that never claims determinism (harnesses,
+// chaos schedules, daemons).
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFineHere() time.Time {
+	time.Sleep(time.Millisecond)
+	_ = rand.Intn(4)
+	return time.Now()
+}

@@ -1,0 +1,45 @@
+// Package det is a clockdet golden fixture: a package that declares itself
+// deterministic and then violates the invariant in every forbidden way,
+// plus the allowed patterns that must stay clean.
+//
+//globelint:deterministic
+package det
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// engine has an injected clock seam, so clockdet can propose the
+// mechanical fix for its methods.
+type engine struct {
+	clk clock.Clock
+	at  time.Time
+}
+
+func (e *engine) tick() {
+	e.at = time.Now()           // want `time\.Now in deterministic package`
+	_ = time.After(time.Second) // want `time\.After in deterministic package`
+	//globelint:ignore clockdet fixture proves reviewed suppressions survive
+	time.Sleep(time.Millisecond)
+}
+
+func naked() {
+	_ = time.Since(time.Time{})      // want `time\.Since in deterministic package`
+	_ = rand.Intn(4)                 // want `rand\.Intn draws from the global source`
+	rand.Shuffle(1, func(i, j int) { // want `rand\.Shuffle draws from the global source`
+	})
+}
+
+// seeded is the allowed pattern: explicit source, replayable.
+func seeded() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(4)
+}
+
+// viaClock is the fixed pattern: the injected seam.
+func (e *engine) viaClock() time.Time {
+	return e.clk.Now()
+}

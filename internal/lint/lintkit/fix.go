@@ -1,0 +1,73 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix in diags to the given sources and
+// returns the rewritten files (filename -> new content). Only files with at
+// least one applied edit appear in the result. Overlapping edits are
+// rejected — mechanical fixes must compose or the run is not trustworthy.
+func ApplyFixes(fset *token.FileSet, src map[string][]byte, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				pos, end := fset.Position(e.Pos), fset.Position(e.End)
+				if pos.Filename != end.Filename {
+					return nil, fmt.Errorf("fix %q spans files", fix.Message)
+				}
+				perFile[pos.Filename] = append(perFile[pos.Filename],
+					edit{start: pos.Offset, end: end.Offset, text: e.NewText})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for name, edits := range perFile {
+		content, ok := src[name]
+		if !ok {
+			return nil, fmt.Errorf("no source for %s", name)
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		// Drop exact duplicates (several diagnostics may propose the same
+		// insertion, e.g. adding one import), then reject real overlaps.
+		dedup := edits[:0]
+		for i, e := range edits {
+			if i > 0 && e == edits[i-1] {
+				continue
+			}
+			dedup = append(dedup, e)
+		}
+		edits = dedup
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("%s: overlapping fixes at offsets %d and %d",
+					name, edits[i-1].start, edits[i].start)
+			}
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(content) {
+				return nil, fmt.Errorf("%s: fix out of range [%d,%d)", name, e.start, e.end)
+			}
+			buf = append(buf, content[last:e.start]...)
+			buf = append(buf, e.text...)
+			last = e.end
+		}
+		buf = append(buf, content[last:]...)
+		out[name] = buf
+	}
+	return out, nil
+}

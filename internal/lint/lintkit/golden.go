@@ -1,0 +1,131 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation regexes of one want comment; each regex
+// is double-quoted or backquoted: // want "re1" `re2`
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one `// want` entry: a diagnostic regex anchored to a line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// RunGolden loads the fixture package in dir (relative to the calling test's
+// working directory, i.e. the analyzer package), runs the analyzer over it,
+// and matches the findings against `// want "regex"` comments: every
+// diagnostic must be wanted on its line, every want must fire. Lines with no
+// want comment assert cleanliness, so each fixture doubles as its own clean
+// golden case.
+func RunGolden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(fset, root, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers(fset, []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no quoted regex)", pos.Filename, pos.Line)
+					continue
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// GoldenFixes loads the fixture in dir, runs the analyzer, applies every
+// suggested fix, and returns the rewritten content of the given file — so
+// tests can assert what -fix would produce.
+func GoldenFixes(t *testing.T, a *Analyzer, dir, file string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(fset, root, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers(fset, []*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := ApplyFixes(fset, pkg.Src, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range fixed {
+		if strings.HasSuffix(name, file) {
+			return string(content)
+		}
+	}
+	t.Fatalf("no fixes produced for %s in %s (diagnostics: %d)", file, dir, len(diags))
+	return ""
+}
+
+// FormatDiagnostic renders one finding the way cmd/globelint prints it.
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,228 @@
+// Package lintkit is the in-tree static-analysis framework behind
+// cmd/globelint. It is a deliberately small, stdlib-only re-creation of the
+// golang.org/x/tools/go/analysis API surface the domain analyzers need —
+// the toolchain this repo builds with has no module dependencies, so the
+// framework loads and type-checks packages itself (see load.go) instead of
+// relying on go/packages.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics, optionally carrying SuggestedFixes that
+// cmd/globelint -fix applies mechanically.
+//
+// Source code talks back to the analyzers through //globelint: directive
+// comments:
+//
+//	//globelint:ignore <analyzer> <reason>
+//	    on (or immediately above) a line suppresses that analyzer's
+//	    diagnostics for the line; the reason is mandatory, so every
+//	    suppression is a reviewed decision with a paper trail.
+//	//globelint:deterministic
+//	    anywhere in a file marks the whole package as deterministic
+//	    (clockdet forbids wall-clock and global-randomness calls in it).
+//	//globelint:aliased-input
+//	    marks a package whose message handlers receive DecodeAlias-decoded
+//	    frames (aliasretain applies to it).
+//	//globelint:looponly ...
+//	//globelint:wiresym ...
+//	    declaration markers consumed by the looponly and wiresym analyzers;
+//	    see those packages for the grammar.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in ignore directives.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by globelint -list.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Src maps filenames to their source bytes (fix application and
+	// directive scanning need the original text).
+	Src map[string][]byte
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+	Fixes    []SuggestedFix
+}
+
+// SuggestedFix is a mechanical remediation -fix can apply.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasPackageDirective reports whether any file of the pass's package carries
+// the given package-level marker (e.g. "deterministic").
+func (p *Pass) HasPackageDirective(name string) bool {
+	want := "//globelint:" + name
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if text == want || strings.HasPrefix(text, want+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Directive is one parsed //globelint: marker attached to a declaration.
+type Directive struct {
+	// Verb is the word after "globelint:" ("wiresym", "looponly", ...).
+	Verb string
+	// Args are the whitespace-separated tokens after the verb; key=value
+	// tokens are additionally split into Fields.
+	Args []string
+	// Fields holds the key=value args ("group" -> "nameitem", ...).
+	Fields map[string]string
+	Pos    token.Pos
+}
+
+// DeclDirectives parses the //globelint: markers in a declaration's doc
+// comment group.
+func DeclDirectives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		d, ok := parseDirective(c)
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := strings.TrimSpace(c.Text)
+	const prefix = "//globelint:"
+	if !strings.HasPrefix(text, prefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	parts := strings.Fields(rest)
+	if len(parts) == 0 {
+		return Directive{}, false
+	}
+	d := Directive{Verb: parts[0], Args: parts[1:], Fields: map[string]string{}, Pos: c.Pos()}
+	for _, a := range d.Args {
+		if k, v, ok := strings.Cut(a, "="); ok {
+			d.Fields[k] = v
+		}
+	}
+	return d, true
+}
+
+// suppressed reports whether a diagnostic at the given position is covered
+// by an ignore directive: "//globelint:ignore <analyzer|all> <reason>" on
+// the same line, or alone on the line directly above it.
+func suppressed(fset *token.FileSet, files []*ast.File, analyzer string, pos token.Pos) bool {
+	position := fset.Position(pos)
+	for _, f := range files {
+		if fset.Position(f.Pos()).Filename != position.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok || d.Verb != "ignore" || len(d.Args) < 2 {
+					// An ignore without both an analyzer name and a reason
+					// does not suppress anything — suppressions must carry
+					// their justification.
+					continue
+				}
+				if d.Args[0] != analyzer && d.Args[0] != "all" {
+					continue
+				}
+				cline := fset.Position(c.Pos()).Line
+				if cline == position.Line || cline == position.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// surviving (non-suppressed) findings in file/line order. All packages must
+// share one FileSet (Load guarantees this).
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Src:      pkg.Src,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !suppressed(fset, pkg.Files, a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Src maps each parsed filename to its exact source bytes.
+	Src map[string][]byte
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// goList runs `go list -export -deps -json` for the given patterns in dir.
+// -export makes the toolchain write export data for every listed package, so
+// imports type-check from compiler output without golang.org/x/tools.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %s: %v", strings.Join(patterns, " "), err)
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export files `go list -export`
+// produced.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// resolved relative to dir (the module root for ./... patterns). Test files
+// are not loaded: the invariants globelint enforces live in shipped code.
+func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		var names []string
+		for _, f := range t.GoFiles {
+			names = append(names, filepath.Join(t.Dir, f))
+		}
+		pkg, err := check(fset, imp, t.ImportPath, names)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a single
+// package, resolving their imports through moduleRoot. This is the golden
+// test loader: testdata directories are invisible to `go list ./...` (the
+// toolchain ignores "testdata"), but their fixture packages may import real
+// module packages like repro/internal/msg.
+func LoadDir(fset *token.FileSet, moduleRoot, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lintkit: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	// Collect the fixture's imports, then ask go list for their export data.
+	imports := map[string]bool{}
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range f.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		var pats []string
+		for p := range imports {
+			pats = append(pats, p)
+		}
+		sort.Strings(pats)
+		listed, err := goList(moduleRoot, pats)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	pkg, err := check(fset, exportImporter(fset, exports), "testdata/"+filepath.Base(dir), names)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+// check parses the named files and type-checks them as one package.
+func check(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*Package, error) {
+	src := map[string][]byte{}
+	var files []*ast.File
+	for _, name := range filenames {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, b, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		src[name] = b
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info, Src: src}, nil
+}
+
+// ModuleRoot locates the enclosing module's root directory (the place
+// patterns like ./... resolve from), starting the `go env` query in dir.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lintkit: not inside a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod), nil
+}

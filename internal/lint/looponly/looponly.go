@@ -1,0 +1,312 @@
+// Package looponly enforces the single-event-loop discipline the store
+// documents at internal/replication/replication.go: every replication
+// handler runs on the owning store's one event goroutine, and all I/O goes
+// through the injected Env. Code marked //globelint:looponly (a type marks
+// all of its methods; a function marks itself) therefore must not block the
+// loop — no mutex acquisition, no bare channel sends/receives outside a
+// select with a default clause, no time.Sleep, no direct os or net I/O —
+// and must not hand loop-owned state to goroutines it spawns, because
+// loop-owned structures have no internal locking to survive concurrent
+// access.
+//
+// Loop context propagates through the intra-package static call graph:
+// a same-package function called from loop context (outside a go statement)
+// is itself loop context. A method that is deliberately thread-safe opts
+// out with //globelint:looponly ignore — the marker is the reviewed claim
+// that it synchronises on its own.
+package looponly
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/lintkit"
+)
+
+// Analyzer is the looponly pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "looponly",
+	Doc: "forbids blocking calls (mutexes, bare channel ops, time.Sleep, direct os/net I/O) in " +
+		"//globelint:looponly event-loop code, and loop-owned state escaping into spawned goroutines",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	marked := markedTypes(pass)
+
+	// Map function objects to their declarations for call-graph walking.
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	ignored := map[*ast.FuncDecl]bool{}
+	var loopCtx []*ast.FuncDecl
+	inCtx := map[*ast.FuncDecl]bool{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				declOf[obj] = fd
+			}
+			var isRoot bool
+			for _, d := range lintkit.DeclDirectives(fd.Doc) {
+				if d.Verb != "looponly" {
+					continue
+				}
+				if len(d.Args) > 0 && d.Args[0] == "ignore" {
+					ignored[fd] = true
+				} else {
+					isRoot = true
+				}
+			}
+			if !ignored[fd] && (isRoot || receiverMarked(pass, fd, marked)) {
+				loopCtx = append(loopCtx, fd)
+				inCtx[fd] = true
+			}
+		}
+	}
+
+	// Fixpoint: propagate loop context through same-package calls made
+	// outside go statements.
+	for i := 0; i < len(loopCtx); i++ {
+		fd := loopCtx[i]
+		if fd.Body == nil {
+			continue
+		}
+		walkSkippingGo(fd.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			obj := calleeFunc(pass, call)
+			if obj == nil {
+				return
+			}
+			if callee, ok := declOf[obj]; ok && !inCtx[callee] && !ignored[callee] {
+				inCtx[callee] = true
+				loopCtx = append(loopCtx, callee)
+			}
+		})
+	}
+
+	for _, fd := range loopCtx {
+		checkLoopFunc(pass, fd, marked)
+	}
+	return nil
+}
+
+// markedTypes collects the named types annotated //globelint:looponly.
+func markedTypes(pass *lintkit.Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			hasDecl := directiveIn(lintkit.DeclDirectives(gd.Doc))
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDecl || directiveIn(lintkit.DeclDirectives(ts.Doc)) {
+					if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+						out[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func directiveIn(ds []lintkit.Directive) bool {
+	for _, d := range ds {
+		if d.Verb == "looponly" && (len(d.Args) == 0 || d.Args[0] != "ignore") {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverMarked reports whether fd is a method of a marked type.
+func receiverMarked(pass *lintkit.Pass, fd *ast.FuncDecl, marked map[*types.TypeName]bool) bool {
+	tn := receiverTypeName(pass, fd)
+	return tn != nil && marked[tn]
+}
+
+func receiverTypeName(pass *lintkit.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.Info.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's target function object, if static.
+func calleeFunc(pass *lintkit.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// walkSkippingGo walks n, not descending into go-statement call expressions
+// (their bodies run off the loop).
+func walkSkippingGo(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.GoStmt); ok {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+// checkLoopFunc flags blocking operations and goroutine state leaks in one
+// loop-context function.
+func checkLoopFunc(pass *lintkit.Pass, fd *ast.FuncDecl, marked map[*types.TypeName]bool) {
+	if fd.Body == nil {
+		return
+	}
+	var recvObj types.Object
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvObj = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+
+	// nonBlocking marks channel-op nodes inside a select that has a default
+	// clause: a polling select is the loop's legitimate tool.
+	nonBlocking := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					nonBlocking[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	walkSkippingGo(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !coveredByNonBlocking(n, nonBlocking) {
+				pass.Reportf(n.Pos(), "looponly: bare channel send on the event loop blocks every handler behind it; hand the value off through a non-blocking select or a posted callback")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && !coveredByNonBlocking(n, nonBlocking) {
+				pass.Reportf(n.Pos(), "looponly: bare channel receive on the event loop blocks every handler behind it; use a non-blocking select or move the wait off-loop")
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "looponly: ranging over a channel parks the event loop until the channel closes")
+				}
+			}
+		case *ast.CallExpr:
+			checkBlockingCall(pass, n)
+		case *ast.GoStmt:
+			// walkSkippingGo never hands us this; handled below.
+		}
+	})
+
+	// Goroutines spawned from loop context: loop-owned state must not leak
+	// into them (loop structures have no locks by design).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(g.Call, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if recvObj != nil && obj == recvObj {
+				pass.Reportf(id.Pos(), "looponly: loop-owned state (%s) accessed from a goroutine spawned off the event loop; loop structures have no internal locking — post the work back via Env.AfterFunc or copy what the goroutine needs", id.Name)
+			}
+			return true
+		})
+		return false
+	})
+}
+
+func coveredByNonBlocking(n ast.Node, nonBlocking map[ast.Node]bool) bool {
+	for covered := range nonBlocking {
+		if covered.Pos() <= n.Pos() && n.End() <= covered.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlockingCall flags known-blocking callees: sync primitives,
+// time.Sleep, and direct os/net I/O.
+func checkBlockingCall(pass *lintkit.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	name := obj.Name()
+	recv := ""
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	switch {
+	case path == "sync" && (name == "Lock" || name == "RLock" || name == "Wait"):
+		pass.Reportf(call.Pos(), "looponly: sync.%s.%s on the event loop — handlers are single-threaded by contract, so a contended %s deadlocks or stalls every replica on the store; loop-owned state needs no lock, cross-thread state belongs behind a posted callback", recv, name, name)
+	case path == "time" && name == "Sleep":
+		pass.Reportf(call.Pos(), "looponly: time.Sleep parks the event loop; schedule continuation through Env.AfterFunc (it re-posts onto the loop)")
+	case path == "os" || recv == "File" && strings.HasPrefix(path, "os"):
+		pass.Reportf(call.Pos(), "looponly: direct os I/O (os.%s) on the event loop; route disk work through the WAL/Env seams so policies and tests control it", name)
+	case path == "net" || strings.HasPrefix(path, "net/"):
+		pass.Reportf(call.Pos(), "looponly: direct network I/O (%s.%s) on the event loop; all transport goes through the injected Env/Endpoint", path, name)
+	}
+}

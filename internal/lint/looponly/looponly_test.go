@@ -1,0 +1,15 @@
+package looponly
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintkit"
+)
+
+func TestLoopViolationsAreFlagged(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/loop")
+}
+
+func TestUnmarkedAndNonBlockingAreClean(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/clean")
+}

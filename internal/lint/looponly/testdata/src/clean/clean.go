@@ -1,0 +1,33 @@
+// Package clean is the looponly clean golden case: an unmarked type may use
+// whatever synchronisation it wants, and a marked function that stays on
+// the loop's non-blocking toolkit passes.
+package clean
+
+import (
+	"sync"
+	"time"
+)
+
+// worker is NOT marked looponly — ordinary concurrent code.
+type worker struct {
+	mu   sync.Mutex
+	jobs chan int
+	n    int
+}
+
+func (w *worker) run() {
+	for j := range w.jobs {
+		w.mu.Lock()
+		w.n += j
+		w.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+//globelint:looponly
+func dispatch(out chan<- int, v int) {
+	select {
+	case out <- v:
+	default:
+	}
+}

@@ -1,0 +1,81 @@
+// Package loop is the looponly want fixture: a marked event-loop type
+// committing every class of violation, plus the reviewed opt-outs.
+package loop
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+//globelint:looponly
+type engine struct {
+	mu      sync.Mutex
+	events  chan int
+	pending []int
+	n       int
+}
+
+func (e *engine) handle(v int) {
+	e.mu.Lock() // want `sync.Mutex.Lock on the event loop`
+	e.pending = append(e.pending, v)
+	e.mu.Unlock()
+	flushDisk()
+}
+
+// flushDisk is loop context by propagation: handle calls it.
+func flushDisk() {
+	_ = os.WriteFile("x", nil, 0o644) // want `direct os I/O \(os.WriteFile\) on the event loop`
+}
+
+func (e *engine) waitNext() int {
+	time.Sleep(time.Millisecond) // want `time.Sleep parks the event loop`
+	v := <-e.events              // want `bare channel receive on the event loop`
+	e.events <- v                // want `bare channel send on the event loop`
+	return v
+}
+
+func (e *engine) rangeAll() {
+	for v := range e.events { // want `ranging over a channel parks the event loop`
+		e.pending = append(e.pending, v)
+	}
+}
+
+// drain polls with a default clause — the loop's legitimate tool.
+func (e *engine) drain() {
+	for {
+		select {
+		case v := <-e.events:
+			e.pending = append(e.pending, v)
+		default:
+			return
+		}
+	}
+}
+
+func (e *engine) spawn() {
+	go func() {
+		e.n++ // want `loop-owned state \(e\) accessed from a goroutine`
+	}()
+}
+
+// spawnCopy hands the goroutine a copy, never the receiver.
+func (e *engine) spawnCopy() {
+	v := e.n
+	go report(v)
+}
+
+// report runs only inside a go statement, so it never becomes loop context.
+func report(v int) {
+	time.Sleep(time.Duration(v))
+}
+
+// snapshot is a reviewed thread-safe accessor: callable from any goroutine,
+// synchronises on its own.
+//
+//globelint:looponly ignore
+func (e *engine) snapshot() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}

@@ -1,0 +1,23 @@
+// Package clean is the walorder clean golden case: correct ordering, plus
+// the single-sided helpers that are out of scope by design.
+package clean
+
+type log struct{}
+
+func (l *log) AppendUpdate(payload []byte) error    { return nil }
+func (l *log) AppendAdmit(c uint32, s uint64) error { return nil }
+
+type object struct {
+	wal *log
+}
+
+// admitOnly mirrors replication.walAppendAdmit: the callee side of the
+// pairing, ordered by its callers.
+func (o *object) admitOnly(c uint32, s uint64) {
+	_ = o.wal.AppendAdmit(c, s)
+}
+
+func (o *object) onWrite(c uint32, s uint64, payload []byte) {
+	_ = o.wal.AppendUpdate(payload)
+	o.admitOnly(c, s)
+}

@@ -1,0 +1,39 @@
+// Package wal is a walorder golden fixture: the durable write-admission
+// shape, in the correct order and inverted.
+package wal
+
+type log struct{}
+
+func (l *log) AppendUpdate(payload []byte) error    { return nil }
+func (l *log) AppendAdmit(c uint32, s uint64) error { return nil }
+
+type object struct {
+	wal *log
+}
+
+func (o *object) submitLogged(payload []byte) {
+	_ = o.wal.AppendUpdate(payload)
+}
+
+func (o *object) walAppendAdmit(c uint32, s uint64) {
+	_ = o.wal.AppendAdmit(c, s)
+}
+
+// onWriteCorrect is the invariant order: update record first, then the
+// admission that covers it.
+func (o *object) onWriteCorrect(c uint32, s uint64, payload []byte) {
+	o.submitLogged(payload)
+	o.walAppendAdmit(c, s)
+}
+
+// onWriteInverted persists the admission before the update content.
+func (o *object) onWriteInverted(c uint32, s uint64, payload []byte) {
+	o.walAppendAdmit(c, s) // want `admission record appended before the stamped update record`
+	o.submitLogged(payload)
+}
+
+// onWriteRawInverted inverts the raw log calls too.
+func (o *object) onWriteRawInverted(c uint32, s uint64, payload []byte) {
+	_ = o.wal.AppendAdmit(c, s) // want `admission record appended before the stamped update record`
+	_ = o.wal.AppendUpdate(payload)
+}

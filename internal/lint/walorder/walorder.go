@@ -1,0 +1,92 @@
+// Package walorder enforces the WAL crash-ordering invariant PR 6's doc.go
+// spells out: a write's stamped update record must reach the log BEFORE the
+// admission record that covers it. A crash between the two then leaves
+// update-without-admission — harmless, because recovery re-derives the
+// watermark from update records — whereas the reverse order could persist
+// an admission whose update content was lost, making the restarted store
+// ack a client's retry as a replay and permanently stall that client's
+// stream under the ordered models.
+//
+// The analyzer checks every function that both logs an admission
+// (walAppendAdmit / AppendAdmit) and logs or submits the update
+// (submitLogged / AppendUpdate): the admission call must come after the
+// update call in statement order. Functions that only do one of the two are
+// out of scope — the pairing happens in one handler today, and any new
+// pairing site picks up the check automatically by using the same names.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/lint/lintkit"
+)
+
+// admitNames are callees that append an admission record.
+var admitNames = map[string]bool{"walAppendAdmit": true, "AppendAdmit": true}
+
+// updateNames are callees that append (or submit-and-append) the stamped
+// update record.
+var updateNames = map[string]bool{"submitLogged": true, "AppendUpdate": true}
+
+// Analyzer is the walorder pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "walorder",
+	Doc: "proves WAL admission records (walAppendAdmit/AppendAdmit) are appended after the stamped " +
+		"update record (submitLogged/AppendUpdate) they admit — the crash-ordering invariant of the durable store",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// callee returns the bare name of a call's target (method or function).
+func callee(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	var admits []token.Pos
+	firstUpdate := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := callee(call)
+		switch {
+		case admitNames[name]:
+			admits = append(admits, call.Pos())
+		case updateNames[name]:
+			if firstUpdate == token.NoPos || call.Pos() < firstUpdate {
+				firstUpdate = call.Pos()
+			}
+		}
+		return true
+	})
+	if firstUpdate == token.NoPos {
+		return // no update append here; admission-only helpers are the callee side
+	}
+	for _, pos := range admits {
+		if pos < firstUpdate {
+			pass.Reportf(pos,
+				"walorder: admission record appended before the stamped update record it admits — a crash between the two persists an admission whose content is lost, and the restarted store acks the client's retry as a replay (stalling its stream); append the update first")
+		}
+	}
+}

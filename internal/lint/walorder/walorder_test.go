@@ -1,0 +1,15 @@
+package walorder
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintkit"
+)
+
+func TestInvertedAppendOrderIsFlagged(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/wal")
+}
+
+func TestCorrectOrderIsClean(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/clean")
+}

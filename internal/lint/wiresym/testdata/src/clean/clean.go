@@ -1,0 +1,31 @@
+// Package clean is the wiresym clean golden case: every site covers every
+// member, exemptions are real and honest.
+package clean
+
+//globelint:wiresym group=op exempt=opSentinel
+const (
+	opGet uint8 = iota + 1
+	opSet
+	opSentinel // capacity marker, never on the wire
+)
+
+//globelint:wiresym group=op role=encode
+func encode(op uint8) byte {
+	switch op {
+	case opGet:
+		return 'g'
+	case opSet:
+		return 's'
+	}
+	return 0
+}
+
+//globelint:wiresym group=op role=decode exempt=opSet
+func decodeGetOnly(b byte) uint8 {
+	// opSet frames are rejected earlier by design; the exemption records
+	// that decision where the coverage gate can see it.
+	if b == 'g' {
+		return opGet
+	}
+	return 0
+}

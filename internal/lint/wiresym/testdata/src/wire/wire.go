@@ -1,0 +1,69 @@
+// Package wire is a wiresym golden fixture exercising every membership
+// source: const-block groups, named (imported) enum types with a prefix
+// filter, and struct-field sets.
+package wire
+
+import "repro/internal/msg"
+
+// Record tags on the fixture's little wire format.
+//
+//globelint:wiresym group=rectag
+const (
+	recPut byte = iota + 1
+	recDel
+	recMeta
+)
+
+// encodeRec covers every tag: clean site.
+//
+//globelint:wiresym group=rectag role=encode
+func encodeRec(tag byte) []byte {
+	switch tag {
+	case recPut, recDel, recMeta:
+		return []byte{tag}
+	}
+	return nil
+}
+
+// decodeRec forgot recMeta, and claims an exemption for recDel that its
+// switch in fact handles, and exempts a tag that does not exist.
+//
+//globelint:wiresym group=rectag role=decode exempt=recDel,recGone
+func decodeRec(b []byte) byte { // want `recMeta is not referenced in the decode site` `stale exemption recDel` `exempt=recGone names no member`
+	switch b[0] {
+	case recPut:
+		return recPut
+	case recDel:
+		return recDel
+	}
+	return 0
+}
+
+// serveCtrl dispatches the control kinds of the real wire protocol but
+// forgot the reply kind.
+//
+//globelint:wiresym type=msg.Kind role=dispatch prefix=KindCtrl
+func serveCtrl(m *msg.Message) bool { // want `KindCtrlReply is not referenced in the dispatch site`
+	return m.Kind == msg.KindCtrlRequest
+}
+
+// frame is a two-field wire struct.
+type frame struct {
+	Tag  byte
+	Body []byte
+}
+
+// frameSize accounts for Body but forgot the Tag byte.
+//
+//globelint:wiresym fields=frame role=size
+func frameSize(f *frame) int { // want `Tag is not referenced in the size site`
+	return 1 + len(f.Body)
+}
+
+// encodeFrame covers both fields: clean site.
+//
+//globelint:wiresym fields=frame role=encode
+func encodeFrame(f *frame) []byte {
+	out := []byte{f.Tag}
+	return append(out, f.Body...)
+}

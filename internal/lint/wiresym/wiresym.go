@@ -1,0 +1,278 @@
+// Package wiresym proves wire-symmetry: every member of a declared symbol
+// set (message kinds, record tags, wire-struct fields) is referenced at
+// every site that must stay in lockstep with it — the encode switch, the
+// decode switch, the exact-size accounting, the dispatch table, the name
+// map. A kind wired into only part of that path ships half-wired: today a
+// msg.Kind with no size entry is a runtime panic or frame corruption, a
+// kind missing from a dispatch switch is a silently dropped frame.
+//
+// Symbol sets and sites are declared with //globelint:wiresym directives:
+//
+//	//globelint:wiresym group=<name> [exempt=A,B]
+//	    on a const block: its constants are the group's members.
+//	//globelint:wiresym group=<name> role=<label> [exempt=A,B]
+//	    on a func or var declaration: the site must reference every group
+//	    member.
+//	//globelint:wiresym type=<[pkg.]Type> role=<label> [prefix=P] [exempt=A,B]
+//	    membership is every constant of the named (possibly imported) type;
+//	    prefix= restricts membership to constants whose name starts with P.
+//	//globelint:wiresym fields=<[pkg.]Type> role=<label> [exempt=A,B]
+//	    membership is every field of the named struct type.
+//
+// exempt= names members a site deliberately does not handle (e.g. the
+// replication dispatch exempts the client-side reply kinds); the analyzer
+// also flags stale exemptions — an exempt member the site in fact
+// references — so the lists cannot rot into unreviewed suppressions.
+package wiresym
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/lintkit"
+)
+
+// Analyzer is the wiresym pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "wiresym",
+	Doc: "proves every declared wire symbol (message kind, record tag, frame field) is referenced " +
+		"at every encode/decode/size/dispatch site marked with //globelint:wiresym",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	groups := map[string][]types.Object{}
+
+	// First pass: collect const-block groups.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, d := range lintkit.DeclDirectives(gd.Doc) {
+				if d.Verb != "wiresym" || d.Fields["group"] == "" || d.Fields["role"] != "" {
+					continue
+				}
+				exempt := splitList(d.Fields["exempt"])
+				var members []types.Object
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.Name == "_" || exempt[name.Name] {
+							continue
+						}
+						if obj := pass.Info.Defs[name]; obj != nil {
+							members = append(members, obj)
+						}
+					}
+				}
+				groups[d.Fields["group"]] = members
+			}
+		}
+	}
+
+	// Second pass: check every site.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch n := decl.(type) {
+			case *ast.FuncDecl:
+				doc = n.Doc
+			case *ast.GenDecl:
+				doc = n.Doc
+			default:
+				continue
+			}
+			for _, d := range lintkit.DeclDirectives(doc) {
+				if d.Verb != "wiresym" || d.Fields["role"] == "" {
+					continue
+				}
+				checkSite(pass, decl, d, groups)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSite verifies one annotated declaration against its symbol set.
+func checkSite(pass *lintkit.Pass, decl ast.Decl, d lintkit.Directive, groups map[string][]types.Object) {
+	role := d.Fields["role"]
+	exempt := splitList(d.Fields["exempt"])
+	// Anchor findings at the declaration itself (its name for functions),
+	// not the directive comment, so ignore directives and want comments
+	// attach naturally.
+	sitePos := decl.Pos()
+	if fd, ok := decl.(*ast.FuncDecl); ok {
+		sitePos = fd.Name.Pos()
+	}
+
+	var members []types.Object
+	var setName string
+	switch {
+	case d.Fields["group"] != "":
+		setName = "group " + d.Fields["group"]
+		var ok bool
+		members, ok = groups[d.Fields["group"]]
+		if !ok {
+			pass.Reportf(sitePos, "wiresym site references unknown group %q: annotate the member const block with //globelint:wiresym group=%s",
+				d.Fields["group"], d.Fields["group"])
+			return
+		}
+	case d.Fields["type"] != "":
+		setName = "type " + d.Fields["type"]
+		named := resolveNamed(pass, d.Fields["type"])
+		if named == nil {
+			pass.Reportf(sitePos, "wiresym: cannot resolve type %q in this package or its imports", d.Fields["type"])
+			return
+		}
+		members = constantsOf(named)
+	case d.Fields["fields"] != "":
+		setName = "fields of " + d.Fields["fields"]
+		named := resolveNamed(pass, d.Fields["fields"])
+		if named == nil {
+			pass.Reportf(sitePos, "wiresym: cannot resolve type %q in this package or its imports", d.Fields["fields"])
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(sitePos, "wiresym: %q is not a struct type", d.Fields["fields"])
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			members = append(members, st.Field(i))
+		}
+	default:
+		pass.Reportf(sitePos, "wiresym site needs one of group=, type=, or fields=")
+		return
+	}
+
+	if p := d.Fields["prefix"]; p != "" {
+		var kept []types.Object
+		for _, m := range members {
+			if strings.HasPrefix(m.Name(), p) {
+				kept = append(kept, m)
+			}
+		}
+		members = kept
+	}
+
+	refs := referencedObjects(pass, decl)
+	byName := map[string]bool{}
+	for _, m := range members {
+		byName[m.Name()] = true
+	}
+
+	var missing []string
+	for _, m := range members {
+		if exempt[m.Name()] {
+			if refs[m] {
+				pass.Reportf(sitePos, "wiresym: stale exemption %s — the %s site does reference it; remove it from exempt=", m.Name(), role)
+			}
+			continue
+		}
+		if !refs[m] {
+			missing = append(missing, m.Name())
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(sitePos, "wiresym: %s is not referenced in the %s site (%s): a symbol wired into only part of the encode/decode/size/dispatch path ships half-wired — handle it here or exempt it with a reason",
+			name, role, setName)
+	}
+	for name := range exempt {
+		if !byName[name] {
+			pass.Reportf(sitePos, "wiresym: exempt=%s names no member of %s (typo, or the symbol was removed)", name, setName)
+		}
+	}
+}
+
+// splitList parses a comma-separated directive value into a set.
+func splitList(s string) map[string]bool {
+	out := map[string]bool{}
+	if s == "" {
+		return out
+	}
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out[part] = true
+		}
+	}
+	return out
+}
+
+// resolveNamed resolves "Type" in the package scope or "pkg.Type" in an
+// import's scope.
+func resolveNamed(pass *lintkit.Pass, qual string) *types.Named {
+	pkgName, typeName, qualified := strings.Cut(qual, ".")
+	scope := pass.Pkg.Scope()
+	name := qual
+	if qualified {
+		name = typeName
+		scope = nil
+		for _, im := range pass.Pkg.Imports() {
+			if im.Name() == pkgName {
+				scope = im.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return nil
+		}
+	}
+	obj := scope.Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := tn.Type().(*types.Named)
+	return named
+}
+
+// constantsOf enumerates the constants of the named type declared in its
+// defining package's scope (for imported types, the exported ones — which
+// is exactly what other packages can be asked to handle).
+func constantsOf(named *types.Named) []types.Object {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var out []types.Object
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if ct, ok := c.Type().(*types.Named); ok && ct.Obj() == named.Obj() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// referencedObjects collects every object the declaration mentions: plain
+// identifier uses and selected struct fields.
+func referencedObjects(pass *lintkit.Pass, decl ast.Decl) map[types.Object]bool {
+	refs := map[types.Object]bool{}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil {
+				refs[obj] = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[n]; ok {
+				refs[sel.Obj()] = true
+			}
+		}
+		return true
+	})
+	return refs
+}

@@ -1,0 +1,15 @@
+package wiresym
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintkit"
+)
+
+func TestHalfWiredSymbolsAreFlagged(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/wire")
+}
+
+func TestFullyWiredPackageIsClean(t *testing.T) {
+	lintkit.RunGolden(t, Analyzer, "testdata/src/clean")
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint.sh — the exact lint gate CI runs, for local use. globelint (the
+# domain analyzers in internal/lint) is always on and blocking; staticcheck
+# and govulncheck run only when the binaries are present (CI installs them;
+# the offline dev container may not have them).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== globelint =="
+go run ./cmd/globelint ./... || fail=1
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck =="
+    staticcheck ./... || fail=1
+else
+    echo "== staticcheck == (not installed, skipped)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck =="
+    govulncheck ./... || fail=1
+else
+    echo "== govulncheck == (not installed, skipped)"
+fi
+
+exit $fail
