@@ -14,6 +14,8 @@
 // vector attached to reads and the dependency vector attached to writes, and
 // by DepGuard, the store-side engine wrapper that enforces write
 // dependencies on top of models too weak to order them.
+//
+//globelint:deterministic
 package coherence
 
 import (

@@ -38,3 +38,17 @@ func (r *replica) onMessage(m *msg.Message) {
 	s := m.Object
 	r.notify = func() string { return string(s) } // want `closure captures s`
 }
+
+// pendingAck mirrors replication's parked group-commit acks: a composite
+// literal carrying an aliased address into receiver state.
+type pendingAck struct {
+	to string
+}
+
+type acker struct {
+	pending []pendingAck
+}
+
+func (a *acker) park(m *msg.Message) {
+	a.pending = append(a.pending, pendingAck{to: m.From}) // want `composite literal retained in long-lived state on a`
+}

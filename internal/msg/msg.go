@@ -73,6 +73,7 @@ const (
 // it to size per-kind counter arrays without a map.
 const KindCount = int(kindMax)
 
+//globelint:wiresym type=Kind role=names exempt=kindMax
 var kindNames = map[Kind]string{
 	KindBindRequest:  "bind-request",
 	KindBindReply:    "bind-reply",
@@ -284,7 +285,11 @@ const wireVersion = 5
 var EncodeHook func(*Message)
 
 // wireSize returns the exact encoded length of m, mirroring AppendEncode
-// field for field (including its truncation caps).
+// field for field (including its truncation caps). The exempt list below
+// names the fixed-size fields whose bytes appear as constant terms rather
+// than field references.
+//
+//globelint:wiresym fields=Message role=size exempt=Kind,NetSeq,Client,Store,Write,GlobalSeq,Stamp,ReadDep,WallNanos,Status
 func wireSize(m *Message) int {
 	n := 2 // version, kind
 	n += 2 + strLen(string(m.Object))
@@ -356,6 +361,8 @@ func capBatch(batch []BatchUpdate) []BatchUpdate {
 // AppendEncode serialises m onto dst and returns the extended slice. Callers
 // that know the target buffer (pooled or pre-sized) avoid every intermediate
 // allocation; Encode and EncodePooled are both built on it.
+//
+//globelint:wiresym fields=Message role=encode
 func AppendEncode(dst []byte, m *Message) []byte {
 	if EncodeHook != nil {
 		EncodeHook(m)
@@ -466,6 +473,7 @@ func DecodeAlias(b []byte) (*Message, error) {
 	return decode(b, true)
 }
 
+//globelint:wiresym fields=Message role=decode
 func decode(b []byte, alias bool) (*Message, error) {
 	r := reader{buf: b, alias: alias}
 	v, err := r.u8()

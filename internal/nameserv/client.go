@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/naming"
@@ -42,6 +43,9 @@ type ClientConfig struct {
 	// caching). Invalidation is eager on the client's own registrations
 	// and on bind failures (webobj re-resolves through Invalidate).
 	CacheTTL time.Duration
+	// Clock supplies deadlines, retry backoff, and cache ages (default
+	// clock.Real{}); tests drive TTL expiry with a clock.Fake.
+	Clock clock.Clock
 }
 
 type cachedRecord struct {
@@ -83,6 +87,9 @@ func NewClient(cfg ClientConfig) *Client {
 	}
 	if cfg.CacheTTL == 0 {
 		cfg.CacheTTL = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
 	}
 	return &Client{
 		cfg:   cfg,
@@ -144,7 +151,7 @@ func (c *Client) call(m *msg.Message) (*msg.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(c.cfg.Timeout)
+	deadline := c.cfg.Clock.Now().Add(c.cfg.Timeout)
 	var lastErr error
 	for {
 		c.mu.Lock()
@@ -165,11 +172,11 @@ func (c *Client) call(m *msg.Message) (*msg.Message, error) {
 			}
 			lastErr = err
 		}
-		if !retryable || !time.Now().Before(deadline) {
+		if !retryable || !c.cfg.Clock.Now().Before(deadline) {
 			return nil, lastErr
 		}
 		select {
-		case <-time.After(10 * time.Millisecond):
+		case <-c.cfg.Clock.After(10 * time.Millisecond):
 		case <-d.Done():
 			return nil, ErrClosed
 		}
@@ -237,7 +244,7 @@ func (c *Client) Deregister(obj ids.ObjectID, addr string) error {
 func (c *Client) Resolve(obj ids.ObjectID) (naming.Record, error) {
 	if c.cfg.CacheTTL > 0 {
 		c.mu.Lock()
-		if e, ok := c.cache[obj]; ok && time.Since(e.at) < c.cfg.CacheTTL {
+		if e, ok := c.cache[obj]; ok && c.cfg.Clock.Now().Sub(e.at) < c.cfg.CacheTTL {
 			rec := e.rec
 			c.mu.Unlock()
 			return rec, nil
@@ -255,7 +262,7 @@ func (c *Client) Resolve(obj ids.ObjectID) (naming.Record, error) {
 	rec := recordFromItems(obj, r.GlobalSeq, items)
 	if c.cfg.CacheTTL > 0 {
 		c.mu.Lock()
-		c.cache[obj] = cachedRecord{rec: rec, at: time.Now()}
+		c.cache[obj] = cachedRecord{rec: rec, at: c.cfg.Clock.Now()}
 		c.mu.Unlock()
 	}
 	return rec, nil

@@ -17,6 +17,9 @@
 // striped across naming peers (server i of N hands out the ranges whose
 // index ≡ i−1 mod N, matching leaseStart), so identities are globally
 // unique without any inter-server coordination on the allocation path.
+//
+//globelint:deterministic
+//globelint:aliased-input
 package nameserv
 
 import (
@@ -49,6 +52,8 @@ const (
 )
 
 // Item kinds on the sync wire.
+//
+//globelint:wiresym group=nameitem
 const (
 	itemEntry byte = iota + 1
 	itemMeta
@@ -222,6 +227,8 @@ func ChunkItems(items []Item) [][]Item {
 // EncodeItems serialises a batch of directory items into a frame payload.
 // Batches beyond the u16 count are truncated — callers with unbounded
 // batches must split with ChunkItems first.
+//
+//globelint:wiresym group=nameitem role=encode
 func EncodeItems(items []Item) []byte {
 	w := writer{buf: make([]byte, 0, 72*len(items)+2)}
 	if len(items) > math.MaxUint16 {
@@ -270,6 +277,8 @@ func EncodeItems(items []Item) []byte {
 }
 
 // DecodeItems parses an EncodeItems payload.
+//
+//globelint:wiresym group=nameitem role=decode
 func DecodeItems(b []byte) ([]Item, error) {
 	r := reader{buf: b}
 	n, err := r.u16()

@@ -13,7 +13,12 @@ import (
 )
 
 // Handle dispatches one incoming message for this object. Unknown kinds are
-// ignored (forward compatibility).
+// ignored (forward compatibility). The exempt list names the kinds a
+// replication object never receives: client-side replies, bind traffic the
+// store answers before replication sees it, and the name-service/control
+// protocols that have their own servers.
+//
+//globelint:wiresym type=msg.Kind role=dispatch exempt=KindBindRequest,KindBindReply,KindReadReply,KindWriteReply,KindNameRegister,KindNameDeregister,KindNameResolve,KindNameLease,KindNameReply,KindNameDigest,KindNameSync,KindCtrlRequest,KindCtrlReply
 func (o *Object) Handle(m *msg.Message) {
 	if o.closed {
 		return
@@ -144,6 +149,7 @@ func (o *Object) serveOrFetch(m *msg.Message) {
 func (o *Object) park(m *msg.Message) {
 	o.stats.ReadsParked++
 	p := &parkedRead{m: m, deadline: o.env.Now().Add(o.readTimeout)}
+	//globelint:ignore aliasretain parked read pins its frame by design: transports never reuse frames and expireParked bounds the hold to readTimeout
 	o.parked = append(o.parked, p)
 	o.env.AfterFunc(o.readTimeout, func() { o.expireParked() })
 }
@@ -166,6 +172,7 @@ func (o *Object) parkReval(m *msg.Message) {
 		m: m, deadline: o.env.Now().Add(o.readTimeout),
 		needsReval: true, epoch: o.revalEpoch,
 	}
+	//globelint:ignore aliasretain parked read pins its frame by design: transports never reuse frames and expireParked bounds the hold to readTimeout
 	o.parked = append(o.parked, p)
 	o.env.AfterFunc(o.readTimeout, func() { o.expireParked() })
 }
@@ -383,7 +390,10 @@ func (o *Object) ackWrite(m *msg.Message) {
 	r.From = o.addr
 	r.Store = o.self
 	if o.deferBarrier() {
-		o.ackPending = append(o.ackPending, pendingAck{to: m.From, r: r})
+		// The ack can sit in ackPending across many handler turns under
+		// group commit; clone the reply address so the parked ack does not
+		// pin the request frame's chunk until the next flush.
+		o.ackPending = append(o.ackPending, pendingAck{to: strings.Clone(m.From), r: r})
 		return
 	}
 	o.walBarrier()

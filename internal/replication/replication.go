@@ -11,6 +11,9 @@
 // "the replication objects all have the same interface... however, the
 // internals differ as each implements its own part of a coherence
 // protocol".
+//
+//globelint:deterministic
+//globelint:aliased-input
 package replication
 
 import (
@@ -138,6 +141,8 @@ type parkedRead struct {
 // Object is the replication sub-object for one distributed shared object at
 // one store. Not safe for concurrent use: the owning store serialises all
 // calls on its event loop.
+//
+//globelint:looponly
 type Object struct {
 	env    Env
 	object ids.ObjectID

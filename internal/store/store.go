@@ -9,6 +9,9 @@
 // The store is a single-event-loop actor: every network message and timer
 // callback is funnelled through one goroutine, so replication objects need
 // no internal locking.
+//
+//globelint:deterministic
+//globelint:aliased-input
 package store
 
 import (
@@ -303,6 +306,7 @@ func (s *Store) ReadLocal(object ids.ObjectID, inv msg.Invocation) ([]byte, erro
 			errCh <- fmt.Errorf("%w: %q", ErrNotHosted, object)
 			return
 		}
+		//globelint:ignore aliasretain inv is caller-owned (not decode output) and the caller blocks on errCh until this closure finishes
 		b, err := r.ctrl.ServeRead(inv)
 		out = b
 		errCh <- err
@@ -431,6 +435,7 @@ func (s *Store) loop() {
 }
 
 // drain dispatches messages already queued behind the one just handled.
+//globelint:looponly
 func (s *Store) drain(recv <-chan *msg.Message) {
 	for i := 0; i < maxDrainBatch; i++ {
 		select {
@@ -447,6 +452,7 @@ func (s *Store) drain(recv <-chan *msg.Message) {
 
 // flushAcks runs the per-batch group commit on every hosted replica (a
 // no-op on replicas with nothing parked).
+//globelint:looponly
 func (s *Store) flushAcks() {
 	for _, r := range s.replicas {
 		r.repl.FlushAcks()
@@ -454,6 +460,7 @@ func (s *Store) flushAcks() {
 }
 
 // dispatch routes one message to the store or its replicas.
+//globelint:looponly
 func (s *Store) dispatch(m *msg.Message) {
 	if m.Kind == msg.KindBindRequest {
 		s.onBind(m)
@@ -475,6 +482,7 @@ func (s *Store) dispatch(m *msg.Message) {
 // the client's declared semantics type (the bind request's Sem field)
 // matches the replica's. Either side may leave the name empty to skip the
 // check.
+//globelint:looponly
 func (s *Store) onBind(m *msg.Message) {
 	r := m.Reply(msg.KindBindReply)
 	r.From = s.Addr()
@@ -503,6 +511,7 @@ func (s *Store) onBind(m *msg.Message) {
 	_ = s.cfg.Endpoint.Send(m.From, r)
 }
 
+//globelint:looponly
 func (s *Store) replyUnhosted(m *msg.Message) {
 	kind := msg.KindReadReply
 	if m.Kind == msg.KindWriteRequest {

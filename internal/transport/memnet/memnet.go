@@ -12,6 +12,8 @@
 // not own. A lossless network models the paper's TCP configuration; setting
 // a loss rate models the UDP configuration of §4.2, where reliability is
 // recovered by the coherence protocol rather than the transport.
+//
+//globelint:deterministic
 package memnet
 
 import (
@@ -23,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/msg"
 	"repro/internal/transport"
 )
@@ -131,6 +134,7 @@ type Network struct {
 	closed    bool
 
 	seed   int64
+	clk    clock.Clock
 	stats  counters
 	shards [numShards]shard
 	// sleepUntil is the scheduler's planned wake time (UnixNano); senders
@@ -161,10 +165,18 @@ func WithDefaultLink(p LinkProfile) Option {
 	return func(n *Network) { n.defProf = p }
 }
 
+// WithClock injects the clock that times latency and jitter delivery
+// (default clock.Real{}); a clock.Fake lets tests step simulated latency
+// without wall-clock waits.
+func WithClock(c clock.Clock) Option {
+	return func(n *Network) { n.clk = c }
+}
+
 // New creates a network. By default links are instantaneous and lossless.
 func New(opts ...Option) *Network {
 	n := &Network{
 		seed:      1,
+		clk:       clock.Real{},
 		endpoints: make(map[string]*endpoint),
 		links:     make(map[linkKey]LinkProfile),
 		parts:     make(map[linkKey]bool),
@@ -386,7 +398,7 @@ func (n *Network) enqueue(src *endpoint, h hop, wire []byte) {
 		}
 		src.rngMu.Unlock()
 	}
-	at := time.Now().Add(delay)
+	at := n.clk.Now().Add(delay)
 	sh := h.dst.shard
 	sh.mu.Lock()
 	sh.seq++
@@ -417,8 +429,6 @@ func (n *Network) wakeScheduler() {
 // delivery into its destination inbox.
 func (n *Network) run() {
 	defer n.wg.Done()
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
 	for {
 		// Awake: any concurrent enqueue signals the wake channel, whose
 		// buffered token makes the next select return immediately, closing
@@ -433,22 +443,15 @@ func (n *Network) run() {
 				continue
 			}
 		}
-		wait := time.Until(next)
+		wait := next.Sub(n.clk.Now())
 		if wait > 0 {
 			n.sleepUntil.Store(next.UnixNano())
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-			timer.Reset(wait)
 			select {
 			case <-n.done:
 				return
 			case <-n.wake:
 				continue // an earlier delivery may have arrived
-			case <-timer.C:
+			case <-n.clk.After(wait):
 			}
 		}
 		n.deliverDue()
@@ -483,7 +486,7 @@ func (n *Network) deliverDue() {
 		sh := &n.shards[i]
 		for {
 			sh.mu.Lock()
-			if sh.queue.Len() == 0 || sh.queue[0].at.After(time.Now()) {
+			if sh.queue.Len() == 0 || sh.queue[0].at.After(n.clk.Now()) {
 				sh.mu.Unlock()
 				break
 			}

@@ -5,6 +5,8 @@
 // store only when the store's applied vector covers the update's dependency
 // vector. Lamport clocks provide the total tiebreak used by the eventual
 // model's last-writer-wins convergence rule.
+//
+//globelint:deterministic
 package vclock
 
 import (

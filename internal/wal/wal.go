@@ -16,6 +16,8 @@
 // Every record carries a CRC32 over type+len+payload; recovery truncates the
 // log at the first record that fails the check (a torn tail from a crash
 // mid-append) instead of failing, and reports how many times it had to.
+//
+//globelint:deterministic
 package wal
 
 import (
@@ -78,6 +80,8 @@ func ParsePolicy(s string) (Policy, error) {
 }
 
 // Record types in wal.log.
+//
+//globelint:wiresym group=walrec
 const (
 	recUpdate byte = 1 // a stamped update (msg.Encode of its wire form)
 	recAdmit  byte = 2 // an unstamped-write admission (client, seq)
@@ -237,6 +241,7 @@ func scanLog(f *os.File) ([]Record, int64, uint64, error) {
 	return records, off, 0, nil
 }
 
+//globelint:wiresym group=walrec role=decode
 func decodeRecord(typ byte, payload []byte) (Record, error) {
 	switch typ {
 	case recUpdate:
