@@ -304,4 +304,20 @@
 // zero acked-write loss, convergence, all four session guarantees, and a
 // negative control that demonstrably stalls with re-parenting off) and by
 // scripts/smoke_e2e.sh part 4 over real TCP processes.
+//
+// # Invariants and static analysis
+//
+// The protocol rests on invariants that no test exercises directly:
+// zero-copy decoded fields must be cloned before outliving their handler
+// (PR 1/3's alias contract), replication handlers must never block the
+// store's single event-loop goroutine, every wire kind must appear in
+// encode, decode, size accounting, and dispatch in lockstep (PR 1's
+// exact-size codec), deterministic packages must draw time from the
+// injected clock seam (PRs 2-6's simulation and fault harnesses), and a
+// WAL admission record must never precede its update record (PR 6's
+// crash-ordering rule). internal/lint holds five analyzers — aliasretain,
+// looponly, wiresym, clockdet, walorder — that enforce these mechanically;
+// cmd/globelint drives them (CI-blocking, `make lint` locally, -fix for
+// the mechanical rewrites), and each analyzer's package doc states its
+// invariant, its directive grammar, and the PR that introduced the rule.
 package repro

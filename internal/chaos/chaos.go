@@ -296,13 +296,31 @@ func Run(cfg Config) (*Result, error) {
 
 	// Phase C: convergence. Poll replica state directly (ReadLocal bypasses
 	// the client path) until every store agrees, then run the global checks.
+	// The deadline is progress-extending: each time the disagreement diag
+	// changes (anti-entropy is visibly advancing — a loaded box stretches
+	// every digest round-trip, but catch-up never stalls), the replicas get
+	// another ConvergeWithin, up to a hard cap of 4x. A genuinely stuck
+	// replica still fails in ConvergeWithin flat; only demonstrable progress
+	// buys time.
 	deadline := healed.Add(cfg.ConvergeWithin)
+	hardCap := healed.Add(4 * cfg.ConvergeWithin)
+	lastDiag := ""
 	for {
-		if diag := convergedState(stores, obj, cfg.Model, rec); diag == "" {
+		diag := convergedState(stores, obj, cfg.Model, rec)
+		if diag == "" {
 			res.Converged = true
 			res.ConvergeIn = time.Since(healed)
 			break
-		} else if time.Now().After(deadline) {
+		}
+		if diag != lastDiag {
+			lastDiag = diag
+			if d := time.Now().Add(cfg.ConvergeWithin); d.Before(hardCap) {
+				deadline = d
+			} else {
+				deadline = hardCap
+			}
+		}
+		if time.Now().After(deadline) {
 			rec.violatef("replicas did not converge within %v: %s", cfg.ConvergeWithin, diag)
 			break
 		}
@@ -356,10 +374,12 @@ type opCounts struct {
 }
 
 // appendToken appends one token, retrying on timeout. A retry reuses the
-// same write identifier (the proxy aborts the failed allocation), so a lost
-// request is indistinguishable from one that never happened — and because
-// client links are lossless, a timeout implies the write was dropped on a
-// store link before the permanent store accepted it.
+// same write identifier (the proxy aborts the failed allocation), which
+// keeps both timeout outcomes safe: a request dropped on a store link is
+// simply re-sent, and a request that WAS applied but whose ack came back
+// after the client deadline (heavy box load stretches store event loops
+// past the 500ms client timeout even on lossless client links) is re-acked
+// by the stores' at-most-once admission as a replay — never applied twice.
 func appendToken(p *core.Proxy, page string, tok token, counts *opCounts, rec *recorder) bool {
 	args := webdoc.EncodeWriteArgs(webdoc.WriteArgs{Content: []byte(tok.String())})
 	budget := counts.maxAttempts

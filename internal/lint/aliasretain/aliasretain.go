@@ -23,6 +23,11 @@
 //
 // For string-typed sinks the analyzer offers a mechanical fix: wrap the
 // retained expression in strings.Clone and add the import.
+//
+// The invariant dates to PR 1, which introduced the zero-copy DecodeAlias
+// path, and PR 3, which made decoded string fields alias transport frames
+// (unsafe.String over tcpnet handoff chunks) and established the
+// clone-at-retention-site discipline this analyzer now enforces.
 package aliasretain
 
 import (

@@ -14,6 +14,12 @@
 // is itself loop context. A method that is deliberately thread-safe opts
 // out with //globelint:looponly ignore — the marker is the reviewed claim
 // that it synchronises on its own.
+//
+// The actor model itself is the replication layer's seed architecture; the
+// invariant became load-bearing for liveness as PR 4's digest heartbeats,
+// PR 6's recovery path, and PR 7's re-parent watchdog multiplied the timer
+// callbacks and handlers sharing the one loop goroutine — a single blocking
+// call now stalls acks, heartbeats, and failover detection at once.
 package looponly
 
 import (

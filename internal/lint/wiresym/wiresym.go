@@ -23,6 +23,11 @@
 // replication dispatch exempts the client-side reply kinds); the analyzer
 // also flags stale exemptions — an exempt member the site in fact
 // references — so the lists cannot rot into unreviewed suppressions.
+//
+// The lockstep invariant dates to PR 1's wire v2 exact-size Encode (one
+// allocation sized by the byte-accounting walk this analyzer now guards)
+// and has grown with every version bump since — v3 Sem, v4 digests, v5 the
+// name-service kinds — each a fresh chance to ship a kind half-wired.
 package wiresym
 
 import (

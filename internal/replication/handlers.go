@@ -1189,6 +1189,21 @@ func (o *Object) onStateReply(m *msg.Message) {
 			delete(o.invalid, page)
 			return
 		}
+		// Same stale-snapshot guard as the full branch below and
+		// onSubscribeAck: demand retries and link-level duplication mean
+		// several replies can be in flight, and a late one whose vector this
+		// replica already covers must not roll the page back. reapplyBeyond
+		// cannot fully repair such a rollback — it replays only ops that went
+		// through the log, and ops whose effects arrived inside an earlier
+		// full state transfer were never logged — so an unguarded overwrite
+		// leaves the page with a mid-sequence gap readers can observe (an
+		// MW/PRAM violation). An invalidated page is the exception: its local
+		// content is outdated by definition, so the fetch is taken as-is.
+		if m.VVec.Len() > 0 && m.VVec.CoveredBy(o.applied()) &&
+			!o.invalid[page] && !o.allInvalid {
+			o.reconsiderParked()
+			return
+		}
 		if err := o.env.ApplyElement(page, m.Payload); err != nil {
 			return
 		}

@@ -1,6 +1,8 @@
 package replication
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -785,5 +787,91 @@ func TestDemandRetryRecoversAfterExhaustedCycle(t *testing.T) {
 	env.clk.Advance(60 * time.Millisecond)
 	if d := env.takeSent(msg.KindDemandUpdate); len(d) != 1 {
 		t.Fatalf("exhausted earlier cycle disabled retries: got %d retried demands, want 1", len(d))
+	}
+}
+
+// pageTokens reads one page and decodes its content to a string.
+func pageTokens(t *testing.T, env *fakeEnv, page string) string {
+	t.Helper()
+	pg, err := webdoc.DecodePage(pageContent(t, env, page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(pg.Content)
+}
+
+// TestStalePageStateReplyDoesNotRollBackPage is the regression for the chaos
+// suite's rare MW/PRAM flake under sequential consistency: demand retries
+// plus link-level duplication mean several per-page StateReply frames can be
+// in flight, and a delayed one can land after newer pushes. Before the stale
+// guard, ApplyElement overwrote the page with the old snapshot and
+// reapplyBeyond could only restore ops present in the update log — ops whose
+// effects had arrived inside the subscribe-time full state transfer were
+// never logged — leaving the page with a permanent mid-sequence gap (client
+// 1's tokens jumping 1 -> 4) that any reader could observe.
+func TestStalePageStateReplyDoesNotRollBackPage(t *testing.T) {
+	env := newFakeEnv()
+	o := newObj(t, env, RoleClientInitiated, strategy.Whiteboard(), "parent-store")
+
+	appendUpd := func(seq uint64) *coherence.Update {
+		return &coherence.Update{
+			Write: ids.WiD{Client: 1, Seq: seq}, GlobalSeq: seq,
+			Inv: msg.Invocation{
+				Method: webdoc.MethodAppendPage, Page: "p",
+				Args: webdoc.EncodeWriteArgs(webdoc.WriteArgs{
+					Content: []byte(fmt.Sprintf("c1.%d;", seq)),
+				}),
+			},
+		}
+	}
+
+	// Parent history: token 1 applied, element snapshot taken (the reply
+	// that will arrive late), then tokens 2-3 and a full snapshot.
+	parent := control.New(webdoc.New())
+	if err := parent.ApplyOp(appendUpd(1)); err != nil {
+		t.Fatal(err)
+	}
+	staleEl, err := parent.SnapshotElement("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(2); seq <= 3; seq++ {
+		if err := parent.ApplyOp(appendUpd(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap: tokens 1-3 arrive via full state transfer (never logged).
+	o.Handle(&msg.Message{
+		Kind: msg.KindSubscribeAck, Object: "obj", From: "parent-store",
+		Payload: snap, VVec: msg.VecFrom(ids.VersionVec{1: 3}), GlobalSeq: 4,
+	})
+	// Tokens 4-5 arrive as ordered pushes (these ARE logged).
+	for seq := uint64(4); seq <= 5; seq++ {
+		u := appendUpd(seq)
+		o.Handle(&msg.Message{
+			Kind: msg.KindUpdate, Object: "obj", From: "parent-store",
+			Write: u.Write, GlobalSeq: u.GlobalSeq, Inv: u.Inv,
+		})
+	}
+	before := pageTokens(t, env, "p")
+	for seq := 1; seq <= 5; seq++ {
+		if !strings.Contains(before, fmt.Sprintf("c1.%d;", seq)) {
+			t.Fatalf("setup: token %d missing from %q", seq, before)
+		}
+	}
+
+	// The stale per-page reply (vector {1:1}, long since covered) lands.
+	o.Handle(&msg.Message{
+		Kind: msg.KindStateReply, Object: "obj", From: "parent-store",
+		Pages: []string{"p"}, Payload: staleEl,
+		VVec: msg.VecFrom(ids.VersionVec{1: 1}),
+	})
+	if after := pageTokens(t, env, "p"); after != before {
+		t.Fatalf("stale page reply rolled content back:\n before %q\n after  %q", before, after)
 	}
 }
