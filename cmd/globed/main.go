@@ -191,6 +191,9 @@ func run() error {
 	if len(m.Stores) == 0 {
 		return fmt.Errorf("manifest defines no stores")
 	}
+	if err := validateDurability(m); err != nil {
+		return err
+	}
 
 	sysOpts := []webobj.SystemOption{
 		webobj.WithFabric(webobj.NewTCPFabric("", webobj.WithMaxInboundFrame(m.MaxFrame))),
@@ -288,6 +291,26 @@ func run() error {
 			}
 		}
 	}
+}
+
+// validateDurability rejects a manifest whose data_dir cannot take effect:
+// only permanent-role stores persist (durable mirrors are a planned
+// follow-on), so a daemon hosting exclusively mirrors/caches with a
+// data_dir configured would silently run without the durability its
+// operator asked for. Fail at manifest validation instead.
+func validateDurability(m manifest) error {
+	if m.DataDir == "" {
+		return nil
+	}
+	var roles []string
+	for _, spec := range m.Stores {
+		if spec.Role == "permanent" {
+			return nil
+		}
+		roles = append(roles, spec.Role)
+	}
+	return fmt.Errorf("data_dir %q set but the manifest hosts no permanent store (roles: %s): only permanent stores are durable — durable mirrors are a planned follow-on",
+		m.DataDir, strings.Join(roles, ", "))
 }
 
 // createStore builds one manifest store (without its replicas' parents —

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateDurabilityRejectsMirrorOnlyDataDir(t *testing.T) {
+	m := manifest{
+		DataDir: "/var/lib/globe",
+		Stores: []storeSpec{
+			{Listen: "127.0.0.1:7001", Role: "mirror"},
+			{Listen: "127.0.0.1:7002", Role: "cache"},
+		},
+	}
+	err := validateDurability(m)
+	if err == nil {
+		t.Fatal("data_dir on a mirror/cache-only manifest must be rejected")
+	}
+	if !strings.Contains(err.Error(), "no permanent store") {
+		t.Fatalf("error should name the cause, got: %v", err)
+	}
+}
+
+func TestValidateDurabilityAcceptsPermanentStore(t *testing.T) {
+	m := manifest{
+		DataDir: "/var/lib/globe",
+		Stores: []storeSpec{
+			{Listen: "127.0.0.1:7001", Role: "permanent"},
+			{Listen: "127.0.0.1:7002", Role: "mirror"},
+		},
+	}
+	if err := validateDurability(m); err != nil {
+		t.Fatalf("manifest with a permanent store rejected: %v", err)
+	}
+}
+
+func TestValidateDurabilityNoDataDirIsFine(t *testing.T) {
+	m := manifest{Stores: []storeSpec{{Listen: "127.0.0.1:7001", Role: "cache"}}}
+	if err := validateDurability(m); err != nil {
+		t.Fatalf("manifest without data_dir rejected: %v", err)
+	}
+}

@@ -64,6 +64,13 @@ type Config struct {
 	LazyInterval time.Duration
 	// ConvergeWithin bounds the post-heal convergence wait.
 	ConvergeWithin time.Duration
+	// ParallelDelivery runs the memnet fabric with per-shard drain
+	// goroutines (memnet.WithParallelDelivery). The fault schedule and
+	// per-sender loss/dup decisions stay seeded, but cross-destination
+	// delivery interleaving becomes nondeterministic — the convergence and
+	// session-guarantee checks must hold regardless, which is exactly what
+	// the parallel legs of the matrix assert.
+	ParallelDelivery bool
 }
 
 func (c *Config) defaults() {
@@ -117,7 +124,11 @@ func Run(cfg Config) (*Result, error) {
 	rec := newRecorder()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	net := memnet.New(memnet.WithSeed(cfg.Seed))
+	netOpts := []memnet.Option{memnet.WithSeed(cfg.Seed)}
+	if cfg.ParallelDelivery {
+		netOpts = append(netOpts, memnet.WithParallelDelivery())
+	}
+	net := memnet.New(netOpts...)
 	defer net.Close()
 	ns := naming.New()
 
@@ -272,13 +283,14 @@ func Run(cfg Config) (*Result, error) {
 
 	// Wait for the writing clients, with a watchdog so a livelocked client
 	// fails the run instead of hanging the suite; the abort flag drains the
-	// stuck writers before the convergence phase reads any state.
+	// stuck writers before the convergence phase reads any state. The
+	// deadline extends while the op counters advance (see awaitWriters), so
+	// CPU overcommit stretching every round trip does not starve a healthy
+	// workload into a false violation.
 	writersFinished := make(chan struct{})
 	go func() { writerWG.Wait(); close(writersFinished) }()
-	select {
-	case <-writersFinished:
-	case <-time.After(60 * time.Second):
-		rec.violatef("workload phase did not finish within 60s")
+	if !awaitWriters(writersFinished, counts, 60*time.Second) {
+		rec.violatef("workload phase stalled: no client progress for 60s (hard cap 240s)")
 		abort.Store(true)
 		<-writersFinished
 	}
@@ -362,6 +374,41 @@ func baseStrategy(cfg Config) strategy.Strategy {
 	return st
 }
 
+// awaitWriters waits for the workload phase to finish. Under CPU overcommit
+// (torture runs share one box with the race detector and hundreds of
+// goroutines) a healthy workload can legitimately outlive a flat deadline
+// while still making steady progress, so the watchdog deadline is
+// progress-extending: every advance of the op counters — they move on every
+// attempt, including retries — buys the writers another base, up to a hard
+// cap of 4×base, matching the Phase C convergence-deadline policy. A
+// genuinely livelocked workload still dies within base of its last
+// observed op. Reports whether the writers finished; on false the caller
+// raises the abort flag and drains them.
+func awaitWriters(finished <-chan struct{}, counts *opCounts, base time.Duration) bool {
+	start := time.Now()
+	deadline := start.Add(base)
+	hardCap := start.Add(4 * base)
+	last := int64(-1)
+	for {
+		select {
+		case <-finished:
+			return true
+		case <-time.After(100 * time.Millisecond):
+		}
+		if cur := counts.progress(); cur != last {
+			last = cur
+			if d := time.Now().Add(base); d.Before(hardCap) {
+				deadline = d
+			} else {
+				deadline = hardCap
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+	}
+}
+
 // opCounts aggregates workload accounting across client goroutines, and
 // carries the watchdog's abort flag every client loop checks.
 type opCounts struct {
@@ -371,6 +418,12 @@ type opCounts struct {
 	// transient frame loss; the crash harness raises it because a store
 	// restart is a much longer outage than a dropped frame).
 	maxAttempts int
+}
+
+// progress is the watchdog's liveness signal: the sum of every per-attempt
+// counter, so even a workload that is only retrying keeps its deadline.
+func (c *opCounts) progress() int64 {
+	return c.acked.Load() + c.retries.Load() + c.readsOK.Load() + c.readsFailed.Load()
 }
 
 // appendToken appends one token, retrying on timeout. A retry reuses the

@@ -202,3 +202,83 @@ func TestTokenRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestConvergenceUnderLossParallelDelivery runs the main PRAM and sequential
+// scenarios over the parallel memnet drain path (one drain goroutine per
+// shard). The seeded fault schedule and per-sender loss/dup decisions are
+// unchanged, but cross-destination delivery interleaving is nondeterministic
+// in this mode, so these legs assert what the parallel mode promises:
+// every replica still converges and no session guarantee bends, whatever
+// the interleaving.
+func TestConvergenceUnderLossParallelDelivery(t *testing.T) {
+	for _, loss := range lossRates(t) {
+		t.Run(fmt.Sprintf("pram/loss=%g", loss), func(t *testing.T) {
+			res, err := Run(Config{
+				Seed:             1998,
+				Loss:             loss,
+				Dup:              0.02,
+				DigestInterval:   100 * time.Millisecond,
+				ParallelDelivery: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			report(t, res)
+		})
+		t.Run(fmt.Sprintf("sequential/loss=%g", loss), func(t *testing.T) {
+			res, err := Run(Config{
+				Seed:             424242,
+				Model:            coherence.Sequential,
+				Loss:             loss,
+				Dup:              0.02,
+				DigestInterval:   100 * time.Millisecond,
+				ParallelDelivery: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			report(t, res)
+		})
+	}
+}
+
+// --- watchdog self-tests ------------------------------------------------------
+
+// A finished workload returns promptly regardless of counters.
+func TestAwaitWritersFinishes(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	if !awaitWriters(done, &opCounts{}, time.Minute) {
+		t.Fatal("finished workload reported as stalled")
+	}
+}
+
+// A workload making no progress dies within roughly base, not the hard cap.
+func TestAwaitWritersStallsWithoutProgress(t *testing.T) {
+	done := make(chan struct{})
+	start := time.Now()
+	if awaitWriters(done, &opCounts{}, 300*time.Millisecond) {
+		t.Fatal("stalled workload reported as finished")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("stall verdict took %v, want ~base", el)
+	}
+}
+
+// Counter progress extends the deadline past base — the PR 8 torture-run
+// failure shape: a healthy-but-slow workload under CPU overcommit must not
+// be declared dead while its ops are still landing.
+func TestAwaitWritersProgressExtends(t *testing.T) {
+	done := make(chan struct{})
+	counts := &opCounts{}
+	go func() { // steady progress for ~3x base
+		defer close(done)
+		for i := 0; i < 6; i++ {
+			counts.acked.Add(1)
+			time.Sleep(150 * time.Millisecond)
+		}
+	}()
+	if !awaitWriters(done, counts, 300*time.Millisecond) {
+		t.Fatal("progressing workload hit the watchdog")
+	}
+}

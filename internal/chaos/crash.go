@@ -348,10 +348,8 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 
 	writersFinished := make(chan struct{})
 	go func() { writerWG.Wait(); close(writersFinished) }()
-	select {
-	case <-writersFinished:
-	case <-time.After(90 * time.Second):
-		rec.violatef("workload phase did not finish within 90s")
+	if !awaitWriters(writersFinished, counts, 90*time.Second) {
+		rec.violatef("workload phase stalled: no client progress for 90s (hard cap 360s)")
 		abort.Store(true)
 		<-writersFinished
 	}

@@ -249,10 +249,8 @@ func RunReparent(cfg ReparentConfig) (*ReparentResult, error) {
 
 	writersFinished := make(chan struct{})
 	go func() { writerWG.Wait(); close(writersFinished) }()
-	select {
-	case <-writersFinished:
-	case <-time.After(90 * time.Second):
-		rec.violatef("workload phase did not finish within 90s")
+	if !awaitWriters(writersFinished, counts, 90*time.Second) {
+		rec.violatef("workload phase stalled: no client progress for 90s (hard cap 360s)")
 		abort.Store(true)
 		<-writersFinished
 	}

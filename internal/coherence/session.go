@@ -28,6 +28,13 @@ type Session struct {
 	// readVC is the causal variant of readVec, attached as write
 	// dependencies under Writes Follow Reads.
 	readVC vclock.VC
+	// holes records sequence numbers of aborted writes that could NOT be
+	// rolled back (a newer allocation already existed): permanent gaps in
+	// the client's write order until sealed. Under ordered models such a
+	// gap stalls every later write at the stores, so the proxy must seal
+	// each hole (a no-op write under the hole's WiD) before issuing new
+	// writes. Nil until the first unrollbackable abort.
+	holes map[uint64]bool
 }
 
 // NewSession creates a session for client c with the given client-based
@@ -85,17 +92,26 @@ func (s *Session) NextWrite() (ids.WiD, vclock.VC) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
+	// A rolled-back abort can shrink the counter below a recorded hole; if
+	// this allocation lands on one, the new write itself fills the gap.
+	delete(s.holes, s.seq)
 	w := ids.WiD{Client: s.client, Seq: s.seq}
+	return w, s.depsForLocked(s.seq)
+}
+
+// depsForLocked builds the dependency vector a write with sequence seq must
+// carry under the enabled models. Callers hold s.mu.
+func (s *Session) depsForLocked(seq uint64) vclock.VC {
 	deps := vclock.New()
 	if s.models[WritesFollowReads] {
 		deps.Merge(s.readVC)
 	}
 	if s.models[MonotonicWrites] || s.models[WritesFollowReads] {
-		if s.seq > 1 {
-			deps.Set(s.client, s.seq-1)
+		if seq > 1 {
+			deps.Set(s.client, seq-1)
 		}
 	}
-	return w, deps
+	return deps
 }
 
 // AbortWrite rolls back the sequence counter after a failed write call, so
@@ -110,12 +126,66 @@ func (s *Session) NextWrite() (ids.WiD, vclock.VC) {
 // before issuing different writes (retrying different content under a
 // reused WiD is silently deduplicated, exactly like rebinding a reused
 // client identity at a lagging replica — see webobj.AsClient).
+//
+// When the failed write is NOT the most recent allocation — a concurrent
+// writer on the same shared handle already allocated a later sequence — the
+// counter cannot move, so the abandoned sequence number is recorded as a
+// hole instead. Under ordered models that hole would stall every subsequent
+// write from this client forever (stores buffer writes until the
+// predecessor arrives); the proxy seals recorded holes with no-op writes
+// before its next write departs (see Holes/SealWrite/SealDone).
 func (s *Session) AbortWrite(w ids.WiD) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if w.Client == s.client && w.Seq == s.seq {
-		s.seq--
+	if w.Client != s.client {
+		return
 	}
+	if w.Seq == s.seq {
+		s.seq--
+		return
+	}
+	if w.Seq < s.seq {
+		if s.holes == nil {
+			s.holes = make(map[uint64]bool)
+		}
+		s.holes[w.Seq] = true
+	}
+}
+
+// Holes returns the recorded write-sequence gaps in ascending order (nil
+// when the client's write history is contiguous).
+func (s *Session) Holes() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.holes) == 0 {
+		return nil
+	}
+	hs := make([]uint64, 0, len(s.holes))
+	for h := range s.holes {
+		hs = append(hs, h)
+	}
+	for i := 1; i < len(hs); i++ { // insertion sort; hole counts are tiny
+		for j := i; j > 0 && hs[j] < hs[j-1]; j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
+	return hs
+}
+
+// SealWrite returns the write identifier and dependency vector for a no-op
+// write that seals the recorded hole at seq. It does not touch the write
+// counter: the hole's number is already allocated.
+func (s *Session) SealWrite(seq uint64) (ids.WiD, vclock.VC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ids.WiD{Client: s.client, Seq: seq}, s.depsForLocked(seq)
+}
+
+// SealDone removes a hole once its seal write has been acknowledged.
+func (s *Session) SealDone(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.holes, seq)
 }
 
 // WriteDone records a successfully acknowledged write performed at store st.

@@ -140,3 +140,78 @@ func TestSessionRYWAgainstPRAMStore(t *testing.T) {
 		t.Fatalf("requirement still unsatisfied after demand")
 	}
 }
+
+// TestSessionAbortRollsBackOnlyMostRecent covers both abort outcomes: the
+// newest allocation rolls the counter back; an older one — overtaken by a
+// concurrent writer on the shared handle — becomes a recorded hole the
+// proxy must seal before later writes can apply under ordered models.
+func TestSessionAbortRollsBackOnlyMostRecent(t *testing.T) {
+	s := NewSession(8, MonotonicWrites)
+	w1, _ := s.NextWrite()
+	w2, _ := s.NextWrite()
+	s.AbortWrite(w1) // older than the newest allocation: hole, no rollback
+	if s.Seq() != 2 {
+		t.Fatalf("seq = %d after overtaken abort, want 2", s.Seq())
+	}
+	if hs := s.Holes(); len(hs) != 1 || hs[0] != 1 {
+		t.Fatalf("holes = %v, want [1]", hs)
+	}
+	s.AbortWrite(w2) // newest: plain rollback, no hole
+	if s.Seq() != 1 {
+		t.Fatalf("seq = %d after rollback, want 1", s.Seq())
+	}
+	if hs := s.Holes(); len(hs) != 1 || hs[0] != 1 {
+		t.Fatalf("holes = %v after rollback, want [1]", hs)
+	}
+	s.AbortWrite(ids.WiD{Client: 99, Seq: 1}) // foreign client: ignored
+	if s.Seq() != 1 || len(s.Holes()) != 1 {
+		t.Fatalf("foreign abort mutated session")
+	}
+}
+
+// TestSessionSealWriteFillsHole covers the seal flow: SealWrite reuses the
+// hole's WiD with the model-appropriate deps and SealDone retires it.
+func TestSessionSealWriteFillsHole(t *testing.T) {
+	s := NewSession(6, MonotonicWrites)
+	s.NextWrite()
+	s.NextWrite()
+	w2, _ := s.NextWrite()
+	s.AbortWrite(ids.WiD{Client: 6, Seq: 2}) // hole at 2
+	s.AbortWrite(w2)                         // rollback to 2... then to seq=2
+	w, deps := s.SealWrite(2)
+	if w != (ids.WiD{Client: 6, Seq: 2}) {
+		t.Fatalf("seal WiD = %v", w)
+	}
+	if deps.Get(6) != 1 {
+		t.Fatalf("seal deps = %v, want own seq-1 under MW", deps)
+	}
+	s.SealDone(2)
+	if len(s.Holes()) != 0 {
+		t.Fatalf("holes after SealDone: %v", s.Holes())
+	}
+}
+
+// TestSessionReallocationAbsorbsHole: after a rollback shrinks the counter
+// below a recorded hole, a fresh allocation landing on the hole's number
+// fills the gap itself — the hole must vanish, not get sealed twice.
+func TestSessionReallocationAbsorbsHole(t *testing.T) {
+	s := NewSession(9)
+	s.NextWrite()                            // seq 1
+	w2, _ := s.NextWrite()                   // seq 2
+	s.AbortWrite(ids.WiD{Client: 9, Seq: 1}) // hole at 1
+	s.AbortWrite(w2)                         // rollback: counter back to 1
+	if s.Seq() != 1 {
+		t.Fatalf("seq = %d, want 1", s.Seq())
+	}
+	s.AbortWrite(ids.WiD{Client: 9, Seq: 1}) // newest again: rollback to 0
+	if s.Seq() != 0 {
+		t.Fatalf("seq = %d, want 0", s.Seq())
+	}
+	w, _ := s.NextWrite() // reallocates 1, absorbing the stale hole record
+	if w.Seq != 1 {
+		t.Fatalf("reallocated seq = %d", w.Seq)
+	}
+	if hs := s.Holes(); len(hs) != 0 {
+		t.Fatalf("stale hole survived reallocation: %v", hs)
+	}
+}

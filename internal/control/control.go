@@ -44,6 +44,12 @@ func (c *Control) ServeRead(inv msg.Invocation) ([]byte, error) {
 
 // ApplyOp applies an ordered write update to the semantics object.
 func (c *Control) ApplyOp(u *coherence.Update) error {
+	if u.Inv.Method == semantics.MethodNoop {
+		// A gap-seal no-op (see semantics.MethodNoop): it exists only to
+		// occupy its write ID in the per-client order, so it applies by
+		// doing nothing — the caller still advances the applied vector.
+		return nil
+	}
 	if !c.table.IsWrite(u.Inv.Method) {
 		return fmt.Errorf("control: update %v carries non-write method %d", u.Write, u.Inv.Method)
 	}

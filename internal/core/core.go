@@ -221,6 +221,17 @@ func (p *Proxy) invokeWrite(inv msg.Invocation) ([]byte, error) {
 		p.writeMu.Unlock()
 		return nil, ErrClosed
 	}
+	p.mu.Unlock()
+	// Repair first: an aborted write that could not be rolled back (another
+	// writer on this shared handle had already allocated a later sequence)
+	// left a hole that stalls every subsequent write under ordered models.
+	// Seal each hole before this write departs, so its own sequence number
+	// is reachable at the stores.
+	if err := p.sealHoles(); err != nil {
+		p.writeMu.Unlock()
+		return nil, err
+	}
+	p.mu.Lock()
 	w, deps := p.session.NextWrite()
 	p.mu.Unlock()
 
@@ -253,6 +264,42 @@ func (p *Proxy) invokeWrite(inv msg.Invocation) ([]byte, error) {
 	}
 	p.session.WriteDone(w, reply.Store)
 	return reply.Payload, nil
+}
+
+// sealHoles re-issues every recorded write-sequence hole as a no-op write
+// under the hole's original write ID (semantics.MethodNoop), in ascending
+// order. The at-most-once admission at the stores makes this safe in both
+// timeout outcomes: if the aborted original was actually applied, the seal
+// is re-acked as a replay; if it never arrived, the no-op fills the gap and
+// releases the client's buffered successors. Callers hold writeMu, so the
+// seals depart before any newer write; the round trips happen under the
+// lock — gap repair is rare and correctness beats departure latency here.
+// On failure the hole stays recorded for the next attempt.
+func (p *Proxy) sealHoles() error {
+	for _, seq := range p.session.Holes() {
+		w, deps := p.session.SealWrite(seq)
+		m := &msg.Message{
+			Kind:      msg.KindWriteRequest,
+			Object:    p.object,
+			Client:    p.client,
+			Write:     w,
+			Deps:      msg.VecFrom(deps),
+			Inv:       msg.Invocation{Method: semantics.MethodNoop},
+			WallNanos: time.Now().UnixNano(),
+		}
+		reply, err := p.call(m)
+		if err != nil && errors.Is(err, ErrTimeout) {
+			reply, err = p.call(m) // same one-retry contract as invokeWrite
+		}
+		if err != nil {
+			return fmt.Errorf("core: sealing write gap %v: %w", w, err)
+		}
+		if reply.Status != msg.StatusOK {
+			return fmt.Errorf("core: sealing write gap %v: %w", w, &RemoteError{reply.Status, reply.Err})
+		}
+		p.session.SealDone(seq)
+	}
+	return nil
 }
 
 // call sends m to the bound store and awaits the correlated reply.

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram sub-bucket resolution: 2^subBits linear sub-buckets per power of
+// two gives a worst-case relative quantile error of 2^-subBits (~3.1%), the
+// HDR-histogram trade: fixed memory, no locks, full dynamic range.
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits
+	numBuckets = (64 - subBits + 1) * subBuckets
+)
+
+// Hist is a lock-free log-linear latency histogram in nanoseconds. Record
+// is safe for concurrent use; quantile reads are intended for after the run
+// (they see a consistent-enough snapshot under concurrent writes, which the
+// live progress printer exploits).
+type Hist struct {
+	counts [numBuckets]atomic.Uint64
+	n      atomic.Uint64
+	max    atomic.Int64
+}
+
+// bucketOf maps a nanosecond value onto its log-linear bucket.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u) // exact buckets below the linear/log boundary
+	}
+	exp := bits.Len64(u) - 1 // position of the highest set bit, >= subBits
+	sub := (u >> uint(exp-subBits)) - subBuckets
+	return (exp-subBits+1)*subBuckets + int(sub)
+}
+
+// bucketValue is the lower bound of a bucket — the value Quantile reports,
+// so quantiles are never over-stated by more than the bucket width.
+func bucketValue(b int) int64 {
+	if b < subBuckets {
+		return int64(b)
+	}
+	block := b / subBuckets
+	sub := b % subBuckets
+	return int64(subBuckets+sub) << uint(block-1)
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	h.counts[bucketOf(v)].Add(1)
+	h.n.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.n.Load() }
+
+// Max returns the largest recorded observation exactly.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the q-quantile (q in [0,1]) with <=3.1% relative error.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target >= n {
+		return h.Max()
+	}
+	var seen uint64
+	for b := 0; b < numBuckets; b++ {
+		seen += h.counts[b].Load()
+		if seen > target {
+			return time.Duration(bucketValue(b))
+		}
+	}
+	return h.Max()
+}

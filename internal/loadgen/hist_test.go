@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Buckets must tile the value space: every value maps to a bucket whose
+// lower bound is <= the value, and the next bucket's bound is above it.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345}
+	for _, v := range vals {
+		b := bucketOf(v)
+		lo := bucketValue(b)
+		if lo > v {
+			t.Errorf("value %d: bucket %d lower bound %d exceeds value", v, b, lo)
+		}
+		if hi := bucketValue(b + 1); hi <= v {
+			t.Errorf("value %d: next bucket bound %d does not exceed value", v, hi)
+		}
+	}
+	if b := bucketOf(-5); b != 0 {
+		t.Errorf("negative value bucket = %d, want 0", b)
+	}
+}
+
+// Quantiles against a sorted reference sample must land within the
+// histogram's advertised ~3.1% relative error.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Hist{}
+	sample := make([]int64, 100000)
+	for i := range sample {
+		// Log-uniform over ~6 decades, the shape of a latency distribution
+		// with a long tail.
+		v := int64(1) << uint(rng.Intn(40))
+		v += rng.Int63n(v)
+		sample[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	if h.Count() != uint64(len(sample)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(sample))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := sample[int(q*float64(len(sample)))]
+		got := int64(h.Quantile(q))
+		if got > want {
+			t.Errorf("q=%g: histogram %d above true quantile %d", q, got, want)
+		}
+		if float64(want-got) > 0.04*float64(want) {
+			t.Errorf("q=%g: histogram %d vs true %d exceeds error bound", q, got, want)
+		}
+	}
+	if h.Max() != time.Duration(sample[len(sample)-1]) {
+		t.Errorf("max = %v, want %v (exact)", h.Max(), sample[len(sample)-1])
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

@@ -49,6 +49,16 @@ type MethodInfo struct {
 // ErrUnknownMethod reports an invocation of a method not in the table.
 var ErrUnknownMethod = errors.New("semantics: unknown method")
 
+// MethodNoop is a reserved method ID (outside any semantics object's table)
+// for a write that deliberately changes nothing. Client proxies issue it to
+// seal a hole in their write sequence after an aborted write (see
+// core.Proxy); it travels the full ordering/replication path like any write
+// — filling the per-client gap at every replica — but the control object
+// applies it without invoking the semantics object. The table classifies it
+// as a write by the unknown-method rule, so no semantics object may claim
+// the ID for a real method.
+const MethodNoop uint16 = 0xFFFF
+
 // ErrNoElement reports access to a missing element (page, key, ...).
 var ErrNoElement = errors.New("semantics: no such element")
 

@@ -202,3 +202,24 @@ func TestStoreBindRetriesWhileRecovering(t *testing.T) {
 		t.Fatalf("content after gate opened = %q", got)
 	}
 }
+
+// A DataDir on a non-permanent role must fail fast at Host: only the
+// permanent role persists, and silently dropping durability would let a
+// deployment believe its mirror data is safe.
+func TestHostRejectsDataDirOnNonPermanentRole(t *testing.T) {
+	r := newRig(t)
+	for _, role := range []replication.Role{replication.RoleObjectInitiated, replication.RoleClientInitiated} {
+		s := store.New(store.Config{
+			ID: 21, Role: role, Endpoint: r.endpoint("nd-" + role.String()),
+			DataDir: t.TempDir(),
+		})
+		err := s.Host(store.HostConfig{Object: "doc", Semantics: webdoc.New(), Strat: strategy.Conference(time.Hour)})
+		_ = s.Close()
+		if err == nil {
+			t.Fatalf("%v role accepted a DataDir", role)
+		}
+		if !strings.Contains(err.Error(), "only permanent stores are durable") {
+			t.Fatalf("error should explain the durability rule, got: %v", err)
+		}
+	}
+}

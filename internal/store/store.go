@@ -71,8 +71,11 @@ type Config struct {
 	ReparentAfter int
 	// DataDir, when set on a permanent store, makes every hosted replica
 	// durable: a per-object write-ahead log + snapshot under
-	// <DataDir>/store-<ID>/<object>/, replayed on restart. Ignored on
-	// mirror/cache roles (their state is reconstructible from the parent).
+	// <DataDir>/store-<ID>/<object>/, replayed on restart. Only the
+	// permanent role persists; Host rejects a DataDir on mirror/cache
+	// roles rather than silently dropping durability (durable mirrors are
+	// a planned follow-on — their recovery gate must reconcile replayed
+	// state against a parent that kept moving).
 	DataDir string
 	// Durability tunes the WAL when DataDir is set.
 	Durability Durability
@@ -160,6 +163,14 @@ type HostConfig struct {
 // active. The returned replication object must only be inspected through
 // its thread-safe accessors after this call (Stats/Applied via Store).
 func (s *Store) Host(hc HostConfig) error {
+	if s.cfg.DataDir != "" && s.cfg.Role != replication.RolePermanent {
+		// Fail fast instead of silently dropping durability: only the
+		// permanent role persists (see Config.DataDir). A deployment that
+		// sets a data dir on a mirror or cache believes its data is safe;
+		// it is not, so say so at configuration time.
+		return fmt.Errorf("store %d: DataDir %q configured on %v role: only permanent stores are durable (durable mirrors are a planned follow-on)",
+			s.cfg.ID, s.cfg.DataDir, s.cfg.Role)
+	}
 	ctrl := control.New(hc.Semantics)
 	errCh := make(chan error, 1)
 	posted := s.post(func() {

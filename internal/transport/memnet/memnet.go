@@ -102,13 +102,19 @@ func (c *counters) reset() {
 const numShards = 16
 
 // shard is one slice of the delivery schedule: a min-heap of pending
-// deliveries with its own lock and FIFO tiebreak sequence. The struct is
-// padded to a cache line so neighbouring shards do not false-share.
+// deliveries with its own lock and FIFO tiebreak sequence. In parallel
+// delivery mode each shard also owns its drainer's wake state (mirroring the
+// Network-level fields the single scheduler uses). The struct is padded out
+// so neighbouring shards do not false-share a cache line.
 type shard struct {
 	mu    sync.Mutex
 	seq   uint64
 	queue deliveryQueue
-	_     [24]byte
+	// sleepUntil/wake serve the shard's own drain goroutine in parallel
+	// mode; unused (zero) in deterministic mode.
+	sleepUntil atomic.Int64
+	wake       chan struct{}
+	_          [8]byte
 }
 
 // Network is a simulated network. Create endpoints with Endpoint, wire their
@@ -119,8 +125,10 @@ type shard struct {
 // read-write mutex that the send path only read-locks; loss/jitter/dup
 // randomness comes from per-endpoint RNGs; and scheduled deliveries live in
 // per-destination shards, so N concurrent senders to distinct destinations
-// share no exclusive lock. One scheduler goroutine (the clock driver) drains
-// all shards in timestamp order.
+// share no exclusive lock. By default one scheduler goroutine (the clock
+// driver) drains all shards in timestamp order, which makes seeded runs
+// reproduce their exact delivery order; WithParallelDelivery trades that
+// determinism for one drain goroutine per shard.
 type Network struct {
 	mu        sync.RWMutex
 	endpoints map[string]*endpoint
@@ -133,10 +141,11 @@ type Network struct {
 	parts     map[linkKey]bool
 	closed    bool
 
-	seed   int64
-	clk    clock.Clock
-	stats  counters
-	shards [numShards]shard
+	seed     int64
+	clk      clock.Clock
+	parallel bool
+	stats    counters
+	shards   [numShards]shard
 	// sleepUntil is the scheduler's planned wake time (UnixNano); senders
 	// skip the wake signal when their delivery is not earlier. While the
 	// scheduler is awake (scanning or delivering) it holds MaxInt64, so
@@ -172,6 +181,21 @@ func WithClock(c clock.Clock) Option {
 	return func(n *Network) { n.clk = c }
 }
 
+// WithParallelDelivery replaces the single delivery scheduler with one drain
+// goroutine per shard. Each destination still maps to exactly one shard, so
+// per-(sender,destination) FIFO order and the (time, seq) schedule within a
+// shard are preserved — but deliveries to *different* destinations interleave
+// nondeterministically across drainers, and decode (DecodeAlias) runs
+// concurrently shard-by-shard instead of serialising on one goroutine.
+//
+// Use it for throughput work (load generation, contention benchmarks at
+// GOMAXPROCS>1). Leave it off — the default — wherever a seeded run must
+// reproduce its exact delivery order: the chaos harness and every seeded
+// regression test rely on the deterministic single-drainer schedule.
+func WithParallelDelivery() Option {
+	return func(n *Network) { n.parallel = true }
+}
+
 // New creates a network. By default links are instantaneous and lossless.
 func New(opts ...Option) *Network {
 	n := &Network{
@@ -187,8 +211,18 @@ func New(opts ...Option) *Network {
 		o(n)
 	}
 	n.sleepUntil.Store(math.MaxInt64)
-	n.wg.Add(1)
-	go n.run()
+	if n.parallel {
+		for i := range n.shards {
+			sh := &n.shards[i]
+			sh.wake = make(chan struct{}, 1)
+			sh.sleepUntil.Store(math.MaxInt64)
+			n.wg.Add(1)
+			go n.runShard(sh)
+		}
+	} else {
+		n.wg.Add(1)
+		go n.run()
+	}
 	return n
 }
 
@@ -409,17 +443,28 @@ func (n *Network) enqueue(src *endpoint, h hop, wire []byte) {
 		heap.Push(&sh.queue, &delivery{at: at.Add(extra - delay), seq: sh.seq, ep: h.dst, wire: wire})
 	}
 	sh.mu.Unlock()
-	// Wake the scheduler only when this delivery is due before its planned
-	// wake-up; a sleeping scheduler rescans every shard when it wakes, so
-	// later deliveries need no signal.
+	// Wake the drainer only when this delivery is due before its planned
+	// wake-up; a sleeping drainer rescans its queue when it wakes, so later
+	// deliveries need no signal. In parallel mode the signal targets the
+	// destination shard's own drainer rather than the global scheduler.
+	if n.parallel {
+		if at.UnixNano() < sh.sleepUntil.Load() {
+			wakeChan(sh.wake)
+		}
+		return
+	}
 	if at.UnixNano() < n.sleepUntil.Load() {
 		n.wakeScheduler()
 	}
 }
 
-func (n *Network) wakeScheduler() {
+func (n *Network) wakeScheduler() { wakeChan(n.wake) }
+
+// wakeChan posts a non-blocking wake token; a full buffer already guarantees
+// the sleeper's next select returns immediately.
+func wakeChan(ch chan struct{}) {
 	select {
-	case n.wake <- struct{}{}:
+	case ch <- struct{}{}:
 	default:
 	}
 }
@@ -458,6 +503,62 @@ func (n *Network) run() {
 	}
 }
 
+// runShard is one shard's delivery drainer in parallel mode: the same
+// sleep-until-due loop as run, scoped to a single shard's queue. Decoding
+// happens on this goroutine, so shards decode concurrently; an endpoint
+// inbox at capacity blocks only the shard that owns that destination.
+func (n *Network) runShard(sh *shard) {
+	defer n.wg.Done()
+	for {
+		// Awake: racing enqueues on this shard signal sh.wake, whose
+		// buffered token makes the next select return immediately.
+		sh.sleepUntil.Store(math.MaxInt64)
+		sh.mu.Lock()
+		var next time.Time
+		ok := sh.queue.Len() > 0
+		if ok {
+			next = sh.queue[0].at
+		}
+		sh.mu.Unlock()
+		if !ok {
+			select {
+			case <-n.done:
+				return
+			case <-sh.wake:
+				continue
+			}
+		}
+		wait := next.Sub(n.clk.Now())
+		if wait > 0 {
+			sh.sleepUntil.Store(next.UnixNano())
+			select {
+			case <-n.done:
+				return
+			case <-sh.wake:
+				continue // an earlier delivery may have arrived
+			case <-n.clk.After(wait):
+			}
+		}
+		n.drainShard(sh)
+	}
+}
+
+// drainShard pops and delivers every due message on one shard, in (time,
+// seq) order — the per-destination FIFO promise is unchanged from the
+// single-scheduler path because a destination maps to exactly one shard.
+func (n *Network) drainShard(sh *shard) {
+	for {
+		sh.mu.Lock()
+		if sh.queue.Len() == 0 || sh.queue[0].at.After(n.clk.Now()) {
+			sh.mu.Unlock()
+			return
+		}
+		d := heap.Pop(&sh.queue).(*delivery)
+		sh.mu.Unlock()
+		n.deliverOne(d)
+	}
+}
+
 // earliest peeks every shard for the soonest pending delivery time.
 func (n *Network) earliest() (time.Time, bool) {
 	var at time.Time
@@ -483,17 +584,7 @@ func (n *Network) earliest() (time.Time, bool) {
 // destinations carry no ordering promise.
 func (n *Network) deliverDue() {
 	for i := range n.shards {
-		sh := &n.shards[i]
-		for {
-			sh.mu.Lock()
-			if sh.queue.Len() == 0 || sh.queue[0].at.After(n.clk.Now()) {
-				sh.mu.Unlock()
-				break
-			}
-			d := heap.Pop(&sh.queue).(*delivery)
-			sh.mu.Unlock()
-			n.deliverOne(d)
-		}
+		n.drainShard(&n.shards[i])
 	}
 }
 

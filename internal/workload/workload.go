@@ -38,6 +38,32 @@ type Config struct {
 
 // Generate produces a deterministic operation stream.
 func Generate(cfg Config) []Op {
+	if cfg.Ops <= 0 {
+		return nil
+	}
+	s := NewStream(cfg)
+	ops := make([]Op, 0, cfg.Ops)
+	for op, ok := s.Next(); ok; op, ok = s.Next() {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// Stream is the lazy form of Generate: it draws the identical deterministic
+// op sequence one at a time, so an open-loop load generator can pace a
+// million-op run without materialising the whole slice first. A Stream is
+// not safe for concurrent use; the dispatcher that paces arrivals owns it.
+type Stream struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	i    int
+}
+
+// NewStream starts the deterministic op stream for cfg. A Config with
+// Ops <= 0 streams forever (Generate would return nothing; the open-loop
+// harness runs on a duration instead of an op count).
+func NewStream(cfg Config) *Stream {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
 	}
@@ -48,32 +74,40 @@ func Generate(cfg Config) []Op {
 		cfg.WriteSize = 512
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	var zipf *rand.Zipf
+	s := &Stream{cfg: cfg, rng: rng}
 	if cfg.ZipfSkew > 1 {
-		zipf = rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(cfg.Pages-1))
+		s.zipf = rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(cfg.Pages-1))
 	}
-	ops := make([]Op, 0, cfg.Ops)
-	for i := 0; i < cfg.Ops; i++ {
-		var page int
-		if zipf != nil {
-			page = int(zipf.Uint64())
-		} else {
-			page = rng.Intn(cfg.Pages)
-		}
-		op := Op{
-			Client: rng.Intn(cfg.Clients),
-			Page:   PageName(page),
-			Size:   cfg.WriteSize,
-		}
-		if rng.Float64() < cfg.WriteRatio {
-			op.IsWrite = true
-			if cfg.SingleWriter {
-				op.Client = 0
-			}
-		}
-		ops = append(ops, op)
+	return s
+}
+
+// Next draws the next op. ok is false once the configured op count is
+// exhausted (never, when cfg.Ops <= 0). The draw order (page, client,
+// read/write) is load-bearing: it must match what Generate always did, so
+// seeded experiment configs keep their exact historical streams.
+func (s *Stream) Next() (Op, bool) {
+	if s.cfg.Ops > 0 && s.i >= s.cfg.Ops {
+		return Op{}, false
 	}
-	return ops
+	s.i++
+	var page int
+	if s.zipf != nil {
+		page = int(s.zipf.Uint64())
+	} else {
+		page = s.rng.Intn(s.cfg.Pages)
+	}
+	op := Op{
+		Client: s.rng.Intn(s.cfg.Clients),
+		Page:   PageName(page),
+		Size:   s.cfg.WriteSize,
+	}
+	if s.rng.Float64() < s.cfg.WriteRatio {
+		op.IsWrite = true
+		if s.cfg.SingleWriter {
+			op.Client = 0
+		}
+	}
+	return op, true
 }
 
 // PageName names the i-th page.

@@ -90,3 +90,40 @@ func TestClassConfigs(t *testing.T) {
 		t.Fatalf("fallback config broken")
 	}
 }
+
+// TestStreamMatchesGenerate pins the draw-order contract: the lazy Stream
+// must reproduce Generate's exact op sequence for the same config, or every
+// seeded experiment that moves to streaming would silently change workload.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfgs := []Config{
+		{Seed: 1, Clients: 4, Ops: 500, WriteRatio: 0.2, Pages: 8, WriteSize: 64},
+		{Seed: 99, Clients: 16, Ops: 300, WriteRatio: 0.5, Pages: 32, ZipfSkew: 1.3},
+		{Seed: 7, Clients: 3, Ops: 200, WriteRatio: 1.0, Pages: 2, SingleWriter: true},
+	}
+	for _, cfg := range cfgs {
+		want := Generate(cfg)
+		s := NewStream(cfg)
+		for i, w := range want {
+			got, ok := s.Next()
+			if !ok {
+				t.Fatalf("cfg %+v: stream ended at %d of %d", cfg, i, len(want))
+			}
+			if got != w {
+				t.Fatalf("cfg %+v: op %d = %+v, want %+v", cfg, i, got, w)
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatalf("cfg %+v: stream outlived Generate", cfg)
+		}
+	}
+}
+
+// An op-count-free stream keeps drawing (the open-loop duration mode).
+func TestStreamUnboundedKeepsDrawing(t *testing.T) {
+	s := NewStream(Config{Seed: 3, Clients: 2, Pages: 2})
+	for i := 0; i < 10_000; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("unbounded stream ended at %d", i)
+		}
+	}
+}

@@ -139,3 +139,46 @@ func TestStatsReportsMemoryOnlyWithoutDataDir(t *testing.T) {
 		t.Fatalf("stats for unhosted object: %v", err)
 	}
 }
+
+// A durable system still deploys mirrors and caches: the data dir is scoped
+// to the permanent stores that can honour it (store.Host rejects a DataDir
+// on other roles), so replication trees of a durable deployment come up
+// memory-only at the edges instead of failing.
+func TestDurableSystemStillCreatesMirrorsAndCaches(t *testing.T) {
+	dir := t.TempDir()
+	sys := webobj.NewSystem(
+		webobj.WithFabric(webobj.NewMemFabric()),
+		webobj.WithDataDir(dir),
+		webobj.WithDurability(webobj.Durability{Fsync: webobj.FsyncAlways}),
+	)
+	defer sys.Close()
+	server, err := sys.NewServer("www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish(server, "doc", webobj.WebDoc(), webobj.ConferenceStrategy(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := sys.NewMirror("mirror", server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Replicate(mirror, "doc"); err != nil {
+		t.Fatalf("mirror of a durable system must host memory-only, got: %v", err)
+	}
+	cache, err := sys.NewCache("cache", mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Replicate(cache, "doc"); err != nil {
+		t.Fatalf("cache of a durable system must host memory-only, got: %v", err)
+	}
+	d, err := sys.Open("doc", webobj.AsClient(3), webobj.At(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Append("p", []byte("durable root, volatile edge")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -609,7 +609,7 @@ func (s *System) newStore(name string, role replication.Role, parent *Store, opt
 	if cfg.digestSet {
 		digest = cfg.digest
 	}
-	st := store.New(store.Config{
+	scfg := store.Config{
 		ID:             id,
 		Role:           role,
 		Endpoint:       ep,
@@ -617,9 +617,17 @@ func (s *System) newStore(name string, role replication.Role, parent *Store, opt
 		DigestInterval: digest,
 		ReparentAfter:  s.reparent,
 		ResolveParent:  s.parentCandidates,
-		DataDir:        s.dataDir,
-		Durability:     s.storeDurability(),
-	})
+	}
+	if role == replication.RolePermanent {
+		// WithDataDir is a system-wide knob scoped to the stores that can
+		// honour it: only the permanent role persists (store.Host rejects a
+		// DataDir on mirror/cache roles — durable mirrors are a planned
+		// follow-on), so mirrors and caches of a durable system are created
+		// without one rather than failing the whole deployment.
+		scfg.DataDir = s.dataDir
+		scfg.Durability = s.storeDurability()
+	}
+	st := store.New(scfg)
 	h := &Store{name: name, st: st, role: role}
 	s.stores[name] = h
 	if parent != nil {
