@@ -30,6 +30,14 @@
 //	globectl -ctl 127.0.0.1:7009 -object conf-page -session ryw ctl host
 //	globectl -ctl 127.0.0.1:7009 -object conf-page ctl drop
 //	globectl -ctl 127.0.0.1:7009 -object conf-page ctl stats
+//
+// Two daemon-wide ops need no -object: "ctl metrics" dumps the daemon's
+// full metrics snapshot (JSON; populated when the daemon runs with
+// -metrics-addr) and "ctl trace" prints the write-lifecycle trace ring
+// (populated when the daemon runs with -trace-events):
+//
+//	globectl -ctl 127.0.0.1:7009 ctl metrics
+//	globectl -ctl 127.0.0.1:7009 ctl trace
 package main
 
 import (
@@ -68,17 +76,20 @@ func run() error {
 		stratSpec  = flag.String("strategy", "conference", "strategy preset or text (ctl host -publish)")
 	)
 	flag.Parse()
-	if *object == "" {
+	args := flag.Args()
+	// The daemon-wide ctl ops address the whole daemon, not one object.
+	daemonWide := len(args) >= 2 && args[0] == "ctl" &&
+		(args[1] == "metrics" || args[1] == "trace")
+	if *object == "" && !daemonWide {
 		return fmt.Errorf("-object is required")
 	}
-	args := flag.Args()
 	if len(args) == 0 {
 		return fmt.Errorf("usage: globectl [flags] <command> [args]\n" +
 			"  webdoc: get|stat|put|append|delete|pages\n" +
 			"  kv:     get|put|delete|keys\n" +
 			"  applog: append|len|entry|suffix\n" +
 			"  naming: resolve\n" +
-			"  daemon: ctl host | ctl drop | ctl stats")
+			"  daemon: ctl host | ctl drop | ctl stats | ctl metrics | ctl trace")
 	}
 
 	models, err := webobj.ClientModelsByNames(*session)
@@ -110,7 +121,7 @@ func run() error {
 		return runResolve(sys, obj)
 	case "ctl":
 		if len(args) < 2 {
-			return fmt.Errorf("ctl needs a verb: host | drop | stats")
+			return fmt.Errorf("ctl needs a verb: host | drop | stats | metrics | trace")
 		}
 		if *ctlAddr == "" {
 			return fmt.Errorf("ctl subcommands need -ctl <daemon control address>")
@@ -134,7 +145,7 @@ func run() error {
 				req.Strategy = *stratSpec
 			}
 		}
-		if args[1] == "stats" {
+		if args[1] == "stats" || args[1] == "metrics" {
 			payload, err := ctl.CallPayload(req)
 			if err != nil {
 				return err
@@ -144,6 +155,16 @@ func run() error {
 				return err
 			}
 			fmt.Println(pretty.String())
+			return nil
+		}
+		if args[1] == "trace" {
+			events, err := ctl.Trace()
+			if err != nil {
+				return err
+			}
+			for _, e := range events {
+				fmt.Println(e.String())
+			}
 			return nil
 		}
 		if err := ctl.Call(req); err != nil {

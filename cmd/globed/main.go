@@ -46,6 +46,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -72,8 +75,16 @@ type manifest struct {
 	ReparentAfter int `json:"reparent_after,omitempty"`
 	// LeaseRenew is the contact-lease heartbeat period; set it to at most
 	// a third of the name server's -lease-ttl.
-	LeaseRenew string      `json:"lease_renew,omitempty"`
-	Stores     []storeSpec `json:"stores"`
+	LeaseRenew string `json:"lease_renew,omitempty"`
+	// Metrics is an HTTP listen address; when set the daemon serves the
+	// metrics registry in Prometheus text format at /metrics (plus
+	// net/http/pprof under /debug/pprof/) and every hosted replica records
+	// its replication, WAL, and propagation-lag series.
+	Metrics string `json:"metrics,omitempty"`
+	// TraceEvents sizes the write-lifecycle trace ring (0 disables); read
+	// it with globectl ctl trace.
+	TraceEvents int         `json:"trace_events,omitempty"`
+	Stores      []storeSpec `json:"stores"`
 }
 
 type storeSpec struct {
@@ -122,6 +133,8 @@ func run() error {
 		fsyncEvery   = flag.Duration("fsync-interval", 0, "flush cadence under -fsync interval (default 100ms)")
 		reparent     = flag.Int("reparent-after", 0, "re-parent a replica after this many consecutive missed parent digests (0 disables; needs -digest)")
 		leaseRenew   = flag.Duration("lease-renew", 0, "contact-lease heartbeat period (set to ≤ a third of the name server's -lease-ttl; 0 disables)")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP listen address for Prometheus /metrics and /debug/pprof (overrides the manifest's; empty disables)")
+		traceEvents  = flag.Int("trace-events", 0, "write-lifecycle trace ring size, read via globectl ctl trace (overrides the manifest's; 0 disables)")
 	)
 	flag.Parse()
 
@@ -170,6 +183,12 @@ func run() error {
 	if *fsync != "" {
 		m.Fsync = *fsync
 	}
+	if *metricsAddr != "" {
+		m.Metrics = *metricsAddr
+	}
+	if *traceEvents != 0 {
+		m.TraceEvents = *traceEvents
+	}
 	digestIv, err := durationField(m.Digest, *digest)
 	if err != nil {
 		return fmt.Errorf("digest: %w", err)
@@ -202,6 +221,12 @@ func run() error {
 	}
 	if m.ReparentAfter > 0 {
 		sysOpts = append(sysOpts, webobj.WithReparenting(m.ReparentAfter))
+	}
+	if m.Metrics != "" {
+		sysOpts = append(sysOpts, webobj.WithMetrics())
+	}
+	if m.TraceEvents > 0 {
+		sysOpts = append(sysOpts, webobj.WithTrace(m.TraceEvents))
 	}
 	if renewIv > 0 {
 		sysOpts = append(sysOpts, webobj.WithLeaseRenewal(renewIv))
@@ -254,6 +279,16 @@ func run() error {
 		}
 		log.Printf("globed: control RPC at %s", addr)
 	}
+	if m.Metrics != "" {
+		addr, err := serveMetrics(sys, m.Metrics)
+		if err != nil {
+			return err
+		}
+		log.Printf("globed: Prometheus metrics at http://%s/metrics (pprof under /debug/pprof/)", addr)
+	}
+	if m.TraceEvents > 0 {
+		log.Printf("globed: tracing the last %d write-lifecycle events (globectl ctl trace)", m.TraceEvents)
+	}
 	if m.NameServer != "" {
 		log.Printf("globed: registered with name server %s", m.NameServer)
 	}
@@ -291,6 +326,26 @@ func run() error {
 			}
 		}
 	}
+}
+
+// serveMetrics starts the daemon's HTTP observability listener: the metrics
+// registry in Prometheus text format at /metrics, and the standard
+// net/http/pprof handlers under /debug/pprof/. It returns the resolved
+// listen address.
+func serveMetrics(sys *webobj.System, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics listen %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", sys.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
 }
 
 // validateDurability rejects a manifest whose data_dir cannot take effect:

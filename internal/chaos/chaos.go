@@ -108,6 +108,9 @@ type Result struct {
 	// FramesDropped/FramesDuplicated are the memnet totals actually injected.
 	FramesDropped    uint64
 	FramesDuplicated uint64
+	// TraceDump holds the trailing write-lifecycle trace events per store,
+	// populated only when Violations is non-empty (see trace.go).
+	TraceDump []string
 }
 
 // Store addresses and the partitionable store↔store pairs.
@@ -122,6 +125,7 @@ func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
 	res := &Result{}
 	rec := newRecorder()
+	ob := newRunObserver()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	netOpts := []memnet.Option{memnet.WithSeed(cfg.Seed)}
@@ -164,6 +168,7 @@ func Run(cfg Config) (*Result, error) {
 			ID: ns.NextStore(), Role: role, Endpoint: ep,
 			ReadTimeout:    300 * time.Millisecond,
 			DigestInterval: cfg.DigestInterval,
+			Obs:            ob,
 		})
 		stores[addr] = s
 		return s, nil
@@ -357,6 +362,9 @@ func Run(cfg Config) (*Result, error) {
 	res.FramesDropped = ns2.Dropped
 	res.FramesDuplicated = ns2.Duplicated
 	res.Violations = rec.take()
+	if len(res.Violations) > 0 {
+		res.TraceDump = traceDump(ob, stores)
+	}
 	return res, nil
 }
 

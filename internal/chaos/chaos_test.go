@@ -33,6 +33,9 @@ func report(t *testing.T, res *Result) {
 	for _, v := range res.Violations {
 		t.Errorf("violation: %s", v)
 	}
+	for _, l := range res.TraceDump {
+		t.Logf("trace: %s", l)
+	}
 	if !res.Converged {
 		t.Errorf("replicas did not converge")
 	}

@@ -102,6 +102,9 @@ type CrashResult struct {
 	WriteRetries int
 	ReadsOK      int
 	ReadsFailed  int
+	// TraceDump holds the trailing write-lifecycle trace events per store,
+	// populated only when Violations is non-empty (see trace.go).
+	TraceDump []string
 }
 
 // RunCrash executes one kill -9 chaos scenario over real TCP.
@@ -127,6 +130,7 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 	}
 	res := &CrashResult{}
 	rec := newRecorder()
+	ob := newRunObserver()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	fab := tcpnet.NewFabric("")
@@ -159,6 +163,7 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 				Fsync:         cfg.Fsync,
 				RecoveryGrace: cfg.RecoveryGrace,
 			},
+			Obs: ob,
 		})
 	}
 	hostPerm := func(s *store.Store) error {
@@ -204,6 +209,7 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 			ID: nextID, Role: role, Endpoint: ep,
 			ReadTimeout:    300 * time.Millisecond,
 			DigestInterval: cfg.DigestInterval,
+			Obs:            ob,
 		})
 		nextID++
 		stores[addr] = s
@@ -361,6 +367,7 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 	// the global checks.
 	if !awaitConverged(res, stores, obj, cfg.ConvergeWithin, rec) {
 		res.Violations = rec.take()
+		res.TraceDump = traceDump(ob, stores)
 		return res, nil
 	}
 
@@ -395,6 +402,7 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 	}
 	if !awaitConverged(res, stores, obj, cfg.ConvergeWithin, rec) {
 		res.Violations = rec.take()
+		res.TraceDump = traceDump(ob, stores)
 		return res, nil
 	}
 
@@ -406,6 +414,9 @@ func RunCrash(cfg CrashConfig) (*CrashResult, error) {
 	res.ReadsOK = int(counts.readsOK.Load())
 	res.ReadsFailed = int(counts.readsFailed.Load())
 	res.Violations = rec.take()
+	if len(res.Violations) > 0 {
+		res.TraceDump = traceDump(ob, stores)
+	}
 	return res, nil
 }
 

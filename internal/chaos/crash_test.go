@@ -18,6 +18,9 @@ func reportCrash(t *testing.T, res *CrashResult) {
 	for _, v := range res.Violations {
 		t.Errorf("violation: %s", v)
 	}
+	for _, l := range res.TraceDump {
+		t.Logf("trace: %s", l)
+	}
 	if !res.Converged {
 		t.Errorf("replicas did not converge after the crashes")
 	}

@@ -75,6 +75,7 @@ func RunReparent(cfg ReparentConfig) (*ReparentResult, error) {
 	}
 	res := &ReparentResult{}
 	rec := newRecorder()
+	ob := newRunObserver()
 
 	net := memnet.New(memnet.WithSeed(cfg.Seed))
 	defer net.Close()
@@ -114,6 +115,7 @@ func RunReparent(cfg ReparentConfig) (*ReparentResult, error) {
 			ReadTimeout:    300 * time.Millisecond,
 			DigestInterval: cfg.DigestInterval,
 			ReparentAfter:  cfg.ReparentAfter,
+			Obs:            ob,
 			ResolveParent: func(object ids.ObjectID) []replication.ParentCandidate {
 				r, ok := ns.Record(object)
 				if !ok {
@@ -309,5 +311,8 @@ func RunReparent(cfg ReparentConfig) (*ReparentResult, error) {
 	nst := net.Stats()
 	res.FramesDropped = nst.Dropped
 	res.Violations = rec.take()
+	if len(res.Violations) > 0 {
+		res.TraceDump = traceDump(ob, stores)
+	}
 	return res, nil
 }

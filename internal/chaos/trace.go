@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Every chaos run records the write-lifecycle trace (internal/obs) across
+// all its stores, and a run that caught any violation attaches the last
+// traceDumpPerStore events per store to its result — so a protocol bug
+// shows what each replica actually did right before the assertion fired,
+// instead of demanding dozens of torture re-runs to catch it under a
+// debugger (the PR 7/8 MW flake took 36).
+const (
+	traceRingSize     = 1024
+	traceDumpPerStore = 25
+)
+
+// newRunObserver creates the trace-only observer every store in a chaos run
+// shares. Metrics stay off: the runs assert on protocol state, and the
+// trace is what turns a failure into a readable timeline.
+func newRunObserver() *obs.Observer {
+	return &obs.Observer{Trace: obs.NewTrace(traceRingSize)}
+}
+
+// traceDump formats the trailing events of each store, oldest first,
+// prefixed with the store's harness address (trace events carry the numeric
+// store ID).
+func traceDump(ob *obs.Observer, stores map[string]*store.Store) []string {
+	tr := ob.Tracer()
+	if tr == nil {
+		return nil
+	}
+	addrs := make([]string, 0, len(stores))
+	for addr := range stores {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	var out []string
+	for _, addr := range addrs {
+		id := strconv.FormatUint(uint64(stores[addr].ID()), 10)
+		for _, e := range tr.Recent(id, traceDumpPerStore) {
+			out = append(out, addr+": "+e.String())
+		}
+	}
+	return out
+}

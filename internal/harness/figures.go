@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/ids"
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/semantics/webdoc"
 	"repro/internal/store"
@@ -71,16 +71,16 @@ func Figure1(o Options) *Table {
 		if _, err := readVersion(client, "index.html"); err != nil {
 			panic(err)
 		}
-		var lat metrics.Histogram
+		var lat obs.Hist
 		for i := 0; i < reads; i++ {
 			start := time.Now()
 			if _, err := readVersion(client, "index.html"); err != nil {
 				panic(err)
 			}
-			lat.AddDuration(time.Since(start))
+			lat.Record(time.Since(start))
 		}
 		ss, _ := perm.Stats(obj)
-		t.AddRow(name, f("%d", reads), f("%.0f", lat.Mean()), f("%.0f", lat.Quantile(0.99)),
+		t.AddRow(name, f("%d", reads), f("%.0f", histMeanMicros(&lat)), f("%.0f", histP99Micros(&lat)),
 			f("%d", ss.ReadsServed))
 		t.Notes = append(t.Notes, f("%s: bind cost %v", name, bindCost.Round(time.Microsecond)))
 	}
@@ -130,16 +130,16 @@ func Figure2(o Options) *Table {
 		if _, err := readVersion(client, "index.html"); err != nil {
 			panic(err)
 		}
-		var lat metrics.Histogram
+		var lat obs.Hist
 		for i := 0; i < reads; i++ {
 			start := time.Now()
 			if _, err := readVersion(client, "index.html"); err != nil {
 				panic(err)
 			}
-			lat.AddDuration(time.Since(start))
+			lat.Record(time.Since(start))
 		}
 		ss, _ := perm.Stats(obj)
-		t.AddRow(layer, f("%d", reads), f("%.0f", lat.Mean()), f("%.0f", lat.Quantile(0.99)),
+		t.AddRow(layer, f("%d", reads), f("%.0f", histMeanMicros(&lat)), f("%.0f", histP99Micros(&lat)),
 			f("%d", ss.ReadsServed))
 		writer.Close()
 		client.Close()

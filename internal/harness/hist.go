@@ -1,0 +1,17 @@
+package harness
+
+import "repro/internal/obs"
+
+// histMeanMicros and histP99Micros render an obs.Hist recorded in
+// nanoseconds (Record) as the tables' microsecond cells — the same unit the
+// retired sorted-slice histogram reported.
+func histMeanMicros(h *obs.Hist) float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(h.Count()) / 1e3
+}
+
+func histP99Micros(h *obs.Hist) float64 {
+	return float64(h.Quantile(0.99)) / 1e3
+}

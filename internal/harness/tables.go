@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/semantics/webdoc"
 	"repro/internal/store"
@@ -259,7 +260,7 @@ func ModelsObjectBased(o Options) *Table {
 			writers[i] = r.mustBind(f("writer-%d", i), f("cache-%d", i%len(caches)), obj, 2*time.Second)
 		}
 
-		var lat metrics.Histogram
+		var lat obs.Hist
 		r.net.ResetStats()
 		// Each writer writes to its own page: concurrent but conflict-free
 		// except under eventual LWW on shared page 0 for contrast.
@@ -269,7 +270,7 @@ func ModelsObjectBased(o Options) *Table {
 				if err := putContent(w, workload.PageName(i), []byte(f("w%d-v%d", i, k))); err != nil {
 					panic(err)
 				}
-				lat.AddDuration(time.Since(start))
+				lat.Record(time.Since(start))
 			}
 		}
 		totalWrites := uint64(perWriter * len(writers))
@@ -289,7 +290,7 @@ func ModelsObjectBased(o Options) *Table {
 		}
 		ns := r.net.Stats()
 		t.AddRow(model.String(), f("%d", totalWrites), f("%v", converged),
-			f("%d", buffered), f("%d", ns.Sent), f("%d", ns.Bytes), f("%.0f", lat.Mean()))
+			f("%d", buffered), f("%d", ns.Sent), f("%d", ns.Bytes), f("%.0f", histMeanMicros(&lat)))
 		for _, w := range writers {
 			w.Close()
 		}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/semantics/webdoc"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -121,8 +122,8 @@ type worker struct {
 	seqs    []uint64 // indexed by writer pool slot; each slot owned by one worker
 	content []byte
 	cts     *counters
-	hRead   *Hist
-	hWrite  *Hist
+	hRead   *obs.Hist
+	hWrite  *obs.Hist
 }
 
 // Run executes the configured open-loop workload and reports latency
@@ -160,7 +161,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	cts := &counters{}
-	hRead, hWrite := &Hist{}, &Hist{}
+	hRead, hWrite := &obs.Hist{}, &obs.Hist{}
 	seqs := make([]uint64, cfg.Writers)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	workers := make([]*worker, cfg.Workers)
@@ -253,7 +254,7 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func summarize(h *Hist) LatencySummary {
+func summarize(h *obs.Hist) LatencySummary {
 	return LatencySummary{
 		Count: h.Count(),
 		P50:   int64(h.Quantile(0.50)),

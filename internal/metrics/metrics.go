@@ -1,95 +1,28 @@
-// Package metrics provides the small statistics containers the experiment
-// harness reports: histograms with percentiles and a staleness tracker that
-// compares versions read against an oracle of versions written.
+// Package metrics provides the staleness tracker the experiment harness
+// reports: it compares versions read against an oracle of versions written.
+// Latency histograms live in internal/obs (HDR log-linear, shared with the
+// load generator and the metrics registry); the sorted-slice Histogram that
+// used to live here is retired in its favor.
 package metrics
 
 import (
-	"fmt"
-	"sort"
 	"sync"
-	"time"
+
+	"repro/internal/obs"
 )
-
-// Histogram accumulates float64 observations. The zero value is ready for
-// use. Safe for concurrent use.
-type Histogram struct {
-	mu     sync.Mutex
-	values []float64
-}
-
-// Add records one observation.
-func (h *Histogram) Add(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.values = append(h.values, v)
-}
-
-// AddDuration records a duration in microseconds.
-func (h *Histogram) AddDuration(d time.Duration) {
-	h.Add(float64(d.Microseconds()))
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.values)
-}
-
-// Mean returns the arithmetic mean (0 when empty).
-func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.values) == 0 {
-		return 0
-	}
-	var s float64
-	for _, v := range h.values {
-		s += v
-	}
-	return s / float64(len(h.values))
-}
-
-// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank; 0 when
-// empty.
-func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.values) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), h.values...)
-	sort.Float64s(sorted)
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
-}
-
-// Max returns the maximum (0 when empty).
-func (h *Histogram) Max() float64 { return h.Quantile(1) }
-
-// Summary formats mean/p50/p99 compactly.
-func (h *Histogram) Summary() string {
-	return fmt.Sprintf("mean=%.1f p50=%.1f p99=%.1f n=%d",
-		h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Count())
-}
 
 // Staleness tracks how far reads lag behind writes, in versions. The
 // harness bumps the oracle on every write and observes on every read.
 // Safe for concurrent use.
 type Staleness struct {
-	mu      sync.Mutex
-	latest  map[string]uint64 // page -> newest version written anywhere
-	reads   int
-	stale   int
-	lagSum  uint64
-	lagMax  uint64
-	lagHist Histogram
+	mu     sync.Mutex
+	latest map[string]uint64 // page -> newest version written anywhere
+	reads  int
+	stale  int
+	lagSum uint64
+	lagMax uint64
+
+	lagHist obs.Hist // version-lag distribution (powers the P99 column)
 }
 
 // NewStaleness creates a tracker.
@@ -129,7 +62,7 @@ func (s *Staleness) ReadVersion(page string, version uint64) uint64 {
 		}
 	}
 	s.mu.Unlock()
-	s.lagHist.Add(float64(lag))
+	s.lagHist.Observe(int64(lag))
 	return lag
 }
 
@@ -140,6 +73,10 @@ type Report struct {
 	StaleFraction float64
 	MeanLag       float64
 	MaxLag        uint64
+	// P99Lag is the 99th-percentile version lag across all reads (fresh
+	// reads count as lag 0), from the HDR histogram — within its ~3%
+	// relative bucket error.
+	P99Lag uint64
 }
 
 // Report returns the summary.
@@ -150,6 +87,7 @@ func (s *Staleness) Report() Report {
 	if s.reads > 0 {
 		r.StaleFraction = float64(s.stale) / float64(s.reads)
 		r.MeanLag = float64(s.lagSum) / float64(s.reads)
+		r.P99Lag = uint64(s.lagHist.Quantile(0.99))
 	}
 	return r
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -74,6 +75,12 @@ type Client struct {
 	// Liveness counters (see RenewContact / Stats).
 	renewalsSent uint64
 	lastExpired  uint64
+
+	// Resolve cache counters (atomics: the hit path should not lengthen its
+	// critical section for accounting, and misses may bypass the lock
+	// entirely when caching is disabled).
+	resolveHits   atomic.Uint64
+	resolveMisses atomic.Uint64 // resolves answered by a server round trip
 }
 
 // NewClient creates a name-service client. The endpoint is created on
@@ -247,10 +254,12 @@ func (c *Client) Resolve(obj ids.ObjectID) (naming.Record, error) {
 		if e, ok := c.cache[obj]; ok && c.cfg.Clock.Now().Sub(e.at) < c.cfg.CacheTTL {
 			rec := e.rec
 			c.mu.Unlock()
+			c.resolveHits.Add(1)
 			return rec, nil
 		}
 		c.mu.Unlock()
 	}
+	c.resolveMisses.Add(1)
 	r, err := c.call(&msg.Message{Kind: msg.KindNameResolve, Object: obj})
 	if err != nil {
 		return naming.Record{}, err
@@ -315,13 +324,23 @@ type ClientStats struct {
 	// RecordsExpired is the answering server's lifetime expired-entry count
 	// as of the last renewal reply.
 	RecordsExpired uint64 `json:"records_expired"`
+	// ResolveHits counts Resolve calls answered from the client cache
+	// within the TTL; ResolveMisses counts the ones that cost a server
+	// round trip (including every call when caching is disabled).
+	ResolveHits   uint64 `json:"resolve_hits"`
+	ResolveMisses uint64 `json:"resolve_misses"`
 }
 
 // Stats returns the liveness counters.
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return ClientStats{LeaseRenewalsSent: c.renewalsSent, RecordsExpired: c.lastExpired}
+	return ClientStats{
+		LeaseRenewalsSent: c.renewalsSent,
+		RecordsExpired:    c.lastExpired,
+		ResolveHits:       c.resolveHits.Load(),
+		ResolveMisses:     c.resolveMisses.Load(),
+	}
 }
 
 // lease refills one identifier lease via the given lease op.

@@ -1,4 +1,4 @@
-package loadgen
+package obs
 
 import (
 	"math/rand"
@@ -32,21 +32,26 @@ func TestQuantileAccuracy(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	h := &Hist{}
 	sample := make([]int64, 100000)
+	var sum int64
 	for i := range sample {
 		// Log-uniform over ~6 decades, the shape of a latency distribution
 		// with a long tail.
 		v := int64(1) << uint(rng.Intn(40))
 		v += rng.Int63n(v)
 		sample[i] = v
+		sum += v
 		h.Record(time.Duration(v))
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
 	if h.Count() != uint64(len(sample)) {
 		t.Fatalf("count = %d, want %d", h.Count(), len(sample))
 	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %d, want %d (exact)", h.Sum(), sum)
+	}
 	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
 		want := sample[int(q*float64(len(sample)))]
-		got := int64(h.Quantile(q))
+		got := h.Quantile(q)
 		if got > want {
 			t.Errorf("q=%g: histogram %d above true quantile %d", q, got, want)
 		}
@@ -54,14 +59,53 @@ func TestQuantileAccuracy(t *testing.T) {
 			t.Errorf("q=%g: histogram %d vs true %d exceeds error bound", q, got, want)
 		}
 	}
-	if h.Max() != time.Duration(sample[len(sample)-1]) {
+	if h.Max() != sample[len(sample)-1] {
 		t.Errorf("max = %v, want %v (exact)", h.Max(), sample[len(sample)-1])
 	}
 }
 
 func TestQuantileEmpty(t *testing.T) {
 	h := &Hist{}
-	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 {
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 || h.Sum() != 0 {
 		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// Nil histograms are legal no-op instruments: the disabled-observability
+// hot path calls these on nil receivers.
+func TestNilHist(t *testing.T) {
+	var h *Hist
+	h.Observe(5)
+	h.Record(time.Millisecond)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 || h.CountAtMost(1<<20) != 0 {
+		t.Fatal("nil histogram must report zeros")
+	}
+}
+
+// CountAtMost at a power-of-two bound must count exactly the observations
+// <= bound when observations never land on the bound bucket itself, and
+// must never over-count (conservative at the boundary).
+func TestCountAtMost(t *testing.T) {
+	h := &Hist{}
+	vals := []int64{0, 1, 3, 5, 100, 1000, 1 << 20}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	cases := []struct {
+		bound int64
+		want  uint64
+	}{
+		{1, 2},       // 0, 1
+		{4, 3},       // + 3
+		{16, 4},      // + 5
+		{256, 5},     // + 100
+		{1024, 6},    // + 1000 (its bucket [992,1008) lies entirely below 1024)
+		{1 << 12, 6}, // + 1000
+		{1 << 22, 7}, // + 1<<20
+	}
+	for _, c := range cases {
+		if got := h.CountAtMost(c.bound); got != c.want {
+			t.Errorf("CountAtMost(%d) = %d, want %d", c.bound, got, c.want)
+		}
 	}
 }

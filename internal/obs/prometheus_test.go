@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Golden test of the text exposition format: names, HELP/TYPE lines, label
+// rendering, and the exact cumulative bucket counts for both the duration
+// and the value ladder. Bucket bounds are powers of two, aligned with HDR
+// bucket boundaries, so these counts are deterministic.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("globe_writes_admitted_total", "writes admitted into the session window",
+		L("store", "1"), L("object", "doc"))
+	c.Add(3)
+	r.Gauge("globe_objects_hosted", "objects currently hosted").Set(2)
+	h := r.HistDuration("globe_wal_sync_seconds", "fsync latency", L("store", "1"))
+	h.Observe(1000)   // 1µs
+	h.Observe(500000) // 500µs
+	hb := r.Hist("globe_group_commit_size", "acks retired per WAL flush")
+	hb.Observe(1)
+	hb.Observe(3)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got := sb.String()
+	want := goldenText
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The HTTP handler serves the same body with the Prometheus content type.
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if rec.Body.String() != want {
+		t.Fatal("handler body differs from WritePrometheus")
+	}
+}
+
+const goldenText = `# HELP globe_writes_admitted_total writes admitted into the session window
+# TYPE globe_writes_admitted_total counter
+globe_writes_admitted_total{object="doc",store="1"} 3
+# HELP globe_objects_hosted objects currently hosted
+# TYPE globe_objects_hosted gauge
+globe_objects_hosted 2
+# HELP globe_wal_sync_seconds fsync latency
+# TYPE globe_wal_sync_seconds histogram
+globe_wal_sync_seconds_bucket{store="1",le="2.56e-07"} 0
+globe_wal_sync_seconds_bucket{store="1",le="1.024e-06"} 1
+globe_wal_sync_seconds_bucket{store="1",le="4.096e-06"} 1
+globe_wal_sync_seconds_bucket{store="1",le="1.6384e-05"} 1
+globe_wal_sync_seconds_bucket{store="1",le="6.5536e-05"} 1
+globe_wal_sync_seconds_bucket{store="1",le="0.000262144"} 1
+globe_wal_sync_seconds_bucket{store="1",le="0.001048576"} 2
+globe_wal_sync_seconds_bucket{store="1",le="0.004194304"} 2
+globe_wal_sync_seconds_bucket{store="1",le="0.016777216"} 2
+globe_wal_sync_seconds_bucket{store="1",le="0.067108864"} 2
+globe_wal_sync_seconds_bucket{store="1",le="0.268435456"} 2
+globe_wal_sync_seconds_bucket{store="1",le="1.073741824"} 2
+globe_wal_sync_seconds_bucket{store="1",le="4.294967296"} 2
+globe_wal_sync_seconds_bucket{store="1",le="17.179869184"} 2
+globe_wal_sync_seconds_bucket{store="1",le="+Inf"} 2
+globe_wal_sync_seconds_sum{store="1"} 0.000501
+globe_wal_sync_seconds_count{store="1"} 2
+# HELP globe_group_commit_size acks retired per WAL flush
+# TYPE globe_group_commit_size histogram
+globe_group_commit_size_bucket{le="1"} 1
+globe_group_commit_size_bucket{le="4"} 2
+globe_group_commit_size_bucket{le="16"} 2
+globe_group_commit_size_bucket{le="64"} 2
+globe_group_commit_size_bucket{le="256"} 2
+globe_group_commit_size_bucket{le="1024"} 2
+globe_group_commit_size_bucket{le="4096"} 2
+globe_group_commit_size_bucket{le="16384"} 2
+globe_group_commit_size_bucket{le="65536"} 2
+globe_group_commit_size_bucket{le="262144"} 2
+globe_group_commit_size_bucket{le="1.048576e+06"} 2
+globe_group_commit_size_bucket{le="+Inf"} 2
+globe_group_commit_size_sum 4
+globe_group_commit_size_count 2
+`

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Event is one structured trace record. Timestamps come from the caller's
+// injected clock (the trace never reads the wall clock itself), so seeded
+// runs produce deterministic traces.
+type Event struct {
+	Nanos  int64  `json:"t"`                // clock reading at emit
+	Store  string `json:"store"`            // emitting store ID
+	Object string `json:"object,omitempty"` // object the event concerns
+	Type   string `json:"type"`             // e.g. "write_admitted", "update_applied"
+	Detail string `json:"detail,omitempty"` // preformatted human-readable context
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%d store=%s", e.Nanos, e.Store)
+	if e.Object != "" {
+		s += " obj=" + e.Object
+	}
+	s += " " + e.Type
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Trace is a fixed-size lock-free ring of events: writers claim a slot with
+// one atomic add and publish with one atomic pointer store, so concurrent
+// emitters never block each other and readers never see a torn event. The
+// ring keeps the most recent len(slots) events; older ones are overwritten.
+//
+// Emit on a nil *Trace is a no-op — but callers that format a Detail string
+// should gate on Enabled() first so the formatting cost is also skipped
+// when tracing is off.
+type Trace struct {
+	slots []atomic.Pointer[Event]
+	next  atomic.Uint64
+}
+
+// NewTrace creates a ring holding the last n events (min 16).
+func NewTrace(n int) *Trace {
+	if n < 16 {
+		n = 16
+	}
+	return &Trace{slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Enabled reports whether the trace is collecting. Gate Detail formatting
+// on this.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Emit records one event. One allocation per event — acceptable because
+// tracing is opt-in.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	i := t.next.Add(1) - 1
+	t.slots[i%uint64(len(t.slots))].Store(&e)
+}
+
+// Events returns the buffered events oldest-first (best-effort under
+// concurrent emits).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := uint64(len(t.slots))
+	head := t.next.Load()
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]Event, 0, n)
+	for i := start; i < head; i++ {
+		if p := t.slots[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Recent returns up to n of the newest events for one store (all stores
+// when store is empty), oldest-first. Used by the chaos harness to dump
+// protocol history on an assertion failure.
+func (t *Trace) Recent(store string, n int) []Event {
+	all := t.Events()
+	if store != "" {
+		filtered := all[:0:0]
+		for _, e := range all {
+			if e.Store == store {
+				filtered = append(filtered, e)
+			}
+		}
+		all = filtered
+	}
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring keeps exactly the newest len(slots) events, oldest-first, and
+// Recent filters per store — the shape the chaos dump relies on.
+func TestTraceRingWrapAndRecent(t *testing.T) {
+	tr := NewTrace(16)
+	if !tr.Enabled() {
+		t.Fatal("non-nil trace must be enabled")
+	}
+	for i := 0; i < 40; i++ {
+		store := "a"
+		if i%2 == 1 {
+			store = "b"
+		}
+		tr.Emit(Event{Nanos: int64(i), Store: store, Object: "doc", Type: "tick",
+			Detail: fmt.Sprintf("i=%d", i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("got %d events, want 16 (ring size)", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(40 - 16 + i); e.Nanos != want {
+			t.Fatalf("event %d: t=%d, want %d (oldest-first, newest kept)", i, e.Nanos, want)
+		}
+	}
+	bs := tr.Recent("b", 3)
+	if len(bs) != 3 {
+		t.Fatalf("Recent(b,3) = %d events, want 3", len(bs))
+	}
+	for _, e := range bs {
+		if e.Store != "b" {
+			t.Fatalf("Recent(b) returned store %q", e.Store)
+		}
+	}
+	if bs[2].Nanos != 39 {
+		t.Fatalf("newest b event t=%d, want 39", bs[2].Nanos)
+	}
+	if s := bs[2].String(); s != `39 store=b obj=doc tick i=39` {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTraceMinSize(t *testing.T) {
+	tr := NewTrace(1)
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Nanos: int64(i), Store: "s", Type: "t"})
+	}
+	if got := len(tr.Events()); got != 16 {
+		t.Fatalf("min ring size: got %d, want 16", got)
+	}
+}

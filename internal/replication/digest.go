@@ -141,6 +141,10 @@ func (o *Object) onDigest(m *msg.Message) {
 		return // the demand-retry timer owns re-requests for this gap
 	}
 	o.stats.DigestDemands++
+	o.obsv.digestGaps.Inc()
+	if o.traceOn() {
+		o.emit("digest_gap", "parent digest advertised writes this replica is missing")
+	}
 	// Mark the cycle as digest-initiated: a silent-tail-loss gap has no
 	// buffered updates and no parked reads, so without the flag retryDemand
 	// would see "nothing outstanding" and drop a lost demand (or lost

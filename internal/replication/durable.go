@@ -2,6 +2,7 @@ package replication
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
 	"repro/internal/coherence"
@@ -107,6 +108,7 @@ func (o *Object) walAppendChild(addr string, remove bool) {
 // interval-fsync timer.
 func (o *Object) walAfterAppend() {
 	o.stats.WALAppends++
+	o.obsv.walAppends.Inc()
 	if o.walPolicy == wal.SyncInterval && !o.walSyncArmed && o.walSyncInterval > 0 {
 		o.walSyncArmed = true
 		o.walSyncTimer = o.env.AfterFunc(o.walSyncInterval, func() {
@@ -123,6 +125,12 @@ func (o *Object) walAfterAppend() {
 // the always policy. Called on the ack path; a no-op otherwise.
 func (o *Object) walBarrier() {
 	if o.wal != nil && o.walPolicy == wal.SyncAlways {
+		if o.obsv.walSync != nil {
+			start := o.env.Now()
+			_ = o.wal.Sync()
+			o.obsv.walSync.Record(o.env.Now().Sub(start))
+			return
+		}
 		_ = o.wal.Sync()
 	}
 }
@@ -162,6 +170,7 @@ func (o *Object) FlushAcks() {
 		return
 	}
 	o.walBarrier()
+	o.obsv.commitSize.Observe(int64(len(o.ackPending)))
 	if len(o.ackPending) > 1 {
 		o.stats.GroupCommits++
 	}
@@ -313,6 +322,12 @@ func (o *Object) recover(rec *wal.Recovery) {
 	o.walReplaying = false
 	o.recoverStart = start
 	o.stats.RecoveryNanos = uint64(o.env.Now().Sub(start))
+	o.obsv.recoveries.Inc()
+	if o.traceOn() {
+		o.emit("recovered", "replayed="+strconv.FormatUint(o.stats.WALReplayed, 10)+
+			" torn_tail="+strconv.FormatUint(o.stats.WALTornTail, 10)+
+			" children="+strconv.Itoa(len(o.children)))
+	}
 	if len(o.children) == 0 {
 		return // nobody outlived us who could know more; serve immediately
 	}

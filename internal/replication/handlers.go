@@ -2,6 +2,7 @@ package replication
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 
 	"repro/internal/coherence"
@@ -282,6 +283,7 @@ func (o *Object) onWrite(m *msg.Message) {
 							fwd.Stamp = u.Stamp
 							fwd.Inv = u.Inv
 							o.stats.WritesForwarded++
+							o.obsv.forwarded.Inc()
 							o.sendRaw(o.parent, &fwd)
 						}
 					}
@@ -290,6 +292,10 @@ func (o *Object) onWrite(m *msg.Message) {
 				}
 				freshAdmission = true
 				m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
+				o.obsv.admitted.Inc()
+				if o.traceOn() {
+					o.emit("write_admitted", "wid="+m.Write.String())
+				}
 			} else {
 				o.lamport.Witness(m.Stamp.Time)
 			}
@@ -305,6 +311,7 @@ func (o *Object) onWrite(m *msg.Message) {
 				fwd := *m
 				fwd.To = o.parent
 				o.stats.WritesForwarded++
+				o.obsv.forwarded.Inc()
 				o.sendRaw(o.parent, &fwd)
 			}
 			o.reconsiderParked()
@@ -317,6 +324,7 @@ func (o *Object) onWrite(m *msg.Message) {
 		fwd := *m // preserve the original From so the permanent store acks the client
 		fwd.To = o.parent
 		o.stats.WritesForwarded++
+		o.obsv.forwarded.Inc()
 		o.sendRaw(o.parent, &fwd)
 		return
 	}
@@ -353,6 +361,10 @@ func (o *Object) onWrite(m *msg.Message) {
 		}
 		freshAdmission = true
 		m.Stamp = vclock.Stamp{Time: o.lamport.Next(), Client: m.Write.Client}
+		o.obsv.admitted.Inc()
+		if o.traceOn() {
+			o.emit("write_admitted", "wid="+m.Write.String())
+		}
 	} else {
 		o.lamport.Witness(m.Stamp.Time)
 	}
@@ -360,6 +372,10 @@ func (o *Object) onWrite(m *msg.Message) {
 	if o.strat.Model == coherence.Sequential && u.GlobalSeq == 0 {
 		u.GlobalSeq = o.nextGlobal
 		o.nextGlobal++
+		o.obsv.sequenced.Inc()
+		if o.traceOn() {
+			o.emit("write_sequenced", "wid="+u.Write.String()+" gseq="+strconv.FormatUint(u.GlobalSeq, 10))
+		}
 	}
 	o.stats.WritesAccepted++
 	released := o.submitLogged(u)
@@ -386,6 +402,10 @@ func (o *Object) onWrite(m *msg.Message) {
 // barrier for the whole drained batch (durability unchanged: the ack still
 // never leaves before its records are stable).
 func (o *Object) ackWrite(m *msg.Message) {
+	o.obsv.acked.Inc()
+	if o.traceOn() {
+		o.emit("write_acked", "wid="+m.Write.String()+" to="+m.From)
+	}
 	r := m.Reply(msg.KindWriteReply)
 	r.From = o.addr
 	r.Store = o.self
@@ -539,6 +559,12 @@ func (o *Object) applyReleased(released []*coherence.Update) {
 	// forever. A spurious mark costs one snapshot rebuild at the next
 	// heartbeat, nothing on idle stores.
 	o.markDigestStale()
+	// One clock read covers the whole release set: the propagation-lag
+	// histogram measures network+ordering delay, not intra-batch apply cost.
+	var nowNanos int64
+	if len(released) > 0 && (o.obsv.lag != nil || o.traceOn()) {
+		nowNanos = o.env.Now().UnixNano()
+	}
 	for _, u := range released {
 		if !o.coveredByState(u) {
 			if err := o.env.ApplyOp(u); err != nil {
@@ -548,6 +574,18 @@ func (o *Object) applyReleased(released []*coherence.Update) {
 			}
 		}
 		o.stats.UpdatesApplied++
+		o.obsv.applied.Inc()
+		if u.WallNanos > 0 {
+			// The headline metric: update age at apply, from the origin's
+			// wall-clock stamp. On one machine (memnet, tests) the clocks
+			// are the same; across real deployments the series carries the
+			// usual NTP skew caveat.
+			o.obsv.lag.Observe(nowNanos - u.WallNanos)
+		}
+		if o.traceOn() {
+			o.emit("update_applied", "wid="+u.Write.String()+" page="+u.Inv.Page+
+				" lag="+strconv.FormatInt(nowNanos-u.WallNanos, 10)+"ns")
+		}
 		o.appendLog(u)
 	}
 	o.disseminate(released)
@@ -700,6 +738,10 @@ func (o *Object) shipNow(ups []*coherence.Update, pages map[string]bool) {
 	tos := o.Children()
 	if len(tos) == 0 {
 		return
+	}
+	o.obsv.disseminated.Add(uint64(len(ups)))
+	if o.traceOn() {
+		o.emit("updates_shipped", "n="+strconv.Itoa(len(ups))+" children="+strconv.Itoa(len(tos)))
 	}
 	switch o.strat.Propagation {
 	case strategy.PropagateInvalidate:
@@ -990,6 +1032,10 @@ func (o *Object) demandFromParent() {
 	// restores its own count after this reset).
 	o.demandRetries = 0
 	o.stats.DemandsSent++
+	o.obsv.demands.Inc()
+	if o.traceOn() {
+		o.emit("demand_sent", "to="+o.parent)
+	}
 	d := &msg.Message{
 		Kind:   msg.KindDemandUpdate,
 		Object: o.object,
@@ -1064,6 +1110,10 @@ func (o *Object) fetch(page string) {
 		o.fetching = true
 	}
 	o.stats.DemandsSent++
+	o.obsv.demands.Inc()
+	if o.traceOn() {
+		o.emit("demand_sent", "to="+o.parent+" state_page="+page)
+	}
 	req := &msg.Message{
 		Kind:   msg.KindStateRequest,
 		Object: o.object,
@@ -1296,6 +1346,10 @@ func (o *Object) onSubscribeAck(m *msg.Message) {
 	if o.reparenting {
 		o.reparenting = false
 		o.stats.ReparentsDone++
+		o.obsv.reparents.Inc()
+		if o.traceOn() {
+			o.emit("reparent_done", "parent="+m.From)
+		}
 	}
 	o.armParentWatch()
 	if m.VVec.Len() > 0 && m.VVec.CoveredBy(o.applied()) {

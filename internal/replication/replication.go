@@ -25,6 +25,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/vclock"
 	"repro/internal/wal"
@@ -314,6 +315,9 @@ type Object struct {
 	revalEpoch uint64
 
 	stats Stats
+	// obsv holds the observability instruments (internal/obs); all nil —
+	// and free — when the store was built without an Observer.
+	obsv repObs
 
 	closed bool
 }
@@ -375,6 +379,13 @@ type Config struct {
 	// RecoveryGrace bounds the recover-then-serve gate when recovered
 	// children never answer the anti-entropy demands (default 2s).
 	RecoveryGrace time.Duration
+
+	// Obs, when set, wires the replica into the observability layer:
+	// lifecycle counters and the propagation-lag histogram registered under
+	// {store, object} labels, and (when the observer carries a trace ring)
+	// structured protocol events. Nil disables everything at zero hot-path
+	// cost.
+	Obs *obs.Observer
 }
 
 // ParentCandidate is one live replica of the object as reported by the
@@ -430,6 +441,8 @@ func New(cfg Config) (*Object, error) {
 		pageVec:     make(map[string]ids.VersionVec),
 		readTimeout: cfg.ReadTimeout,
 	}
+	// Instruments must exist before recover() below replays the WAL.
+	o.obsv = newRepObs(cfg.Obs, cfg.Self, cfg.Object)
 	if o.readTimeout <= 0 {
 		o.readTimeout = 5 * time.Second
 	}

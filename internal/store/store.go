@@ -27,6 +27,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/semantics"
 	"repro/internal/strategy"
@@ -79,6 +80,12 @@ type Config struct {
 	DataDir string
 	// Durability tunes the WAL when DataDir is set.
 	Durability Durability
+	// Obs, when set, wires every hosted replica into the observability
+	// layer (internal/obs): per-replica lifecycle counters, the
+	// propagation-lag histogram, and — when the observer carries a trace
+	// ring — structured protocol events. Nil (the default) disables all of
+	// it at zero hot-path cost.
+	Obs *obs.Observer
 }
 
 // Durability tunes a durable store's write-ahead log.
@@ -109,6 +116,7 @@ type Store struct {
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	replicas map[ids.ObjectID]*replica
+	hosted   *obs.Gauge // replicas currently hosted (nil when obs is off)
 	closed   bool
 }
 
@@ -123,6 +131,9 @@ func New(cfg Config) *Store {
 		done:     make(chan struct{}),
 		replicas: make(map[ids.ObjectID]*replica),
 	}
+	s.hosted = cfg.Obs.Registry().Gauge("globe_store_objects_hosted",
+		"replicas currently hosted by this store",
+		obs.L("store", fmt.Sprintf("%d", cfg.ID)))
 	s.wg.Add(1)
 	go s.loop()
 	return s
@@ -192,6 +203,7 @@ func (s *Store) Host(hc HostConfig) error {
 			DemandRetry:    s.cfg.DemandRetry,
 			DigestInterval: s.cfg.DigestInterval,
 			ReparentAfter:  s.cfg.ReparentAfter,
+			Obs:            s.cfg.Obs,
 		}
 		if resolve := s.cfg.ResolveParent; resolve != nil {
 			rc.ResolveParent = func() []replication.ParentCandidate {
@@ -227,6 +239,7 @@ func (s *Store) Host(hc HostConfig) error {
 			ro.SetGroupCommit(true)
 		}
 		s.replicas[hc.Object] = &replica{ctrl: ctrl, repl: ro, sem: hc.SemName}
+		s.hosted.Add(1)
 		if hc.Subscribe {
 			ro.SubscribeToParent()
 		}
@@ -260,6 +273,7 @@ func (s *Store) Unhost(object ids.ObjectID) error {
 		r.repl.UnsubscribeFromParent()
 		r.repl.Close()
 		delete(s.replicas, object)
+		s.hosted.Add(-1)
 		errCh <- nil
 	})
 	if !posted {

@@ -291,6 +291,19 @@ func (n *Network) Heal(a, b string) {
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats.snapshot() }
 
+// StatsMap implements transport.StatsSource: the aggregate counters under
+// snake_case keys for the observability bridge (per-kind counts stay on
+// Stats only).
+func (n *Network) StatsMap() map[string]uint64 {
+	return map[string]uint64{
+		"frames_sent":       n.stats.sent.Load(),
+		"frames_delivered":  n.stats.delivered.Load(),
+		"frames_dropped":    n.stats.dropped.Load(),
+		"frames_duplicated": n.stats.duplicated.Load(),
+		"bytes_delivered":   n.stats.bytes.Load(),
+	}
+}
+
 // ResetStats zeroes the traffic counters (benchmark warm-up support).
 func (n *Network) ResetStats() { n.stats.reset() }
 

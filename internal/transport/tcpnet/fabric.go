@@ -19,7 +19,8 @@ import (
 // not already been closed individually.
 type Fabric struct {
 	host  string
-	maxIn int // per-peer inbound frame budget for every endpoint minted
+	maxIn int   // per-peer inbound frame budget for every endpoint minted
+	st    stats // aggregate traffic counters, shared by every minted endpoint
 
 	mu     sync.Mutex
 	eps    map[*fabricEndpoint]struct{}
@@ -70,7 +71,7 @@ func (f *Fabric) Endpoint(name string) (transport.Endpoint, error) {
 	if strings.ContainsRune(hint, ':') {
 		listen = hint
 	}
-	ep, err := ListenLimit(listen, f.maxIn)
+	ep, err := listenShared(listen, f.maxIn, &f.st)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,65 @@
+package tcpnet
+
+import "sync/atomic"
+
+// stats holds the live transport counters as atomics, bumped inline on the
+// send/receive paths (no locks, no allocation). A standalone endpoint owns
+// its own set; endpoints minted by one Fabric share the fabric's set, so a
+// daemon's whole TCP footprint reads as one series group.
+type stats struct {
+	framesSent atomic.Uint64
+	framesRecv atomic.Uint64
+	bytesSent  atomic.Uint64 // wire bytes including the 4-byte length prefix
+	bytesRecv  atomic.Uint64
+	dials      atomic.Uint64 // outbound connections established
+	redials    atomic.Uint64 // dead cached connections replaced mid-send
+	accepts    atomic.Uint64 // inbound connections accepted
+}
+
+// Stats is a snapshot of transport traffic counters.
+type Stats struct {
+	FramesSent uint64
+	FramesRecv uint64
+	BytesSent  uint64
+	BytesRecv  uint64
+	Dials      uint64
+	Redials    uint64
+	Accepts    uint64
+}
+
+func (s *stats) snapshot() Stats {
+	return Stats{
+		FramesSent: s.framesSent.Load(),
+		FramesRecv: s.framesRecv.Load(),
+		BytesSent:  s.bytesSent.Load(),
+		BytesRecv:  s.bytesRecv.Load(),
+		Dials:      s.dials.Load(),
+		Redials:    s.redials.Load(),
+		Accepts:    s.accepts.Load(),
+	}
+}
+
+// statsMap renders the counters under snake_case keys, the form the
+// observability bridge (transport.StatsSource) registers verbatim.
+func (s *stats) statsMap() map[string]uint64 {
+	return map[string]uint64{
+		"frames_sent": s.framesSent.Load(),
+		"frames_recv": s.framesRecv.Load(),
+		"bytes_sent":  s.bytesSent.Load(),
+		"bytes_recv":  s.bytesRecv.Load(),
+		"dials":       s.dials.Load(),
+		"redials":     s.redials.Load(),
+		"accepts":     s.accepts.Load(),
+	}
+}
+
+// Stats returns this endpoint's traffic counters (the fabric-wide counters
+// when the endpoint was minted by a Fabric).
+func (e *Endpoint) Stats() Stats { return e.st.snapshot() }
+
+// Stats returns the aggregate counters across every endpoint this fabric
+// minted, including ones that have since closed.
+func (f *Fabric) Stats() Stats { return f.st.snapshot() }
+
+// StatsMap implements transport.StatsSource.
+func (f *Fabric) StatsMap() map[string]uint64 { return f.st.statsMap() }

@@ -76,6 +76,11 @@ type Endpoint struct {
 	inbox chan *msg.Message
 	done  chan struct{} // closed on Close; unblocks readers stuck on a full inbox
 
+	// st receives the traffic counters; endpoints minted by a Fabric share
+	// the fabric's set. Always non-nil — bumping an atomic is cheaper than
+	// branching on whether anyone will ever scrape it.
+	st *stats
+
 	mu      sync.Mutex
 	ln      net.Listener         // nil while paused
 	conns   map[string]*peerConn // outbound connection cache, keyed by address
@@ -97,8 +102,19 @@ func Listen(addr string) (*Endpoint, error) { return ListenLimit(addr, 0) }
 // before any body allocation happens. Zero (or anything above the absolute
 // cap) means the 16 MiB default.
 func ListenLimit(addr string, maxInbound int) (*Endpoint, error) {
+	return listenShared(addr, maxInbound, nil)
+}
+
+// listenShared is ListenLimit with an optional externally owned stats set
+// (how a Fabric aggregates traffic across the endpoints it mints). The set
+// must be fixed before the accept loop starts, hence the parameter rather
+// than assignment after construction.
+func listenShared(addr string, maxInbound int, st *stats) (*Endpoint, error) {
 	if maxInbound <= 0 || maxInbound > maxFrame {
 		maxInbound = maxFrame
+	}
+	if st == nil {
+		st = &stats{}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -107,6 +123,7 @@ func ListenLimit(addr string, maxInbound int) (*Endpoint, error) {
 	e := &Endpoint{
 		addr:    ln.Addr().String(),
 		maxIn:   maxInbound,
+		st:      st,
 		ln:      ln,
 		inbox:   make(chan *msg.Message, 1024),
 		done:    make(chan struct{}),
@@ -238,9 +255,21 @@ func (e *Endpoint) writeFrame(to string, body []byte) error {
 		if derr != nil || pc2 == pc {
 			return err
 		}
-		return e.flushFrame(to, pc2, body)
+		e.st.redials.Add(1)
+		if err := e.flushFrame(to, pc2, body); err != nil {
+			return err
+		}
+		e.countSent(body)
+		return nil
 	}
+	e.countSent(body)
 	return nil
+}
+
+// countSent records one frame put on the wire (body plus length prefix).
+func (e *Endpoint) countSent(body []byte) {
+	e.st.framesSent.Add(1)
+	e.st.bytesSent.Add(uint64(len(body)) + 4)
 }
 
 // flushFrame writes one frame to an established connection, dropping the
@@ -370,6 +399,7 @@ func (e *Endpoint) conn(to string) (*peerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %q: %w", to, err)
 	}
+	e.st.dials.Add(1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed || e.paused {
@@ -419,6 +449,7 @@ func (e *Endpoint) acceptLoop(ln net.Listener) {
 		e.inConns[conn] = true
 		e.wg.Add(1)
 		e.mu.Unlock()
+		e.st.accepts.Add(1)
 		go e.readLoop(conn)
 	}
 }
@@ -486,6 +517,8 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 			}
 			return
 		}
+		e.st.framesRecv.Add(1)
+		e.st.bytesRecv.Add(uint64(need) + 4)
 		select {
 		case e.inbox <- m:
 		case <-e.done:

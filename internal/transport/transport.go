@@ -35,6 +35,16 @@ type Fabric interface {
 	Close() error
 }
 
+// StatsSource is implemented by fabrics that expose transport-level traffic
+// counters for the observability bridge: webobj registers every key as a
+// scrape-time counter (globe_transport_<key>_total) when metrics are enabled.
+// Keys must be valid snake_case metric-name fragments; values are cumulative
+// counts read at call time. Both memnet.Network and tcpnet.Fabric implement
+// it.
+type StatsSource interface {
+	StatsMap() map[string]uint64
+}
+
 // Endpoint is a communication object: the messaging port of one address
 // space participating in a distributed shared object. Implementations must
 // be safe for concurrent use.

@@ -20,6 +20,12 @@
 # the cache must re-parent onto the permanent store (ctl stats ReparentsDone),
 # the dead contact must drop out of resolution within one lease TTL, and
 # writes through resolution must keep working against the healed tree.
+#
+# Part 5 (observability): a three-daemon tree with -metrics-addr on every
+# daemon and a durable root. After a write stream, /metrics at the root must
+# show non-empty WAL series, /metrics at the cache must show a non-empty
+# propagation-lag histogram, and globectl's daemon-wide ctl metrics /
+# ctl trace ops must return the same series and the write lifecycle.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -346,4 +352,69 @@ fi
 
 echo "smoke_e2e: part 4 OK (mirror SIGKILLed; cache re-parented, lease expired, writes kept flowing)"
 
-echo "smoke_e2e: OK (legacy pair + name-server topology + SIGKILL durability + self-healing tree)"
+# ---- Part 5: observability — /metrics, propagation lag, ctl metrics/trace ----
+PORT_R="${PORT_R:-7430}"
+PORT_RM="${PORT_RM:-7431}"
+PORT_S="${PORT_S:-7432}"
+PORT_T="${PORT_T:-7433}"
+PORT_TM="${PORT_TM:-7434}"
+PORT_TCTL="${PORT_TCTL:-7435}"
+DATA2="$BIN/data_obs"
+OBS=obs-doc
+
+# The root is durable (so the WAL series have samples) and scrapable; the
+# cache is scrapable, traced, and carries a control port for the daemon-wide
+# ops. The mirror in the middle just relays.
+"$BIN/globed" -listen "127.0.0.1:$PORT_R" -object $OBS -role permanent \
+    -strategy conference -session ryw -id 21 -digest 100ms \
+    -data-dir "$DATA2" -fsync always -metrics-addr "127.0.0.1:$PORT_RM" &
+wait_port "$PORT_R"
+"$BIN/globed" -listen "127.0.0.1:$PORT_S" -object $OBS -role mirror \
+    -parent "127.0.0.1:$PORT_R" -strategy conference -session ryw -id 22 -digest 100ms &
+wait_port "$PORT_S"
+"$BIN/globed" -listen "127.0.0.1:$PORT_T" -control "127.0.0.1:$PORT_TCTL" \
+    -object $OBS -role cache -parent "127.0.0.1:$PORT_S" \
+    -strategy conference -session ryw -id 23 -digest 100ms \
+    -metrics-addr "127.0.0.1:$PORT_TM" -trace-events 256 &
+wait_port "$PORT_T"
+wait_port "$PORT_TCTL"
+
+for i in $(seq 1 15); do
+    "$BIN/globectl" -store "127.0.0.1:$PORT_R" -object $OBS -client 501 \
+        append feed.html "F$i;" >/dev/null
+done
+# Wait until the write stream has propagated down to the cache…
+GOT6=""
+for _ in $(seq 1 50); do
+    GOT6="$("$BIN/globectl" -store "127.0.0.1:$PORT_T" -object $OBS -client 502 \
+        get feed.html 2>/dev/null || true)"
+    printf '%s' "$GOT6" | grep -q "F15;" && break
+    sleep 0.1
+done
+if ! printf '%s' "$GOT6" | grep -q "F15;"; then
+    echo "smoke_e2e: FAIL: cache never converged for the metrics scrape" >&2
+    exit 1
+fi
+
+# …then the scrapes are deterministic. Root: WAL series must be non-empty
+# (15 appends, each behind an fsync barrier).
+ROOT_METRICS="$(curl -sf "http://127.0.0.1:$PORT_RM/metrics")"
+echo "$ROOT_METRICS" | grep -Eq '^globe_wal_appends_total\{[^}]*\} [1-9]'
+echo "$ROOT_METRICS" | grep -Eq '^globe_wal_sync_seconds_count\{[^}]*\} [1-9]'
+echo "$ROOT_METRICS" | grep -q '^globe_propagation_lag_seconds_bucket'
+
+# Cache: the per-replica propagation-lag histogram must have recorded every
+# applied update, and the transport counters must show real TCP traffic.
+CACHE_METRICS="$(curl -sf "http://127.0.0.1:$PORT_TM/metrics")"
+echo "$CACHE_METRICS" | grep -Eq '^globe_propagation_lag_seconds_count\{[^}]*object="obs-doc"[^}]*\} [1-9]'
+echo "$CACHE_METRICS" | grep -Eq '^globe_transport_frames_recv_total\{[^}]*fabric="tcpnet"[^}]*\} [1-9]'
+
+# The daemon-wide control ops return the same registry and the lifecycle
+# trace (no -object needed).
+"$BIN/globectl" -ctl "127.0.0.1:$PORT_TCTL" ctl metrics \
+    | grep -q '"globe_propagation_lag_seconds"'
+"$BIN/globectl" -ctl "127.0.0.1:$PORT_TCTL" ctl trace | grep -q 'update_applied'
+
+echo "smoke_e2e: part 5 OK (non-empty WAL and propagation-lag series over /metrics; ctl metrics/trace)"
+
+echo "smoke_e2e: OK (legacy pair + name-server topology + SIGKILL durability + self-healing tree + observability)"

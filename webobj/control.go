@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/ids"
 	"repro/internal/msg"
 	"repro/internal/nameserv"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/strategy"
 	"repro/internal/transport"
@@ -18,7 +20,10 @@ import (
 // runtime in a running System (typically a globed daemon). It travels
 // JSON-encoded in a KindCtrlRequest frame.
 type ControlRequest struct {
-	// Op is "host", "drop", or "stats".
+	// Op is "host", "drop", "stats", "metrics", or "trace". The metrics and
+	// trace ops are daemon-wide (no object): they return the registry
+	// snapshot and the trace ring respectively, empty unless the daemon was
+	// built with WithMetrics / WithTrace.
 	Op string `json:"op"`
 	// Store names the daemon store to act on ("" = the daemon's only
 	// store; an error if it has several).
@@ -106,9 +111,17 @@ type ControlStats struct {
 	Durability replication.DurabilityInfo `json:"durability"`
 	Applied    ids.VersionVec             `json:"applied,omitempty"`
 	// Naming carries the daemon's name-service client counters
-	// (lease renewals sent, directory records expired); nil when the
-	// daemon resolves in-process.
+	// (lease renewals sent, resolve cache hits/misses, directory records
+	// expired); nil when the daemon resolves in-process.
 	Naming *nameserv.ClientStats `json:"naming,omitempty"`
+	// Transport carries the fabric's traffic counters (frames, bytes,
+	// dials/redials on TCP); nil when the fabric exposes none.
+	Transport map[string]uint64 `json:"transport,omitempty"`
+	// WalSyncP99Seconds and WalGroupCommitP99 summarise the replica's WAL
+	// histograms (fsync barrier latency; acks retired per barrier). Present
+	// only when the daemon runs WithMetrics and the replica is durable.
+	WalSyncP99Seconds float64 `json:"wal_sync_p99_seconds,omitempty"`
+	WalGroupCommitP99 float64 `json:"wal_group_commit_p99,omitempty"`
 }
 
 // handleControl executes one control command against this system. The
@@ -117,6 +130,13 @@ func (s *System) handleControl(payload []byte) ([]byte, error) {
 	var req ControlRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return nil, fmt.Errorf("bad control payload: %w", err)
+	}
+	// Daemon-wide ops first: they address the whole system, not a replica.
+	switch req.Op {
+	case "metrics":
+		return json.Marshal(s.MetricsSnapshot())
+	case "trace":
+		return json.Marshal(s.TraceEvents())
 	}
 	if req.Object == "" {
 		return nil, errors.New("control request needs an object")
@@ -153,7 +173,7 @@ func (s *System) handleControl(payload []byte) ([]byte, error) {
 		}
 		return nil, s.ReplicateFrom(st, parent, obj, models...)
 	default:
-		return nil, fmt.Errorf("unknown control op %q (want host|drop|stats)", req.Op)
+		return nil, fmt.Errorf("unknown control op %q (want host|drop|stats|metrics|trace)", req.Op)
 	}
 }
 
@@ -184,6 +204,21 @@ func (s *System) controlStats(st *Store, obj ObjectID) ([]byte, error) {
 	if ns, ok := s.res.(nsResolver); ok {
 		cs := ns.Stats()
 		out.Naming = &cs
+	}
+	if src, ok := s.fabric.(transport.StatsSource); ok {
+		out.Transport = src.StatsMap()
+	}
+	if reg := s.obsv.Registry(); reg != nil {
+		ls := []obs.Label{
+			obs.L("store", strconv.FormatUint(uint64(st.st.ID()), 10)),
+			obs.L("object", string(obj)),
+		}
+		if p := reg.Find("globe_wal_sync_seconds", ls...); p != nil && p.Hist != nil {
+			out.WalSyncP99Seconds = p.Hist.P99
+		}
+		if p := reg.Find("globe_wal_group_commit_size", ls...); p != nil && p.Hist != nil {
+			out.WalGroupCommitP99 = p.Hist.P99
+		}
 	}
 	return json.Marshal(out)
 }
@@ -320,6 +355,34 @@ func (c *ControlClient) Stats(storeName, object string) (ControlStats, error) {
 	}
 	if err := json.Unmarshal(payload, &out); err != nil {
 		return out, fmt.Errorf("webobj: bad stats payload from %s: %w", c.addr, err)
+	}
+	return out, nil
+}
+
+// Metrics fetches the daemon's full metrics snapshot (empty unless the
+// daemon runs WithMetrics).
+func (c *ControlClient) Metrics() ([]MetricPoint, error) {
+	payload, err := c.CallPayload(ControlRequest{Op: "metrics"})
+	if err != nil {
+		return nil, err
+	}
+	var out []MetricPoint
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("webobj: bad metrics payload from %s: %w", c.addr, err)
+	}
+	return out, nil
+}
+
+// Trace fetches the daemon's trace ring, oldest first (empty unless the
+// daemon runs WithTrace).
+func (c *ControlClient) Trace() ([]TraceEvent, error) {
+	payload, err := c.CallPayload(ControlRequest{Op: "trace"})
+	if err != nil {
+		return nil, err
+	}
+	var out []TraceEvent
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("webobj: bad trace payload from %s: %w", c.addr, err)
 	}
 	return out, nil
 }
